@@ -1,0 +1,200 @@
+//! Byte-class alphabet compression.
+//!
+//! Real automata rarely distinguish all 256 bytes: the paper's `traffic`
+//! NFA, for instance, treats every letter in a hostname identically. Mapping
+//! each input byte to an *equivalence class* first shrinks DFA transition
+//! tables by `256 / num_classes`, which directly attacks the cache-miss
+//! problem the paper attributes to large chunk automata (Sect. 1).
+//!
+//! Two bytes are equivalent when no state of the source automaton can tell
+//! them apart, i.e. they have identical transition columns.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A surjective map `byte → class` with classes numbered `0..num_classes`.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteClasses {
+    map: Vec<u8>, // length 256
+    num_classes: u16,
+}
+
+impl ByteClasses {
+    /// The identity mapping: every byte is its own class.
+    pub fn identity() -> ByteClasses {
+        ByteClasses {
+            map: (0..=255).collect(),
+            num_classes: 256,
+        }
+    }
+
+    /// Builds classes by grouping bytes with equal keys.
+    ///
+    /// `key(b)` must be a complete description of how the automaton reacts
+    /// to byte `b` (e.g. the concatenated transition column). Classes are
+    /// numbered in order of first appearance, so class ids are deterministic.
+    pub fn from_key_fn<K: std::hash::Hash + Eq>(mut key: impl FnMut(u8) -> K) -> ByteClasses {
+        let mut ids: HashMap<K, u8> = HashMap::new();
+        let mut map = Vec::with_capacity(256);
+        for b in 0..=255u8 {
+            let next = ids.len() as u8;
+            let id = *ids.entry(key(b)).or_insert(next);
+            map.push(id);
+        }
+        ByteClasses {
+            num_classes: ids.len() as u16,
+            map,
+        }
+    }
+
+    /// Builds a class map from explicit per-byte ids (e.g. loaded from
+    /// disk), preserving the given numbering. Every class in
+    /// `0..num_classes` must have at least one member byte, so dense
+    /// transition tables keep a well-defined stride and representative set.
+    pub fn from_exact_map(map: Vec<u8>, num_classes: usize) -> crate::Result<ByteClasses> {
+        use crate::error::Error;
+        if map.len() != 256 {
+            return Err(Error::InvalidAutomaton(format!(
+                "class map has {} entries, expected 256",
+                map.len()
+            )));
+        }
+        if num_classes == 0 || num_classes > 256 {
+            return Err(Error::InvalidAutomaton(format!(
+                "num_classes {num_classes} out of range 1..=256"
+            )));
+        }
+        let mut used = vec![false; num_classes];
+        for &c in &map {
+            if c as usize >= num_classes {
+                return Err(Error::InvalidAutomaton(format!(
+                    "class id {c} exceeds num_classes {num_classes}"
+                )));
+            }
+            used[c as usize] = true;
+        }
+        if let Some(missing) = used.iter().position(|&u| !u) {
+            return Err(Error::InvalidAutomaton(format!(
+                "class {missing} has no member byte"
+            )));
+        }
+        Ok(ByteClasses {
+            map,
+            num_classes: num_classes as u16,
+        })
+    }
+
+    /// Class of `byte`.
+    #[inline(always)]
+    pub fn get(&self, byte: u8) -> u8 {
+        // `map` always has length 256, so this never bounds-checks in
+        // release builds.
+        self.map[byte as usize]
+    }
+
+    /// Number of distinct classes (the stride of dense transition tables).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// One representative byte per class, in class order. Useful for
+    /// iterating "over the alphabet" during subset constructions.
+    pub fn representatives(&self) -> Vec<u8> {
+        let mut reps = vec![None; self.num_classes as usize];
+        for b in 0..=255u8 {
+            let c = self.map[b as usize] as usize;
+            if reps[c].is_none() {
+                reps[c] = Some(b);
+            }
+        }
+        reps.into_iter().map(|r| r.expect("class without member")).collect()
+    }
+
+    /// All bytes belonging to `class`.
+    pub fn members(&self, class: u8) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256)
+            .map(|b| b as u8)
+            .filter(move |&b| self.map[b as usize] == class)
+    }
+
+    /// The coarsest common refinement of two class maps: bytes are
+    /// equivalent iff they are equivalent under *both* inputs. Needed when
+    /// comparing two automata built with different alphabets.
+    pub fn refine(&self, other: &ByteClasses) -> ByteClasses {
+        ByteClasses::from_key_fn(|b| (self.get(b), other.get(b)))
+    }
+}
+
+impl std::fmt::Debug for ByteClasses {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteClasses({} classes)", self.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_256_classes() {
+        let c = ByteClasses::identity();
+        assert_eq!(c.num_classes(), 256);
+        for b in 0..=255u8 {
+            assert_eq!(c.get(b), b);
+        }
+    }
+
+    #[test]
+    fn grouping_by_key() {
+        // Key: is the byte a digit? → exactly two classes.
+        let c = ByteClasses::from_key_fn(|b| b.is_ascii_digit());
+        assert_eq!(c.num_classes(), 2);
+        assert_eq!(c.get(b'3'), c.get(b'9'));
+        assert_ne!(c.get(b'3'), c.get(b'x'));
+        // Class ids assigned in first-appearance order: byte 0 is not a
+        // digit, so the non-digit class is 0.
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(b'0'), 1);
+    }
+
+    #[test]
+    fn representatives_cover_all_classes() {
+        let c = ByteClasses::from_key_fn(|b| b % 3);
+        let reps = c.representatives();
+        assert_eq!(reps.len(), c.num_classes());
+        let mut seen: Vec<u8> = reps.iter().map(|&b| c.get(b)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), c.num_classes());
+    }
+
+    #[test]
+    fn members_partition_the_byte_space() {
+        let c = ByteClasses::from_key_fn(|b| b.is_ascii_alphabetic());
+        let total: usize = (0..c.num_classes() as u8)
+            .map(|cl| c.members(cl).count())
+            .sum();
+        assert_eq!(total, 256);
+        assert!(c.members(c.get(b'a')).all(|b| b.is_ascii_alphabetic()));
+    }
+
+    #[test]
+    fn refine_distinguishes_when_either_does() {
+        let digits = ByteClasses::from_key_fn(|b| b.is_ascii_digit());
+        let lower = ByteClasses::from_key_fn(|b| b.is_ascii_lowercase());
+        let both = digits.refine(&lower);
+        // Three populated groups: digit, lowercase, other.
+        assert_eq!(both.num_classes(), 3);
+        assert_ne!(both.get(b'1'), both.get(b'a'));
+        assert_ne!(both.get(b'a'), both.get(b'#'));
+        assert_eq!(both.get(b'#'), both.get(b'@'));
+    }
+
+    #[test]
+    fn refine_with_identity_is_identity() {
+        let c = ByteClasses::from_key_fn(|b| b % 2);
+        let r = c.refine(&ByteClasses::identity());
+        assert_eq!(r.num_classes(), 256);
+    }
+}

@@ -1,0 +1,207 @@
+//! A compact fixed-capacity bit set over dense state identifiers.
+//!
+//! Used for final-state sets and visited-state tracking. Implemented here
+//! rather than pulled from a crate so the hot membership test stays a single
+//! shift/mask with no feature baggage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StateId;
+
+/// A fixed-capacity set of [`StateId`]s backed by a `Vec<u64>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of ids the set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, id: StateId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        !was
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: StateId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let mask = 1u64 << b;
+        let was = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: StateId) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` if `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union with `other` (capacities must match).
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates over the ids present, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            BitIter { word, base: (wi * 64) as u32 }
+        })
+    }
+}
+
+impl FromIterator<StateId> for BitSet {
+    /// Builds a set sized to the largest id in the iterator.
+    fn from_iter<I: IntoIterator<Item = StateId>>(iter: I) -> Self {
+        let ids: Vec<StateId> = iter.into_iter().collect();
+        let cap = ids.iter().map(|&i| i as usize + 1).max().unwrap_or(0);
+        let mut set = BitSet::new(cap);
+        for id in ids {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = StateId;
+
+    #[inline]
+    fn next(&mut self) -> Option<StateId> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        s.insert(3);
+        s.insert(99);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = BitSet::new(200);
+        for id in [5u32, 63, 64, 65, 199, 0] {
+            s.insert(id);
+        }
+        let got: Vec<StateId> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn intersects_and_union() {
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        a.insert(10);
+        b.insert(90);
+        assert!(!a.intersects(&b));
+        b.insert(10);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(90));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [7u32, 2, 7].into_iter().collect();
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(2) && s.contains(7));
+    }
+
+    #[test]
+    fn contains_out_of_capacity_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Language-equivalence oracle for two DFAs.
+//!
+//! Breadth-first product exploration: two complete DFAs accept the same
+//! language iff no reachable state pair disagrees on acceptance. Used by
+//! the test suite to certify the whole construction pipeline (Glushkov ≡
+//! Thompson, minimal ≡ unminimized, and — in `ridfa-core` — Theorem 3.1:
+//! the RID device recognizes the same language as the source NFA).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::StateId;
+
+use super::Dfa;
+
+/// Returns a shortest string on which the two DFAs disagree, or `None` if
+/// they are language-equivalent.
+pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<u8>> {
+    // A common byte-class refinement lets the product walk one
+    // representative per joint class instead of all 256 bytes.
+    let classes = a.classes().refine(b.classes());
+    let reps = classes.representatives();
+
+    let start = (a.start(), b.start());
+    let mut parents: HashMap<(StateId, StateId), Option<((StateId, StateId), u8)>> =
+        HashMap::new();
+    parents.insert(start, None);
+    let mut queue = VecDeque::from([start]);
+
+    while let Some(pair @ (s, t)) = queue.pop_front() {
+        if a.is_final(s) != b.is_final(t) {
+            // Reconstruct the distinguishing string.
+            let mut bytes = Vec::new();
+            let mut cur = pair;
+            while let Some(&Some((prev, byte))) = parents.get(&cur).map(|p| p) {
+                bytes.push(byte);
+                cur = prev;
+            }
+            bytes.reverse();
+            return Some(bytes);
+        }
+        for &rep in &reps {
+            let next = (a.next(s, rep), b.next(t, rep));
+            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(next) {
+                e.insert(Some((pair, rep)));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// `true` iff the two DFAs accept exactly the same language.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+    counterexample(a, b).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::minimize::minimize;
+    use crate::dfa::testutil::dfa_for;
+
+    #[test]
+    fn identical_patterns_are_equivalent() {
+        let a = dfa_for("(a|b)*abb");
+        let b = dfa_for("(a|b)*abb");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn syntactically_different_same_language() {
+        // a(ba)* and (ab)*a denote the same language.
+        let a = dfa_for("a(ba)*");
+        let b = dfa_for("(ab)*a");
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn minimization_is_equivalence_preserving() {
+        for pattern in ["(x|y){2,6}", "a*b*c*", "(0|1)*11(0|1)*"] {
+            let dfa = dfa_for(pattern);
+            assert!(equivalent(&dfa, &minimize(&dfa)), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn different_languages_yield_counterexample() {
+        let a = dfa_for("ab*");
+        let b = dfa_for("ab+");
+        let ce = counterexample(&a, &b).expect("languages differ");
+        // Shortest distinguishing string is "a".
+        assert_eq!(ce, b"a");
+        assert_ne!(a.accepts(&ce), b.accepts(&ce));
+    }
+
+    #[test]
+    fn counterexample_is_shortest() {
+        let a = dfa_for("x{3}");
+        let b = dfa_for("x{4}");
+        let ce = counterexample(&a, &b).unwrap();
+        assert_eq!(ce.len(), 3);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_language() {
+        let a = dfa_for("a");
+        // Empty language via impossible class.
+        let b = dfa_for("[a]b[c]d[^\\x00-\\xff]");
+        let ce = counterexample(&a, &b).unwrap();
+        assert_eq!(ce, b"a");
+    }
+
+    #[test]
+    fn disagreement_on_empty_string() {
+        let a = dfa_for("a*");
+        let b = dfa_for("a+");
+        let ce = counterexample(&a, &b).unwrap();
+        assert!(ce.is_empty(), "ε distinguishes a* from a+");
+    }
+}

@@ -1,0 +1,412 @@
+//! Hopcroft's DFA minimization and the underlying partition refinement.
+//!
+//! The partition-refinement core ([`partition_refine`]) is exposed on its
+//! own because the paper's Sect. 3.4 reuses exactly this computation on an
+//! RI-DFA: the language-equivalence (Nerode) classes are well defined for
+//! any machine with deterministic *outgoing* transitions, even when it has
+//! multiple initial states. `ridfa-core` calls it to find the
+//! initial-state equivalence classes used for interface minimization.
+
+use crate::{BitSet, StateId, DEAD};
+
+use super::Dfa;
+
+/// Computes the language-equivalence classes of a complete deterministic
+/// transition structure.
+///
+/// * `num_states` — states are `0..num_states`;
+/// * `stride` — number of byte classes;
+/// * `next(s, c)` — the (total) transition function over class ids;
+/// * `is_final(s)` — the acceptance predicate.
+///
+/// Returns `class[s]` for every state; `class[a] == class[b]` iff `a` and
+/// `b` recognize the same language. Class ids are dense, and class 0 is the
+/// class of state 0 (for DFAs in this crate: the dead class).
+///
+/// Runs Hopcroft's algorithm: `O(stride · n · log n)`.
+pub fn partition_refine(
+    num_states: usize,
+    stride: usize,
+    next: impl Fn(StateId, u8) -> StateId,
+    is_final: impl Fn(StateId) -> bool,
+) -> Vec<u32> {
+    assert!(num_states > 0 && stride > 0 && stride <= 256);
+
+    // Reverse transitions, CSR per class: sources of t on class c are
+    // rev_items[rev_start[c][t] .. rev_start[c][t+1]].
+    let mut counts = vec![0u32; stride * (num_states + 1)];
+    for s in 0..num_states as StateId {
+        for c in 0..stride {
+            let t = next(s, c as u8) as usize;
+            counts[c * (num_states + 1) + t + 1] += 1;
+        }
+    }
+    for c in 0..stride {
+        let base = c * (num_states + 1);
+        for t in 0..num_states {
+            counts[base + t + 1] += counts[base + t];
+        }
+    }
+    let rev_start = counts; // now prefix sums per class
+    let mut fill = rev_start.clone();
+    let mut rev_items = vec![0 as StateId; stride * num_states];
+    for s in 0..num_states as StateId {
+        for c in 0..stride {
+            let t = next(s, c as u8) as usize;
+            let slot = &mut fill[c * (num_states + 1) + t];
+            rev_items[c * num_states + *slot as usize] = s;
+            *slot += 1;
+        }
+    }
+    let preimage = |class: usize, t: StateId| -> &[StateId] {
+        let lo = rev_start[class * (num_states + 1) + t as usize] as usize;
+        let hi = rev_start[class * (num_states + 1) + t as usize + 1] as usize;
+        &rev_items[class * num_states + lo..class * num_states + hi]
+    };
+
+    // Refinable partition (Hopcroft's arrays).
+    let mut p = Partition::new(num_states);
+    // Initial split: finals vs non-finals.
+    for s in 0..num_states as StateId {
+        if is_final(s) {
+            p.mark(s);
+        }
+    }
+    let mut worklist: Vec<u32> = Vec::new();
+    let mut in_worklist: Vec<bool> = vec![false; 1];
+    p.split_touched(|_old, new, _old_len, _new_len| {
+        // Both initial blocks go on the worklist (cheap and simple).
+        in_worklist.resize(new as usize + 1, false);
+        if !in_worklist[new as usize] {
+            in_worklist[new as usize] = true;
+            worklist.push(new);
+        }
+    });
+    if !in_worklist[0] {
+        in_worklist[0] = true;
+        worklist.push(0);
+    }
+
+    let mut splitter: Vec<StateId> = Vec::new();
+    while let Some(a) = worklist.pop() {
+        in_worklist[a as usize] = false;
+        // Snapshot A: it may split while being processed.
+        splitter.clear();
+        splitter.extend_from_slice(p.block_elems(a));
+        for class in 0..stride {
+            for &t in &splitter {
+                for &s in preimage(class, t) {
+                    p.mark(s);
+                }
+            }
+            p.split_touched(|old, new, old_len, new_len| {
+                in_worklist.resize((new as usize + 1).max(in_worklist.len()), false);
+                if in_worklist[old as usize] {
+                    // Old block was pending: keep both halves pending.
+                    in_worklist[new as usize] = true;
+                    worklist.push(new);
+                } else {
+                    // Add the smaller half (Hopcroft's trick).
+                    let small = if new_len <= old_len { new } else { old };
+                    in_worklist[small as usize] = true;
+                    worklist.push(small);
+                }
+            });
+        }
+    }
+
+    // Renumber blocks deterministically: state 0's block becomes class 0,
+    // then classes are assigned in order of first occurrence by state id.
+    let mut renumber = vec![u32::MAX; p.num_blocks()];
+    let mut next_class = 0u32;
+    renumber[p.block_of(DEAD) as usize] = 0;
+    next_class += 1;
+    let mut classes = vec![0u32; num_states];
+    for s in 0..num_states as StateId {
+        let b = p.block_of(s) as usize;
+        if renumber[b] == u32::MAX {
+            renumber[b] = next_class;
+            next_class += 1;
+        }
+        classes[s as usize] = renumber[b];
+    }
+    classes
+}
+
+/// Hopcroft's refinable-partition data structure: states live in a
+/// permutation array sliced into blocks; marking swaps states to the front
+/// of their block so a block can be split in time proportional to the
+/// marked part.
+struct Partition {
+    elems: Vec<StateId>,
+    loc: Vec<u32>,
+    block: Vec<u32>,
+    start: Vec<u32>,
+    end: Vec<u32>,
+    marked: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl Partition {
+    fn new(n: usize) -> Partition {
+        Partition {
+            elems: (0..n as StateId).collect(),
+            loc: (0..n as u32).collect(),
+            block: vec![0; n],
+            start: vec![0],
+            end: vec![n as u32],
+            marked: vec![0],
+            touched: Vec::new(),
+        }
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.start.len()
+    }
+
+    fn block_of(&self, s: StateId) -> u32 {
+        self.block[s as usize]
+    }
+
+    fn block_len(&self, b: u32) -> u32 {
+        self.end[b as usize] - self.start[b as usize]
+    }
+
+    fn block_elems(&self, b: u32) -> &[StateId] {
+        &self.elems[self.start[b as usize] as usize..self.end[b as usize] as usize]
+    }
+
+    /// Marks `s` within its block (idempotent).
+    fn mark(&mut self, s: StateId) {
+        let b = self.block[s as usize] as usize;
+        let i = self.loc[s as usize];
+        let frontier = self.start[b] + self.marked[b];
+        if i < frontier {
+            return; // already marked
+        }
+        if self.marked[b] == 0 {
+            self.touched.push(b as u32);
+        }
+        self.elems.swap(i as usize, frontier as usize);
+        self.loc[self.elems[i as usize] as usize] = i;
+        self.loc[self.elems[frontier as usize] as usize] = frontier;
+        self.marked[b] += 1;
+    }
+
+    /// Splits every touched block into (marked | unmarked); the marked part
+    /// becomes a *new* block, the old id keeps the unmarked part. Calls
+    /// `on_split(old, new, old_len, new_len)` per actual split; blocks that
+    /// were fully marked are just unmarked again.
+    fn split_touched(&mut self, mut on_split: impl FnMut(u32, u32, u32, u32)) {
+        while let Some(b) = self.touched.pop() {
+            let bi = b as usize;
+            let m = self.marked[bi];
+            self.marked[bi] = 0;
+            if m == 0 || m == self.block_len(b) {
+                continue;
+            }
+            let new = self.start.len() as u32;
+            let split_at = self.start[bi] + m;
+            self.start.push(self.start[bi]);
+            self.end.push(split_at);
+            self.marked.push(0);
+            self.start[bi] = split_at;
+            for i in self.start[new as usize]..self.end[new as usize] {
+                self.block[self.elems[i as usize] as usize] = new;
+            }
+            on_split(b, new, self.block_len(b), m);
+        }
+    }
+}
+
+/// Computes the Nerode equivalence classes of a [`Dfa`].
+pub fn equivalence_classes(dfa: &Dfa) -> Vec<u32> {
+    partition_refine(
+        dfa.num_states(),
+        dfa.stride(),
+        |s, c| dfa.next_class(s, c),
+        |s| dfa.is_final(s),
+    )
+}
+
+/// Returns the minimal DFA equivalent to `dfa`.
+///
+/// Unreachable states are removed first (they would otherwise distort the
+/// partition), then Nerode classes are merged. The result keeps the crate's
+/// invariants: state 0 is the dead class, the start state is the class of
+/// the old start.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let dfa = trim_unreachable(dfa);
+    let classes = equivalence_classes(&dfa);
+    let num_blocks = classes.iter().copied().max().unwrap_or(0) as usize + 1;
+    let stride = dfa.stride();
+
+    let mut table = vec![DEAD; num_blocks * stride];
+    let mut finals = BitSet::new(num_blocks);
+    let mut seen = vec![false; num_blocks];
+    for s in 0..dfa.num_states() as StateId {
+        let b = classes[s as usize];
+        if seen[b as usize] {
+            continue;
+        }
+        seen[b as usize] = true;
+        for c in 0..stride {
+            table[b as usize * stride + c] = classes[dfa.next_class(s, c as u8) as usize];
+        }
+        if dfa.is_final(s) {
+            finals.insert(b);
+        }
+    }
+    let start = classes[dfa.start() as usize];
+    Dfa::from_parts(dfa.classes().clone(), table, start, finals)
+        .expect("minimization preserves DFA invariants")
+}
+
+/// Removes states unreachable from the start (keeping the dead state 0).
+pub fn trim_unreachable(dfa: &Dfa) -> Dfa {
+    let n = dfa.num_states();
+    let mut reach = BitSet::new(n);
+    reach.insert(DEAD);
+    let mut stack = vec![dfa.start()];
+    reach.insert(dfa.start());
+    while let Some(s) = stack.pop() {
+        for c in 0..dfa.stride() {
+            let t = dfa.next_class(s, c as u8);
+            if reach.insert(t) {
+                stack.push(t);
+            }
+        }
+    }
+    if reach.len() == n {
+        return dfa.clone();
+    }
+    let mut remap = vec![StateId::MAX; n];
+    let mut next_id: StateId = 0;
+    for s in reach.iter() {
+        remap[s as usize] = next_id;
+        next_id += 1;
+    }
+    let stride = dfa.stride();
+    let mut table = vec![DEAD; next_id as usize * stride];
+    let mut finals = BitSet::new(next_id as usize);
+    for s in reach.iter() {
+        let ns = remap[s as usize] as usize;
+        for c in 0..stride {
+            table[ns * stride + c] = remap[dfa.next_class(s, c as u8) as usize];
+        }
+        if dfa.is_final(s) {
+            finals.insert(ns as StateId);
+        }
+    }
+    Dfa::from_parts(
+        dfa.classes().clone(),
+        table,
+        remap[dfa.start() as usize],
+        finals,
+    )
+    .expect("trim preserves DFA invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::powerset::determinize;
+    use crate::dfa::testutil::{dfa_for, nfa_for};
+
+    #[test]
+    fn minimize_preserves_language() {
+        for pattern in ["(a|b)*abb", "a{2,5}", "(ab|ba)*", "x(y|z)*x"] {
+            let dfa = dfa_for(pattern);
+            let min = minimize(&dfa);
+            assert!(min.num_states() <= dfa.num_states());
+            for input in [
+                &b""[..], b"a", b"abb", b"aabb", b"aa", b"aaaaa", b"abba",
+                b"xx", b"xyzx", b"xyz",
+            ] {
+                assert_eq!(dfa.accepts(input), min.accepts(input), "{pattern} {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_dfa_has_no_equivalent_pair() {
+        let min = minimize(&dfa_for("(a|b)*abb(a|b)?"));
+        let classes = equivalence_classes(&min);
+        let mut sorted = classes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), min.num_states(), "all classes singleton");
+    }
+
+    #[test]
+    fn classic_minimization_example() {
+        // (a|b)*abb: textbook minimal DFA has 4 live states.
+        let min = minimize(&dfa_for("(a|b)*abb"));
+        assert_eq!(min.num_live_states(), 4);
+    }
+
+    #[test]
+    fn exponential_family_is_already_minimal() {
+        // The 2^(k+1) powerset states of (a|b)*a(a|b)^k are all
+        // distinguishable: minimization must not shrink them.
+        let dfa = dfa_for("[ab]*a[ab]{4}");
+        let min = minimize(&dfa);
+        assert_eq!(min.num_live_states(), 1 << 5);
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_dead_only() {
+        let mut b = crate::nfa::Builder::new();
+        let s0 = b.add_state();
+        b.set_start(s0);
+        let nfa = b.build().unwrap();
+        let min = minimize(&determinize(&nfa));
+        assert_eq!(min.num_states(), 1, "only the dead state survives");
+        assert!(!min.accepts(b""));
+    }
+
+    #[test]
+    fn universal_language() {
+        let min = minimize(&dfa_for("[\\x00-\\xff]*"));
+        // Dead + one accepting sink.
+        assert_eq!(min.num_states(), 2);
+        assert!(min.accepts(b""));
+        assert!(min.accepts(b"anything at all \x00\xff"));
+    }
+
+    #[test]
+    fn trim_unreachable_drops_states() {
+        // Build a DFA then verify trim is idempotent on reachable machines.
+        let dfa = dfa_for("ab|cd");
+        let trimmed = trim_unreachable(&dfa);
+        assert_eq!(trimmed.num_states(), dfa.num_states());
+        for input in [&b"ab"[..], b"cd", b"ad", b""] {
+            assert_eq!(dfa.accepts(input), trimmed.accepts(input));
+        }
+    }
+
+    #[test]
+    fn equivalence_classes_separate_finals() {
+        let dfa = dfa_for("a|b");
+        let classes = equivalence_classes(&dfa);
+        for s in dfa.live_states() {
+            for t in dfa.live_states() {
+                if dfa.is_final(s) != dfa.is_final(t) {
+                    assert_ne!(classes[s as usize], classes[t as usize]);
+                }
+            }
+        }
+        assert_eq!(classes[DEAD as usize], 0);
+    }
+
+    #[test]
+    fn nfa_dfa_minimize_pipeline_agrees_with_nfa() {
+        let nfa = nfa_for("(0|1)*1(0|1){2}");
+        let min = minimize(&determinize(&nfa));
+        for input in [
+            &b""[..], b"100", b"111", b"000", b"0100", b"1", b"10", b"0101100",
+        ] {
+            assert_eq!(nfa.accepts(input), min.accepts(input), "{input:?}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The powerset (subset) construction: NFA → DFA.
+//!
+//! Classic worklist algorithm, iterating over byte *classes* rather than
+//! all 256 bytes, so construction cost scales with the effective alphabet.
+//! Exposed in two flavours: unbounded [`determinize`] and
+//! [`determinize_limited`], which aborts when the paper-famous exponential
+//! blow-up (e.g. the `regexp` benchmark family) exceeds a state budget.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::nfa::Nfa;
+use crate::{BitSet, StateId, DEAD};
+
+use super::Dfa;
+
+/// Determinizes `nfa` with no state bound.
+pub fn determinize(nfa: &Nfa) -> Dfa {
+    determinize_limited(nfa, usize::MAX)
+        .expect("unbounded determinization cannot hit the limit")
+}
+
+/// Determinizes `nfa`, failing with [`Error::LimitExceeded`] if more than
+/// `max_states` DFA states (excluding the dead state) would be created.
+pub fn determinize_limited(nfa: &Nfa, max_states: usize) -> Result<Dfa> {
+    Ok(determinize_mapped_limited(nfa, max_states)?.0)
+}
+
+/// Like [`determinize`], but also returns, for each DFA state, the sorted
+/// set of NFA states it stands for (index 0 = dead state, always empty).
+pub fn determinize_mapped(nfa: &Nfa) -> (Dfa, Vec<Vec<StateId>>) {
+    determinize_mapped_limited(nfa, usize::MAX)
+        .expect("unbounded determinization cannot hit the limit")
+}
+
+/// The general entry point: bounded determinization with state contents.
+pub fn determinize_mapped_limited(
+    nfa: &Nfa,
+    max_states: usize,
+) -> Result<(Dfa, Vec<Vec<StateId>>)> {
+    let classes = nfa.byte_classes();
+    let stride = classes.num_classes();
+    let reps = classes.representatives();
+
+    // Dead state occupies id 0 / row 0.
+    let mut table: Vec<StateId> = vec![DEAD; stride];
+    let mut contents: Vec<Vec<StateId>> = vec![Vec::new()];
+    let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+
+    let start_set = vec![nfa.start()];
+    ids.insert(start_set.clone(), 1);
+    contents.push(start_set);
+    table.resize(table.len() + stride, DEAD);
+    let start: StateId = 1;
+
+    let mut worklist: Vec<StateId> = vec![start];
+    let mut target: Vec<StateId> = Vec::new();
+    while let Some(s) = worklist.pop() {
+        for (class, &rep) in reps.iter().enumerate() {
+            target.clear();
+            for &q in &contents[s as usize] {
+                for &(_, t) in nfa.targets(q, rep) {
+                    target.push(t);
+                }
+            }
+            target.sort_unstable();
+            target.dedup();
+            if target.is_empty() {
+                continue; // stays DEAD
+            }
+            let next_id = match ids.get(&target) {
+                Some(&id) => id,
+                None => {
+                    let id = contents.len() as StateId;
+                    if contents.len() > max_states {
+                        return Err(Error::LimitExceeded {
+                            what: "powerset DFA states",
+                            limit: max_states,
+                        });
+                    }
+                    ids.insert(target.clone(), id);
+                    contents.push(target.clone());
+                    table.resize(table.len() + stride, DEAD);
+                    worklist.push(id);
+                    id
+                }
+            };
+            table[s as usize * stride + class] = next_id;
+        }
+    }
+
+    let mut finals = BitSet::new(contents.len());
+    for (id, content) in contents.iter().enumerate().skip(1) {
+        if content.iter().any(|&q| nfa.is_final(q)) {
+            finals.insert(id as StateId);
+        }
+    }
+    let dfa = Dfa::from_parts(classes, table, start, finals)?;
+    Ok((dfa, contents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::testutil::nfa_for;
+
+    #[test]
+    fn dfa_agrees_with_nfa_on_samples() {
+        for pattern in ["(a|b)*abb", "a+b?c{2}", "[xy]([pq]|z)*", "(aa|aab)*b"] {
+            let nfa = nfa_for(pattern);
+            let dfa = determinize(&nfa);
+            for input in [
+                &b""[..], b"a", b"abb", b"aabb", b"abc", b"acc", b"xzzp", b"y",
+                b"aab", b"aabaab", b"aabb", b"b", b"aaab",
+            ] {
+                assert_eq!(
+                    nfa.accepts(input),
+                    dfa.accepts(input),
+                    "pattern {pattern:?} input {:?}",
+                    String::from_utf8_lossy(input),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_dfa_has_four_live_states() {
+        // The paper's Fig. 1: the minimal DFA of the 3-state NFA has 4
+        // states {0, 1, 01, 02}; the raw powerset DFA is already minimal
+        // for this machine.
+        let nfa = crate::nfa::tests::figure1_nfa();
+        let dfa = determinize(&nfa);
+        assert_eq!(dfa.num_live_states(), 4);
+        assert!(dfa.accepts(b"aabcab"));
+    }
+
+    #[test]
+    fn exponential_family_explodes() {
+        // (a|b)*a(a|b)^k has a minimal DFA of 2^(k+1) states; the raw
+        // powerset is at least that big, and Hopcroft brings it to exactly
+        // 2^(k+1).
+        let nfa = nfa_for("[ab]*a[ab]{6}");
+        let dfa = determinize(&nfa);
+        assert!(dfa.num_live_states() >= 1 << 7);
+        let min = crate::dfa::minimize::minimize(&dfa);
+        assert_eq!(min.num_live_states(), 1 << 7);
+    }
+
+    #[test]
+    fn limit_aborts_explosion() {
+        let nfa = nfa_for("[ab]*a[ab]{10}");
+        let err = determinize_limited(&nfa, 100).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn contents_map_dfa_states_to_nfa_sets() {
+        let nfa = crate::nfa::tests::figure1_nfa();
+        let (dfa, contents) = determinize_mapped(&nfa);
+        assert_eq!(contents.len(), dfa.num_states());
+        assert!(contents[0].is_empty(), "dead state has empty content");
+        assert_eq!(contents[dfa.start() as usize], vec![nfa.start()]);
+        // Every content set is sorted and within range.
+        for c in &contents {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.iter().all(|&q| (q as usize) < nfa.num_states()));
+        }
+    }
+
+    #[test]
+    fn empty_language_nfa() {
+        // NFA with no finals: DFA accepts nothing but is still well-formed.
+        let mut b = crate::nfa::Builder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, b'a', s1);
+        b.set_start(s0);
+        let nfa = b.build().unwrap();
+        let dfa = determinize(&nfa);
+        assert!(!dfa.accepts(b""));
+        assert!(!dfa.accepts(b"a"));
+    }
+}

@@ -1,0 +1,66 @@
+//! The hot DFA scanning loop.
+//!
+//! Shared by the serial recognizer, the DFA chunk automaton, and (via the
+//! same table layout) the RI-DFA chunk automaton in `ridfa-core`. Kept in
+//! one tiny function so the optimizer sees a single monomorphic loop:
+//! one load per byte plus a predictable early-exit compare.
+
+use crate::counter::Counter;
+use crate::{StateId, DEAD};
+
+use super::Dfa;
+
+/// Runs `dfa` from `state` over `chunk`.
+///
+/// Returns the last active state, or [`DEAD`](crate::DEAD) if the run died
+/// before consuming the whole chunk. Each executed transition (into a live
+/// state) increments `counter` once; the step that discovers death is not
+/// counted, matching the convention of the paper's Fig. 1 totals.
+#[inline]
+pub fn run_chunk(dfa: &Dfa, state: StateId, chunk: &[u8], counter: &mut impl Counter) -> StateId {
+    let table = dfa.table();
+    let classes = dfa.classes();
+    let stride = dfa.stride();
+    let mut s = state;
+    for &byte in chunk {
+        let next = table[s as usize * stride + classes.get(byte) as usize];
+        if next == DEAD {
+            return DEAD;
+        }
+        counter.incr();
+        s = next;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{NoCount, TransitionCount};
+    use crate::dfa::testutil::dfa_for;
+
+    #[test]
+    fn full_run_counts_len() {
+        let dfa = dfa_for("[ab]*");
+        let mut c = TransitionCount::default();
+        let last = run_chunk(&dfa, dfa.start(), b"abab", &mut c);
+        assert_ne!(last, DEAD);
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn partial_run_counts_prefix_only() {
+        let dfa = dfa_for("aaab");
+        let mut c = TransitionCount::default();
+        // Dies at the 3rd byte ('z'): two counted transitions.
+        let last = run_chunk(&dfa, dfa.start(), b"aaz", &mut c);
+        assert_eq!(last, DEAD);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn run_from_dead_stays_dead() {
+        let dfa = dfa_for("x");
+        assert_eq!(run_chunk(&dfa, DEAD, b"x", &mut NoCount), DEAD);
+    }
+}

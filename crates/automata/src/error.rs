@@ -1,0 +1,92 @@
+//! Error type shared by the automata substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing regular expressions or building automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The regular expression was syntactically malformed.
+    RegexSyntax {
+        /// Byte offset of the offending token in the pattern.
+        position: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An automaton construction hit a configured resource limit
+    /// (e.g. powerset state explosion beyond the allowed bound).
+    LimitExceeded {
+        /// Which limit was hit.
+        what: &'static str,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The automaton description is structurally invalid
+    /// (e.g. a transition references a state that does not exist).
+    InvalidAutomaton(String),
+    /// A serialized automaton could not be decoded.
+    Deserialize(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RegexSyntax { position, message } => {
+                write!(f, "regex syntax error at byte {position}: {message}")
+            }
+            Error::LimitExceeded { what, limit } => {
+                write!(f, "{what} exceeded configured limit of {limit}")
+            }
+            Error::InvalidAutomaton(msg) => write!(f, "invalid automaton: {msg}"),
+            Error::Deserialize(msg) => write!(f, "deserialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_regex_syntax() {
+        let e = Error::RegexSyntax {
+            position: 3,
+            message: "unbalanced parenthesis".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "regex syntax error at byte 3: unbalanced parenthesis"
+        );
+    }
+
+    #[test]
+    fn display_limit() {
+        let e = Error::LimitExceeded {
+            what: "powerset states",
+            limit: 10,
+        };
+        assert_eq!(e.to_string(), "powerset states exceeded configured limit of 10");
+    }
+
+    #[test]
+    fn display_invalid_and_deserialize() {
+        assert_eq!(
+            Error::InvalidAutomaton("bad".into()).to_string(),
+            "invalid automaton: bad"
+        );
+        assert_eq!(
+            Error::Deserialize("eof".into()).to_string(),
+            "deserialization error: eof"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Deserialize("x".into()));
+    }
+}

@@ -1,0 +1,69 @@
+//! # ridfa-automata — finite-automata substrate
+//!
+//! This crate provides the classical automata machinery that the RI-DFA
+//! construction and the speculative data-parallel recognizer (crate
+//! `ridfa-core`) build upon:
+//!
+//! * a regular-expression engine: [`regex::Ast`], a [parser](regex::parse),
+//!   and a printer that round-trips;
+//! * two RE → NFA translations: [Thompson](nfa::thompson) (via ε-transitions)
+//!   and [Glushkov / McNaughton–Yamada](nfa::glushkov) (ε-free, the GMY
+//!   construction cited as \[19\] by the paper);
+//! * an ε-free [`Nfa`](nfa::Nfa) with set-based simulation and transition
+//!   counting;
+//! * a dense, byte-class-compressed [`Dfa`](dfa::Dfa) with the
+//!   [powerset construction](dfa::powerset), [Hopcroft
+//!   minimization](dfa::minimize), Moore partition refinement (reused by the
+//!   RI-DFA interface minimization of Sect. 3.4 of the paper), and a
+//!   language-equivalence test oracle;
+//! * small allocation-free utilities used on hot paths: [`BitSet`],
+//!   [`SparseSet`], and [`alphabet::ByteClasses`].
+//!
+//! All state identifiers are dense [`StateId`] integers; transition tables
+//! are flat arrays indexed by `state * stride + byte_class`, so the hot loops
+//! contain no hashing and no pointer chasing.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ridfa_automata::{regex, nfa, dfa};
+//!
+//! let ast = regex::parse("(a|b)*abb").unwrap();
+//! let nfa = nfa::glushkov::build(&ast).unwrap();
+//! assert!(nfa.accepts(b"aabb"));
+//!
+//! let dfa = dfa::powerset::determinize(&nfa);
+//! let min = dfa::minimize::minimize(&dfa);
+//! assert!(min.accepts(b"abababb"));
+//! assert!(!min.accepts(b"ba"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alphabet;
+mod bitset;
+pub mod counter;
+pub mod dfa;
+mod error;
+pub mod nfa;
+pub mod regex;
+pub mod serialize;
+mod sparse;
+
+pub use bitset::BitSet;
+pub use counter::{Counter, NoCount, TransitionCount};
+pub use error::{Error, Result};
+pub use sparse::SparseSet;
+
+/// Dense identifier of an automaton state.
+///
+/// States are numbered `0..num_states`. For the [`dfa::Dfa`] representation,
+/// state `0` is reserved as the *dead* state ([`DEAD`]): every missing
+/// transition leads there and a speculative run that reaches it has
+/// "prematurely terminated in error" in the paper's terminology.
+pub type StateId = u32;
+
+/// The dead (error) state of a [`dfa::Dfa`]: reaching it means the scanned
+/// string is not a substring of the language and the run can stop early.
+pub const DEAD: StateId = 0;

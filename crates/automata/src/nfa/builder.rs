@@ -1,0 +1,175 @@
+//! Incremental construction of ε-free NFAs.
+
+use crate::error::{Error, Result};
+use crate::regex::ByteSet;
+use crate::{BitSet, StateId};
+
+use super::Nfa;
+
+/// Builds an [`Nfa`] state by state.
+///
+/// ```
+/// use ridfa_automata::nfa::Builder;
+///
+/// let mut b = Builder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// b.add_transition(s0, b'x', s1);
+/// b.set_start(s0);
+/// b.set_final(s1);
+/// let nfa = b.build().unwrap();
+/// assert!(nfa.accepts(b"x"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    start: StateId,
+    finals: Vec<StateId>,
+    adj: Vec<Vec<(u8, StateId)>>,
+}
+
+impl Builder {
+    /// Creates an empty builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Adds a state and returns its id (ids are assigned densely from 0).
+    pub fn add_state(&mut self) -> StateId {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as StateId
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Declares the initial state.
+    pub fn set_start(&mut self, state: StateId) {
+        self.start = state;
+    }
+
+    /// Marks `state` as accepting.
+    pub fn set_final(&mut self, state: StateId) {
+        self.finals.push(state);
+    }
+
+    /// Adds one byte transition.
+    pub fn add_transition(&mut self, from: StateId, byte: u8, to: StateId) {
+        self.adj[from as usize].push((byte, to));
+    }
+
+    /// Adds a transition for every byte in `class`.
+    pub fn add_class_transition(&mut self, from: StateId, class: &ByteSet, to: StateId) {
+        for byte in class.iter() {
+            self.add_transition(from, byte, to);
+        }
+    }
+
+    /// Finalizes into the CSR representation, sorting and deduplicating the
+    /// per-state transition lists and validating all referenced state ids.
+    pub fn build(mut self) -> Result<Nfa> {
+        let n = self.adj.len();
+        if n == 0 {
+            return Err(Error::InvalidAutomaton("NFA has no states".into()));
+        }
+        if self.start as usize >= n {
+            return Err(Error::InvalidAutomaton(format!(
+                "start state {} out of range (num states {n})",
+                self.start
+            )));
+        }
+        let mut finals = BitSet::new(n);
+        for &f in &self.finals {
+            if f as usize >= n {
+                return Err(Error::InvalidAutomaton(format!(
+                    "final state {f} out of range (num states {n})"
+                )));
+            }
+            finals.insert(f);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut trans = Vec::with_capacity(self.adj.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for list in &mut self.adj {
+            for &(_, t) in list.iter() {
+                if t as usize >= n {
+                    return Err(Error::InvalidAutomaton(format!(
+                        "transition target {t} out of range (num states {n})"
+                    )));
+                }
+            }
+            list.sort_unstable();
+            list.dedup();
+            trans.extend_from_slice(list);
+            offsets.push(trans.len() as u32);
+        }
+        Ok(Nfa {
+            start: self.start,
+            finals,
+            offsets,
+            trans,
+        })
+    }
+
+    #[cfg(test)]
+    pub(crate) fn clone_for_test(&self) -> Builder {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_transitions_are_deduped() {
+        let mut b = Builder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, b'a', s1);
+        b.add_transition(s0, b'a', s1);
+        b.set_start(s0);
+        b.set_final(s1);
+        let nfa = b.build().unwrap();
+        assert_eq!(nfa.num_transitions(), 1);
+    }
+
+    #[test]
+    fn empty_builder_is_error() {
+        assert!(Builder::new().build().is_err());
+    }
+
+    #[test]
+    fn out_of_range_target_is_error() {
+        let mut b = Builder::new();
+        let s0 = b.add_state();
+        b.add_transition(s0, b'a', 7);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn out_of_range_final_is_error() {
+        let mut b = Builder::new();
+        b.add_state();
+        b.set_final(9);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn out_of_range_start_is_error() {
+        let mut b = Builder::new();
+        b.add_state();
+        b.set_start(3);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn num_states_tracks_additions() {
+        let mut b = Builder::new();
+        assert_eq!(b.num_states(), 0);
+        b.add_state();
+        b.add_state();
+        assert_eq!(b.num_states(), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! ε-NFA representation and ε-elimination.
+//!
+//! Only the Thompson construction produces ε-transitions; they are
+//! eliminated before the automaton leaves this crate, because every
+//! downstream component (powerset, RI-DFA, the speculative recognizer)
+//! assumes one consumed byte per transition.
+
+use crate::error::Result;
+use crate::regex::ByteSet;
+use crate::{BitSet, StateId};
+
+use super::{Builder, Nfa};
+
+/// An NFA under construction that may contain ε-transitions.
+#[derive(Debug, Default)]
+pub(crate) struct EpsNfa {
+    start: StateId,
+    finals: Vec<StateId>,
+    byte_edges: Vec<Vec<(u8, StateId)>>,
+    eps_edges: Vec<Vec<StateId>>,
+}
+
+impl EpsNfa {
+    pub(crate) fn new() -> EpsNfa {
+        EpsNfa::default()
+    }
+
+    pub(crate) fn add_state(&mut self) -> StateId {
+        self.byte_edges.push(Vec::new());
+        self.eps_edges.push(Vec::new());
+        (self.byte_edges.len() - 1) as StateId
+    }
+
+    pub(crate) fn set_start(&mut self, s: StateId) {
+        self.start = s;
+    }
+
+    pub(crate) fn set_final(&mut self, s: StateId) {
+        self.finals.push(s);
+    }
+
+    pub(crate) fn add_epsilon(&mut self, from: StateId, to: StateId) {
+        self.eps_edges[from as usize].push(to);
+    }
+
+    pub(crate) fn add_class(&mut self, from: StateId, class: &ByteSet, to: StateId) {
+        for byte in class.iter() {
+            self.byte_edges[from as usize].push((byte, to));
+        }
+    }
+
+    /// ε-closure of a single state (including itself).
+    fn closure(&self, state: StateId) -> Vec<StateId> {
+        let mut seen = BitSet::new(self.byte_edges.len());
+        let mut stack = vec![state];
+        seen.insert(state);
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps_edges[s as usize] {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen.iter().collect()
+    }
+
+    /// Standard ε-elimination:
+    /// `s --b--> t` in the result iff `∃ u ∈ closure(s)` with `u --b--> t`;
+    /// `s` is final iff `closure(s)` meets the final set. Unreachable states
+    /// are trimmed afterwards, which also discards the ε-only plumbing
+    /// states Thompson introduces.
+    pub(crate) fn eliminate_epsilon(&self) -> Result<Nfa> {
+        let n = self.byte_edges.len();
+        let finals: BitSet = self.finals.iter().copied().collect();
+        let mut b = Builder::new();
+        for _ in 0..n {
+            b.add_state();
+        }
+        b.set_start(self.start);
+        for s in 0..n as StateId {
+            let closure = self.closure(s);
+            if closure
+                .iter()
+                .any(|&u| (u as usize) < finals.capacity() && finals.contains(u))
+            {
+                b.set_final(s);
+            }
+            for &u in &closure {
+                for &(byte, t) in &self.byte_edges[u as usize] {
+                    b.add_transition(s, byte, t);
+                }
+            }
+        }
+        Ok(b.build()?.trim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::NoCount;
+    use crate::nfa::Simulator;
+
+    #[test]
+    fn closure_follows_chains() {
+        let mut e = EpsNfa::new();
+        let s0 = e.add_state();
+        let s1 = e.add_state();
+        let s2 = e.add_state();
+        let s3 = e.add_state();
+        e.add_epsilon(s0, s1);
+        e.add_epsilon(s1, s2);
+        e.add_epsilon(s2, s0); // cycle
+        let mut c = e.closure(s0);
+        c.sort_unstable();
+        assert_eq!(c, vec![s0, s1, s2]);
+        assert_eq!(e.closure(s3), vec![s3]);
+    }
+
+    #[test]
+    fn elimination_preserves_language() {
+        // ε-NFA for a*b: 0 -ε→ 0' with a-loop … hand-built:
+        // 0 -ε→ 1, 1 -a→ 1, 1 -ε→ 2, 2 -b→ 3, final 3.
+        let mut e = EpsNfa::new();
+        let s0 = e.add_state();
+        let s1 = e.add_state();
+        let s2 = e.add_state();
+        let s3 = e.add_state();
+        e.add_epsilon(s0, s1);
+        e.add_class(s1, &ByteSet::singleton(b'a'), s1);
+        e.add_epsilon(s1, s2);
+        e.add_class(s2, &ByteSet::singleton(b'b'), s3);
+        e.set_start(s0);
+        e.set_final(s3);
+        let nfa = e.eliminate_epsilon().unwrap();
+        assert!(nfa.accepts(b"b"));
+        assert!(nfa.accepts(b"aaab"));
+        assert!(!nfa.accepts(b"a"));
+        assert!(!nfa.accepts(b""));
+    }
+
+    #[test]
+    fn epsilon_to_final_makes_state_final() {
+        let mut e = EpsNfa::new();
+        let s0 = e.add_state();
+        let s1 = e.add_state();
+        e.add_epsilon(s0, s1);
+        e.set_start(s0);
+        e.set_final(s1);
+        let nfa = e.eliminate_epsilon().unwrap();
+        assert!(nfa.accepts(b""));
+    }
+
+    #[test]
+    fn trim_drops_plumbing_states() {
+        // Thompson-style chain with unreachable tail.
+        let mut e = EpsNfa::new();
+        let s0 = e.add_state();
+        let s1 = e.add_state();
+        let _unreached = e.add_state();
+        e.add_class(s0, &ByteSet::singleton(b'z'), s1);
+        e.set_start(s0);
+        e.set_final(s1);
+        let nfa = e.eliminate_epsilon().unwrap();
+        assert_eq!(nfa.num_states(), 2);
+        let mut sim = Simulator::new(&nfa);
+        assert!(sim.run_accepts(&nfa, &[nfa.start()], b"z", &mut NoCount));
+    }
+}

@@ -1,0 +1,294 @@
+//! The Glushkov / McNaughton–Yamada construction (GMY, the paper's \[19\]).
+//!
+//! Produces an ε-free NFA with exactly `positions + 1` states, where a
+//! *position* is one occurrence of a byte class in the (desugared) RE. This
+//! is the construction the paper uses to obtain benchmark NFAs from REs:
+//! the resulting machines are compact (state count independent of operator
+//! nesting) and never contain ε-transitions.
+//!
+//! The algorithm computes the classical `nullable`, `first`, `last` and
+//! `follow` sets in one post-order pass.
+
+use crate::error::{Error, Result};
+use crate::nfa::{Builder, Nfa};
+use crate::regex::{Ast, ByteSet};
+use crate::StateId;
+
+/// Hard cap on positions, guarding against adversarial counted repetitions.
+pub const MAX_POSITIONS: usize = 1 << 20;
+
+/// Builds the Glushkov NFA of `ast`.
+///
+/// ```
+/// use ridfa_automata::{regex, nfa};
+/// let ast = regex::parse("[ab]*a[ab]").unwrap();
+/// let nfa = nfa::glushkov::build(&ast).unwrap();
+/// // 1 initial state + 3 positions.
+/// assert_eq!(nfa.num_states(), 4);
+/// assert!(nfa.accepts(b"ab"));
+/// # assert!(nfa.accepts(b"aab"));
+/// # assert!(!nfa.accepts(b"ba"));
+/// ```
+pub fn build(ast: &Ast) -> Result<Nfa> {
+    // Check the limit on the symbolic AST *before* desugaring: counted
+    // repetitions multiply positions and would otherwise materialize a huge
+    // tree just to be rejected.
+    if ast.num_positions() > MAX_POSITIONS {
+        return Err(Error::LimitExceeded {
+            what: "Glushkov positions",
+            limit: MAX_POSITIONS,
+        });
+    }
+    let core = ast.desugar();
+    let mut g = Glushkov {
+        symbols: Vec::new(),
+        follow: Vec::new(),
+    };
+    let info = g.analyze(&core);
+
+    // State 0 is the initial state; position p (1-based) is state p.
+    let mut b = Builder::new();
+    let initial = b.add_state();
+    for _ in 0..g.symbols.len() {
+        b.add_state();
+    }
+    b.set_start(initial);
+    if info.nullable {
+        b.set_final(initial);
+    }
+    for &p in &info.first {
+        b.add_class_transition(initial, &g.symbols[p as usize - 1], p);
+    }
+    for (p0, follows) in g.follow.iter().enumerate() {
+        let from = (p0 + 1) as StateId;
+        for &q in follows {
+            b.add_class_transition(from, &g.symbols[q as usize - 1], q);
+        }
+    }
+    for &p in &info.last {
+        b.set_final(p);
+    }
+    b.build()
+}
+
+/// Per-subexpression Glushkov attributes. Positions are 1-based state ids.
+struct Info {
+    nullable: bool,
+    first: Vec<StateId>,
+    last: Vec<StateId>,
+}
+
+struct Glushkov {
+    /// Symbol (byte class) of each position, indexed by `position - 1`.
+    symbols: Vec<ByteSet>,
+    /// `follow[p-1]` = positions that may follow position `p`.
+    follow: Vec<Vec<StateId>>,
+}
+
+impl Glushkov {
+    /// Post-order traversal computing `nullable/first/last` and filling in
+    /// `follow` along the way. `ast` must be desugared (no `Repeat`).
+    fn analyze(&mut self, ast: &Ast) -> Info {
+        match ast {
+            Ast::Empty => Info {
+                nullable: true,
+                first: Vec::new(),
+                last: Vec::new(),
+            },
+            Ast::Class(set) => {
+                self.symbols.push(*set);
+                self.follow.push(Vec::new());
+                let p = self.symbols.len() as StateId;
+                Info {
+                    nullable: false,
+                    first: vec![p],
+                    last: vec![p],
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut acc = self.analyze(&parts[0]);
+                for part in &parts[1..] {
+                    let rhs = self.analyze(part);
+                    // follow(last(acc)) ∪= first(rhs)
+                    for &p in &acc.last {
+                        self.extend_follow(p, &rhs.first);
+                    }
+                    if acc.nullable {
+                        merge(&mut acc.first, &rhs.first);
+                    }
+                    if rhs.nullable {
+                        merge(&mut acc.last, &rhs.last);
+                    } else {
+                        acc.last = rhs.last;
+                    }
+                    acc.nullable &= rhs.nullable;
+                }
+                acc
+            }
+            Ast::Alt(branches) => {
+                let mut acc = Info {
+                    nullable: false,
+                    first: Vec::new(),
+                    last: Vec::new(),
+                };
+                for branch in branches {
+                    let info = self.analyze(branch);
+                    acc.nullable |= info.nullable;
+                    merge(&mut acc.first, &info.first);
+                    merge(&mut acc.last, &info.last);
+                }
+                acc
+            }
+            Ast::Star(inner) => {
+                let info = self.analyze(inner);
+                for &p in &info.last {
+                    self.extend_follow(p, &info.first);
+                }
+                Info {
+                    nullable: true,
+                    first: info.first,
+                    last: info.last,
+                }
+            }
+            Ast::Repeat { .. } => unreachable!("analyze() requires a desugared AST"),
+        }
+    }
+
+    fn extend_follow(&mut self, position: StateId, firsts: &[StateId]) {
+        let list = &mut self.follow[position as usize - 1];
+        for &f in firsts {
+            if !list.contains(&f) {
+                list.push(f);
+            }
+        }
+    }
+}
+
+/// Merges `src` into `dst` keeping elements unique.
+fn merge(dst: &mut Vec<StateId>, src: &[StateId]) {
+    for &s in src {
+        if !dst.contains(&s) {
+            dst.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn nfa_for(pattern: &str) -> Nfa {
+        build(&parse(pattern).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn state_count_is_positions_plus_one() {
+        assert_eq!(nfa_for("abc").num_states(), 4);
+        // (a|b) is two positions; the class [ab] is one.
+        assert_eq!(nfa_for("(a|b)*abb").num_states(), 6);
+        assert_eq!(nfa_for("[ab]*abb").num_states(), 5);
+        assert_eq!(nfa_for("").num_states(), 1);
+        // a{3} desugars to three positions.
+        assert_eq!(nfa_for("a{3}").num_states(), 4);
+    }
+
+    #[test]
+    fn classic_language_tests() {
+        let nfa = nfa_for("(a|b)*abb");
+        assert!(nfa.accepts(b"abb"));
+        assert!(nfa.accepts(b"aabb"));
+        assert!(nfa.accepts(b"babababb"));
+        assert!(!nfa.accepts(b"ab"));
+        assert!(!nfa.accepts(b"abba"));
+        assert!(!nfa.accepts(b""));
+    }
+
+    #[test]
+    fn nullable_pattern_accepts_empty() {
+        let nfa = nfa_for("(ab)*");
+        assert!(nfa.accepts(b""));
+        assert!(nfa.accepts(b"abab"));
+        assert!(!nfa.accepts(b"aba"));
+    }
+
+    #[test]
+    fn alternation_with_empty_branch() {
+        let nfa = nfa_for("a|");
+        assert!(nfa.accepts(b""));
+        assert!(nfa.accepts(b"a"));
+        assert!(!nfa.accepts(b"aa"));
+    }
+
+    #[test]
+    fn counted_repetitions() {
+        let nfa = nfa_for("a{2,4}");
+        assert!(!nfa.accepts(b"a"));
+        assert!(nfa.accepts(b"aa"));
+        assert!(nfa.accepts(b"aaa"));
+        assert!(nfa.accepts(b"aaaa"));
+        assert!(!nfa.accepts(b"aaaaa"));
+    }
+
+    #[test]
+    fn unbounded_repetition() {
+        let nfa = nfa_for("x{3,}");
+        assert!(!nfa.accepts(b"xx"));
+        assert!(nfa.accepts(b"xxx"));
+        assert!(nfa.accepts(b"xxxxxxxx"));
+    }
+
+    #[test]
+    fn classes_and_dot() {
+        let nfa = nfa_for("[a-c]+\\d");
+        assert!(nfa.accepts(b"abc5"));
+        assert!(!nfa.accepts(b"5"));
+        assert!(!nfa.accepts(b"abcd5"));
+
+        let any = nfa_for(".*x");
+        assert!(any.accepts(b"___x"));
+        assert!(!any.accepts(b"a\nx"), "dot must not cross newlines");
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let nfa = nfa_for(".x");
+        assert!(nfa.accepts(b"ax"));
+        assert!(!nfa.accepts(b"\nx"));
+    }
+
+    #[test]
+    fn regexp_family_shape() {
+        // (a|b)*a(a|b){k} with classes has k+2 positions → k+3 states.
+        let nfa = nfa_for("[ab]*a[ab]{3}");
+        assert_eq!(nfa.num_states(), 6);
+        assert!(nfa.accepts(b"abaabb"));
+        assert!(!nfa.accepts(b"abbbbb"));
+    }
+
+    #[test]
+    fn position_limit_is_enforced() {
+        // 3000 * 4096 > MAX_POSITIONS… keep it cheap: nested counted repeats.
+        let err = build(&parse("(a{4096}){4096}").unwrap()).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn star_of_nullable_inner() {
+        let nfa = nfa_for("(a?b?)*");
+        assert!(nfa.accepts(b""));
+        assert!(nfa.accepts(b"abbaab"));
+        // Everything over {a,b} is accepted; c is not.
+        assert!(!nfa.accepts(b"c"));
+    }
+
+    #[test]
+    fn no_epsilon_transitions_exist() {
+        // Glushkov NFAs are ε-free by construction; every transition
+        // consumes a byte, so state count bounds the shortest accepted
+        // string reachable in the graph.
+        let nfa = nfa_for("a(b|c)d");
+        assert_eq!(nfa.num_states(), 5);
+        assert_eq!(nfa.num_transitions(), 1 + 2 + 1 + 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Nondeterministic finite automata (ε-free) and their construction.
+//!
+//! The in-memory layout is a CSR adjacency: per state, a slice of
+//! `(byte, target)` pairs sorted by byte. This keeps construction simple,
+//! supports states with wildly different fan-outs (a `Σ*` self-loop state
+//! has 256·k edges), and gives `O(log deg)` lookup of the byte range during
+//! set-simulation.
+
+pub mod glushkov;
+pub mod thompson;
+
+mod builder;
+mod epsilon;
+mod simulate;
+
+pub use builder::Builder;
+pub use simulate::Simulator;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alphabet::ByteClasses;
+use crate::{BitSet, StateId};
+
+/// An ε-free NFA over bytes.
+///
+/// States are `0..num_states()`; the conventional initial state is
+/// [`start`](Nfa::start) but the speculative recognizer may start runs from
+/// any state (that is the whole point of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Nfa {
+    start: StateId,
+    finals: BitSet,
+    /// CSR offsets: transitions of state `s` are `trans[offsets[s]..offsets[s+1]]`.
+    offsets: Vec<u32>,
+    /// `(byte, target)` pairs, sorted by byte then target within a state.
+    trans: Vec<(u8, StateId)>,
+}
+
+impl Nfa {
+    /// Number of states.
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of transitions (byte-expanded).
+    #[inline]
+    pub fn num_transitions(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The conventional initial state `q0`.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The final (accepting) state set.
+    #[inline]
+    pub fn finals(&self) -> &BitSet {
+        &self.finals
+    }
+
+    /// `true` if `state` is accepting.
+    #[inline]
+    pub fn is_final(&self, state: StateId) -> bool {
+        self.finals.contains(state)
+    }
+
+    /// All transitions of `state`, sorted by byte.
+    #[inline]
+    pub fn transitions(&self, state: StateId) -> &[(u8, StateId)] {
+        let lo = self.offsets[state as usize] as usize;
+        let hi = self.offsets[state as usize + 1] as usize;
+        &self.trans[lo..hi]
+    }
+
+    /// The targets of `state` on `byte`, as the sub-slice of its transition
+    /// list (binary search on the sorted byte column).
+    #[inline]
+    pub fn targets(&self, state: StateId, byte: u8) -> &[(u8, StateId)] {
+        let all = self.transitions(state);
+        let lo = all.partition_point(|&(b, _)| b < byte);
+        let hi = lo + all[lo..].partition_point(|&(b, _)| b == byte);
+        &all[lo..hi]
+    }
+
+    /// Whole-string acceptance by set-simulation from `q0`.
+    pub fn accepts(&self, text: &[u8]) -> bool {
+        let mut sim = Simulator::new(self);
+        let last = sim.run(self, &[self.start], text, &mut crate::counter::NoCount);
+        last.iter().any(|&s| self.finals.contains(s))
+    }
+
+    /// Computes the byte-equivalence classes of this NFA: two bytes are in
+    /// the same class iff every state maps them to the same target set.
+    pub fn byte_classes(&self) -> ByteClasses {
+        // Column signature per byte: the flattened (state, target) pairs.
+        ByteClasses::from_key_fn(|b| {
+            let mut column: Vec<(StateId, StateId)> = Vec::new();
+            for s in 0..self.num_states() as StateId {
+                for &(_, t) in self.targets(s, b) {
+                    column.push((s, t));
+                }
+            }
+            column
+        })
+    }
+
+    /// The set of states reachable from `start` via byte transitions.
+    pub fn reachable(&self) -> BitSet {
+        let mut seen = BitSet::new(self.num_states());
+        let mut stack = vec![self.start];
+        seen.insert(self.start);
+        while let Some(s) = stack.pop() {
+            for &(_, t) in self.transitions(s) {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns an equivalent NFA with unreachable states removed (states are
+    /// renumbered densely; the relative order of surviving states is kept).
+    pub fn trim(&self) -> Nfa {
+        let reachable = self.reachable();
+        let mut remap = vec![StateId::MAX; self.num_states()];
+        let mut next: StateId = 0;
+        for s in reachable.iter() {
+            remap[s as usize] = next;
+            next += 1;
+        }
+        let mut b = Builder::new();
+        for _ in 0..next {
+            b.add_state();
+        }
+        for s in reachable.iter() {
+            let ns = remap[s as usize];
+            if self.is_final(s) {
+                b.set_final(ns);
+            }
+            for &(byte, t) in self.transitions(s) {
+                b.add_transition(ns, byte, remap[t as usize]);
+            }
+        }
+        b.set_start(remap[self.start as usize]);
+        b.build().expect("trim produced valid NFA")
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::regex::ByteSet;
+
+    /// The NFA of the paper's Fig. 1 over Σ = {a,b,c}: edges
+    /// 0 -a,c→ 1 ; 1 -a→ 1 ; 1 -Σ→ 0 ; 1 -b→ 2 ; 2 -b→ 1 ; F = {2}.
+    /// (Derived from the set-simulation runs printed in Fig. 4; it
+    /// reproduces the published 15/14/9 transition counts, asserted in the
+    /// `ridfa-core` figure-1 integration test.)
+    pub(crate) fn figure1_nfa() -> Nfa {
+        let mut b = Builder::new();
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.add_transition(q0, b'a', q1);
+        b.add_transition(q0, b'c', q1);
+        b.add_transition(q1, b'a', q0);
+        b.add_transition(q1, b'a', q1);
+        b.add_transition(q1, b'b', q0);
+        b.add_transition(q1, b'b', q2);
+        b.add_transition(q1, b'c', q0);
+        b.add_transition(q2, b'b', q1);
+        b.set_start(q0);
+        b.set_final(q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_sorted_csr() {
+        let nfa = figure1_nfa();
+        assert_eq!(nfa.num_states(), 3);
+        assert_eq!(nfa.start(), 0);
+        assert!(nfa.is_final(2));
+        let t1 = nfa.transitions(1);
+        // Sorted by byte: a,a,b,b,c.
+        let bytes: Vec<u8> = t1.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bytes, vec![b'a', b'a', b'b', b'b', b'c']);
+    }
+
+    #[test]
+    fn targets_selects_byte_range() {
+        let nfa = figure1_nfa();
+        let on_a: Vec<StateId> = nfa.targets(1, b'a').iter().map(|&(_, t)| t).collect();
+        assert_eq!(on_a, vec![0, 1]);
+        assert!(nfa.targets(0, b'b').is_empty());
+        assert!(nfa.targets(2, b'z').is_empty());
+    }
+
+    #[test]
+    fn byte_classes_group_unused_bytes() {
+        let nfa = figure1_nfa();
+        let classes = nfa.byte_classes();
+        // a, b, c behave distinctly; all other bytes share the dead class.
+        assert_eq!(classes.num_classes(), 4);
+        assert_eq!(classes.get(b'x'), classes.get(b'!'));
+        assert_ne!(classes.get(b'a'), classes.get(b'b'));
+        assert_ne!(classes.get(b'a'), classes.get(b'x'));
+    }
+
+    #[test]
+    fn reachable_and_trim() {
+        let mut b = Builder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let _orphan = b.add_state();
+        let s3 = b.add_state();
+        b.add_transition(s0, b'x', s1);
+        b.add_transition(s1, b'y', s3);
+        b.set_start(s0);
+        b.set_final(s3);
+        let nfa = b.build().unwrap();
+        assert_eq!(nfa.reachable().len(), 3);
+        let trimmed = nfa.trim();
+        assert_eq!(trimmed.num_states(), 3);
+        assert!(trimmed.accepts(b"xy"));
+        assert!(!trimmed.accepts(b"x"));
+    }
+
+    #[test]
+    fn class_transition_expands_bytes() {
+        let mut b = Builder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_class_transition(s0, &ByteSet::range(b'0', b'9'), s1);
+        b.set_start(s0);
+        b.set_final(s1);
+        let nfa = b.build().unwrap();
+        assert_eq!(nfa.num_transitions(), 10);
+        assert!(nfa.accepts(b"7"));
+        assert!(!nfa.accepts(b"a"));
+    }
+
+    #[test]
+    fn accepts_empty_string_iff_start_final() {
+        let mut b = Builder::new();
+        let s0 = b.add_state();
+        b.set_start(s0);
+        let nfa_rejecting = b.clone_for_test().build().unwrap();
+        assert!(!nfa_rejecting.accepts(b""));
+        b.set_final(s0);
+        let nfa_accepting = b.build().unwrap();
+        assert!(nfa_accepting.accepts(b""));
+    }
+}

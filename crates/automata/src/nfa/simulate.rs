@@ -1,0 +1,165 @@
+//! Set-based NFA simulation with transition counting.
+//!
+//! This is the "NFA variant" engine of the classic speculative algorithm
+//! (CSDPA): a chunk-automaton run maintains the set of alive NFA states and
+//! advances it byte by byte. Every *edge traversal* is one executed
+//! transition — the quantity the paper counts in Sect. 4.3, which for an
+//! NFA "may exceed the input length and depends on the degree of
+//! nondeterminism". The counting convention (verified against the worked
+//! example of Fig. 1, which totals 14 for the NFA method) is: a traversal is
+//! counted when an edge is actually followed; a run that dies on a missing
+//! transition counts nothing for that byte.
+
+use crate::counter::Counter;
+use crate::sparse::SparseSet;
+use crate::StateId;
+
+use super::Nfa;
+
+/// A reusable NFA set-simulator.
+///
+/// Holds two sparse sets so repeated runs (one per speculative starting
+/// state, times one per chunk) allocate nothing after construction.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    current: SparseSet,
+    next: SparseSet,
+}
+
+impl Simulator {
+    /// Creates a simulator sized for `nfa`.
+    pub fn new(nfa: &Nfa) -> Simulator {
+        Simulator {
+            current: SparseSet::new(nfa.num_states()),
+            next: SparseSet::new(nfa.num_states()),
+        }
+    }
+
+    /// Runs `nfa` over `text` starting from the state set `starts`,
+    /// returning the states alive at the end (empty slice = the run died
+    /// before consuming all of `text`). Each traversed edge increments
+    /// `counter` once.
+    pub fn run<'a>(
+        &'a mut self,
+        nfa: &Nfa,
+        starts: &[StateId],
+        text: &[u8],
+        counter: &mut impl Counter,
+    ) -> &'a [StateId] {
+        self.current.clear();
+        for &s in starts {
+            self.current.insert(s);
+        }
+        for &byte in text {
+            if self.current.is_empty() {
+                break;
+            }
+            self.next.clear();
+            for s in self.current.iter() {
+                for &(_, t) in nfa.targets(s, byte) {
+                    counter.incr();
+                    self.next.insert(t);
+                }
+            }
+            std::mem::swap(&mut self.current, &mut self.next);
+        }
+        self.current.as_slice()
+    }
+
+    /// Like [`run`](Simulator::run) but only reports whether any state
+    /// survives and whether one of them is final.
+    pub fn run_accepts(
+        &mut self,
+        nfa: &Nfa,
+        starts: &[StateId],
+        text: &[u8],
+        counter: &mut impl Counter,
+    ) -> bool {
+        let last = self.run(nfa, starts, text, counter);
+        last.iter().any(|&s| nfa.is_final(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{NoCount, TransitionCount};
+    use crate::nfa::tests::figure1_nfa;
+
+    #[test]
+    fn accepts_sample_string() {
+        let nfa = figure1_nfa();
+        // The paper's sample valid string.
+        assert!(nfa.accepts(b"aabcab"));
+        assert!(!nfa.accepts(b"a"));
+        assert!(!nfa.accepts(b""));
+    }
+
+    #[test]
+    fn run_returns_alive_set() {
+        let nfa = figure1_nfa();
+        let mut sim = Simulator::new(&nfa);
+        let last = sim.run(&nfa, &[0], b"aab", &mut NoCount);
+        // {0} -a→ {1} -a→ {0,1} -b→ {0,2}
+        let mut got = last.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn dead_run_is_empty() {
+        let nfa = figure1_nfa();
+        let mut sim = Simulator::new(&nfa);
+        // From state 2 no 'c' transition exists.
+        let last = sim.run(&nfa, &[2], b"cab", &mut NoCount);
+        assert!(last.is_empty());
+    }
+
+    #[test]
+    fn transition_counts_match_figure1() {
+        // Chunk 1 "aab" from {0}: 1 + 2 + 2 = 5 traversals.
+        let nfa = figure1_nfa();
+        let mut sim = Simulator::new(&nfa);
+        let mut c = TransitionCount::default();
+        sim.run(&nfa, &[0], b"aab", &mut c);
+        assert_eq!(c.get(), 5);
+
+        // Chunk 2 "cab" from {0}: 5, from {1}: 4, from {2}: 0 → paper total
+        // for the NFA method is 5 + (5 + 4 + 0) = 14.
+        let mut per_start = Vec::new();
+        for q in 0..3 {
+            let mut c = TransitionCount::default();
+            sim.run(&nfa, &[q], b"cab", &mut c);
+            per_start.push(c.get());
+        }
+        assert_eq!(per_start, vec![5, 4, 0]);
+    }
+
+    #[test]
+    fn run_accepts_checks_finals() {
+        let nfa = figure1_nfa();
+        let mut sim = Simulator::new(&nfa);
+        assert!(sim.run_accepts(&nfa, &[0], b"aab", &mut NoCount));
+        assert!(!sim.run_accepts(&nfa, &[0], b"aa", &mut NoCount));
+    }
+
+    #[test]
+    fn simulator_is_reusable_across_runs() {
+        let nfa = figure1_nfa();
+        let mut sim = Simulator::new(&nfa);
+        for _ in 0..3 {
+            assert!(sim.run_accepts(&nfa, &[0], b"aabcab", &mut NoCount));
+            assert!(!sim.run_accepts(&nfa, &[2], b"c", &mut NoCount));
+        }
+    }
+
+    #[test]
+    fn empty_text_returns_start_set() {
+        let nfa = figure1_nfa();
+        let mut sim = Simulator::new(&nfa);
+        let last = sim.run(&nfa, &[1, 2], b"", &mut NoCount);
+        let mut got = last.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Thompson's construction: RE → ε-NFA → (ε-elimination) → ε-free [`Nfa`].
+//!
+//! Kept alongside [Glushkov](super::glushkov) for two reasons: it is the
+//! textbook baseline the paper contrasts with "more sophisticated RE → NFA
+//! converters", and having two independent constructions gives the test
+//! suite a strong cross-check — both must define the same language for
+//! every pattern (see the property tests in `tests/`).
+
+use crate::error::Result;
+use crate::regex::Ast;
+use crate::StateId;
+
+use super::epsilon::EpsNfa;
+use super::Nfa;
+
+/// Builds an ε-free NFA from `ast` via Thompson fragments + ε-elimination.
+///
+/// ```
+/// use ridfa_automata::{regex, nfa};
+/// let ast = regex::parse("(ab|c)*").unwrap();
+/// let nfa = nfa::thompson::build(&ast).unwrap();
+/// assert!(nfa.accepts(b"abcab"));
+/// assert!(nfa.accepts(b""));
+/// assert!(!nfa.accepts(b"a"));
+/// ```
+pub fn build(ast: &Ast) -> Result<Nfa> {
+    let core = ast.desugar();
+    let mut eps = EpsNfa::new();
+    let frag = compile(&mut eps, &core);
+    eps.set_start(frag.start);
+    eps.set_final(frag.accept);
+    eps.eliminate_epsilon()
+}
+
+/// A Thompson fragment: one entry, one exit.
+struct Fragment {
+    start: StateId,
+    accept: StateId,
+}
+
+/// Compiles the (desugared) AST into fragments, wiring ε edges.
+fn compile(eps: &mut EpsNfa, ast: &Ast) -> Fragment {
+    match ast {
+        Ast::Empty => {
+            let s = eps.add_state();
+            let t = eps.add_state();
+            eps.add_epsilon(s, t);
+            Fragment { start: s, accept: t }
+        }
+        Ast::Class(set) => {
+            let s = eps.add_state();
+            let t = eps.add_state();
+            eps.add_class(s, set, t);
+            Fragment { start: s, accept: t }
+        }
+        Ast::Concat(parts) => {
+            let first = compile(eps, &parts[0]);
+            let mut accept = first.accept;
+            for part in &parts[1..] {
+                let frag = compile(eps, part);
+                eps.add_epsilon(accept, frag.start);
+                accept = frag.accept;
+            }
+            Fragment {
+                start: first.start,
+                accept,
+            }
+        }
+        Ast::Alt(branches) => {
+            let s = eps.add_state();
+            let t = eps.add_state();
+            for branch in branches {
+                let frag = compile(eps, branch);
+                eps.add_epsilon(s, frag.start);
+                eps.add_epsilon(frag.accept, t);
+            }
+            Fragment { start: s, accept: t }
+        }
+        Ast::Star(inner) => {
+            let s = eps.add_state();
+            let t = eps.add_state();
+            let frag = compile(eps, inner);
+            eps.add_epsilon(s, frag.start);
+            eps.add_epsilon(frag.accept, t);
+            eps.add_epsilon(s, t);
+            eps.add_epsilon(frag.accept, frag.start);
+            Fragment { start: s, accept: t }
+        }
+        Ast::Repeat { .. } => unreachable!("compile() requires a desugared AST"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse;
+
+    fn nfa_for(pattern: &str) -> Nfa {
+        build(&parse(pattern).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn matches_basic_patterns() {
+        let nfa = nfa_for("(a|b)*abb");
+        assert!(nfa.accepts(b"abb"));
+        assert!(nfa.accepts(b"babb"));
+        assert!(!nfa.accepts(b"ab"));
+    }
+
+    #[test]
+    fn empty_pattern_accepts_only_empty() {
+        let nfa = nfa_for("");
+        assert!(nfa.accepts(b""));
+        assert!(!nfa.accepts(b"a"));
+    }
+
+    #[test]
+    fn star_accepts_zero_and_many() {
+        let nfa = nfa_for("x*");
+        assert!(nfa.accepts(b""));
+        assert!(nfa.accepts(b"xxxx"));
+        assert!(!nfa.accepts(b"xy"));
+    }
+
+    #[test]
+    fn agrees_with_glushkov_on_samples() {
+        use crate::nfa::glushkov;
+        for pattern in [
+            "(a|b)*abb",
+            "a{2,4}b?",
+            "(x|y|z)+w",
+            "[0-9]{3}-[0-9]{4}",
+            "a(b|)c",
+            "((a*)|(b*))*",
+        ] {
+            let ast = parse(pattern).unwrap();
+            let t = build(&ast).unwrap();
+            let g = glushkov::build(&ast).unwrap();
+            for input in [
+                &b""[..],
+                b"a",
+                b"ab",
+                b"abb",
+                b"aabb",
+                b"xyzw",
+                b"123-4567",
+                b"abc",
+                b"ac",
+                b"aaabbb",
+            ] {
+                assert_eq!(
+                    t.accepts(input),
+                    g.accepts(input),
+                    "pattern {pattern:?} on {:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_free_result() {
+        // After elimination the automaton must consume one byte per step:
+        // the shortest accepted string of a+ is "a", and ε is rejected.
+        let nfa = nfa_for("a+");
+        assert!(!nfa.accepts(b""));
+        assert!(nfa.accepts(b"a"));
+    }
+
+    #[test]
+    fn pathological_nested_stars() {
+        let nfa = nfa_for("((a*b)*c)*");
+        assert!(nfa.accepts(b""));
+        assert!(nfa.accepts(b"c"));
+        assert!(nfa.accepts(b"aabbc"));
+        assert!(nfa.accepts(b"aabcabc"));
+        assert!(!nfa.accepts(b"ab"));
+    }
+}

@@ -1,0 +1,458 @@
+//! The regular-expression abstract syntax tree and byte-class sets.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of bytes (a character class), stored as a 256-bit mask.
+///
+/// This is the symbol type of all automata in the workspace: an NFA/DFA edge
+/// is labelled by one byte, but the AST and the Glushkov construction handle
+/// whole classes at once to keep benchmark automata (whose alphabets are
+/// byte classes like `Σ`, `[a-z]`, `\d`) compact to describe.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ByteSet {
+    words: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet { words: [0; 4] };
+
+    /// The full set of all 256 bytes.
+    pub const ANY: ByteSet = ByteSet { words: [u64::MAX; 4] };
+
+    /// Creates a set containing a single byte.
+    pub fn singleton(b: u8) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        s.insert(b);
+        s
+    }
+
+    /// Creates a set from an inclusive byte range.
+    pub fn range(lo: u8, hi: u8) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        s.insert_range(lo, hi);
+        s
+    }
+
+    /// Creates a set from an explicit list of bytes.
+    pub fn from_bytes(bytes: &[u8]) -> ByteSet {
+        let mut s = ByteSet::EMPTY;
+        for &b in bytes {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// The `.` class: every byte except `\n`.
+    pub fn dot() -> ByteSet {
+        let mut s = ByteSet::ANY;
+        s.remove(b'\n');
+        s
+    }
+
+    /// ASCII digits `[0-9]` (`\d`).
+    pub fn digits() -> ByteSet {
+        ByteSet::range(b'0', b'9')
+    }
+
+    /// Word bytes `[0-9A-Za-z_]` (`\w`).
+    pub fn word() -> ByteSet {
+        let mut s = ByteSet::range(b'0', b'9');
+        s.insert_range(b'A', b'Z');
+        s.insert_range(b'a', b'z');
+        s.insert(b'_');
+        s
+    }
+
+    /// ASCII whitespace (`\s`): space, `\t`, `\n`, `\r`, `\x0b`, `\x0c`.
+    pub fn space() -> ByteSet {
+        ByteSet::from_bytes(&[b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c])
+    }
+
+    /// Adds one byte.
+    #[inline]
+    pub fn insert(&mut self, b: u8) {
+        self.words[b as usize / 64] |= 1 << (b % 64);
+    }
+
+    /// Adds an inclusive range of bytes.
+    pub fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    /// Removes one byte.
+    #[inline]
+    pub fn remove(&mut self, b: u8) {
+        self.words[b as usize / 64] &= !(1 << (b % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.words[b as usize / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// The complement set (over all 256 bytes).
+    pub fn negate(&self) -> ByteSet {
+        ByteSet {
+            words: [
+                !self.words[0],
+                !self.words[1],
+                !self.words[2],
+                !self.words[3],
+            ],
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        ByteSet {
+            words: [
+                self.words[0] | other.words[0],
+                self.words[1] | other.words[1],
+                self.words[2] | other.words[2],
+                self.words[3] | other.words[3],
+            ],
+        }
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    /// Iterates over the member bytes in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).map(|b| b as u8).filter(|&b| self.contains(b))
+    }
+
+    /// The smallest byte in the set, if any.
+    pub fn min_byte(&self) -> Option<u8> {
+        self.iter().next()
+    }
+}
+
+impl std::fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ByteSet{{")?;
+        for (i, b) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if b.is_ascii_graphic() {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+            if i >= 8 {
+                write!(f, ",…")?;
+                break;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A parsed regular expression.
+///
+/// `Repeat` keeps bounded repetitions symbolic so patterns print back
+/// faithfully; [`Ast::desugar`] lowers the tree to the core operators
+/// (ε, class, concat, alt, star) that the NFA constructions consume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ast {
+    /// The empty string ε.
+    Empty,
+    /// One byte drawn from a class (single literals are singleton classes).
+    Class(ByteSet),
+    /// Concatenation of two or more factors (invariant: `len ≥ 2`).
+    Concat(Vec<Ast>),
+    /// Alternation of two or more branches (invariant: `len ≥ 2`).
+    Alt(Vec<Ast>),
+    /// Kleene star.
+    Star(Box<Ast>),
+    /// Bounded repetition `e{min,max}`; `max == None` means unbounded.
+    Repeat {
+        /// The repeated subexpression.
+        inner: Box<Ast>,
+        /// Minimum number of copies.
+        min: u32,
+        /// Maximum number of copies (`None` = unbounded).
+        max: Option<u32>,
+    },
+}
+
+impl Ast {
+    /// A single-byte literal.
+    pub fn literal(b: u8) -> Ast {
+        Ast::Class(ByteSet::singleton(b))
+    }
+
+    /// A literal byte string (ε when empty).
+    pub fn literal_str(s: &[u8]) -> Ast {
+        Ast::concat(s.iter().map(|&b| Ast::literal(b)).collect())
+    }
+
+    /// Smart concatenation: flattens nested concats and drops ε factors.
+    pub fn concat(mut parts: Vec<Ast>) -> Ast {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts.drain(..) {
+            match p {
+                Ast::Empty => {}
+                Ast::Concat(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Ast::Empty,
+            1 => flat.pop().unwrap(),
+            _ => Ast::Concat(flat),
+        }
+    }
+
+    /// Smart alternation: flattens nested alts.
+    pub fn alt(mut branches: Vec<Ast>) -> Ast {
+        let mut flat = Vec::with_capacity(branches.len());
+        for b in branches.drain(..) {
+            match b {
+                Ast::Alt(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Ast::Empty,
+            1 => flat.pop().unwrap(),
+            _ => Ast::Alt(flat),
+        }
+    }
+
+    /// Kleene star (collapses `(e*)*` to `e*` and `ε*` to `ε`).
+    pub fn star(inner: Ast) -> Ast {
+        match inner {
+            Ast::Empty => Ast::Empty,
+            s @ Ast::Star(_) => s,
+            other => Ast::Star(Box::new(other)),
+        }
+    }
+
+    /// `e?` sugar.
+    pub fn opt(inner: Ast) -> Ast {
+        Ast::Repeat {
+            inner: Box::new(inner),
+            min: 0,
+            max: Some(1),
+        }
+    }
+
+    /// `e+` sugar.
+    pub fn plus(inner: Ast) -> Ast {
+        Ast::Repeat {
+            inner: Box::new(inner),
+            min: 1,
+            max: None,
+        }
+    }
+
+    /// Lowers `Repeat` nodes into the core operators.
+    ///
+    /// `e{m,n}` becomes `e…e (e(e(…)?)?…)?` (m copies then n−m nested
+    /// optionals, keeping the result linear in `n`), `e{m,}` becomes
+    /// `e…e e*`.
+    pub fn desugar(&self) -> Ast {
+        match self {
+            Ast::Empty | Ast::Class(_) => self.clone(),
+            Ast::Concat(parts) => Ast::concat(parts.iter().map(Ast::desugar).collect()),
+            Ast::Alt(branches) => Ast::alt(branches.iter().map(Ast::desugar).collect()),
+            Ast::Star(inner) => Ast::star(inner.desugar()),
+            Ast::Repeat { inner, min, max } => {
+                let inner = inner.desugar();
+                let mut parts = Vec::new();
+                for _ in 0..*min {
+                    parts.push(inner.clone());
+                }
+                match max {
+                    None => parts.push(Ast::star(inner)),
+                    Some(max) => {
+                        // Build the nested-optional tail ( e ( e … )? )?.
+                        let extra = max.saturating_sub(*min);
+                        let mut tail = Ast::Empty;
+                        for _ in 0..extra {
+                            let body = Ast::concat(vec![inner.clone(), tail]);
+                            tail = Ast::alt(vec![body, Ast::Empty]);
+                        }
+                        parts.push(tail);
+                    }
+                }
+                Ast::concat(parts)
+            }
+        }
+    }
+
+    /// `true` if the expression can match the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty => true,
+            Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
+            Ast::Alt(branches) => branches.iter().any(Ast::is_nullable),
+            Ast::Star(_) => true,
+            Ast::Repeat { inner, min, .. } => *min == 0 || inner.is_nullable(),
+        }
+    }
+
+    /// Number of *positions* (class/literal occurrences) after desugaring:
+    /// this is the Glushkov NFA state count minus one.
+    pub fn num_positions(&self) -> usize {
+        match self {
+            Ast::Empty => 0,
+            Ast::Class(_) => 1,
+            Ast::Concat(parts) => parts.iter().map(Ast::num_positions).sum(),
+            Ast::Alt(branches) => branches.iter().map(Ast::num_positions).sum(),
+            Ast::Star(inner) => inner.num_positions(),
+            Ast::Repeat { inner, min, max } => {
+                let n = inner.num_positions();
+                match max {
+                    None => n * (*min as usize + 1),
+                    Some(max) => n * (*max).max(*min) as usize,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byteset_basics() {
+        let mut s = ByteSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(b'a');
+        s.insert_range(b'x', b'z');
+        assert!(s.contains(b'a') && s.contains(b'y'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![b'a', b'x', b'y', b'z']);
+    }
+
+    #[test]
+    fn byteset_negate_is_involutive() {
+        let s = ByteSet::range(b'0', b'9');
+        assert_eq!(s.negate().negate(), s);
+        assert_eq!(s.negate().len(), 256 - 10);
+        assert!(!s.negate().contains(b'5'));
+        assert!(s.negate().contains(b'a'));
+    }
+
+    #[test]
+    fn byteset_dot_excludes_newline() {
+        let dot = ByteSet::dot();
+        assert!(!dot.contains(b'\n'));
+        assert!(dot.contains(b'\r'));
+        assert_eq!(dot.len(), 255);
+    }
+
+    #[test]
+    fn byteset_perl_classes() {
+        assert_eq!(ByteSet::digits().len(), 10);
+        assert_eq!(ByteSet::word().len(), 10 + 26 + 26 + 1);
+        assert!(ByteSet::space().contains(b'\t'));
+        assert!(!ByteSet::space().contains(b'x'));
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        let a = Ast::literal(b'a');
+        let b = Ast::literal(b'b');
+        let c = Ast::literal(b'c');
+        let nested = Ast::concat(vec![
+            a.clone(),
+            Ast::concat(vec![b.clone(), c.clone()]),
+            Ast::Empty,
+        ]);
+        assert_eq!(nested, Ast::Concat(vec![a.clone(), b.clone(), c.clone()]));
+
+        let alts = Ast::alt(vec![a.clone(), Ast::alt(vec![b.clone(), c.clone()])]);
+        assert_eq!(alts, Ast::Alt(vec![a.clone(), b, c]));
+
+        assert_eq!(Ast::star(Ast::star(a.clone())), Ast::star(a));
+        assert_eq!(Ast::star(Ast::Empty), Ast::Empty);
+    }
+
+    #[test]
+    fn nullability() {
+        let a = Ast::literal(b'a');
+        assert!(!a.is_nullable());
+        assert!(Ast::star(a.clone()).is_nullable());
+        assert!(Ast::opt(a.clone()).is_nullable());
+        assert!(!Ast::plus(a.clone()).is_nullable());
+        assert!(Ast::Empty.is_nullable());
+        assert!(Ast::alt(vec![a.clone(), Ast::Empty]).is_nullable());
+        assert!(!Ast::concat(vec![a.clone(), Ast::star(a)]).is_nullable());
+    }
+
+    #[test]
+    fn desugar_bounded_repeat() {
+        // a{2,4} must be nullable-free, match lengths 2..=4 in positions.
+        let r = Ast::Repeat {
+            inner: Box::new(Ast::literal(b'a')),
+            min: 2,
+            max: Some(4),
+        };
+        let d = r.desugar();
+        assert!(!d.is_nullable());
+        assert_eq!(d.num_positions(), 4);
+        // a{0,2} is nullable.
+        let r0 = Ast::Repeat {
+            inner: Box::new(Ast::literal(b'a')),
+            min: 0,
+            max: Some(2),
+        };
+        assert!(r0.desugar().is_nullable());
+    }
+
+    #[test]
+    fn desugar_unbounded_repeat() {
+        let d = Ast::plus(Ast::literal(b'a')).desugar();
+        // a+ = a a*
+        assert_eq!(
+            d,
+            Ast::Concat(vec![
+                Ast::literal(b'a'),
+                Ast::star(Ast::literal(b'a'))
+            ])
+        );
+    }
+
+    #[test]
+    fn literal_str_builds_concat() {
+        assert_eq!(Ast::literal_str(b""), Ast::Empty);
+        assert_eq!(Ast::literal_str(b"x"), Ast::literal(b'x'));
+        assert_eq!(
+            Ast::literal_str(b"ab"),
+            Ast::Concat(vec![Ast::literal(b'a'), Ast::literal(b'b')])
+        );
+    }
+
+    #[test]
+    fn num_positions_counts_occurrences() {
+        let ast = Ast::concat(vec![
+            Ast::star(Ast::Class(ByteSet::from_bytes(b"ab"))),
+            Ast::literal(b'a'),
+            Ast::Repeat {
+                inner: Box::new(Ast::Class(ByteSet::from_bytes(b"ab"))),
+                min: 3,
+                max: Some(3),
+            },
+        ]);
+        // (a|b)* a (a|b){3} → 1 + 1 + 3 = 5 positions → 6 Glushkov states.
+        assert_eq!(ast.num_positions(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regular expressions over bytes: AST, parser, and printer.
+//!
+//! The dialect is the classical one used by the paper's benchmarks:
+//! alternation `|`, concatenation, repetition `* + ? {m} {m,} {m,n}`,
+//! grouping `( )`, byte classes `[abc] [a-z] [^x]`, the any-byte-but-newline
+//! dot `.`, and escapes (`\n`, `\t`, `\r`, `\0`, `\xHH`, `\d`, `\w`, `\s`
+//! and their negations, plus escaped metacharacters).
+//!
+//! Parsing never backtracks and is linear in the pattern length; the
+//! [`Ast`] printer round-trips through the parser (see the property tests).
+
+mod ast;
+mod display;
+mod parser;
+
+pub use ast::{Ast, ByteSet};
+pub use parser::parse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_print_reparse_roundtrip() {
+        // Printing a parsed AST and reparsing it must give the same AST.
+        for pattern in [
+            "(a|b)*abb",
+            "a{2,4}[x-z]+",
+            "\\d+\\.\\d+",
+            "[^a-c]*",
+            "a||b",
+            "(ab)?c{3}",
+            ".*<h3>[^<]*</h3>.*",
+        ] {
+            let once = parse(pattern).unwrap();
+            let printed = once.to_string();
+            let twice = parse(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(once, twice, "pattern {pattern:?} printed as {printed:?}");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Recursive-descent parser for the byte-regex dialect.
+
+use crate::error::{Error, Result};
+use crate::regex::{Ast, ByteSet};
+
+/// Parses a pattern into an [`Ast`].
+///
+/// ```
+/// use ridfa_automata::regex::parse;
+/// let ast = parse("(a|b)*abb").unwrap();
+/// assert!(!ast.is_nullable());
+/// assert!(parse("(a|b").is_err());
+/// ```
+pub fn parse(pattern: &str) -> Result<Ast> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("unexpected trailing input (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error::RegexSyntax {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, expected: u8) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `alt := concat ('|' concat)*`
+    fn alternation(&mut self) -> Result<Ast> {
+        let mut branches = vec![self.concatenation()?];
+        while self.eat(b'|') {
+            branches.push(self.concatenation()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            // Do not collapse duplicate-free alternations through the smart
+            // constructor: branches may legitimately include ε (`a|`).
+            Ok(Ast::Alt(branches))
+        }
+    }
+
+    /// `concat := repeat*` (stops at `|`, `)`, or end of input)
+    fn concatenation(&mut self) -> Result<Ast> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repetition()?);
+        }
+        Ok(Ast::concat(parts))
+    }
+
+    /// `repeat := atom postfix*`
+    fn repetition(&mut self) -> Result<Ast> {
+        let mut ast = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    ast = Ast::star(ast);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    ast = Ast::plus(ast);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    ast = Ast::opt(ast);
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    ast = self.counted(ast)?;
+                }
+                _ => return Ok(ast),
+            }
+        }
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}` after the opening brace.
+    fn counted(&mut self, inner: Ast) -> Result<Ast> {
+        let min = self.number()?;
+        let max = if self.eat(b',') {
+            if self.peek() == Some(b'}') {
+                None
+            } else {
+                Some(self.number()?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat(b'}') {
+            return Err(self.err("expected '}' to close counted repetition"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.err("counted repetition has max < min"));
+            }
+            if max == 0 {
+                return Ok(Ast::Empty);
+            }
+        }
+        const REPEAT_LIMIT: u32 = 4096;
+        if min > REPEAT_LIMIT || max.is_some_and(|m| m > REPEAT_LIMIT) {
+            return Err(Error::LimitExceeded {
+                what: "counted repetition bound",
+                limit: REPEAT_LIMIT as usize,
+            });
+        }
+        Ok(Ast::Repeat {
+            inner: Box::new(inner),
+            min,
+            max,
+        })
+    }
+
+    fn number(&mut self) -> Result<u32> {
+        let start = self.pos;
+        let mut value: u32 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            self.pos += 1;
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u32))
+                .ok_or_else(|| self.err("repetition count overflows"))?;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        Ok(value)
+    }
+
+    fn atom(&mut self) -> Result<Ast> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some(b'(') => {
+                let inner = self.alternation()?;
+                if !self.eat(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.class().map(Ast::Class),
+            Some(b'.') => Ok(Ast::Class(ByteSet::dot())),
+            Some(b'\\') => self.escape().map(Ast::Class),
+            Some(b @ (b'*' | b'+' | b'?')) => {
+                self.pos -= 1;
+                Err(self.err(&format!("dangling repetition operator '{}'", b as char)))
+            }
+            Some(b'{') => {
+                self.pos -= 1;
+                Err(self.err("dangling counted repetition"))
+            }
+            Some(b')') => {
+                self.pos -= 1;
+                Err(self.err("unbalanced ')'"))
+            }
+            Some(b']') | Some(b'}') => Err(self.err("unescaped closing bracket")),
+            Some(b) => Ok(Ast::Class(ByteSet::singleton(b))),
+        }
+    }
+
+    /// Parses a character class after the opening `[`.
+    fn class(&mut self) -> Result<ByteSet> {
+        let negated = self.eat(b'^');
+        let mut set = ByteSet::EMPTY;
+        let mut first = true;
+        loop {
+            let b = match self.bump() {
+                None => return Err(self.err("unterminated character class")),
+                Some(b']') if !first => break,
+                Some(b']') => {
+                    // A `]` right after `[` (or `[^`) is a literal.
+                    b']'
+                }
+                Some(b'\\') => {
+                    let esc = self.escape()?;
+                    if esc.len() != 1 {
+                        // A multi-byte escape class (e.g. \d) inside [];
+                        // ranges cannot start from it.
+                        set = set.union(&esc);
+                        first = false;
+                        continue;
+                    }
+                    esc.min_byte().unwrap()
+                }
+                Some(b) => b,
+            };
+            first = false;
+            // Range `x-y` unless the '-' is last-in-class.
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                self.pos += 1; // consume '-'
+                let hi = match self.bump() {
+                    None => return Err(self.err("unterminated character class")),
+                    Some(b'\\') => {
+                        let esc = self.escape()?;
+                        if esc.len() != 1 {
+                            return Err(self.err("class escape cannot end a range"));
+                        }
+                        esc.min_byte().unwrap()
+                    }
+                    Some(hi) => hi,
+                };
+                if hi < b {
+                    return Err(self.err("invalid range in character class"));
+                }
+                set.insert_range(b, hi);
+            } else {
+                set.insert(b);
+            }
+        }
+        Ok(if negated { set.negate() } else { set })
+    }
+
+    /// Parses an escape after the backslash; returns the byte class denoted.
+    fn escape(&mut self) -> Result<ByteSet> {
+        match self.bump() {
+            None => Err(self.err("dangling backslash")),
+            Some(b'n') => Ok(ByteSet::singleton(b'\n')),
+            Some(b't') => Ok(ByteSet::singleton(b'\t')),
+            Some(b'r') => Ok(ByteSet::singleton(b'\r')),
+            Some(b'0') => Ok(ByteSet::singleton(0)),
+            Some(b'd') => Ok(ByteSet::digits()),
+            Some(b'D') => Ok(ByteSet::digits().negate()),
+            Some(b'w') => Ok(ByteSet::word()),
+            Some(b'W') => Ok(ByteSet::word().negate()),
+            Some(b's') => Ok(ByteSet::space()),
+            Some(b'S') => Ok(ByteSet::space().negate()),
+            Some(b'x') => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                Ok(ByteSet::singleton(hi * 16 + lo))
+            }
+            // Escaped metacharacters and any other punctuation stand for
+            // themselves.
+            Some(b) if !b.is_ascii_alphanumeric() => Ok(ByteSet::singleton(b)),
+            Some(b) => Err(self.err(&format!("unknown escape '\\{}'", b as char))),
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u8> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.err("expected hex digit after \\x")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(ast: &Ast) -> &ByteSet {
+        match ast {
+            Ast::Class(set) => set,
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_literal() {
+        let ast = parse("a").unwrap();
+        assert_eq!(ast, Ast::literal(b'a'));
+    }
+
+    #[test]
+    fn concatenation_and_alternation() {
+        let ast = parse("ab|c").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Alt(vec![
+                Ast::Concat(vec![Ast::literal(b'a'), Ast::literal(b'b')]),
+                Ast::literal(b'c'),
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_branches_allowed() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        let ast = parse("a|").unwrap();
+        assert_eq!(ast, Ast::Alt(vec![Ast::literal(b'a'), Ast::Empty]));
+        let ast = parse("|a").unwrap();
+        assert_eq!(ast, Ast::Alt(vec![Ast::Empty, Ast::literal(b'a')]));
+    }
+
+    #[test]
+    fn repetition_operators() {
+        assert_eq!(parse("a*").unwrap(), Ast::star(Ast::literal(b'a')));
+        assert_eq!(parse("a+").unwrap(), Ast::plus(Ast::literal(b'a')));
+        assert_eq!(parse("a?").unwrap(), Ast::opt(Ast::literal(b'a')));
+        // Stacked postfix operators apply inside-out.
+        assert_eq!(
+            parse("a+?").unwrap(),
+            Ast::opt(Ast::plus(Ast::literal(b'a')))
+        );
+    }
+
+    #[test]
+    fn counted_repetition() {
+        assert_eq!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat {
+                inner: Box::new(Ast::literal(b'a')),
+                min: 3,
+                max: Some(3)
+            }
+        );
+        assert_eq!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat {
+                inner: Box::new(Ast::literal(b'a')),
+                min: 2,
+                max: None
+            }
+        );
+        assert_eq!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                inner: Box::new(Ast::literal(b'a')),
+                min: 2,
+                max: Some(5)
+            }
+        );
+        assert_eq!(parse("a{0,0}").unwrap(), Ast::Empty);
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("a{99999}").is_err());
+        assert!(parse("a{2").is_err());
+    }
+
+    #[test]
+    fn grouping_changes_precedence() {
+        let ab_star = parse("(ab)*").unwrap();
+        assert_eq!(
+            ab_star,
+            Ast::star(Ast::Concat(vec![Ast::literal(b'a'), Ast::literal(b'b')]))
+        );
+        let a_bstar = parse("ab*").unwrap();
+        assert_eq!(
+            a_bstar,
+            Ast::Concat(vec![Ast::literal(b'a'), Ast::star(Ast::literal(b'b'))])
+        );
+    }
+
+    #[test]
+    fn character_classes() {
+        let set = class_of(&parse("[a-cx]").unwrap()).clone();
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![b'a', b'b', b'c', b'x']);
+
+        let neg = class_of(&parse("[^a]").unwrap()).clone();
+        assert!(!neg.contains(b'a'));
+        assert_eq!(neg.len(), 255);
+
+        // `]` first is literal; `-` last is literal.
+        let tricky = class_of(&parse("[]a-]").unwrap()).clone();
+        assert!(tricky.contains(b']') && tricky.contains(b'a') && tricky.contains(b'-'));
+        assert_eq!(tricky.len(), 3);
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        let set = class_of(&parse("[\\d\\-]").unwrap()).clone();
+        assert!(set.contains(b'5') && set.contains(b'-'));
+        assert_eq!(set.len(), 11);
+
+        let range = class_of(&parse("[\\x41-\\x43]").unwrap()).clone();
+        assert_eq!(range.iter().collect::<Vec<_>>(), vec![b'A', b'B', b'C']);
+    }
+
+    #[test]
+    fn dot_and_perl_escapes() {
+        assert_eq!(parse(".").unwrap(), Ast::Class(ByteSet::dot()));
+        assert_eq!(parse("\\d").unwrap(), Ast::Class(ByteSet::digits()));
+        assert_eq!(parse("\\W").unwrap(), Ast::Class(ByteSet::word().negate()));
+        assert_eq!(parse("\\x20").unwrap(), Ast::literal(b' '));
+        assert_eq!(parse("\\.").unwrap(), Ast::literal(b'.'));
+        assert_eq!(parse("\\\\").unwrap(), Ast::literal(b'\\'));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        for bad in ["(a", "a)", "*a", "+", "?x", "[a", "[z-a]", "\\", "\\q", "\\x1", "a{", "]"] {
+            assert!(parse(bad).is_err(), "pattern {bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_position_points_at_problem() {
+        match parse("ab)").unwrap_err() {
+            Error::RegexSyntax { position, .. } => assert_eq!(position, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_groups() {
+        let ast = parse("((a|b)(c|d))*e").unwrap();
+        assert!(!ast.is_nullable());
+        assert_eq!(ast.num_positions(), 5);
+    }
+}

@@ -1,0 +1,296 @@
+//! Plain-text import/export of automata.
+//!
+//! A deliberately simple line format (in the spirit of the Timbuk/Ondrik
+//! automata collections) so benchmark machines can be saved, inspected and
+//! reloaded by the CLI without pulling a serialization framework into the
+//! hot crates:
+//!
+//! ```text
+//! nfa 3            # header: kind + number of states
+//! start 0
+//! final 2
+//! trans 0 97 1     # from byte to   (byte in decimal)
+//! trans 0 99 1
+//! end
+//! ```
+//!
+//! DFAs serialize their byte-class map and dense table row by row.
+
+use std::fmt::Write as _;
+
+use crate::alphabet::ByteClasses;
+use crate::dfa::Dfa;
+use crate::error::{Error, Result};
+use crate::nfa::{Builder, Nfa};
+use crate::{BitSet, StateId};
+
+/// Serializes an NFA to the text format.
+pub fn nfa_to_text(nfa: &Nfa) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nfa {}", nfa.num_states());
+    let _ = writeln!(out, "start {}", nfa.start());
+    for f in nfa.finals().iter() {
+        let _ = writeln!(out, "final {f}");
+    }
+    for s in 0..nfa.num_states() as StateId {
+        for &(byte, t) in nfa.transitions(s) {
+            let _ = writeln!(out, "trans {s} {byte} {t}");
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses an NFA from the text format.
+pub fn nfa_from_text(text: &str) -> Result<Nfa> {
+    let mut lines = Lines::new(text);
+    let n = lines.header("nfa")?;
+    let mut b = Builder::new();
+    for _ in 0..n {
+        b.add_state();
+    }
+    let mut saw_end = false;
+    while let Some(line) = lines.next_content() {
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("start") => b.set_start(lines.field(parts.next())?),
+            Some("final") => b.set_final(lines.field(parts.next())?),
+            Some("trans") => {
+                let from: StateId = lines.field(parts.next())?;
+                let byte: u16 = lines.field(parts.next())?;
+                let to: StateId = lines.field(parts.next())?;
+                if byte > 255 {
+                    return Err(Error::Deserialize(format!("byte {byte} out of range")));
+                }
+                b.add_transition(from, byte as u8, to);
+            }
+            Some("end") => {
+                saw_end = true;
+                break;
+            }
+            Some(other) => {
+                return Err(Error::Deserialize(format!("unknown directive {other:?}")))
+            }
+            None => {}
+        }
+    }
+    if !saw_end {
+        return Err(Error::Deserialize("missing 'end' line".into()));
+    }
+    b.build()
+}
+
+/// Serializes a DFA to the text format.
+pub fn dfa_to_text(dfa: &Dfa) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dfa {} {}", dfa.num_states(), dfa.stride());
+    let _ = writeln!(out, "start {}", dfa.start());
+    for f in dfa.finals().iter() {
+        let _ = writeln!(out, "final {f}");
+    }
+    out.push_str("classes");
+    for byte in 0..=255u8 {
+        let _ = write!(out, " {}", dfa.classes().get(byte));
+    }
+    out.push('\n');
+    for s in 0..dfa.num_states() {
+        out.push_str("row");
+        for c in 0..dfa.stride() {
+            let _ = write!(out, " {}", dfa.next_class(s as StateId, c as u8));
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a DFA from the text format.
+pub fn dfa_from_text(text: &str) -> Result<Dfa> {
+    let mut lines = Lines::new(text);
+    let (n, stride) = {
+        let line = lines
+            .next_content()
+            .ok_or_else(|| Error::Deserialize("empty input".into()))?;
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("dfa") => {
+                let n: usize = lines.field(parts.next())?;
+                let stride: usize = lines.field(parts.next())?;
+                (n, stride)
+            }
+            _ => return Err(Error::Deserialize("expected 'dfa <n> <stride>'".into())),
+        }
+    };
+    let mut start: StateId = 0;
+    let mut finals = BitSet::new(n);
+    let mut class_map: Option<Vec<u8>> = None;
+    let mut table: Vec<StateId> = Vec::with_capacity(n * stride);
+    let mut saw_end = false;
+    while let Some(line) = lines.next_content() {
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("start") => start = lines.field(parts.next())?,
+            Some("final") => {
+                let f: StateId = lines.field(parts.next())?;
+                if f as usize >= n {
+                    return Err(Error::Deserialize(format!("final {f} out of range")));
+                }
+                finals.insert(f);
+            }
+            Some("classes") => {
+                let map: Vec<u8> = parts
+                    .map(|p| {
+                        p.parse::<u8>()
+                            .map_err(|e| Error::Deserialize(format!("bad class: {e}")))
+                    })
+                    .collect::<Result<_>>()?;
+                if map.len() != 256 {
+                    return Err(Error::Deserialize(format!(
+                        "classes line has {} entries, expected 256",
+                        map.len()
+                    )));
+                }
+                class_map = Some(map);
+            }
+            Some("row") => {
+                let before = table.len();
+                for p in parts {
+                    table.push(
+                        p.parse::<StateId>()
+                            .map_err(|e| Error::Deserialize(format!("bad target: {e}")))?,
+                    );
+                }
+                if table.len() - before != stride {
+                    return Err(Error::Deserialize(format!(
+                        "row has {} entries, expected {stride}",
+                        table.len() - before
+                    )));
+                }
+            }
+            Some("end") => {
+                saw_end = true;
+                break;
+            }
+            Some(other) => {
+                return Err(Error::Deserialize(format!("unknown directive {other:?}")))
+            }
+            None => {}
+        }
+    }
+    if !saw_end {
+        return Err(Error::Deserialize("missing 'end' line".into()));
+    }
+    let map = class_map.ok_or_else(|| Error::Deserialize("missing 'classes' line".into()))?;
+    // Preserve the *exact* class ids from the file (rebuilding by
+    // first-appearance order would scramble table columns).
+    let classes = ByteClasses::from_exact_map(map, stride)
+        .map_err(|e| Error::Deserialize(e.to_string()))?;
+    Dfa::from_parts(classes, table, start, finals).map_err(|e| Error::Deserialize(e.to_string()))
+}
+
+/// Round-trip sanity used by tests and the CLI.
+pub fn roundtrip_nfa(nfa: &Nfa) -> Result<Nfa> {
+    nfa_from_text(&nfa_to_text(nfa))
+}
+
+struct Lines<'a> {
+    inner: std::str::Lines<'a>,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines { inner: text.lines() }
+    }
+
+    /// Next non-empty, non-comment line.
+    fn next_content(&mut self) -> Option<&'a str> {
+        for line in self.inner.by_ref() {
+            let line = match line.find('#') {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            let line = line.trim();
+            if !line.is_empty() {
+                return Some(line);
+            }
+        }
+        None
+    }
+
+    fn header(&mut self, kind: &str) -> Result<usize> {
+        let line = self
+            .next_content()
+            .ok_or_else(|| Error::Deserialize("empty input".into()))?;
+        let mut parts = line.split_ascii_whitespace();
+        if parts.next() != Some(kind) {
+            return Err(Error::Deserialize(format!("expected '{kind} <n>' header")));
+        }
+        self.field(parts.next())
+    }
+
+    fn field<T: std::str::FromStr>(&self, part: Option<&str>) -> Result<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        part.ok_or_else(|| Error::Deserialize("missing field".into()))?
+            .parse::<T>()
+            .map_err(|e| Error::Deserialize(format!("bad field: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::powerset::determinize;
+    use crate::nfa::glushkov;
+    use crate::regex::parse;
+
+    fn sample_nfa() -> Nfa {
+        glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nfa_roundtrip() {
+        let nfa = sample_nfa();
+        let back = roundtrip_nfa(&nfa).unwrap();
+        assert_eq!(nfa, back);
+    }
+
+    #[test]
+    fn dfa_roundtrip() {
+        let dfa = determinize(&sample_nfa());
+        let back = dfa_from_text(&dfa_to_text(&dfa)).unwrap();
+        assert_eq!(dfa.num_states(), back.num_states());
+        for input in [&b"abb"[..], b"aabb", b"ba", b""] {
+            assert_eq!(dfa.accepts(input), back.accepts(input));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# a comment\nnfa 2\nstart 0\nfinal 1  # trailing comment\n\ntrans 0 120 1\nend\n";
+        let nfa = nfa_from_text(text).unwrap();
+        assert!(nfa.accepts(b"x"));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "",
+            "dfa 1",
+            "nfa x\nend",
+            "nfa 1\ntrans 0 999 0\nend",
+            "nfa 1\nbogus\nend",
+            "nfa 1\nstart 0",
+            "nfa 2\ntrans 0 97 5\nend",
+        ] {
+            assert!(nfa_from_text(bad).is_err(), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn dfa_missing_classes_errors() {
+        let text = "dfa 1 1\nstart 0\nrow 0\nend\n";
+        assert!(dfa_from_text(text).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! The classic *sparse set* of Briggs & Torczon.
+//!
+//! NFA set-simulation needs a set of states supporting O(1) insert with
+//! duplicate suppression, O(1) clear, and iteration in insertion order —
+//! without touching O(capacity) memory per chunk of input. The sparse-set
+//! trick gives exactly that and is the standard structure in production
+//! regex engines.
+
+use crate::StateId;
+
+/// A set of `StateId`s with O(1) insert/membership/clear and iteration in
+/// insertion order.
+#[derive(Debug, Clone)]
+pub struct SparseSet {
+    dense: Vec<StateId>,
+    sparse: Vec<u32>,
+}
+
+impl SparseSet {
+    /// Creates a set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        SparseSet {
+            dense: Vec::with_capacity(capacity),
+            sparse: vec![u32::MAX; capacity],
+        }
+    }
+
+    /// Number of ids the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.sparse.len()
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, id: StateId) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.sparse[id as usize] = self.dense.len() as u32;
+        self.dense.push(id);
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: StateId) -> bool {
+        let slot = self.sparse[id as usize];
+        (slot as usize) < self.dense.len() && self.dense[slot as usize] == id
+    }
+
+    /// Removes all elements in O(1) (lazily invalidates the sparse slots).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.dense.clear();
+    }
+
+    /// Number of elements present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// `true` if no element is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// The elements in insertion order.
+    #[inline]
+    pub fn as_slice(&self) -> &[StateId] {
+        &self.dense
+    }
+
+    /// Iterates over elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.dense.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedup_and_order() {
+        let mut s = SparseSet::new(16);
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert!(s.insert(15));
+        assert_eq!(s.as_slice(), &[3, 1, 15]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn clear_is_lazy_but_correct() {
+        let mut s = SparseSet::new(8);
+        s.insert(2);
+        s.insert(5);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(2));
+        // Reinsertion after clear must work even though sparse[] still holds
+        // stale slots.
+        assert!(s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(2));
+        assert_eq!(s.as_slice(), &[5]);
+    }
+
+    #[test]
+    fn fresh_set_contains_nothing() {
+        let s = SparseSet::new(4);
+        for id in 0..4 {
+            assert!(!s.contains(id));
+        }
+        assert_eq!(s.capacity(), 4);
+    }
+
+    #[test]
+    fn iter_matches_slice() {
+        let mut s = SparseSet::new(10);
+        for id in [9u32, 0, 4] {
+            s.insert(id);
+        }
+        let via_iter: Vec<_> = s.iter().collect();
+        assert_eq!(via_iter, s.as_slice());
+    }
+}

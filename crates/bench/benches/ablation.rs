@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Interface minimization on/off** — how much speculative work the
+//!    Sect. 3.4 delegation saves at recognition time (`fasta` has
+//!    language-equivalent motif tails, so its interface shrinks).
+//! 2. **Executor shape** — the paper's one-thread-per-chunk model vs a
+//!    bounded dynamic team.
+//! 3. **SFA comparator** — zero speculation, huge table (reference \[25\]).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ridfa_bench::build_artifacts;
+use ridfa_core::csdpa::{recognize, ConvergentDfaCa, ConvergentRidCa, DfaCa, Executor, RidCa};
+use ridfa_core::ridfa::RiDfa;
+use ridfa_core::sfa::{Sfa, SfaCa};
+use ridfa_workloads::standard_benchmarks;
+
+const TEXT_LEN: usize = 256 << 10;
+
+fn bench_interface_minimization(c: &mut Criterion) {
+    let fasta = standard_benchmarks().into_iter().find(|b| b.name == "fasta").unwrap();
+    let rid_raw = RiDfa::from_nfa(&fasta.nfa);
+    let rid_min = rid_raw.minimized();
+    assert!(
+        rid_min.interface().len() < rid_raw.interface().len(),
+        "fasta interface must shrink for this ablation to be meaningful"
+    );
+    let text = (fasta.accepted)(TEXT_LEN, 42);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("ablation_interface_min");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    let ca_raw = RidCa::new(&rid_raw);
+    let ca_min = RidCa::new(&rid_min);
+    group.bench_function("raw_interface", |b| {
+        b.iter(|| recognize(&ca_raw, &text, threads, Executor::Team(threads)).accepted);
+    });
+    group.bench_function("minimized_interface", |b| {
+        b.iter(|| recognize(&ca_min, &text, threads, Executor::Team(threads)).accepted);
+    });
+    group.finish();
+}
+
+fn bench_executor_shape(c: &mut Criterion) {
+    let bible = standard_benchmarks().into_iter().find(|b| b.name == "bible").unwrap();
+    let a = build_artifacts(&bible);
+    let ca = RidCa::new(&a.rid);
+    let text = (a.accepted)(TEXT_LEN, 42);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let chunks = threads * 4; // more chunks than workers: the shapes differ
+    let mut group = c.benchmark_group("ablation_executor");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("per_chunk_threads", |b| {
+        b.iter(|| recognize(&ca, &text, chunks, Executor::PerChunk).accepted);
+    });
+    group.bench_function("dynamic_team", |b| {
+        b.iter(|| recognize(&ca, &text, chunks, Executor::Team(threads)).accepted);
+    });
+    group.bench_function("serial_executor", |b| {
+        b.iter(|| recognize(&ca, &text, chunks, Executor::Serial).accepted);
+    });
+    group.finish();
+}
+
+fn bench_sfa_comparator(c: &mut Criterion) {
+    // Small pattern: the SFA fits in memory, so the zero-speculation
+    // trade-off can be measured directly.
+    let bigdata = standard_benchmarks().into_iter().find(|b| b.name == "bigdata").unwrap();
+    let a = build_artifacts(&bigdata);
+    let sfa = Sfa::build_limited(&a.dfa, 1 << 20).expect("bigdata SFA fits");
+    let text = (a.accepted)(TEXT_LEN, 42);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("ablation_sfa");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    let rid_ca = RidCa::new(&a.rid);
+    let sfa_ca = SfaCa::new(&sfa);
+    group.bench_function("rid", |b| {
+        b.iter(|| recognize(&rid_ca, &text, threads, Executor::Team(threads)).accepted);
+    });
+    group.bench_function("sfa", |b| {
+        b.iter(|| recognize(&sfa_ca, &text, threads, Executor::Team(threads)).accepted);
+    });
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    // The conclusion's "compatible with state-convergence" claim: lockstep
+    // scanning with group merging, for both the DFA and RID variants, on
+    // the winning benchmark where the DFA has the most runs to merge.
+    let bible = standard_benchmarks().into_iter().find(|b| b.name == "bible").unwrap();
+    let a = build_artifacts(&bible);
+    let text = (a.accepted)(TEXT_LEN, 42);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("ablation_convergence");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    let dfa_plain = DfaCa::new(&a.dfa);
+    let dfa_conv = ConvergentDfaCa::new(&a.dfa);
+    let rid_plain = RidCa::new(&a.rid);
+    let rid_conv = ConvergentRidCa::new(&a.rid);
+    group.bench_function("dfa_plain", |b| {
+        b.iter(|| recognize(&dfa_plain, &text, 32, Executor::Team(threads)).accepted);
+    });
+    group.bench_function("dfa_convergent", |b| {
+        b.iter(|| recognize(&dfa_conv, &text, 32, Executor::Team(threads)).accepted);
+    });
+    group.bench_function("rid_plain", |b| {
+        b.iter(|| recognize(&rid_plain, &text, 32, Executor::Team(threads)).accepted);
+    });
+    group.bench_function("rid_convergent", |b| {
+        b.iter(|| recognize(&rid_conv, &text, 32, Executor::Team(threads)).accepted);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interface_minimization,
+    bench_executor_shape,
+    bench_sfa_comparator,
+    bench_convergence
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Sect. 4.5: NFA → DFA vs NFA → RI-DFA
+//! construction cost on representative benchmark NFAs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridfa_automata::dfa::{minimize, powerset};
+use ridfa_core::ridfa::RiDfa;
+use ridfa_workloads::standard_benchmarks;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    for b in standard_benchmarks() {
+        group.bench_with_input(BenchmarkId::new("determinize", b.name), &b.nfa, |bench, nfa| {
+            bench.iter(|| powerset::determinize(nfa));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("determinize_minimize", b.name),
+            &b.nfa,
+            |bench, nfa| {
+                bench.iter(|| minimize::minimize(&powerset::determinize(nfa)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ridfa", b.name), &b.nfa, |bench, nfa| {
+            bench.iter(|| RiDfa::from_nfa(nfa));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ridfa_minimized", b.name),
+            &b.nfa,
+            |bench, nfa| {
+                bench.iter(|| RiDfa::from_nfa(nfa).minimized());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

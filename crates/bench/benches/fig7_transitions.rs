@@ -1,0 +1,44 @@
+//! Criterion bench behind Fig. 7: instrumented recognition (transition
+//! counting) for the winning benchmarks at 32 chunks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ridfa_bench::build_artifacts;
+use ridfa_core::csdpa::{recognize_counted, DfaCa, Executor, NfaCa, RidCa};
+use ridfa_workloads::{standard_benchmarks, Group};
+
+const TEXT_LEN: usize = 256 << 10;
+const CHUNKS: usize = 32;
+
+fn bench_counted(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let executor = Executor::Team(threads);
+    let mut group = c.benchmark_group("fig7_transitions");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for b in standard_benchmarks() {
+        if b.group != Group::Winning {
+            continue;
+        }
+        let a = build_artifacts(&b);
+        let text = (a.accepted)(TEXT_LEN, 42);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        let dfa_ca = DfaCa::new(&a.dfa);
+        let nfa_ca = NfaCa::new(&a.nfa);
+        let rid_ca = RidCa::new(&a.rid);
+        group.bench_with_input(BenchmarkId::new("dfa", a.name), &text, |bench, text| {
+            bench.iter(|| recognize_counted(&dfa_ca, text, CHUNKS, executor).transitions);
+        });
+        group.bench_with_input(BenchmarkId::new("nfa", a.name), &text, |bench, text| {
+            bench.iter(|| recognize_counted(&nfa_ca, text, CHUNKS, executor).transitions);
+        });
+        group.bench_with_input(BenchmarkId::new("rid", a.name), &text, |bench, text| {
+            bench.iter(|| recognize_counted(&rid_ca, text, CHUNKS, executor).transitions);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counted);
+criterion_main!(benches);

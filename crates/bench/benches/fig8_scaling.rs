@@ -1,0 +1,59 @@
+//! Criterion bench behind Fig. 8: RID scaling with thread count and text
+//! size (scaled down; the fig8 binary runs the full sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ridfa_bench::build_artifacts;
+use ridfa_core::csdpa::{recognize, Executor, RidCa};
+use ridfa_workloads::standard_benchmarks;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let bible = standard_benchmarks().into_iter().find(|b| b.name == "bible").unwrap();
+    let a = build_artifacts(&bible);
+    let text = (a.accepted)(512 << 10, 42);
+    let rid_ca = RidCa::new(&a.rid);
+    let mut group = c.benchmark_group("fig8_thread_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut threads = 1usize;
+    while threads <= max {
+        group.bench_with_input(
+            BenchmarkId::new("rid_bible", threads),
+            &threads,
+            |bench, &t| {
+                bench.iter(|| recognize(&rid_ca, &text, t, Executor::Team(t)).accepted);
+            },
+        );
+        threads *= 2;
+    }
+    group.finish();
+}
+
+fn bench_text_scaling(c: &mut Criterion) {
+    let regexp = standard_benchmarks().into_iter().find(|b| b.name == "regexp").unwrap();
+    let a = build_artifacts(&regexp);
+    let rid_ca = RidCa::new(&a.rid);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("fig8_text_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for kb in [64usize, 128, 256, 512] {
+        let text = (a.accepted)(kb << 10, 42);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("rid_regexp", kb),
+            &text,
+            |bench, text| {
+                bench.iter(|| recognize(&rid_ca, text, threads, Executor::Team(threads)).accepted);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_text_scaling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench behind Table 2: cost of measuring one Ondrik machine —
+//! determinize + minimize vs RI-DFA construction + interface minimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ridfa_automata::dfa::{minimize, powerset};
+use ridfa_core::ridfa::RiDfa;
+use ridfa_workloads::ondrik::{machine, OndrikConfig};
+
+fn bench_interface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_interface");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    for states in [24usize, 48, 96] {
+        let config = OndrikConfig {
+            state_range: (states, states),
+            ..OndrikConfig::default()
+        };
+        let nfa = machine(&config, 1234);
+        group.bench_with_input(
+            BenchmarkId::new("min_dfa", states),
+            &nfa,
+            |b, nfa| {
+                b.iter(|| minimize::minimize(&powerset::determinize(nfa)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ridfa_minimized", states),
+            &nfa,
+            |b, nfa| {
+                b.iter(|| RiDfa::from_nfa(nfa).minimized());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interface);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench behind Table 3: parallel recognition time of the three
+//! CSDPA variants on every benchmark (scaled-down texts so `cargo bench`
+//! stays CI-friendly; the table3 binary runs the full sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ridfa_bench::build_artifacts;
+use ridfa_core::csdpa::{recognize, DfaCa, Executor, NfaCa, RidCa};
+use ridfa_workloads::standard_benchmarks;
+
+const TEXT_LEN: usize = 256 << 10;
+
+fn bench_variants(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let executor = Executor::Team(threads);
+    let mut group = c.benchmark_group("table3_speedup");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for b in standard_benchmarks() {
+        let a = build_artifacts(&b);
+        let text = (a.accepted)(TEXT_LEN, 42);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        let dfa_ca = DfaCa::new(&a.dfa);
+        let nfa_ca = NfaCa::new(&a.nfa);
+        let rid_ca = RidCa::new(&a.rid);
+        group.bench_with_input(BenchmarkId::new("dfa", a.name), &text, |bench, text| {
+            bench.iter(|| recognize(&dfa_ca, text, threads, executor).accepted);
+        });
+        group.bench_with_input(BenchmarkId::new("nfa", a.name), &text, |bench, text| {
+            bench.iter(|| recognize(&nfa_ca, text, threads, executor).accepted);
+        });
+        group.bench_with_input(BenchmarkId::new("rid", a.name), &text, |bench, text| {
+            bench.iter(|| recognize(&rid_ca, text, threads, executor).accepted);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

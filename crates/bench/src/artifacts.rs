@@ -1,0 +1,87 @@
+//! Per-benchmark automata artifacts.
+
+use std::time::{Duration, Instant};
+
+use ridfa_automata::dfa::{minimize, powerset};
+use ridfa_automata::dfa::Dfa;
+use ridfa_automata::nfa::Nfa;
+use ridfa_core::ridfa::RiDfa;
+use ridfa_workloads::{Benchmark, Group};
+
+/// All three chunk-automaton bases for one benchmark, with construction
+/// timings (feeding the Sect. 4.5 comparison).
+pub struct Artifacts {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Expected outcome group.
+    pub group: Group,
+    /// The source NFA.
+    pub nfa: Nfa,
+    /// The minimal DFA (the classic CSDPA chunk automaton).
+    pub dfa: Dfa,
+    /// The interface-minimized RI-DFA (the RID chunk automaton).
+    pub rid: RiDfa,
+    /// Wall time of NFA → DFA → minimal DFA.
+    pub dfa_build: Duration,
+    /// Wall time of NFA → RI-DFA → interface minimization.
+    pub rid_build: Duration,
+    /// Accepted-text generator.
+    pub accepted: fn(usize, u64) -> Vec<u8>,
+    /// Default text length.
+    pub default_len: usize,
+    /// Paper text length.
+    pub paper_len: usize,
+}
+
+/// Builds the artifacts of one benchmark.
+pub fn build_artifacts(b: &Benchmark) -> Artifacts {
+    let t0 = Instant::now();
+    let dfa = minimize::minimize(&powerset::determinize(&b.nfa));
+    let dfa_build = t0.elapsed();
+    let t1 = Instant::now();
+    let rid = RiDfa::from_nfa(&b.nfa).minimized();
+    let rid_build = t1.elapsed();
+    Artifacts {
+        name: b.name,
+        group: b.group,
+        nfa: b.nfa.clone(),
+        dfa,
+        rid,
+        dfa_build,
+        rid_build,
+        accepted: b.accepted,
+        default_len: b.default_len,
+        paper_len: b.paper_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_workloads::standard_benchmarks;
+
+    #[test]
+    fn artifacts_build_for_every_benchmark() {
+        for b in standard_benchmarks() {
+            let a = build_artifacts(&b);
+            assert!(a.dfa.num_live_states() >= 1, "{}", a.name);
+            assert!(
+                a.rid.interface().len() <= a.nfa.num_states(),
+                "{}: interface bounded by NFA",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn winning_benchmarks_have_state_blowup() {
+        for b in standard_benchmarks() {
+            let a = build_artifacts(&b);
+            let ratio = a.dfa.num_live_states() as f64 / a.rid.interface().len() as f64;
+            match a.group {
+                Group::Winning => assert!(ratio > 2.0, "{}: ratio {ratio:.2}", a.name),
+                Group::Even => assert!(ratio < 3.0, "{}: ratio {ratio:.2}", a.name),
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Tiny argument parsing shared by the harness binaries (no external
+//! dependency: flags are `--key value` pairs plus positionals).
+//!
+//! Grammar note: a `--flag` followed by a non-flag token greedily consumes
+//! that token as its value, so boolean flags (`--full`) must be followed
+//! by another flag or the end of the line — put positionals first.
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (for tests).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => Some(iter.next().unwrap()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    /// `true` if `--name` was given (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The value of `--name`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// The value of `--name`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Common flag: scale factor applied to text sizes (default 1.0 =
+    /// laptop defaults; `--full` selects the paper sizes instead).
+    pub fn scale(&self) -> f64 {
+        self.get_or("scale", 1.0)
+    }
+
+    /// Common flag: benchmark seed.
+    pub fn seed(&self) -> u64 {
+        self.get_or("seed", 42)
+    }
+
+    /// Common flag: thread/chunk count; defaults to available parallelism.
+    pub fn threads(&self) -> usize {
+        self.get_or(
+            "threads",
+            std::thread::available_parallelism().map_or(4, |n| n.get()),
+        )
+    }
+
+    /// Common flag: timing repetitions.
+    pub fn reps(&self) -> usize {
+        self.get_or("reps", 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = args(&["bible", "extra", "--threads", "8", "--full"]);
+        assert_eq!(a.positional, vec!["bible", "extra"]);
+        assert_eq!(a.get::<usize>("threads"), Some(8));
+        assert!(a.has("full"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn bare_flag_greedily_takes_next_positional() {
+        // Documented quirk of the grammar: values attach greedily.
+        let a = args(&["--full", "oops"]);
+        assert!(a.has("full"));
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args(&[]);
+        assert_eq!(a.get_or("reps", 5usize), 5);
+        assert!((a.scale() - 1.0).abs() < 1e-9);
+        assert_eq!(a.seed(), 42);
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn flag_without_value_then_flag() {
+        let a = args(&["--full", "--scale", "0.5"]);
+        assert!(a.has("full"));
+        assert!((a.scale() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ridfa-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` for the
+//! experiment index), plus criterion micro-benches under `benches/`.
+//! This library holds the shared plumbing: artifact construction (NFA →
+//! minimal DFA → minimized RI-DFA per benchmark), timing helpers, and
+//! plain-text table rendering.
+
+#![deny(unsafe_code)]
+
+pub mod artifacts;
+pub mod cli;
+pub mod measure;
+pub mod table;
+
+pub use artifacts::{build_artifacts, Artifacts};
+pub use cli::Args;
+pub use measure::{median_duration, speedup};
+pub use table::Table;

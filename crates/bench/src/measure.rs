@@ -1,0 +1,59 @@
+//! Timing helpers for the harness binaries.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` `reps` times (after one warm-up call) and returns the median
+/// wall time. Medians resist the occasional scheduler hiccup better than
+/// means on a noisy laptop.
+pub fn median_duration(reps: usize, mut f: impl FnMut()) -> Duration {
+    let reps = reps.max(1);
+    f(); // warm-up: page in the text, warm the caches
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// `speedup = baseline / candidate` (paper Fig. 8: speed of RID over the
+/// speed of the other variant = time of other over time of RID).
+pub fn speedup(baseline: Duration, candidate: Duration) -> f64 {
+    let c = candidate.as_secs_f64();
+    if c == 0.0 {
+        return f64::INFINITY;
+    }
+    baseline.as_secs_f64() / c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_a_sample() {
+        let d = median_duration(5, || std::thread::yield_now());
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let s = speedup(Duration::from_millis(300), Duration::from_millis(100));
+        assert!((s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_candidate_is_infinite() {
+        assert!(speedup(Duration::from_millis(1), Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn zero_reps_clamps_to_one() {
+        let mut calls = 0;
+        median_duration(0, || calls += 1);
+        assert_eq!(calls, 2, "warm-up + one sample");
+    }
+}

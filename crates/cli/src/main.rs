@@ -1,0 +1,249 @@
+//! `ridfa` — command-line generator / recognizer / test driver, mirroring
+//! the paper's Java tool (Sect. 4: "a generator of the RI-DFA automaton
+//! from either an RE or an FA, a parallel recognizer for recognizing user
+//! supplied texts, and a test driver to measure performance").
+//!
+//! ```text
+//! ridfa gen --regex '(a|b)*abb' --out machine.nfa      # RE → NFA (text format)
+//! ridfa info --regex '(a|b)*abb'                       # construction report
+//! ridfa recognize --regex '(a|b)*abb' --text input.txt --variant rid --chunks 8
+//! ridfa drive --regex '(a|b)*abb' --text input.txt     # compare all variants
+//! ridfa help
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ridfa_automata::dfa::{minimize, powerset};
+use ridfa_automata::nfa::{glushkov, Nfa};
+use ridfa_automata::{regex, serialize};
+use ridfa_core::csdpa::{
+    recognize_counted, ChunkAutomaton, DfaCa, Executor, NfaCa, RidCa,
+};
+use ridfa_core::ridfa::RiDfa;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(|s| s.as_str()) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = Opts::parse(&args[1..]);
+    let result = match command {
+        "gen" => cmd_gen(&opts),
+        "info" => cmd_info(&opts),
+        "recognize" => cmd_recognize(&opts),
+        "drive" => cmd_drive(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ridfa — parallel recognizer for regular texts with minimal speculation
+
+USAGE:
+  ridfa gen        --regex PATTERN [--out FILE]        print/save the NFA
+  ridfa info       (--regex PATTERN | --nfa FILE)      construction report
+  ridfa recognize  (--regex PATTERN | --nfa FILE)
+                   --text FILE [--variant dfa|nfa|rid]
+                   [--chunks N] [--threads N]           recognize one text
+  ridfa drive      (--regex PATTERN | --nfa FILE)
+                   --text FILE [--chunks N]             compare all variants
+  ridfa help
+
+Exit code of `recognize`: 0 = accepted, 1 = rejected or error.";
+
+struct Opts {
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut flags = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter.next().cloned().unwrap_or_default();
+                flags.push((name.to_string(), value));
+            }
+        }
+        Opts { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Loads the NFA from `--regex` or `--nfa`.
+fn load_nfa(opts: &Opts) -> Result<Nfa, String> {
+    if let Some(pattern) = opts.get("regex") {
+        let ast = regex::parse(pattern).map_err(|e| e.to_string())?;
+        return glushkov::build(&ast).map_err(|e| e.to_string());
+    }
+    if let Some(path) = opts.get("nfa") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return serialize::nfa_from_text(&text).map_err(|e| e.to_string());
+    }
+    Err("need --regex PATTERN or --nfa FILE".into())
+}
+
+fn load_text(opts: &Opts) -> Result<Vec<u8>, String> {
+    match opts.get("text") {
+        Some("-") => {
+            let mut buffer = Vec::new();
+            std::io::stdin()
+                .lock()
+                .read_to_end(&mut buffer)
+                .map_err(|e| e.to_string())?;
+            Ok(buffer)
+        }
+        Some(path) => std::fs::read(path).map_err(|e| format!("{path}: {e}")),
+        None => Err("need --text FILE (or --text - for stdin)".into()),
+    }
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let nfa = load_nfa(opts)?;
+    let text = serialize::nfa_to_text(&nfa);
+    match opts.get("out") {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let nfa = load_nfa(opts)?;
+    let t0 = Instant::now();
+    let dfa = powerset::determinize(&nfa);
+    let t_dfa = t0.elapsed();
+    let t1 = Instant::now();
+    let min = minimize::minimize(&dfa);
+    let t_min = t1.elapsed();
+    let t2 = Instant::now();
+    let rid = RiDfa::from_nfa(&nfa);
+    let t_rid = t2.elapsed();
+    let t3 = Instant::now();
+    let rid_min = rid.minimized();
+    let t_ridmin = t3.elapsed();
+
+    println!(
+        "NFA          : {} states, {} transitions",
+        nfa.num_states(),
+        nfa.num_transitions()
+    );
+    println!(
+        "DFA          : {} live states        (powerset, {:.3} ms)",
+        dfa.num_live_states(),
+        t_dfa.as_secs_f64() * 1e3
+    );
+    println!(
+        "minimal DFA  : {} live states        (Hopcroft, +{:.3} ms)",
+        min.num_live_states(),
+        t_min.as_secs_f64() * 1e3
+    );
+    println!(
+        "RI-DFA       : {} live states, {} interface states ({:.3} ms)",
+        rid.num_live_states(),
+        rid.interface().len(),
+        t_rid.as_secs_f64() * 1e3
+    );
+    println!(
+        "RI-DFA (min) : interface reduced {} → {} (+{:.3} ms)",
+        rid.interface().len(),
+        rid_min.interface().len(),
+        t_ridmin.as_secs_f64() * 1e3
+    );
+    println!(
+        "speculation  : DFA variant starts {} runs/chunk, RID starts {} — {:.2}× fewer",
+        min.num_live_states(),
+        rid_min.interface().len(),
+        min.num_live_states() as f64 / rid_min.interface().len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_recognize(opts: &Opts) -> Result<(), String> {
+    let nfa = load_nfa(opts)?;
+    let text = load_text(opts)?;
+    let chunks = opts.get_usize("chunks", default_threads());
+    let threads = opts.get_usize("threads", default_threads());
+    let variant = opts.get("variant").unwrap_or("rid");
+    let executor = Executor::Team(threads);
+
+    let accepted = match variant {
+        "rid" => {
+            let rid = RiDfa::from_nfa(&nfa).minimized();
+            report(&RidCa::new(&rid), &text, chunks, executor)
+        }
+        "dfa" => {
+            let dfa = minimize::minimize(&powerset::determinize(&nfa));
+            report(&DfaCa::new(&dfa), &text, chunks, executor)
+        }
+        "nfa" => report(&NfaCa::new(&nfa), &text, chunks, executor),
+        other => return Err(format!("unknown variant {other:?} (dfa|nfa|rid)")),
+    };
+    if accepted {
+        Ok(())
+    } else {
+        Err("text rejected".into())
+    }
+}
+
+fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, executor: Executor) -> bool {
+    let out = recognize_counted(ca, text, chunks, executor);
+    println!(
+        "{}: {} | {} bytes, {} chunks, {} transitions, reach {:.3} ms, join {:.3} ms",
+        ca.name(),
+        if out.accepted { "ACCEPTED" } else { "REJECTED" },
+        text.len(),
+        out.num_chunks,
+        out.transitions,
+        out.reach.as_secs_f64() * 1e3,
+        out.join.as_secs_f64() * 1e3,
+    );
+    out.accepted
+}
+
+fn cmd_drive(opts: &Opts) -> Result<(), String> {
+    let nfa = load_nfa(opts)?;
+    let text = load_text(opts)?;
+    let chunks = opts.get_usize("chunks", default_threads());
+    let executor = Executor::Team(opts.get_usize("threads", default_threads()));
+
+    let dfa = minimize::minimize(&powerset::determinize(&nfa));
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let a = report(&DfaCa::new(&dfa), &text, chunks, executor);
+    let b = report(&NfaCa::new(&nfa), &text, chunks, executor);
+    let c = report(&RidCa::new(&rid), &text, chunks, executor);
+    if a != b || b != c {
+        return Err("variants disagree — this is a bug, please report".into());
+    }
+    Ok(())
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}

@@ -1,0 +1,118 @@
+//! End-to-end tests of the `ridfa` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn ridfa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ridfa"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ridfa().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("recognize"));
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = ridfa().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn gen_prints_nfa_text() {
+    let out = ridfa().args(["gen", "--regex", "(a|b)*abb"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("nfa "));
+    assert!(text.contains("end"));
+}
+
+#[test]
+fn info_reports_interface_reduction() {
+    let out = ridfa()
+        .args(["info", "--regex", "[ab]*a[ab]{6}"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("minimal DFA  : 128 live states"), "{text}");
+    assert!(text.contains("interface"), "{text}");
+}
+
+#[test]
+fn recognize_accepts_and_rejects_via_exit_code() {
+    for (input, expect_ok) in [("aabb", true), ("ba", false)] {
+        let mut child = ridfa()
+            .args(["recognize", "--regex", "(a|b)*abb", "--text", "-", "--chunks", "2"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let status = child.wait().unwrap();
+        assert_eq!(status.success(), expect_ok, "input {input:?}");
+    }
+}
+
+#[test]
+fn drive_compares_all_variants() {
+    let mut child = ridfa()
+        .args(["drive", "--regex", "(xy)*", "--text", "-", "--chunks", "3"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"xyxyxyxy").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("dfa:"), "{text}");
+    assert!(text.contains("nfa:"), "{text}");
+    assert!(text.contains("rid:"), "{text}");
+}
+
+#[test]
+fn gen_roundtrip_through_file() {
+    let dir = std::env::temp_dir().join(format!("ridfa-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let nfa_path = dir.join("machine.nfa");
+    let status = ridfa()
+        .args(["gen", "--regex", "a+b", "--out", nfa_path.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let text_path = dir.join("input.txt");
+    std::fs::write(&text_path, "aaab").unwrap();
+    let status = ridfa()
+        .args([
+            "recognize",
+            "--nfa",
+            nfa_path.to_str().unwrap(),
+            "--text",
+            text_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_regex_reports_error() {
+    let out = ridfa().args(["info", "--regex", "(a"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("error"));
+}

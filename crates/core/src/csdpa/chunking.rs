@@ -1,0 +1,74 @@
+//! Text segmentation into chunks.
+
+use std::ops::Range;
+
+/// Splits `0..len` into `num_chunks` contiguous spans whose lengths differ
+/// by at most one byte (the first `len % c` spans get the extra byte).
+///
+/// `num_chunks` is clamped to `1..=len` so every chunk is non-empty
+/// (`y_i ∈ Σ+` in the paper); an empty text yields a single empty span.
+pub fn chunk_spans(len: usize, num_chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return vec![0..0];
+    }
+    let c = num_chunks.clamp(1, len);
+    let base = len / c;
+    let extra = len % c;
+    let mut spans = Vec::with_capacity(c);
+    let mut offset = 0;
+    for i in 0..c {
+        let size = base + usize::from(i < extra);
+        spans.push(offset..offset + size);
+        offset += size;
+    }
+    debug_assert_eq!(offset, len);
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_text_exactly() {
+        for len in [1usize, 2, 7, 100, 1001] {
+            for c in [1usize, 2, 3, 32, 64, 1000, 5000] {
+                let spans = chunk_spans(len, c);
+                assert_eq!(spans[0].start, 0);
+                assert_eq!(spans.last().unwrap().end, len);
+                for w in spans.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let spans = chunk_spans(100, 7);
+        let sizes: Vec<usize> = spans.iter().map(|s| s.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn more_chunks_than_bytes_clamps() {
+        let spans = chunk_spans(3, 10);
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn empty_text_single_empty_span() {
+        let spans = chunk_spans(0, 8);
+        assert_eq!(spans, vec![0..0]);
+    }
+
+    #[test]
+    fn zero_chunks_clamps_to_one() {
+        let spans = chunk_spans(5, 0);
+        assert_eq!(spans, vec![0..5]);
+    }
+}

@@ -1,0 +1,299 @@
+//! State-convergence optimization for speculative chunk scans.
+//!
+//! The paper's conclusion notes that the RI-DFA approach "is compatible
+//! with most existing [optimizations], in particular with state-
+//! convergence" (citing the data-parallel FSM work of Mytkowicz et al.
+//! \[22\]). This module implements that optimization for any dense
+//! deterministic table: instead of running each speculative start to
+//! completion one after the other, all runs advance in lockstep and runs
+//! that have *converged* to the same state are merged into one group —
+//! from that byte on they are charged a single transition. On realistic
+//! texts most runs converge (or die) within a few hundred bytes, so the
+//! per-byte cost collapses from `|I|` towards 1.
+//!
+//! Offered for both the classic DFA chunk automaton
+//! ([`ConvergentDfaCa`]) and the RI-DFA one ([`ConvergentRidCa`]); both
+//! produce mappings identical to their non-convergent counterparts, which
+//! the tests assert, so the join phase is unchanged.
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::dfa::Dfa;
+use ridfa_automata::{StateId, DEAD};
+
+use crate::ridfa::RiDfa;
+
+use super::{ChunkAutomaton, DfaCa, RidCa, RidMapping};
+
+/// Lockstep scan with convergence merging over a dense table.
+///
+/// `starts` yields `(origin, start_state)` pairs; the result has one slot
+/// per origin, holding the last active state ([`DEAD`] when the run died).
+/// `counter` is incremented once per *group* per byte — the work actually
+/// executed after merging.
+fn lockstep_scan(
+    num_states: usize,
+    next: impl Fn(StateId, u8) -> StateId,
+    starts: impl Iterator<Item = (u32, StateId)>,
+    num_origins: usize,
+    chunk: &[u8],
+    counter: &mut impl Counter,
+) -> Vec<StateId> {
+    // Groups of origins currently sharing a state. Origin lists are moved,
+    // never copied, when groups merge.
+    let mut states: Vec<StateId> = Vec::new();
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    {
+        // Initial grouping: distinct start states may already coincide.
+        let mut slot = vec![u32::MAX; num_states];
+        for (origin, start) in starts {
+            let s = slot[start as usize];
+            if s == u32::MAX {
+                slot[start as usize] = states.len() as u32;
+                states.push(start);
+                members.push(vec![origin]);
+            } else {
+                members[s as usize].push(origin);
+            }
+        }
+    }
+
+    // Generation-stamped slot map: avoids an O(num_states) clear per byte.
+    let mut slot: Vec<(u32, u32)> = vec![(0, 0); num_states];
+    let mut generation = 0u32;
+    let mut dead_origins: Vec<u32> = Vec::new();
+    let mut next_states: Vec<StateId> = Vec::new();
+    let mut next_members: Vec<Vec<u32>> = Vec::new();
+
+    for &byte in chunk {
+        if states.is_empty() {
+            break;
+        }
+        generation += 1;
+        next_states.clear();
+        next_members.clear();
+        for (state, origins) in states.drain(..).zip(next_members_drain(&mut members)) {
+            let target = next(state, byte);
+            if target == DEAD {
+                dead_origins.extend(origins);
+                continue;
+            }
+            counter.incr();
+            let (gen, idx) = slot[target as usize];
+            if gen == generation {
+                next_members[idx as usize].extend(origins);
+            } else {
+                slot[target as usize] = (generation, next_states.len() as u32);
+                next_states.push(target);
+                next_members.push(origins);
+            }
+        }
+        std::mem::swap(&mut states, &mut next_states);
+        std::mem::swap(&mut members, &mut next_members);
+    }
+
+    let mut mapping = vec![DEAD; num_origins];
+    for (state, origins) in states.iter().zip(&members) {
+        for &origin in origins {
+            mapping[origin as usize] = *state;
+        }
+    }
+    // Dead origins already map to DEAD.
+    drop(dead_origins);
+    mapping
+}
+
+/// Helper: drain `members` into an iterator of owned origin lists.
+fn next_members_drain(members: &mut Vec<Vec<u32>>) -> std::vec::Drain<'_, Vec<u32>> {
+    members.drain(..)
+}
+
+/// The classic DFA chunk automaton with convergence merging.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergentDfaCa<'a> {
+    inner: DfaCa<'a>,
+}
+
+impl<'a> ConvergentDfaCa<'a> {
+    /// Wraps `dfa`.
+    pub fn new(dfa: &'a Dfa) -> Self {
+        ConvergentDfaCa {
+            inner: DfaCa::new(dfa),
+        }
+    }
+}
+
+impl ChunkAutomaton for ConvergentDfaCa<'_> {
+    type Mapping = Vec<StateId>;
+
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
+        let dfa = self.inner.dfa();
+        lockstep_scan(
+            dfa.num_states(),
+            |s, b| dfa.next(s, b),
+            dfa.live_states().map(|s| (s, s)),
+            dfa.num_states(),
+            chunk,
+            counter,
+        )
+    }
+
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
+        self.inner.scan_first(chunk, counter)
+    }
+
+    fn join(&self, mappings: &[Vec<StateId>]) -> bool {
+        self.inner.join(mappings)
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        self.inner.accepts_serial(text, counter)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        self.inner.num_speculative_starts()
+    }
+
+    fn name(&self) -> &'static str {
+        "dfa+conv"
+    }
+}
+
+/// The RID chunk automaton with convergence merging.
+#[derive(Debug, Clone)]
+pub struct ConvergentRidCa<'a> {
+    inner: RidCa<'a>,
+}
+
+impl<'a> ConvergentRidCa<'a> {
+    /// Wraps `rid`.
+    pub fn new(rid: &'a RiDfa) -> Self {
+        ConvergentRidCa {
+            inner: RidCa::new(rid),
+        }
+    }
+}
+
+impl ChunkAutomaton for ConvergentRidCa<'_> {
+    type Mapping = RidMapping;
+
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
+        let rid = self.inner.rid();
+        let interface = rid.interface();
+        let lasts = lockstep_scan(
+            rid.num_states(),
+            |s, b| rid.next(s, b),
+            interface.iter().enumerate().map(|(i, &p)| (i as u32, p)),
+            interface.len(),
+            chunk,
+            counter,
+        );
+        RidMapping::Interior(lasts)
+    }
+
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
+        self.inner.scan_first(chunk, counter)
+    }
+
+    fn join(&self, mappings: &[RidMapping]) -> bool {
+        self.inner.join(mappings)
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        self.inner.accepts_serial(text, counter)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        self.inner.num_speculative_starts()
+    }
+
+    fn name(&self) -> &'static str {
+        "rid+conv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csdpa::{recognize, recognize_counted, Executor};
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use ridfa_automata::dfa::{minimize, powerset};
+    use ridfa_automata::{NoCount, TransitionCount};
+
+    fn setup() -> (Dfa, RiDfa) {
+        let nfa = figure1_nfa();
+        let dfa = minimize::minimize(&powerset::determinize(&nfa));
+        let rid = RiDfa::from_nfa(&nfa);
+        (dfa, rid)
+    }
+
+    #[test]
+    fn convergent_mapping_equals_plain_mapping() {
+        let (dfa, rid) = setup();
+        let plain_dfa = DfaCa::new(&dfa);
+        let conv_dfa = ConvergentDfaCa::new(&dfa);
+        let plain_rid = RidCa::new(&rid);
+        let conv_rid = ConvergentRidCa::new(&rid);
+        for chunk in [&b"cab"[..], b"aab", b"", b"bbbb", b"aabcabaabcab"] {
+            assert_eq!(
+                plain_dfa.scan(chunk, &mut NoCount),
+                conv_dfa.scan(chunk, &mut NoCount),
+                "dfa mapping on {chunk:?}"
+            );
+            assert_eq!(
+                plain_rid.scan(chunk, &mut NoCount),
+                conv_rid.scan(chunk, &mut NoCount),
+                "rid mapping on {chunk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_reduces_executed_transitions() {
+        let (dfa, _) = setup();
+        let plain = DfaCa::new(&dfa);
+        let conv = ConvergentDfaCa::new(&dfa);
+        // Long chunk: runs converge, so the lockstep scan does less work.
+        let chunk = b"aabcab".repeat(100);
+        let mut c_plain = TransitionCount::default();
+        plain.scan(&chunk, &mut c_plain);
+        let mut c_conv = TransitionCount::default();
+        conv.scan(&chunk, &mut c_conv);
+        assert!(
+            c_conv.get() < c_plain.get(),
+            "convergent {} vs plain {}",
+            c_conv.get(),
+            c_plain.get()
+        );
+        // Lower bound: at least one transition per byte while alive.
+        assert!(c_conv.get() >= chunk.len() as u64);
+    }
+
+    #[test]
+    fn end_to_end_recognition_agrees() {
+        let (dfa, rid) = setup();
+        let conv_dfa = ConvergentDfaCa::new(&dfa);
+        let conv_rid = ConvergentRidCa::new(&rid);
+        let mut text = b"aabcab".repeat(200);
+        for chunks in [1usize, 3, 8] {
+            assert!(recognize(&conv_dfa, &text, chunks, Executor::PerChunk).accepted);
+            assert!(recognize(&conv_rid, &text, chunks, Executor::PerChunk).accepted);
+        }
+        text.push(b'c');
+        assert!(!recognize(&conv_dfa, &text, 4, Executor::PerChunk).accepted);
+        assert!(!recognize(&conv_rid, &text, 4, Executor::PerChunk).accepted);
+    }
+
+    #[test]
+    fn counted_outcome_still_correct() {
+        let (_, rid) = setup();
+        let conv = ConvergentRidCa::new(&rid);
+        let out = recognize_counted(&conv, b"aabcab", 2, Executor::Serial);
+        assert!(out.accepted);
+        // Fig. 1 chunk 2 from {0},{1},{2}: the {0} and {1} runs converge
+        // only at the end ({0,2}), the {2} run dies immediately: the
+        // convergent count is 3 (first) + 5 (interior: c:2, a:2, b:1… the
+        // two surviving runs converge after 'b') ≤ the plain 9.
+        assert!(out.transitions <= 9);
+        assert!(out.transitions >= 6);
+    }
+}

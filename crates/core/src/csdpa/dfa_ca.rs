@@ -1,0 +1,154 @@
+//! The classic DFA chunk automaton: every DFA state is a possible initial
+//! state, so an interior chunk runs `|Q|` speculative scans (paper Sect. 2,
+//! Fig. 2). This is the variant whose speculation overhead the RI-DFA
+//! attacks.
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::dfa::Dfa;
+use ridfa_automata::{StateId, DEAD};
+
+use super::ChunkAutomaton;
+
+/// CSDPA chunk automaton wrapping a (usually minimal) DFA.
+#[derive(Debug, Clone, Copy)]
+pub struct DfaCa<'a> {
+    dfa: &'a Dfa,
+}
+
+impl<'a> DfaCa<'a> {
+    /// Wraps `dfa`; no preprocessing needed.
+    pub fn new(dfa: &'a Dfa) -> Self {
+        DfaCa { dfa }
+    }
+
+    /// The wrapped automaton.
+    pub fn dfa(&self) -> &'a Dfa {
+        self.dfa
+    }
+}
+
+impl ChunkAutomaton for DfaCa<'_> {
+    /// `mapping[s]` = last active state of the run started in `s`
+    /// ([`DEAD`](ridfa_automata::DEAD) when the run died, and for the slots
+    /// a first-chunk scan never starts).
+    type Mapping = Vec<StateId>;
+
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
+        let n = self.dfa.num_states();
+        let mut mapping = vec![DEAD; n];
+        for s in self.dfa.live_states() {
+            mapping[s as usize] = self.dfa.run_from(s, chunk, counter);
+        }
+        mapping
+    }
+
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
+        let mut mapping = vec![DEAD; self.dfa.num_states()];
+        let start = self.dfa.start();
+        mapping[start as usize] = self.dfa.run_from(start, chunk, counter);
+        mapping
+    }
+
+    fn join(&self, mappings: &[Vec<StateId>]) -> bool {
+        // PLAS₀ = {q0}; PLASᵢ = λᵢ(PLASᵢ₋₁) — PIS is implicit: a run that
+        // died maps to DEAD and is filtered.
+        let mut plas: Vec<StateId> = vec![self.dfa.start()];
+        let mut next: Vec<StateId> = Vec::new();
+        for mapping in mappings {
+            next.clear();
+            next.extend(
+                plas.iter()
+                    .map(|&s| mapping[s as usize])
+                    .filter(|&t| t != DEAD),
+            );
+            next.sort_unstable();
+            next.dedup();
+            std::mem::swap(&mut plas, &mut next);
+            if plas.is_empty() {
+                return false;
+            }
+        }
+        plas.iter().any(|&s| self.dfa.is_final(s))
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        let last = self.dfa.run_from(self.dfa.start(), text, counter);
+        last != DEAD && self.dfa.is_final(last)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        self.dfa.num_live_states()
+    }
+
+    fn name(&self) -> &'static str {
+        "dfa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::dfa::powerset::determinize;
+    use ridfa_automata::nfa::glushkov;
+    use ridfa_automata::regex::parse;
+    use ridfa_automata::{NoCount, TransitionCount};
+
+    fn ca_dfa(pattern: &str) -> Dfa {
+        determinize(&glushkov::build(&parse(pattern).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn scan_then_join_equals_serial() {
+        let dfa = ca_dfa("(a|b)*abb");
+        let ca = DfaCa::new(&dfa);
+        for text in [&b"aababb"[..], b"abb", b"ab", b"bbbb", b""] {
+            let mid = text.len() / 2;
+            let m1 = ca.scan_first(&text[..mid], &mut NoCount);
+            let m2 = ca.scan(&text[mid..], &mut NoCount);
+            let parallel = ca.join(&[m1, m2]);
+            assert_eq!(parallel, dfa.accepts(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn interior_scan_runs_all_live_states() {
+        let dfa = ca_dfa("[ab]*a[ab]{2}");
+        let ca = DfaCa::new(&dfa);
+        let mut c = TransitionCount::default();
+        ca.scan(b"ab", &mut c);
+        // No run over {a,b}-only text can die in this language: the cost
+        // is exactly |chunk| × |Q|.
+        assert_eq!(c.get(), 2 * dfa.num_live_states() as u64);
+    }
+
+    #[test]
+    fn first_scan_runs_once() {
+        let dfa = ca_dfa("[ab]*a[ab]{2}");
+        let ca = DfaCa::new(&dfa);
+        let mut c = TransitionCount::default();
+        ca.scan_first(b"abab", &mut c);
+        assert_eq!(c.get(), 4, "first chunk is non-speculative");
+    }
+
+    #[test]
+    fn join_rejects_when_all_runs_die() {
+        let dfa = ca_dfa("aaa");
+        let ca = DfaCa::new(&dfa);
+        let m1 = ca.scan_first(b"zz", &mut NoCount);
+        let m2 = ca.scan(b"a", &mut NoCount);
+        assert!(!ca.join(&[m1, m2]));
+    }
+
+    #[test]
+    fn figure1_transition_count_is_15() {
+        // Paper Fig. 1, classic DFA method: "aab"+"cab" = 3 + 12 = 15.
+        let nfa = crate::ridfa::construct::tests::figure1_nfa();
+        let dfa = determinize(&nfa);
+        let ca = DfaCa::new(&dfa);
+        let mut c = TransitionCount::default();
+        let m1 = ca.scan_first(b"aab", &mut c);
+        let m2 = ca.scan(b"cab", &mut c);
+        assert_eq!(c.get(), 15);
+        assert!(ca.join(&[m1, m2]), "aabcab ∈ L");
+    }
+}

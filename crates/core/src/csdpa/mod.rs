@@ -1,0 +1,70 @@
+//! The classic speculative data-parallel algorithm (CSDPA, paper Sect. 2)
+//! and its reduced-interface refinement (RID, Sect. 3.2).
+//!
+//! The input text is cut into `c` chunks. The **reach phase** scans every
+//! chunk in parallel with an identical *chunk automaton* (CA); because a
+//! CA (except the first) cannot know the state the upstream chunk ends in,
+//! it speculatively starts one run per possible initial state and returns
+//! the partial mapping `λ_i : PIS → PLAS` from possible initial states to
+//! possible last active states. The serial **join phase** composes
+//! adjacent mappings and checks acceptance.
+//!
+//! Three CAs implement the common [`ChunkAutomaton`] interface:
+//!
+//! | CA | speculative starts | transition cost/byte | paper role |
+//! |----|--------------------|----------------------|------------|
+//! | [`DfaCa`] | all DFA states | 1 per run | classic DFA variant |
+//! | [`NfaCa`] | all NFA states | set-simulation edges | classic NFA variant |
+//! | [`RidCa`] | RI-DFA interface (≈ NFA states) | 1 per run | the paper's RID |
+
+mod chunking;
+mod convergent;
+mod dfa_ca;
+mod nfa_ca;
+mod rid_ca;
+mod recognizer;
+
+pub use chunking::chunk_spans;
+pub use convergent::{ConvergentDfaCa, ConvergentRidCa};
+pub use dfa_ca::DfaCa;
+pub use nfa_ca::NfaCa;
+pub use recognizer::{
+    recognize, recognize_counted, recognize_serial, ChunkStats, CountedOutcome, Executor,
+    Outcome,
+};
+pub use rid_ca::{RidCa, RidMapping};
+
+use ridfa_automata::counter::Counter;
+
+/// A chunk automaton: the unit the reach phase replicates per chunk.
+///
+/// Implementations are read-only and shared across worker threads
+/// (`Sync`); all scratch state lives in the per-call stack, so a single CA
+/// value serves any number of concurrent chunk scans.
+pub trait ChunkAutomaton: Sync {
+    /// The partial mapping `λ_i` a chunk scan produces.
+    type Mapping: Send;
+
+    /// Scans an interior chunk speculatively: one run per possible initial
+    /// state. Every executed transition increments `counter`.
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Self::Mapping;
+
+    /// Scans the *first* chunk, whose initial state is known (`I₁ = {q0}`):
+    /// exactly one run, no speculation.
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Self::Mapping;
+
+    /// Serial join: composes the chunk mappings in order and decides
+    /// acceptance. `mappings[0]` must come from
+    /// [`scan_first`](ChunkAutomaton::scan_first).
+    fn join(&self, mappings: &[Self::Mapping]) -> bool;
+
+    /// Whole-string serial recognition — the oracle and speedup baseline.
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool;
+
+    /// Number of speculative starting states of an interior chunk
+    /// (`|I_A|`): the speculation-cost factor of the paper.
+    fn num_speculative_starts(&self) -> usize;
+
+    /// Short display name ("dfa", "nfa", "rid").
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,139 @@
+//! The classic NFA chunk automaton: fewer states than the DFA (so fewer
+//! speculative runs) but each run is a set-simulation whose per-byte cost
+//! depends on the degree of nondeterminism — which is why the paper (and
+//! prior work it cites) finds the NFA variant generally loses.
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::nfa::{Nfa, Simulator};
+use ridfa_automata::StateId;
+
+use super::ChunkAutomaton;
+
+/// CSDPA chunk automaton wrapping an NFA.
+#[derive(Debug, Clone, Copy)]
+pub struct NfaCa<'a> {
+    nfa: &'a Nfa,
+}
+
+impl<'a> NfaCa<'a> {
+    /// Wraps `nfa` (must be ε-free, which every [`Nfa`] in this workspace
+    /// is by construction).
+    pub fn new(nfa: &'a Nfa) -> Self {
+        NfaCa { nfa }
+    }
+
+    /// The wrapped automaton.
+    pub fn nfa(&self) -> &'a Nfa {
+        self.nfa
+    }
+}
+
+impl ChunkAutomaton for NfaCa<'_> {
+    /// `mapping[q]` = sorted set of last active states of the run started
+    /// in `{q}` (empty when the run died, and for slots a first-chunk scan
+    /// never starts).
+    type Mapping = Vec<Vec<StateId>>;
+
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<Vec<StateId>> {
+        let n = self.nfa.num_states();
+        let mut sim = Simulator::new(self.nfa);
+        let mut mapping = vec![Vec::new(); n];
+        for q in 0..n as StateId {
+            let last = sim.run(self.nfa, &[q], chunk, counter);
+            let slot = &mut mapping[q as usize];
+            slot.extend_from_slice(last);
+            slot.sort_unstable();
+        }
+        mapping
+    }
+
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<Vec<StateId>> {
+        let mut sim = Simulator::new(self.nfa);
+        let mut mapping = vec![Vec::new(); self.nfa.num_states()];
+        let start = self.nfa.start();
+        let last = sim.run(self.nfa, &[start], chunk, counter);
+        let slot = &mut mapping[start as usize];
+        slot.extend_from_slice(last);
+        slot.sort_unstable();
+        mapping
+    }
+
+    fn join(&self, mappings: &[Vec<Vec<StateId>>]) -> bool {
+        let mut plas: Vec<StateId> = vec![self.nfa.start()];
+        let mut next: Vec<StateId> = Vec::new();
+        for mapping in mappings {
+            next.clear();
+            for &q in &plas {
+                next.extend_from_slice(&mapping[q as usize]);
+            }
+            next.sort_unstable();
+            next.dedup();
+            std::mem::swap(&mut plas, &mut next);
+            if plas.is_empty() {
+                return false;
+            }
+        }
+        plas.iter().any(|&q| self.nfa.is_final(q))
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        let mut sim = Simulator::new(self.nfa);
+        sim.run_accepts(self.nfa, &[self.nfa.start()], text, counter)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        self.nfa.num_states()
+    }
+
+    fn name(&self) -> &'static str {
+        "nfa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use ridfa_automata::nfa::glushkov;
+    use ridfa_automata::regex::parse;
+    use ridfa_automata::{NoCount, TransitionCount};
+
+    #[test]
+    fn scan_then_join_equals_serial() {
+        let nfa = glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap();
+        let ca = NfaCa::new(&nfa);
+        for text in [&b"aababb"[..], b"abb", b"ab", b"bbbb", b""] {
+            let mid = text.len() / 2;
+            let m1 = ca.scan_first(&text[..mid], &mut NoCount);
+            let m2 = ca.scan(&text[mid..], &mut NoCount);
+            assert_eq!(ca.join(&[m1, m2]), nfa.accepts(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn figure1_transition_count_is_14() {
+        // Paper Fig. 1, classic optimized NFA method: 5 + 9 = 14.
+        let nfa = figure1_nfa();
+        let ca = NfaCa::new(&nfa);
+        let mut c = TransitionCount::default();
+        let m1 = ca.scan_first(b"aab", &mut c);
+        let m2 = ca.scan(b"cab", &mut c);
+        assert_eq!(c.get(), 14);
+        assert!(ca.join(&[m1, m2]));
+    }
+
+    #[test]
+    fn dead_start_state_has_empty_mapping() {
+        let nfa = figure1_nfa();
+        let ca = NfaCa::new(&nfa);
+        let m = ca.scan(b"cab", &mut NoCount);
+        assert!(m[2].is_empty(), "state 2 has no 'c' transition");
+        assert!(!m[0].is_empty());
+    }
+
+    #[test]
+    fn speculative_starts_counts_nfa_states() {
+        let nfa = figure1_nfa();
+        assert_eq!(NfaCa::new(&nfa).num_speculative_starts(), 3);
+    }
+}

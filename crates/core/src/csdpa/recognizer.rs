@@ -1,0 +1,253 @@
+//! The full recognition device: chunking + parallel reach + serial join.
+
+use std::time::{Duration, Instant};
+
+use ridfa_automata::counter::{NoCount, TransitionCount};
+
+use crate::parallel::run_indexed;
+
+use super::{chunk_spans, ChunkAutomaton};
+
+/// How the reach phase distributes chunk scans over OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// All chunks on the calling thread (debug / baseline).
+    Serial,
+    /// One thread per chunk — the paper's Java-thread model, appropriate
+    /// when `c ≤` available cores.
+    PerChunk,
+    /// A bounded team of `n` threads claiming chunks dynamically.
+    Team(usize),
+}
+
+impl Executor {
+    fn workers(self, num_chunks: usize) -> usize {
+        match self {
+            Executor::Serial => 1,
+            Executor::PerChunk => num_chunks,
+            Executor::Team(n) => n.max(1),
+        }
+    }
+}
+
+/// Result of an uninstrumented (timed) recognition.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Did the device accept the text?
+    pub accepted: bool,
+    /// Number of chunks actually used (after clamping).
+    pub num_chunks: usize,
+    /// Wall time of the parallel reach phase.
+    pub reach: Duration,
+    /// Wall time of the serial join phase.
+    pub join: Duration,
+}
+
+/// Per-chunk measurements of an instrumented recognition.
+#[derive(Debug, Clone)]
+pub struct ChunkStats {
+    /// Chunk length in bytes.
+    pub len: usize,
+    /// Transitions executed by all speculative runs of this chunk.
+    pub transitions: u64,
+    /// Wall time of this chunk's scan (within its worker thread).
+    pub scan_time: Duration,
+}
+
+/// Result of an instrumented recognition (paper Sect. 4.3 measurements).
+#[derive(Debug, Clone)]
+pub struct CountedOutcome {
+    /// Did the device accept the text?
+    pub accepted: bool,
+    /// Number of chunks actually used (after clamping).
+    pub num_chunks: usize,
+    /// Total transitions across all chunks (the paper's workload measure).
+    pub transitions: u64,
+    /// Per-chunk breakdown.
+    pub per_chunk: Vec<ChunkStats>,
+    /// Wall time of the parallel reach phase.
+    pub reach: Duration,
+    /// Wall time of the serial join phase.
+    pub join: Duration,
+}
+
+/// Recognizes `text` with chunk automaton `ca`, split into `num_chunks`
+/// chunks, using `executor` for the reach phase. No instrumentation: this
+/// is the entry point to *time*.
+pub fn recognize<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    num_chunks: usize,
+    executor: Executor,
+) -> Outcome {
+    let spans = chunk_spans(text.len(), num_chunks);
+    let workers = executor.workers(spans.len());
+    let reach_start = Instant::now();
+    let mappings = run_indexed(workers, spans.len(), |i| {
+        let chunk = &text[spans[i].clone()];
+        if i == 0 {
+            ca.scan_first(chunk, &mut NoCount)
+        } else {
+            ca.scan(chunk, &mut NoCount)
+        }
+    });
+    let reach = reach_start.elapsed();
+    let join_start = Instant::now();
+    let accepted = ca.join(&mappings);
+    Outcome {
+        accepted,
+        num_chunks: spans.len(),
+        reach,
+        join: join_start.elapsed(),
+    }
+}
+
+/// Like [`recognize`] but tallying executed transitions per chunk — the
+/// quantity Fig. 7 / Tab. 3 of the paper report. Slightly slower than
+/// [`recognize`]; never mix the two in one timing comparison.
+pub fn recognize_counted<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    num_chunks: usize,
+    executor: Executor,
+) -> CountedOutcome {
+    let spans = chunk_spans(text.len(), num_chunks);
+    let workers = executor.workers(spans.len());
+    let reach_start = Instant::now();
+    let results = run_indexed(workers, spans.len(), |i| {
+        let chunk = &text[spans[i].clone()];
+        let mut counter = TransitionCount::default();
+        let scan_start = Instant::now();
+        let mapping = if i == 0 {
+            ca.scan_first(chunk, &mut counter)
+        } else {
+            ca.scan(chunk, &mut counter)
+        };
+        let stats = ChunkStats {
+            len: chunk.len(),
+            transitions: counter.get(),
+            scan_time: scan_start.elapsed(),
+        };
+        (mapping, stats)
+    });
+    let reach = reach_start.elapsed();
+    let (mappings, per_chunk): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let join_start = Instant::now();
+    let accepted = ca.join(&mappings);
+    CountedOutcome {
+        accepted,
+        num_chunks: spans.len(),
+        transitions: per_chunk.iter().map(|s| s.transitions).sum(),
+        per_chunk,
+        reach,
+        join: join_start.elapsed(),
+    }
+}
+
+/// Serial whole-text recognition with the same automaton — the speedup
+/// baseline. Returns acceptance, executed transitions, and wall time.
+pub fn recognize_serial<CA: ChunkAutomaton>(ca: &CA, text: &[u8]) -> (bool, u64, Duration) {
+    let mut counter = TransitionCount::default();
+    let start = Instant::now();
+    let accepted = ca.accepts_serial(text, &mut counter);
+    (accepted, counter.get(), start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csdpa::{DfaCa, NfaCa, RidCa};
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use crate::ridfa::RiDfa;
+    use ridfa_automata::dfa::powerset::determinize;
+
+    fn sample_text(accept: bool) -> Vec<u8> {
+        // Strings over {a,b,c}; "…ab" with valid structure accepted by the
+        // Fig. 1 machine. Build a long accepted text by pumping "aabcab".
+        let mut t = Vec::new();
+        for _ in 0..200 {
+            t.extend_from_slice(b"aabcab");
+        }
+        if !accept {
+            t.push(b'c');
+        }
+        t
+    }
+
+    #[test]
+    fn all_variants_agree_with_serial_dfa() {
+        let nfa = figure1_nfa();
+        let dfa = determinize(&nfa);
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let dfa_ca = DfaCa::new(&dfa);
+        let nfa_ca = NfaCa::new(&nfa);
+        let rid_ca = RidCa::new(&rid);
+        for accept in [true, false] {
+            let text = sample_text(accept);
+            let expected = dfa.accepts(&text);
+            assert_eq!(expected, accept);
+            for chunks in [1, 2, 3, 7, 32, 1000] {
+                for executor in [Executor::Serial, Executor::PerChunk, Executor::Team(3)] {
+                    assert_eq!(
+                        recognize(&dfa_ca, &text, chunks, executor).accepted,
+                        expected,
+                        "dfa c={chunks} {executor:?}"
+                    );
+                    assert_eq!(
+                        recognize(&nfa_ca, &text, chunks, executor).accepted,
+                        expected,
+                        "nfa c={chunks} {executor:?}"
+                    );
+                    assert_eq!(
+                        recognize(&rid_ca, &text, chunks, executor).accepted,
+                        expected,
+                        "rid c={chunks} {executor:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counted_outcome_matches_figure1() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let out = recognize_counted(&ca, b"aabcab", 2, Executor::Serial);
+        assert!(out.accepted);
+        assert_eq!(out.num_chunks, 2);
+        assert_eq!(out.transitions, 9, "paper Fig. 1 bottom-right total");
+        assert_eq!(out.per_chunk.len(), 2);
+        assert_eq!(out.per_chunk[0].transitions, 3);
+        assert_eq!(out.per_chunk[1].transitions, 6);
+    }
+
+    #[test]
+    fn serial_baseline_counts_text_length() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let (accepted, transitions, _) = recognize_serial(&ca, b"aabcab");
+        assert!(accepted);
+        assert_eq!(transitions, 6, "serial deterministic run = |x|");
+    }
+
+    #[test]
+    fn empty_text_recognition() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let out = recognize(&ca, b"", 8, Executor::PerChunk);
+        assert!(!out.accepted, "ε ∉ L (state 0 is not final)");
+        assert_eq!(out.num_chunks, 1);
+    }
+
+    #[test]
+    fn chunk_count_clamped_to_text_len() {
+        let nfa = figure1_nfa();
+        let dfa = determinize(&nfa);
+        let ca = DfaCa::new(&dfa);
+        let out = recognize(&ca, b"ab", 64, Executor::PerChunk);
+        assert_eq!(out.num_chunks, 2);
+    }
+}

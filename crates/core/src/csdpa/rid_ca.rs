@@ -1,0 +1,202 @@
+//! The reduced-interface chunk automaton (RID, paper Sect. 3.2): runs only
+//! from the RI-DFA *interface* states — as many as the NFA has states, or
+//! fewer after interface minimization — with deterministic O(1) transitions
+//! per byte. This combines the state-reduction of an NFA with the speed of
+//! a DFA, which is the paper's whole point.
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::{StateId, DEAD};
+
+use crate::ridfa::RiDfa;
+
+use super::ChunkAutomaton;
+
+/// CSDPA chunk automaton wrapping an [`RiDfa`].
+#[derive(Debug, Clone)]
+pub struct RidCa<'a> {
+    rid: &'a RiDfa,
+    /// `pos[p]` = index of interface state `p` inside
+    /// [`RiDfa::interface`], or `u32::MAX` for non-interface states.
+    pos: Vec<u32>,
+}
+
+/// The λ mapping a RID chunk scan produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RidMapping {
+    /// First chunk: the single run from the known initial state
+    /// ([`DEAD`](ridfa_automata::DEAD) if it died).
+    First(StateId),
+    /// Interior chunk: `lasts[i]` = last active state of the run started
+    /// in `interface()[i]` ([`DEAD`](ridfa_automata::DEAD) if it died).
+    Interior(Vec<StateId>),
+}
+
+impl<'a> RidCa<'a> {
+    /// Wraps `rid`, precomputing the interface-position index used by the
+    /// join phase.
+    pub fn new(rid: &'a RiDfa) -> Self {
+        let mut pos = vec![u32::MAX; rid.num_states()];
+        for (i, &p) in rid.interface().iter().enumerate() {
+            pos[p as usize] = i as u32;
+        }
+        RidCa { rid, pos }
+    }
+
+    /// The wrapped automaton.
+    pub fn rid(&self) -> &'a RiDfa {
+        self.rid
+    }
+}
+
+impl ChunkAutomaton for RidCa<'_> {
+    type Mapping = RidMapping;
+
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
+        let interface = self.rid.interface();
+        let mut lasts = Vec::with_capacity(interface.len());
+        for &p in interface {
+            lasts.push(self.rid.run_from(p, chunk, counter));
+        }
+        RidMapping::Interior(lasts)
+    }
+
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
+        RidMapping::First(self.rid.run_from(self.rid.start(), chunk, counter))
+    }
+
+    fn join(&self, mappings: &[RidMapping]) -> bool {
+        // PLAS₁ from the first chunk, then
+        // PLASᵢ = λᵢ( if(PLASᵢ₋₁) ∩ PISᵢ ) for the interior chunks.
+        let mut plas: Vec<StateId> = Vec::new();
+        let mut pis: Vec<StateId> = Vec::new();
+        for (i, mapping) in mappings.iter().enumerate() {
+            match mapping {
+                RidMapping::First(last) => {
+                    debug_assert_eq!(i, 0, "First mapping only at chunk 1");
+                    plas.clear();
+                    if *last != DEAD {
+                        plas.push(*last);
+                    }
+                }
+                RidMapping::Interior(lasts) => {
+                    // if(PLAS) — the interface function with delegation.
+                    self.rid.interface_map(&plas, &mut pis);
+                    plas.clear();
+                    for &p in &pis {
+                        let idx = self.pos[p as usize];
+                        debug_assert_ne!(idx, u32::MAX, "if() returns interface states");
+                        let last = lasts[idx as usize];
+                        if last != DEAD {
+                            plas.push(last);
+                        }
+                    }
+                    plas.sort_unstable();
+                    plas.dedup();
+                }
+            }
+            if plas.is_empty() {
+                return false;
+            }
+        }
+        plas.iter().any(|&p| self.rid.is_final(p))
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        let last = self.rid.run_from(self.rid.start(), text, counter);
+        last != DEAD && self.rid.is_final(last)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        self.rid.interface().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "rid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use ridfa_automata::{NoCount, TransitionCount};
+
+    #[test]
+    fn figure1_transition_count_is_9() {
+        // Paper Fig. 1, new RID method: chunk "aab" (3) + chunk "cab"
+        // (3 + 3 + 0) = 9 transitions.
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut c = TransitionCount::default();
+        let m1 = ca.scan_first(b"aab", &mut c);
+        let m2 = ca.scan(b"cab", &mut c);
+        assert_eq!(c.get(), 9);
+        assert!(ca.join(&[m1, m2]), "aabcab ∈ L");
+    }
+
+    #[test]
+    fn scan_then_join_equals_serial() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        for text in [
+            &b"aabcab"[..], b"ab", b"aab", b"", b"ccc", b"abab", b"caab",
+        ] {
+            let mid = text.len() / 2;
+            let m1 = ca.scan_first(&text[..mid], &mut NoCount);
+            let m2 = ca.scan(&text[mid..], &mut NoCount);
+            assert_eq!(ca.join(&[m1, m2]), nfa.accepts(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn minimized_interface_join_still_correct() {
+        // An NFA whose RI-DFA interface shrinks under minimization; the
+        // adjusted if_min must keep the join exact.
+        let mut b = ridfa_automata::nfa::Builder::new();
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        let q3 = b.add_state();
+        b.add_transition(q0, b'a', q1);
+        b.add_transition(q0, b'b', q2);
+        b.add_transition(q1, b'z', q3);
+        b.add_transition(q2, b'z', q3);
+        b.set_start(q0);
+        b.set_final(q3);
+        let nfa = b.build().unwrap();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        assert!(rid.interface().len() < nfa.num_states());
+        let ca = RidCa::new(&rid);
+        for text in [&b"az"[..], b"bz", b"z", b"azz", b"", b"ab"] {
+            for cut in 0..=text.len() {
+                let m1 = ca.scan_first(&text[..cut], &mut NoCount);
+                let m2 = ca.scan(&text[cut..], &mut NoCount);
+                assert_eq!(
+                    ca.join(&[m1, m2]),
+                    nfa.accepts(text),
+                    "{text:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_of_three_chunks() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let text = b"aabcab";
+        let m1 = ca.scan_first(&text[..2], &mut NoCount);
+        let m2 = ca.scan(&text[2..4], &mut NoCount);
+        let m3 = ca.scan(&text[4..], &mut NoCount);
+        assert!(ca.join(&[m1, m2, m3]));
+    }
+
+    #[test]
+    fn speculative_starts_is_interface_size() {
+        let rid = RiDfa::from_nfa(&figure1_nfa());
+        assert_eq!(RidCa::new(&rid).num_speculative_starts(), 3);
+    }
+}

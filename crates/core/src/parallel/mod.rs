@@ -1,0 +1,19 @@
+//! Minimal parallel runtime for the reach phase.
+//!
+//! The paper's implementation runs each chunk automaton as a Java thread
+//! and joins them with an `ExecutorService` before the serial join phase —
+//! the only synchronization point. We mirror that structure with two
+//! executors:
+//!
+//! * [`scoped::run_indexed`] — fork-join over borrowed data with
+//!   `std::thread::scope`: either one OS thread per chunk (the paper's
+//!   model) or a bounded team pulling chunk indices from an atomic counter;
+//! * [`pool::ThreadPool`] — a persistent worker pool (crossbeam channel +
+//!   condvar wait-group) for benchmark drivers that dispatch thousands of
+//!   recognitions and must not pay thread-spawn cost per text.
+
+pub mod pool;
+pub mod scoped;
+
+pub use pool::ThreadPool;
+pub use scoped::run_indexed;

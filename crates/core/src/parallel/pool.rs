@@ -1,0 +1,197 @@
+//! A persistent worker pool — the `ExecutorService` analogue.
+//!
+//! Benchmark drivers recognize thousands of texts back to back; spawning
+//! `c` OS threads per text would dominate the measurement for short
+//! chunks. The pool keeps `n` workers parked on a crossbeam channel and
+//! tracks outstanding jobs with a condvar-based [`WaitGroup`], so the
+//! caller can serialize the reach and join phases exactly like the paper's
+//! `ExecutorService.invokeAll` — the only synchronization requirement.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `num_workers` (≥ 1) parked worker threads.
+    pub fn new(num_workers: usize) -> ThreadPool {
+        let num_workers = num_workers.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let workers = (0..num_workers)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("ridfa-worker-{i}"))
+                    .spawn(move || {
+                        // Channel disconnect (pool drop) ends the loop.
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job (runs as soon as a worker is free).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("pool workers disappeared");
+    }
+
+    /// Submits `num_tasks` indexed jobs and blocks until all complete —
+    /// the `invokeAll` pattern. `work` must be `'static`, so share inputs
+    /// via `Arc`.
+    pub fn invoke_all(&self, num_tasks: usize, work: impl Fn(usize) + Send + Sync + 'static) {
+        let wg = WaitGroup::new(num_tasks);
+        let work = Arc::new(work);
+        for i in 0..num_tasks {
+            let wg = wg.clone();
+            let work = Arc::clone(&work);
+            self.execute(move || {
+                work(i);
+                wg.done();
+            });
+        }
+        wg.wait();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the channel; workers drain outstanding jobs and exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Counts outstanding jobs; `wait` parks until the count reaches zero.
+#[derive(Clone)]
+pub struct WaitGroup {
+    inner: Arc<WaitGroupInner>,
+}
+
+struct WaitGroupInner {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl WaitGroup {
+    /// Creates a group expecting `count` completions.
+    pub fn new(count: usize) -> WaitGroup {
+        WaitGroup {
+            inner: Arc::new(WaitGroupInner {
+                remaining: Mutex::new(count),
+                all_done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Marks one job complete.
+    pub fn done(&self) {
+        let mut remaining = self.inner.remaining.lock();
+        *remaining = remaining
+            .checked_sub(1)
+            .expect("WaitGroup::done called more times than jobs");
+        if *remaining == 0 {
+            self.inner.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until every job has called [`done`](WaitGroup::done).
+    pub fn wait(&self) {
+        let mut remaining = self.inner.remaining.lock();
+        while *remaining > 0 {
+            self.inner.all_done.wait(&mut remaining);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let wg = WaitGroup::new(50);
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            let wg = wg.clone();
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                wg.done();
+            });
+        }
+        wg.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn invoke_all_blocks_until_done() {
+        let pool = ThreadPool::new(3);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let sum2 = Arc::clone(&sum);
+        pool.invoke_all(10, move |i| {
+            sum2.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..20 {
+                let hits = Arc::clone(&hits);
+                pool.execute(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Pool dropped here: all 20 jobs must still run.
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.num_workers(), 1);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        pool.invoke_all(1, move |_| {
+            f2.store(7, Ordering::Relaxed);
+        });
+        assert_eq!(flag.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn waitgroup_with_zero_jobs_returns_immediately() {
+        WaitGroup::new(0).wait();
+    }
+}

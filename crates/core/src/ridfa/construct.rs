@@ -1,0 +1,281 @@
+//! Incremental powerset construction of the RI-DFA (paper Sect. 3.1).
+//!
+//! For each NFA state `q_i` in turn, the classical subset construction is
+//! run with `{q_i}` as the seed — but *sharing* the subset→state map and
+//! transition table across all ℓ runs:
+//!
+//! ```text
+//! N(q0) := powerset machine for N with initial state q0
+//! N(q1) := N(q0) ∪ additional states/transitions reachable from {q1}
+//! …
+//! P     := states of N(q_{ℓ-1});  I_B := the singletons {q0}…{q_{ℓ-1}}
+//! ```
+//!
+//! Because each successive powerset run only *adds* the subsets not yet
+//! discovered, the total cost is far below ℓ independent determinizations —
+//! the paper measures ≈ 20× the cost of one NFA→DFA conversion on the
+//! Ondrik collection instead of the worst-case ℓ ≈ 2490× (Sect. 4.5).
+
+use std::collections::HashMap;
+
+use ridfa_automata::nfa::Nfa;
+use ridfa_automata::{BitSet, Error, Result, StateId, DEAD};
+
+use super::RiDfa;
+
+/// Builds the RI-DFA of `nfa` (unbounded).
+pub fn construct(nfa: &Nfa) -> RiDfa {
+    construct_limited(nfa, usize::MAX).expect("unbounded construction cannot hit the limit")
+}
+
+/// Builds the RI-DFA of `nfa`, failing with [`Error::LimitExceeded`] when
+/// more than `max_states` live states would be created.
+pub fn construct_limited(nfa: &Nfa, max_states: usize) -> Result<RiDfa> {
+    let classes = nfa.byte_classes();
+    let stride = classes.num_classes();
+    let reps = classes.representatives();
+    let num_nfa_states = nfa.num_states();
+
+    // Shared across all ℓ seed runs: the subset → state map, the growing
+    // table, and the per-state contents. Dead state occupies id 0.
+    let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    let mut contents: Vec<Vec<StateId>> = vec![Vec::new()];
+    let mut table: Vec<StateId> = vec![DEAD; stride];
+
+    let mut worklist: Vec<StateId> = Vec::new();
+    let mut entry = vec![DEAD; num_nfa_states];
+    let mut target: Vec<StateId> = Vec::new();
+
+    for q in 0..num_nfa_states as StateId {
+        let singleton = vec![q];
+        let seed = match ids.get(&singleton) {
+            // `{q}` already discovered during an earlier seed run: its
+            // whole subgraph is already explored, nothing to do.
+            Some(&id) => id,
+            None => {
+                let id = alloc_state(
+                    singleton,
+                    &mut ids,
+                    &mut contents,
+                    &mut table,
+                    stride,
+                    max_states,
+                )?;
+                worklist.push(id);
+                id
+            }
+        };
+        entry[q as usize] = seed;
+
+        // Incremental subset construction from this seed.
+        while let Some(s) = worklist.pop() {
+            for (class, &rep) in reps.iter().enumerate() {
+                target.clear();
+                for &nq in &contents[s as usize] {
+                    for &(_, t) in nfa.targets(nq, rep) {
+                        target.push(t);
+                    }
+                }
+                target.sort_unstable();
+                target.dedup();
+                if target.is_empty() {
+                    continue; // stays DEAD
+                }
+                let next_id = match ids.get(&target) {
+                    Some(&id) => id,
+                    None => {
+                        let id = alloc_state(
+                            target.clone(),
+                            &mut ids,
+                            &mut contents,
+                            &mut table,
+                            stride,
+                            max_states,
+                        )?;
+                        worklist.push(id);
+                        id
+                    }
+                };
+                table[s as usize * stride + class] = next_id;
+            }
+        }
+    }
+
+    // F_RID: union of the final sets of the ℓ powerset machines = every
+    // state whose content meets the NFA finals.
+    let mut finals = BitSet::new(contents.len());
+    for (id, content) in contents.iter().enumerate().skip(1) {
+        if content.iter().any(|&q| nfa.is_final(q)) {
+            finals.insert(id as StateId);
+        }
+    }
+
+    // Flatten contents into CSR.
+    let mut content_off = Vec::with_capacity(contents.len() + 1);
+    let mut content = Vec::with_capacity(contents.iter().map(Vec::len).sum());
+    content_off.push(0u32);
+    for c in &contents {
+        content.extend_from_slice(c);
+        content_off.push(content.len() as u32);
+    }
+
+    let start = entry[nfa.start() as usize];
+    let interface: Vec<StateId> = {
+        let mut i = entry.clone();
+        i.sort_unstable();
+        i.dedup();
+        i
+    };
+    let rid = RiDfa {
+        classes,
+        stride,
+        table,
+        finals,
+        start,
+        num_nfa_states,
+        content_off,
+        content,
+        delegate: entry.clone(),
+        entry,
+        interface,
+    };
+    debug_assert_eq!(rid.validate(), Ok(()));
+    Ok(rid)
+}
+
+/// Allocates a fresh RI-DFA state for `subset`, growing the table.
+fn alloc_state(
+    subset: Vec<StateId>,
+    ids: &mut HashMap<Vec<StateId>, StateId>,
+    contents: &mut Vec<Vec<StateId>>,
+    table: &mut Vec<StateId>,
+    stride: usize,
+    max_states: usize,
+) -> Result<StateId> {
+    if contents.len() > max_states {
+        return Err(Error::LimitExceeded {
+            what: "RI-DFA states",
+            limit: max_states,
+        });
+    }
+    let id = contents.len() as StateId;
+    ids.insert(subset.clone(), id);
+    contents.push(subset);
+    table.resize(table.len() + stride, DEAD);
+    Ok(id)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::ridfa::RiDfa;
+    use ridfa_automata::dfa::powerset::determinize;
+    use ridfa_automata::nfa::{glushkov, Builder};
+    use ridfa_automata::regex::parse;
+
+    pub(crate) fn figure1_nfa() -> Nfa {
+        // Paper Fig. 1: 0 -a,c→ 1 ; 1 -a→ 1 ; 1 -Σ→ 0 ; 1 -b→ 2 ;
+        // 2 -b→ 1 ; start 0, F = {2}.
+        let mut b = Builder::new();
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let q2 = b.add_state();
+        b.add_transition(q0, b'a', q1);
+        b.add_transition(q0, b'c', q1);
+        b.add_transition(q1, b'a', q1);
+        b.add_transition(q1, b'a', q0);
+        b.add_transition(q1, b'b', q0);
+        b.add_transition(q1, b'b', q2);
+        b.add_transition(q1, b'c', q0);
+        b.add_transition(q2, b'b', q1);
+        b.set_start(q0);
+        b.set_final(q2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_ridfa_has_five_states_three_initial() {
+        // Paper: Q_RI-DFA = {0, 1, 2, 01, 02}, interface = {0, 1, 2}.
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        assert_eq!(rid.num_live_states(), 5);
+        assert_eq!(rid.interface().len(), 3);
+        // Interface states are exactly the singletons.
+        for q in 0..3u32 {
+            assert_eq!(rid.content(rid.entry(q)), &[q]);
+        }
+    }
+
+    #[test]
+    fn ridfa_serial_recognition_equals_nfa() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        for input in [
+            &b""[..], b"a", b"ab", b"aab", b"aabcab", b"cab", b"abab",
+            b"bb", b"aabb", b"caab",
+        ] {
+            assert_eq!(nfa.accepts(input), rid.accepts(input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn interface_size_equals_nfa_size() {
+        for pattern in ["(a|b)*abb", "[ab]*a[ab]{4}", "x+y*z?", "(ab|ba)+"] {
+            let nfa = glushkov::build(&parse(pattern).unwrap()).unwrap();
+            let rid = RiDfa::from_nfa(&nfa);
+            assert_eq!(rid.interface().len(), nfa.num_states(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn ridfa_contains_at_least_dfa_reachable_part() {
+        // Every subset reachable from {q0} is also an RI-DFA state.
+        let nfa = figure1_nfa();
+        let dfa = determinize(&nfa);
+        let rid = RiDfa::from_nfa(&nfa);
+        assert!(rid.num_live_states() >= dfa.num_live_states());
+    }
+
+    #[test]
+    fn exponential_family_interface_stays_linear() {
+        // The headline property: DFA states blow up exponentially in k,
+        // the RI-DFA interface stays at |Q_N| = k + 3 (Glushkov of
+        // [ab]*a[ab]{k}).
+        let nfa = glushkov::build(&parse("[ab]*a[ab]{8}").unwrap()).unwrap();
+        let dfa = determinize(&nfa);
+        let rid = RiDfa::from_nfa(&nfa);
+        assert!(dfa.num_live_states() >= 1 << 9);
+        assert_eq!(rid.interface().len(), 8 + 3);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let nfa = glushkov::build(&parse("[ab]*a[ab]{12}").unwrap()).unwrap();
+        let err = construct_limited(&nfa, 50).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn validate_passes_on_fresh_construction() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        assert_eq!(rid.validate(), Ok(()));
+    }
+
+    #[test]
+    fn run_from_counts_and_dies_like_paper() {
+        use ridfa_automata::TransitionCount;
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        // Chunk 2 of Fig. 1 ("cab") from the three interface states:
+        // {0}: 3 transitions, {1}: 3, {2}: dies on 'c' with 0.
+        let counts: Vec<u64> = (0..3u32)
+            .map(|q| {
+                let mut c = TransitionCount::default();
+                rid.run_from(rid.entry(q), b"cab", &mut c);
+                c.get()
+            })
+            .collect();
+        assert_eq!(counts, vec![3, 3, 0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The interface function `if` (paper Sect. 3.2, adjusted per Sect. 3.4).
+//!
+//! Between two adjacent chunks, the join phase must translate the possible
+//! last active states (PLAS) of the upstream chunk automaton — arbitrary
+//! RI-DFA states, i.e. *sets* of NFA states — into the possible initial
+//! states (PIS) of the downstream one, which are interface states. The
+//! interface function decomposes each PLAS state into its NFA-state
+//! content and maps every NFA state to the interface state serving it:
+//!
+//! ```text
+//! if(PLAS) = ⋃_{p ∈ PLAS} { delegate(q) | q ∈ content(p) }
+//! ```
+//!
+//! Before interface minimization `delegate(q)` is the singleton `{q}`
+//! itself, giving exactly the paper's `if`; after minimization it is the
+//! language-equivalent representative (`if_min`).
+
+use ridfa_automata::StateId;
+
+use super::RiDfa;
+
+/// Computes `if(plas)` into `out` (cleared first), sorted and deduplicated.
+pub(crate) fn interface_map(rid: &RiDfa, plas: &[StateId], out: &mut Vec<StateId>) {
+    out.clear();
+    for &p in plas {
+        for &q in rid.content(p) {
+            out.push(rid.delegate[q as usize]);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use crate::ridfa::RiDfa;
+    use ridfa_automata::NoCount;
+
+    #[test]
+    fn figure4_interface_example() {
+        // Paper Fig. 4: after chunk 1 = "aab", PLAS₁ = {{0,2}} and
+        // if(PLAS₁) = {{0},{2}}.
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let last = rid.run_from(rid.start(), b"aab", &mut NoCount);
+        assert_eq!(rid.content(last), &[0, 2], "PLAS₁ = {{0,2}}");
+
+        let mut pis = Vec::new();
+        rid.interface_map(&[last], &mut pis);
+        let expected = {
+            let mut v = vec![rid.entry(0), rid.entry(2)];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(pis, expected);
+    }
+
+    #[test]
+    fn interface_map_deduplicates() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        // Two PLAS states sharing NFA state 0 produce one entry for it.
+        let p01 = rid.next(rid.entry(1), b'a'); // {0,1} per Fig. 4
+        assert_eq!(rid.content(p01), &[0, 1]);
+        let p0 = rid.entry(0);
+        let mut out = Vec::new();
+        rid.interface_map(&[p01, p0], &mut out);
+        let expected = {
+            let mut v = vec![rid.entry(0), rid.entry(1)];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_plas_maps_to_empty() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let mut out = vec![99];
+        rid.interface_map(&[], &mut out);
+        assert!(out.is_empty());
+    }
+}

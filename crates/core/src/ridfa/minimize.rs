@@ -1,0 +1,161 @@
+//! Interface minimization by delegation (paper Sect. 3.4).
+//!
+//! The classical state-partition algorithm applies to an RI-DFA because
+//! every state — including the multiple initial ones — has deterministic
+//! *outgoing* transitions. Among each language-equivalence class we keep a
+//! single interface state as representative and *downgrade* the others to
+//! plain (non-initial) states, recording the representative as their
+//! **delegate**. Crucially (Fig. 6 of the paper), equivalent states are
+//! *not merged*: merging initial states would re-introduce nondeterminism
+//! or force a full minimization, while downgrading leaves the transition
+//! graph untouched and only shrinks the set of speculative runs.
+//!
+//! Every run that would have started in a downgraded state `{q}` is covered
+//! by its delegate: the two states recognize the same language, so no
+//! accepting computation is lost and none is added (the paper's RID_min
+//! equivalence argument).
+
+use ridfa_automata::dfa::minimize::partition_refine;
+use ridfa_automata::StateId;
+
+use super::RiDfa;
+
+/// Returns a copy of `rid` with language-equivalent interface states
+/// downgraded to non-initial, their role delegated to the smallest-id
+/// equivalent entry state. Idempotent.
+pub fn minimize_interface(rid: &RiDfa) -> RiDfa {
+    let classes = partition_refine(
+        rid.num_states(),
+        rid.stride,
+        |s, c| rid.next_class(s, c),
+        |s| rid.is_final(s),
+    );
+    let num_classes = classes.iter().copied().max().unwrap_or(0) as usize + 1;
+
+    // Representative per Nerode class: the smallest-id *entry* state.
+    // Only entry states may represent, so delegates remain valid chunk
+    // starting points whose content is a singleton.
+    let mut rep = vec![StateId::MAX; num_classes];
+    for &e in &rid.entry {
+        let c = classes[e as usize] as usize;
+        if e < rep[c] {
+            rep[c] = e;
+        }
+    }
+
+    let delegate: Vec<StateId> = rid
+        .entry
+        .iter()
+        .map(|&e| rep[classes[e as usize] as usize])
+        .collect();
+    let mut interface = delegate.clone();
+    interface.sort_unstable();
+    interface.dedup();
+
+    let min = RiDfa {
+        delegate,
+        interface,
+        ..rid.clone()
+    };
+    debug_assert_eq!(min.validate(), Ok(()));
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use ridfa_automata::nfa::Builder;
+
+    /// NFA with two language-equivalent states (1 and 3): both accept
+    /// exactly "z". Modeled on the Fig. 5 situation where states p1 and p3
+    /// are undistinguishable and p3 delegates to p1.
+    fn delegating_nfa() -> ridfa_automata::nfa::Nfa {
+        let mut b = Builder::new();
+        let q0 = b.add_state();
+        let q1 = b.add_state();
+        let _q2 = b.add_state();
+        let q3 = b.add_state();
+        let q4 = b.add_state();
+        b.add_transition(q0, b'a', q1);
+        b.add_transition(q0, b'c', q3);
+        // q2 is a distinct detour: accepts "zz".
+        b.add_transition(q0, b'b', 2);
+        b.add_transition(2, b'z', q3);
+        b.add_transition(q1, b'z', q4);
+        b.add_transition(q3, b'z', q4);
+        b.set_start(q0);
+        b.set_final(q4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn equivalent_entries_are_delegated() {
+        let nfa = delegating_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        assert_eq!(rid.interface().len(), 5);
+        let min = rid.minimized();
+        // {1} ≡ {3}: one of them is downgraded.
+        assert_eq!(min.interface().len(), 4);
+        let d1 = min.delegate(1);
+        let d3 = min.delegate(3);
+        assert_eq!(d1, d3, "both NFA states share one delegate");
+        assert_eq!(d1, min.entry(1).min(min.entry(3)), "smallest id wins");
+        // The transition graph is untouched.
+        assert_eq!(min.num_states(), rid.num_states());
+    }
+
+    #[test]
+    fn language_is_preserved() {
+        let nfa = delegating_nfa();
+        let min = RiDfa::from_nfa(&nfa).minimized();
+        for input in [&b"az"[..], b"cz", b"bzz", b"z", b"", b"azz", b"bz"] {
+            assert_eq!(nfa.accepts(input), min.accepts(input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn figure1_interface_is_already_minimal() {
+        // The three singletons of Fig. 1 are pairwise inequivalent.
+        let rid = RiDfa::from_nfa(&figure1_nfa());
+        let min = rid.minimized();
+        assert_eq!(min.interface(), rid.interface());
+        assert_eq!(min.delegate, min.entry);
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let min1 = RiDfa::from_nfa(&delegating_nfa()).minimized();
+        let min2 = min1.minimized();
+        assert_eq!(min1, min2);
+    }
+
+    #[test]
+    fn delegates_are_language_equivalent() {
+        let nfa = delegating_nfa();
+        let min = RiDfa::from_nfa(&nfa).minimized();
+        let classes = partition_refine(
+            min.num_states(),
+            min.stride(),
+            |s, c| min.next_class(s, c),
+            |s| min.is_final(s),
+        );
+        for q in 0..min.num_nfa_states() as StateId {
+            let e = min.entry(q);
+            let d = min.delegate(q);
+            assert_eq!(
+                classes[e as usize], classes[d as usize],
+                "delegate of {q} must be Nerode-equivalent to its entry"
+            );
+        }
+    }
+
+    #[test]
+    fn interface_shrinks_only_by_downgrading() {
+        let nfa = delegating_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let min = rid.minimized();
+        // Minimized interface is a subset of the original.
+        assert!(min.interface().iter().all(|p| rid.interface().contains(p)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Simultaneous Finite Automata (SFA) — the paper's reference \[25\],
+//! built here as an ablation comparator.
+//!
+//! An SFA state is the *transition function* `δ_w : Q → Q ∪ {dead}` of the
+//! underlying DFA for some word `w`: a chunk automaton run from the
+//! identity function tracks *all* speculative DFA runs simultaneously, so
+//! speculation disappears — one deterministic transition per byte,
+//! regardless of `|Q|`. The price (the reason the paper rejects SFA) is
+//! state explosion: the reachable function space can be astronomically
+//! larger than `|Q|`, making construction "a thousand times slower than
+//! for a DFA" and recognition cache-hostile. [`Sfa::build_limited`]
+//! therefore takes an explicit state budget.
+
+use std::collections::HashMap;
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::dfa::Dfa;
+use ridfa_automata::{Error, Result, StateId, DEAD};
+
+use crate::csdpa::ChunkAutomaton;
+
+/// A Simultaneous Finite Automaton derived from a DFA.
+#[derive(Debug, Clone)]
+pub struct Sfa {
+    /// Dense SFA transition table, `table[s * stride + class]`.
+    table: Vec<StateId>,
+    stride: usize,
+    byte_classes: ridfa_automata::alphabet::ByteClasses,
+    /// `functions[s]` = the DFA-state mapping this SFA state denotes
+    /// (`functions[s][q]` = where a run started in `q` currently is).
+    functions: Vec<Vec<StateId>>,
+    /// The underlying DFA's start/finals (needed at join time).
+    dfa_start: StateId,
+    dfa_finals: ridfa_automata::BitSet,
+}
+
+impl Sfa {
+    /// Builds the SFA of `dfa`, failing with [`Error::LimitExceeded`] once
+    /// more than `max_states` function states have been discovered.
+    pub fn build_limited(dfa: &Dfa, max_states: usize) -> Result<Sfa> {
+        let stride = dfa.stride();
+        let n = dfa.num_states();
+        let identity: Vec<StateId> = (0..n as StateId).collect();
+
+        let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let mut functions: Vec<Vec<StateId>> = Vec::new();
+        let mut table: Vec<StateId> = Vec::new();
+        ids.insert(identity.clone(), 0);
+        functions.push(identity);
+        table.resize(table.len() + stride, u32::MAX);
+
+        let mut worklist: Vec<StateId> = vec![0];
+        while let Some(s) = worklist.pop() {
+            for class in 0..stride {
+                let f = &functions[s as usize];
+                let g: Vec<StateId> = f.iter().map(|&q| dfa.next_class(q, class as u8)).collect();
+                let id = match ids.get(&g) {
+                    Some(&id) => id,
+                    None => {
+                        if functions.len() >= max_states {
+                            return Err(Error::LimitExceeded {
+                                what: "SFA states",
+                                limit: max_states,
+                            });
+                        }
+                        let id = functions.len() as StateId;
+                        ids.insert(g.clone(), id);
+                        functions.push(g);
+                        table.resize(table.len() + stride, u32::MAX);
+                        worklist.push(id);
+                        id
+                    }
+                };
+                table[s as usize * stride + class] = id;
+            }
+        }
+        Ok(Sfa {
+            table,
+            stride,
+            byte_classes: dfa.classes().clone(),
+            functions,
+            dfa_start: dfa.start(),
+            dfa_finals: dfa.finals().clone(),
+        })
+    }
+
+    /// Number of SFA states (reachable transition functions).
+    pub fn num_states(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The identity state every chunk run starts from.
+    pub fn identity(&self) -> StateId {
+        0
+    }
+
+    /// The DFA-state function denoted by SFA state `s`.
+    pub fn function(&self, s: StateId) -> &[StateId] {
+        &self.functions[s as usize]
+    }
+
+    /// Runs from SFA state `s` over `chunk` (total function — SFA runs
+    /// never die; death is absorbed into the function values).
+    pub fn run_from(&self, s: StateId, chunk: &[u8], counter: &mut impl Counter) -> StateId {
+        // SFA shares the DFA's byte classes through the class method below.
+        let mut cur = s;
+        for &byte in chunk {
+            cur = self.table[cur as usize * self.stride + self.class_of(byte) as usize];
+            counter.incr();
+        }
+        cur
+    }
+
+    fn class_of(&self, byte: u8) -> u8 {
+        self.byte_classes.get(byte)
+    }
+}
+
+/// CSDPA chunk automaton wrapping an [`Sfa`]: zero speculation, one run per
+/// chunk, at the cost of the (potentially huge) SFA table.
+#[derive(Debug, Clone)]
+pub struct SfaCa<'a> {
+    sfa: &'a Sfa,
+}
+
+impl<'a> SfaCa<'a> {
+    /// Wraps `sfa`.
+    pub fn new(sfa: &'a Sfa) -> Self {
+        SfaCa { sfa }
+    }
+}
+
+impl ChunkAutomaton for SfaCa<'_> {
+    /// The SFA state (transition function) the chunk's single run reached.
+    type Mapping = StateId;
+
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> StateId {
+        self.sfa.run_from(self.sfa.identity(), chunk, counter)
+    }
+
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> StateId {
+        // The first chunk also runs from the identity: the start state is
+        // applied at join time.
+        self.sfa.run_from(self.sfa.identity(), chunk, counter)
+    }
+
+    fn join(&self, mappings: &[StateId]) -> bool {
+        // Compose the chunk functions left to right, applied to q0.
+        let mut q = self.sfa.dfa_start;
+        for &s in mappings {
+            q = self.sfa.function(s)[q as usize];
+            if q == DEAD {
+                return false;
+            }
+        }
+        self.sfa.dfa_finals.contains(q)
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        let last = self.sfa.run_from(self.sfa.identity(), text, counter);
+        let q = self.sfa.function(last)[self.sfa.dfa_start as usize];
+        q != DEAD && self.sfa.dfa_finals.contains(q)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "sfa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csdpa::{recognize, recognize_counted, Executor};
+    use ridfa_automata::dfa::powerset::determinize;
+    use ridfa_automata::nfa::glushkov;
+    use ridfa_automata::regex::parse;
+    use ridfa_automata::NoCount;
+
+    fn sfa_for(pattern: &str) -> (Sfa, Dfa) {
+        let dfa = determinize(&glushkov::build(&parse(pattern).unwrap()).unwrap());
+        let sfa = Sfa::build_limited(&dfa, 1 << 16).unwrap();
+        (sfa, dfa)
+    }
+
+    #[test]
+    fn sfa_agrees_with_dfa() {
+        let (sfa, dfa) = sfa_for("(a|b)*abb");
+        let ca = SfaCa::new(&sfa);
+        for text in [&b"aababb"[..], b"abb", b"ab", b"", b"bbbb"] {
+            let out = recognize(&ca, text, 3, Executor::Serial);
+            assert_eq!(out.accepted, dfa.accepts(text), "{text:?}");
+            let mut nc = NoCount;
+            assert_eq!(ca.accepts_serial(text, &mut nc), dfa.accepts(text));
+        }
+    }
+
+    #[test]
+    fn sfa_runs_have_zero_speculation() {
+        let (sfa, _) = sfa_for("[ab]*a[ab]{3}");
+        let ca = SfaCa::new(&sfa);
+        let text = b"abababababab";
+        let out = recognize_counted(&ca, text, 4, Executor::Serial);
+        // One run per chunk: exactly |text| transitions in total.
+        assert_eq!(out.transitions, text.len() as u64);
+    }
+
+    #[test]
+    fn sfa_explodes_beyond_dfa_size() {
+        // SFA states are functions: typically far more than DFA states.
+        let (sfa, dfa) = sfa_for("[ab]*a[ab]{3}");
+        assert!(sfa.num_states() > dfa.num_states());
+    }
+
+    #[test]
+    fn sfa_limit_enforced() {
+        let dfa = determinize(&glushkov::build(&parse("[ab]*a[ab]{8}").unwrap()).unwrap());
+        let err = Sfa::build_limited(&dfa, 64).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn identity_function_is_identity() {
+        let (sfa, dfa) = sfa_for("abc");
+        let id = sfa.function(sfa.identity());
+        for q in 0..dfa.num_states() as StateId {
+            assert_eq!(id[q as usize], q);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The `fasta` benchmark: DNA sequences in FASTA format searched for a few
+//! short motifs (paper Tab. 1; *even* group).
+//!
+//! The motifs are classic restriction-enzyme recognition sites. Literal
+//! motif search compiles to an Aho-Corasick-shaped automaton whose minimal
+//! DFA is about as large as the Glushkov NFA — so the DFA and RI-DFA chunk
+//! automata have similar interfaces and the benchmark lands in the *even*
+//! group, as in the paper.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ridfa_automata::nfa::{glushkov, Nfa};
+use ridfa_automata::regex::parse;
+
+/// The planted motifs (EcoRI, BamHI, HindIII, PstI sites).
+pub const MOTIFS: [&str; 4] = ["GAATTC", "GGATCC", "AAGCTT", "CTGCAG"];
+
+/// The benchmark pattern: `[\s\S]*(GAATTC|GGATCC|AAGCTT|CTGCAG)[\s\S]*`.
+pub fn pattern() -> String {
+    format!("[\\s\\S]*({})[\\s\\S]*", MOTIFS.join("|"))
+}
+
+/// The benchmark NFA (Glushkov of [`pattern`]): 1 + 4·6 + 1 positions + 1
+/// initial = 27 states, close to the paper's 29.
+pub fn nfa() -> Nfa {
+    glushkov::build(&parse(&pattern()).unwrap()).expect("fasta pattern is buildable")
+}
+
+/// Generates ≈ `len` bytes of FASTA-formatted DNA with one motif planted
+/// per ~1 KiB; always accepted by [`nfa`].
+pub fn text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len + 128);
+    let mut sequence = 0usize;
+    // Guarantee one motif immediately after the first header.
+    push_header(&mut out, &mut sequence);
+    out.extend_from_slice(MOTIFS[0].as_bytes());
+    out.push(b'\n');
+    while out.len() < len {
+        if rng.gen_ratio(1, 40) {
+            push_header(&mut out, &mut sequence);
+        }
+        push_dna_line(&mut out, &mut rng);
+        if rng.gen_ratio(1, 14) {
+            let motif = MOTIFS[rng.gen_range(0..MOTIFS.len())];
+            out.extend_from_slice(motif.as_bytes());
+            out.push(b'\n');
+        }
+    }
+    out.truncate(len.max(32));
+    out
+}
+
+/// DNA with no planted motif and motif-free random lines: rejected unless
+/// a motif arises by chance — which the generator prevents by filtering.
+pub fn rejected_text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len + 128);
+    let mut sequence = 0usize;
+    push_header(&mut out, &mut sequence);
+    while out.len() < len {
+        let start = out.len();
+        push_dna_line(&mut out, &mut rng);
+        if contains_motif(&out[start.saturating_sub(8)..]) {
+            out.truncate(start);
+        }
+    }
+    out.truncate(len.max(32));
+    // Truncation cannot create a motif, but the boundary between kept
+    // lines could — scrub any residue.
+    scrub_motifs(&mut out);
+    out
+}
+
+fn contains_motif(window: &[u8]) -> bool {
+    MOTIFS
+        .iter()
+        .any(|m| window.windows(m.len()).any(|w| w == m.as_bytes()))
+}
+
+fn scrub_motifs(text: &mut [u8]) {
+    for m in MOTIFS {
+        let m = m.as_bytes();
+        let mut i = 0;
+        while i + m.len() <= text.len() {
+            if &text[i..i + m.len()] == m {
+                text[i] = b'N';
+            }
+            i += 1;
+        }
+    }
+}
+
+fn push_header(out: &mut Vec<u8>, sequence: &mut usize) {
+    *sequence += 1;
+    out.extend_from_slice(format!(">seq{sequence} synthetic chromosome\n").as_bytes());
+}
+
+fn push_dna_line(out: &mut Vec<u8>, rng: &mut SmallRng) {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    for _ in 0..70 {
+        out.push(BASES[rng.gen_range(0..4)]);
+    }
+    out.push(b'\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::dfa::{minimize::minimize, powerset::determinize};
+
+    #[test]
+    fn nfa_size_matches_design() {
+        assert_eq!(nfa().num_states(), 1 + 4 * 6 + 1 + 1);
+    }
+
+    #[test]
+    fn fasta_is_an_even_benchmark() {
+        // Minimal DFA within ~2× of the NFA: no meaningful blow-up.
+        let n = nfa();
+        let min = minimize(&determinize(&n));
+        assert!(
+            min.num_live_states() <= 2 * n.num_states(),
+            "DFA {} vs NFA {}",
+            min.num_live_states(),
+            n.num_states()
+        );
+    }
+
+    #[test]
+    fn generated_text_is_accepted() {
+        let n = nfa();
+        for seed in 0..3 {
+            assert!(n.accepts(&text(8192, seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejected_text_is_rejected() {
+        let n = nfa();
+        for seed in 0..3 {
+            assert!(!n.accepts(&rejected_text(8192, seed)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn looks_like_fasta() {
+        let t = text(4096, 0);
+        assert!(t.starts_with(b">seq1"));
+        assert!(t.iter().filter(|&&b| b == b'\n').count() > 10);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(text(1024, 5), text(1024, 5));
+    }
+}

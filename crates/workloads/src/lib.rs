@@ -1,0 +1,34 @@
+//! # ridfa-workloads — benchmark generators for the paper's evaluation
+//!
+//! The paper evaluates on five text benchmarks (Tab. 1) plus the Ondrik
+//! automata collection (Tab. 2). The public data sets are not vendored
+//! into this repository; instead each module generates a synthetic
+//! workload that preserves the properties the experiments measure — NFA
+//! size, DFA-vs-NFA state ratio, and the survival statistics of
+//! speculative chunk runs (see `DESIGN.md`, "Substitutions"):
+//!
+//! | module | paper benchmark | group | NFA states (paper) |
+//! |--------|-----------------|-------|--------------------|
+//! | [`bigdata`] | random REgen texts | even | 5 |
+//! | [`regexp`]  | `(a\|b)*a(a\|b)^k` family | winning | k+2 |
+//! | [`bible`]   | HTML manuscript, `<h3>` titles | winning | 16 |
+//! | [`fasta`]   | DNA motif search | even | 29 |
+//! | [`traffic`] | syslog of network records | even | 101 |
+//! | [`ondrik`]  | 1084 big NFAs | — | 2490 avg |
+//!
+//! Every generator is deterministic in its seed, so experiments are
+//! reproducible bit for bit.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bible;
+pub mod bigdata;
+pub mod fasta;
+pub mod ondrik;
+pub mod regen;
+pub mod regexp;
+pub mod spec;
+pub mod traffic;
+
+pub use spec::{standard_benchmarks, Benchmark, Group};

@@ -1,0 +1,303 @@
+//! A synthetic stand-in for the Ondrik collection of large NFAs
+//! (paper Sect. 4.2, Tab. 2).
+//!
+//! The real collection (1084 machines, 2490 states on average, drawn from
+//! system modeling and formal verification) is not vendored; this module
+//! generates a seeded collection with the same *measured* characteristics.
+//! Each machine combines three ingredients observed in machine-generated
+//! NFAs:
+//!
+//! 1. a mostly-deterministic **backbone** (ring plus jump edges) over a
+//!    small alphabet, so the language has structure instead of noise;
+//! 2. a **suffix-window gadget** — the classic `(x|y)* x (x|y)^j` shape
+//!    over a *disjoint* sub-alphabet. Model-checking automata are full of
+//!    such bounded-lookback counters, and they are what makes the minimal
+//!    DFA a *controlled* multiple of the NFA: the gadget costs `j + 2` NFA
+//!    states but `2^(j+1)` DFA states. Drawing `j ≈ log₂(n) − 1 ± 1`
+//!    places the NFA/DFA ratio in the paper's dominant 0.5–0.7 buckets
+//!    without ever exploding the determinization;
+//! 3. **redundant duplicate states** (clones with identical behaviour),
+//!    which machine generators routinely emit: they inflate the NFA above
+//!    its minimal DFA (the paper's small >1 tail) and are exactly what the
+//!    RI-DFA interface minimization (Sect. 3.4) delegates away — shifting
+//!    the RI-DFA distribution left of the NFA one, as in Tab. 2.
+//!
+//! State counts are scaled down by default so the full Tab. 2 / Sect. 4.5
+//! experiments run on a laptop; grow [`OndrikConfig::state_range`] to
+//! approach paper scale.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ridfa_automata::nfa::{Builder, Nfa};
+use ridfa_automata::StateId;
+
+/// Parameters of the synthetic collection.
+#[derive(Debug, Clone)]
+pub struct OndrikConfig {
+    /// Number of machines (paper: 1084).
+    pub num_machines: usize,
+    /// Inclusive range of *backbone* state counts per machine (the gadget
+    /// and duplicates come on top).
+    pub state_range: (usize, usize),
+    /// Number of distinct backbone alphabet symbols (mapped to `a`, `b`, …).
+    pub alphabet_range: (usize, usize),
+    /// Percent of (state, symbol) pairs with a defined backbone edge.
+    pub density_percent: u32,
+    /// Percent of backbone edges that jump to a random state instead of
+    /// the next ring state.
+    pub jump_percent: u32,
+    /// Percent of machines carrying the suffix-window gadget (the rest
+    /// are duplicate-heavy machines populating the >1 ratio tail).
+    pub gadget_percent: u32,
+    /// Maximum percent of states duplicated as redundant clones (each
+    /// machine draws its own rate from `0..=max`).
+    pub duplicate_percent_max: u32,
+    /// Percent of states that are final.
+    pub final_percent: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for OndrikConfig {
+    /// Laptop-scale default: 1084 machines of 24–96 backbone states.
+    fn default() -> Self {
+        OndrikConfig {
+            num_machines: 1084,
+            state_range: (24, 96),
+            alphabet_range: (2, 4),
+            density_percent: 85,
+            jump_percent: 10,
+            gadget_percent: 96,
+            duplicate_percent_max: 8,
+            final_percent: 6,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Generates the whole collection.
+pub fn collection(config: &OndrikConfig) -> Vec<Nfa> {
+    (0..config.num_machines)
+        .map(|i| machine(config, config.seed.wrapping_add(i as u64 * 0x9E37_79B9)))
+        .collect()
+}
+
+/// Generates one machine of the collection.
+pub fn machine(config: &OndrikConfig, seed: u64) -> Nfa {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(config.state_range.0..=config.state_range.1.max(config.state_range.0));
+    let a = rng
+        .gen_range(config.alphabet_range.0..=config.alphabet_range.1.max(config.alphabet_range.0));
+
+    // 1. Deterministic backbone over 'a', 'b', …
+    let mut edges: Vec<(StateId, u8, StateId)> = Vec::new();
+    for s in 0..n as StateId {
+        for sym in 0..a {
+            if !rng.gen_ratio(config.density_percent.clamp(1, 100), 100) {
+                continue;
+            }
+            let byte = b'a' + sym as u8;
+            let target = if rng.gen_ratio(config.jump_percent.min(100), 100) {
+                rng.gen_range(0..n) as StateId
+            } else {
+                ((s as usize + 1) % n) as StateId
+            };
+            edges.push((s, byte, target));
+        }
+    }
+
+    // 2. The suffix-window gadget (x|y)* x (x|y)^j over the disjoint
+    //    sub-alphabet {'x','y'}, sharing state 0 as its loop state. The
+    //    exponent tracks the backbone size so the machine's NFA/DFA ratio
+    //    lands in the paper's dominant buckets.
+    let mut num_states = n;
+    let mut gadget_final: Option<StateId> = None;
+    if rng.gen_ratio(config.gadget_percent.min(100), 100) {
+        // 2^(j+1) between n/2 and 2n: the DFA gains about one backbone's
+        // worth of window states, the NFA only j+2.
+        let j_base = (usize::BITS - n.leading_zeros()) as i64 - 1; // ⌈log2(n)⌉
+        let j = (j_base + rng.gen_range(-1..=0)).clamp(2, 12) as usize;
+        edges.push((0, b'x', 0));
+        edges.push((0, b'y', 0));
+        let mut prev = num_states as StateId;
+        num_states += 1;
+        edges.push((0, b'x', prev)); // the nondeterministic guess
+        for _ in 0..j {
+            let next = num_states as StateId;
+            num_states += 1;
+            edges.push((prev, b'x', next));
+            edges.push((prev, b'y', next));
+            prev = next;
+        }
+        gadget_final = Some(prev);
+    }
+
+    // 3. Finals, drawn among reachable states.
+    let reachable = reachable_of(num_states, &edges);
+    let mut finals: Vec<StateId> = reachable
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_ratio(config.final_percent.clamp(1, 100), 100))
+        .collect();
+    finals.extend(gadget_final);
+    if finals.is_empty() {
+        finals.push(*reachable.last().expect("start is always reachable"));
+    }
+
+    // 4. Redundant clones: duplicate behaviour without changing the
+    //    language (same outgoing edges; every incoming edge also targets
+    //    the clone).
+    let dup_rate = rng.gen_range(0..=config.duplicate_percent_max);
+    let dup_count = n * dup_rate as usize / 100;
+    for _ in 0..dup_count {
+        let original = *reachable
+            .get(rng.gen_range(0..reachable.len()))
+            .expect("reachable set is nonempty");
+        let clone = num_states as StateId;
+        num_states += 1;
+        let mut cloned_edges = Vec::new();
+        for &(s, byte, t) in &edges {
+            if s == original {
+                cloned_edges.push((clone, byte, t));
+            }
+            if t == original {
+                cloned_edges.push((s, byte, clone));
+            }
+        }
+        edges.extend(cloned_edges);
+        if finals.contains(&original) {
+            finals.push(clone);
+        }
+    }
+
+    let mut b = Builder::new();
+    for _ in 0..num_states {
+        b.add_state();
+    }
+    for (s, byte, t) in edges {
+        b.add_transition(s, byte, t);
+    }
+    for &f in &finals {
+        b.set_final(f);
+    }
+    b.set_start(0);
+    b.build().expect("generated NFA is well-formed").trim()
+}
+
+/// Reachable states from state 0, ascending.
+fn reachable_of(n: usize, edges: &[(StateId, u8, StateId)]) -> Vec<StateId> {
+    let mut adj: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for &(s, _, t) in edges {
+        adj[s as usize].push(t);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0 as StateId];
+    seen[0] = true;
+    while let Some(s) = stack.pop() {
+        for &t in &adj[s as usize] {
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                stack.push(t);
+            }
+        }
+    }
+    (0..n as StateId).filter(|&s| seen[s as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::dfa::minimize::minimize;
+    use ridfa_automata::dfa::powerset::determinize_limited;
+
+    fn small_config() -> OndrikConfig {
+        OndrikConfig {
+            num_machines: 24,
+            state_range: (10, 30),
+            seed: 7,
+            ..OndrikConfig::default()
+        }
+    }
+
+    #[test]
+    fn collection_is_reproducible() {
+        let c = small_config();
+        let one = collection(&c);
+        let two = collection(&c);
+        assert_eq!(one.len(), 24);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn machines_are_trim_and_nonempty() {
+        for nfa in collection(&small_config()) {
+            assert!(nfa.num_states() >= 1);
+            assert_eq!(nfa.reachable().len(), nfa.num_states(), "trimmed");
+            assert!(!nfa.finals().is_empty());
+        }
+    }
+
+    #[test]
+    fn determinization_never_explodes() {
+        // The gadget growth is engineered: 2^(j+1) with j ≈ log2(n), so
+        // every machine determinizes within a small budget.
+        for nfa in collection(&small_config()) {
+            assert!(determinize_limited(&nfa, 50_000).is_ok());
+        }
+    }
+
+    #[test]
+    fn ratio_distribution_has_the_paper_shape() {
+        let config = OndrikConfig {
+            num_machines: 60,
+            state_range: (16, 48),
+            seed: 11,
+            ..OndrikConfig::default()
+        };
+        let mut below = 0;
+        let mut total = 0;
+        for nfa in collection(&config) {
+            let Ok(dfa) = determinize_limited(&nfa, 50_000) else {
+                continue;
+            };
+            let min = minimize(&dfa);
+            if min.num_live_states() == 0 {
+                continue;
+            }
+            total += 1;
+            if nfa.num_states() < min.num_live_states() {
+                below += 1;
+            }
+        }
+        assert_eq!(total, 60, "all machines determinize within budget");
+        assert!(
+            below * 3 > total * 2,
+            "clear majority below ratio 1 ({below}/{total})"
+        );
+        assert!(below < total, "a redundant tail above 1 must exist");
+    }
+
+    #[test]
+    fn duplicates_give_interface_minimization_work() {
+        // At least one machine's RI-DFA interface must shrink, since
+        // cloned states are language-equivalent by construction.
+        use ridfa_core::ridfa::RiDfa;
+        let shrunk = collection(&small_config()).iter().any(|nfa| {
+            let rid = RiDfa::from_nfa(nfa);
+            rid.minimized().interface().len() < rid.interface().len()
+        });
+        assert!(shrunk);
+    }
+
+    #[test]
+    fn machines_have_nondeterminism() {
+        let has_nondet = collection(&small_config()).iter().any(|nfa| {
+            (0..nfa.num_states() as StateId).any(|s| {
+                let t = nfa.transitions(s);
+                t.windows(2).any(|w| w[0].0 == w[1].0)
+            })
+        });
+        assert!(has_nondet);
+    }
+}

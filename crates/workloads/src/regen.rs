@@ -1,0 +1,191 @@
+//! A random regular-expression generator and string sampler, modeled on
+//! the REgen tool the paper cites as \[3\] for producing the `bigdata`
+//! benchmark.
+//!
+//! Two halves:
+//! * [`random_ast`] — draws a random RE over a configurable literal
+//!   alphabet with bounded depth/positions;
+//! * [`sample_into`] — draws a random string *from the language* of an RE
+//!   (alternations pick a branch, stars pick a geometric repetition
+//!   count), which is how matching benchmark texts are produced.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ridfa_automata::regex::{Ast, ByteSet};
+
+/// Tuning knobs for [`random_ast`].
+#[derive(Debug, Clone)]
+pub struct RegenConfig {
+    /// Bytes literals are drawn from.
+    pub alphabet: Vec<u8>,
+    /// Maximum operator nesting depth.
+    pub max_depth: usize,
+    /// Maximum branches of one alternation / factors of one concatenation.
+    pub max_width: usize,
+    /// Probability (percent) that a subexpression is starred.
+    pub star_percent: u32,
+}
+
+impl Default for RegenConfig {
+    fn default() -> Self {
+        RegenConfig {
+            alphabet: b"abcd".to_vec(),
+            max_depth: 3,
+            max_width: 3,
+            star_percent: 30,
+        }
+    }
+}
+
+/// Draws a random RE.
+pub fn random_ast(config: &RegenConfig, seed: u64) -> Ast {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    gen_node(config, &mut rng, config.max_depth)
+}
+
+fn gen_node(config: &RegenConfig, rng: &mut SmallRng, depth: usize) -> Ast {
+    if depth == 0 {
+        return gen_leaf(config, rng);
+    }
+    let node = match rng.gen_range(0..10) {
+        0..=3 => {
+            let width = rng.gen_range(2..=config.max_width.max(2));
+            Ast::concat((0..width).map(|_| gen_node(config, rng, depth - 1)).collect())
+        }
+        4..=6 => {
+            let width = rng.gen_range(2..=config.max_width.max(2));
+            Ast::alt((0..width).map(|_| gen_node(config, rng, depth - 1)).collect())
+        }
+        7..=8 => gen_leaf(config, rng),
+        _ => Ast::opt(gen_node(config, rng, depth - 1)),
+    };
+    if rng.gen_ratio(config.star_percent, 100) {
+        Ast::star(node)
+    } else {
+        node
+    }
+}
+
+fn gen_leaf(config: &RegenConfig, rng: &mut SmallRng) -> Ast {
+    if rng.gen_ratio(1, 5) && config.alphabet.len() >= 2 {
+        // A small class of 2 alphabet bytes.
+        let a = config.alphabet[rng.gen_range(0..config.alphabet.len())];
+        let b = config.alphabet[rng.gen_range(0..config.alphabet.len())];
+        Ast::Class(ByteSet::from_bytes(&[a, b]))
+    } else {
+        let b = config.alphabet[rng.gen_range(0..config.alphabet.len())];
+        Ast::literal(b)
+    }
+}
+
+/// Appends one random member of `ast`'s language to `out`.
+///
+/// Stars and `{m,}` draw geometric repetition counts (expected 2 extra
+/// iterations); alternations pick uniformly. The sampled string is *always*
+/// accepted by any correct automaton for `ast` — the property the tests
+/// lean on.
+pub fn sample_into(ast: &Ast, rng: &mut SmallRng, out: &mut Vec<u8>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Class(set) => {
+            let n = set.len();
+            debug_assert!(n > 0, "cannot sample from an empty class");
+            let k = rng.gen_range(0..n);
+            out.push(set.iter().nth(k).expect("class has k-th member"));
+        }
+        Ast::Concat(parts) => {
+            for p in parts {
+                sample_into(p, rng, out);
+            }
+        }
+        Ast::Alt(branches) => {
+            let b = rng.gen_range(0..branches.len());
+            sample_into(&branches[b], rng, out);
+        }
+        Ast::Star(inner) => {
+            while rng.gen_ratio(2, 3) {
+                sample_into(inner, rng, out);
+            }
+        }
+        Ast::Repeat { inner, min, max } => {
+            let count = match max {
+                Some(max) => rng.gen_range(*min..=*max),
+                None => {
+                    let mut c = *min;
+                    while rng.gen_ratio(2, 3) {
+                        c += 1;
+                    }
+                    c
+                }
+            };
+            for _ in 0..count {
+                sample_into(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Convenience: one sampled string.
+pub fn sample(ast: &Ast, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    sample_into(ast, &mut rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::nfa::glushkov;
+
+    #[test]
+    fn random_ast_is_buildable_and_printable() {
+        let config = RegenConfig::default();
+        for seed in 0..50 {
+            let ast = random_ast(&config, seed);
+            let printed = ast.to_string();
+            let reparsed = ridfa_automata::regex::parse(&printed)
+                .unwrap_or_else(|e| panic!("seed {seed}: {printed:?}: {e}"));
+            // Round-trip through the printer preserves the language; check
+            // structural equality of the canonicalized forms.
+            assert_eq!(ast, reparsed, "seed {seed}");
+            glushkov::build(&ast).unwrap();
+        }
+    }
+
+    #[test]
+    fn samples_are_accepted_by_the_nfa() {
+        let config = RegenConfig::default();
+        for seed in 0..30 {
+            let ast = random_ast(&config, seed);
+            let nfa = glushkov::build(&ast).unwrap();
+            for s in 0..5 {
+                let text = sample(&ast, seed * 100 + s);
+                assert!(
+                    nfa.accepts(&text),
+                    "seed {seed} sample {s}: {:?} not in L({})",
+                    String::from_utf8_lossy(&text),
+                    ast
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_respects_counted_bounds() {
+        let ast = ridfa_automata::regex::parse("a{2,4}").unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let mut out = Vec::new();
+            sample_into(&ast, &mut rng, &mut out);
+            assert!((2..=4).contains(&out.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let config = RegenConfig::default();
+        assert_eq!(random_ast(&config, 3), random_ast(&config, 3));
+    }
+}

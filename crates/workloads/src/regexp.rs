@@ -1,0 +1,113 @@
+//! The `regexp` benchmark family: `(a|b)* a (a|b)^k` — the textbook case
+//! of exponential DFA state explosion (paper Tab. 1, Fig. 7b, Fig. 8b/d).
+//!
+//! The NFA below is the classical `k+2`-state machine (state 0 loops on
+//! {a,b} and guesses the final `a`; a chain of `k+1` states checks the
+//! suffix), while the minimal DFA needs `2^(k+1)` states to remember the
+//! last `k+1` symbols. This is the *winning* case for the RI-DFA: its
+//! interface has `k+2` entries against the DFA's `2^(k+1)` starting
+//! states.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ridfa_automata::nfa::{Builder, Nfa};
+
+/// Builds the canonical `k+2`-state NFA of `(a|b)* a (a|b)^k`.
+pub fn nfa(k: usize) -> Nfa {
+    let mut b = Builder::new();
+    let s0 = b.add_state();
+    b.add_transition(s0, b'a', s0);
+    b.add_transition(s0, b'b', s0);
+    let mut prev = b.add_state();
+    b.add_transition(s0, b'a', prev);
+    for _ in 0..k {
+        let next = b.add_state();
+        b.add_transition(prev, b'a', next);
+        b.add_transition(prev, b'b', next);
+        prev = next;
+    }
+    b.set_start(s0);
+    b.set_final(prev);
+    b.build().expect("regexp family NFA is well-formed")
+}
+
+/// Generates an accepted text of exactly `len` bytes (`len ≥ k + 1`):
+/// uniform random `a`/`b` with the `(k+1)`-th byte from the end forced to
+/// `a`.
+pub fn text(k: usize, len: usize, seed: u64) -> Vec<u8> {
+    assert!(len > k, "text must be longer than the checked suffix");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<u8> = (0..len)
+        .map(|_| if rng.gen_bool(0.5) { b'a' } else { b'b' })
+        .collect();
+    let forced = len - k - 1;
+    out[forced] = b'a';
+    out
+}
+
+/// A rejected text: same distribution, the critical byte forced to `b`.
+pub fn rejected_text(k: usize, len: usize, seed: u64) -> Vec<u8> {
+    let mut out = text(k, len, seed);
+    let forced = len - k - 1;
+    for byte in &mut out[forced..] {
+        *byte = b'b';
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::dfa::{minimize::minimize, powerset::determinize};
+
+    #[test]
+    fn nfa_size_is_k_plus_2() {
+        for k in [0usize, 1, 4, 9] {
+            assert_eq!(nfa(k).num_states(), k + 2);
+        }
+    }
+
+    #[test]
+    fn minimal_dfa_explodes_exponentially() {
+        for k in [2usize, 4, 6] {
+            let min = minimize(&determinize(&nfa(k)));
+            assert_eq!(min.num_live_states(), 1 << (k + 1), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn generated_text_is_accepted() {
+        for k in [1usize, 3, 7] {
+            let n = nfa(k);
+            for seed in 0..5 {
+                let t = text(k, 64, seed);
+                assert!(n.accepts(&t), "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_text_is_rejected() {
+        for k in [1usize, 3] {
+            let n = nfa(k);
+            let t = rejected_text(k, 64, 42);
+            assert!(!n.accepts(&t));
+        }
+    }
+
+    #[test]
+    fn language_semantics_spot_check() {
+        let n = nfa(2);
+        assert!(n.accepts(b"abb")); // a at position -(3)
+        assert!(n.accepts(b"babaaa"));
+        assert!(!n.accepts(b"bbb"));
+        assert!(!n.accepts(b"ab")); // too short
+    }
+
+    #[test]
+    fn text_is_deterministic_in_seed() {
+        assert_eq!(text(3, 128, 7), text(3, 128, 7));
+        assert_ne!(text(3, 128, 7), text(3, 128, 8));
+    }
+}

@@ -1,0 +1,127 @@
+//! The benchmark registry: one entry per text benchmark of Tab. 1.
+
+use ridfa_automata::nfa::Nfa;
+
+/// The paper's partition of benchmarks by outcome (Sect. 4.3/4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// DFA and RI-DFA variants perform within ±10% of each other.
+    Even,
+    /// The RI-DFA variant wins by a large factor.
+    Winning,
+}
+
+/// `k` of the `regexp` family instance used in the standard registry:
+/// NFA = k + 2 = 8 states, minimal DFA = 2^(k+1) = 128 states. `k = 6`
+/// back-solves the paper's Tab. 3 transition ratio: with all 128 DFA runs
+/// surviving every chunk and ~1 RID run doing so, the DFA/RID ratio at 58
+/// chunks is 128·57/58 ≈ 126 — the paper reports 126.99.
+pub const REGEXP_K: usize = 6;
+
+/// One text benchmark: an NFA plus deterministic text generators.
+pub struct Benchmark {
+    /// Benchmark name as in Tab. 1.
+    pub name: &'static str,
+    /// Expected outcome group.
+    pub group: Group,
+    /// The language's NFA.
+    pub nfa: Nfa,
+    /// Generates an *accepted* text of ≈ the requested byte length.
+    pub accepted: fn(usize, u64) -> Vec<u8>,
+    /// Generates a *rejected* text of ≈ the requested byte length.
+    pub rejected: fn(usize, u64) -> Vec<u8>,
+    /// Default (laptop-scale) text length in bytes.
+    pub default_len: usize,
+    /// The paper's maximum text length in bytes (Tab. 1).
+    pub paper_len: usize,
+}
+
+fn regexp_accepted(len: usize, seed: u64) -> Vec<u8> {
+    crate::regexp::text(REGEXP_K, len, seed)
+}
+
+fn regexp_rejected(len: usize, seed: u64) -> Vec<u8> {
+    crate::regexp::rejected_text(REGEXP_K, len, seed)
+}
+
+/// The five benchmarks of Tab. 1 with laptop-scale default sizes.
+pub fn standard_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "bigdata",
+            group: Group::Even,
+            nfa: crate::bigdata::nfa(),
+            accepted: crate::bigdata::text,
+            rejected: crate::bigdata::rejected_text,
+            default_len: 3 << 20,
+            paper_len: 13 * (1 << 20) / 10 * 10, // 13 MB
+        },
+        Benchmark {
+            name: "regexp",
+            group: Group::Winning,
+            nfa: crate::regexp::nfa(REGEXP_K),
+            accepted: regexp_accepted,
+            rejected: regexp_rejected,
+            default_len: 2 << 20,
+            paper_len: 6 << 20,
+        },
+        Benchmark {
+            name: "bible",
+            group: Group::Winning,
+            nfa: crate::bible::nfa(),
+            accepted: crate::bible::text,
+            rejected: crate::bible::rejected_text,
+            default_len: 1 << 20,
+            paper_len: 4 << 20,
+        },
+        Benchmark {
+            name: "fasta",
+            group: Group::Even,
+            nfa: crate::fasta::nfa(),
+            accepted: crate::fasta::text,
+            rejected: crate::fasta::rejected_text,
+            default_len: 765 << 10,
+            paper_len: 765 << 10,
+        },
+        Benchmark {
+            name: "traffic",
+            group: Group::Even,
+            nfa: crate::traffic::nfa(),
+            accepted: crate::traffic::text,
+            rejected: crate::traffic::rejected_text,
+            default_len: 3 << 20,
+            paper_len: 11 << 20,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_five_benchmarks() {
+        let benches = standard_benchmarks();
+        assert_eq!(benches.len(), 5);
+        let names: Vec<_> = benches.iter().map(|b| b.name).collect();
+        assert_eq!(names, ["bigdata", "regexp", "bible", "fasta", "traffic"]);
+    }
+
+    #[test]
+    fn every_generator_agrees_with_its_nfa() {
+        for b in standard_benchmarks() {
+            let accepted = (b.accepted)(4096, 11);
+            assert!(b.nfa.accepts(&accepted), "{}: accepted text rejected", b.name);
+            let rejected = (b.rejected)(4096, 11);
+            assert!(!b.nfa.accepts(&rejected), "{}: rejected text accepted", b.name);
+        }
+    }
+
+    #[test]
+    fn default_sizes_are_laptop_scale() {
+        for b in standard_benchmarks() {
+            assert!(b.default_len <= b.paper_len);
+            assert!(b.default_len >= 64 << 10);
+        }
+    }
+}

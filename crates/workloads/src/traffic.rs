@@ -1,0 +1,167 @@
+//! The `traffic` benchmark: a syslog file of network-traffic records whose
+//! line structure is described by a ~100-state NFA (paper Tab. 1; *even*
+//! group).
+//!
+//! The language is a *whole-file* description — a sequence of conforming
+//! records — so the recognizer validates structure rather than searching.
+//! The record grammar is essentially deterministic (fixed fields,
+//! class-disjoint alternatives), so the minimal DFA stays close to the
+//! NFA in size and the DFA/RID comparison comes out even, as the paper
+//! reports for this benchmark.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ridfa_automata::nfa::{glushkov, Nfa};
+use ridfa_automata::regex::parse;
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const DAEMONS: [&str; 4] = ["sshd", "kernel", "nginx", "systemd"];
+
+/// One record:
+/// `Mon dd HH:MM:SS hostNN daemon[pid]: src=IP dst=IP len=N message\n`.
+fn record_pattern() -> String {
+    let months = MONTHS.join("|");
+    let daemons = DAEMONS.join("|");
+    let ip = "\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}";
+    format!(
+        "({months}) [ 0-3]\\d \\d\\d:\\d\\d:\\d\\d host\\d{{1,3}} ({daemons})\\[\\d{{1,5}}\\]: \
+         src={ip} dst={ip} len=\\d{{1,4}} [ -~]*\\n"
+    )
+}
+
+/// The benchmark pattern: a file is a (possibly empty) sequence of records.
+pub fn pattern() -> String {
+    format!("({})*", record_pattern())
+}
+
+/// The benchmark NFA (Glushkov of [`pattern`]); ~120 states, matching the
+/// paper's 101-state order of magnitude.
+pub fn nfa() -> Nfa {
+    glushkov::build(&parse(&pattern()).unwrap()).expect("traffic pattern is buildable")
+}
+
+/// Generates ≈ `len` bytes of conforming syslog records (whole lines only,
+/// so the text is always accepted).
+pub fn text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len + 256);
+    while out.len() < len {
+        push_record(&mut out, &mut rng);
+    }
+    // Trim whole records so the tail stays well-formed.
+    if let Some(cut) = last_newline_before(&out, len) {
+        out.truncate(cut + 1);
+    }
+    out
+}
+
+/// A log with one malformed record in the middle: rejected by [`nfa`].
+pub fn rejected_text(len: usize, seed: u64) -> Vec<u8> {
+    let mut t = text(len, seed);
+    let mid = t.len() / 2;
+    // Corrupt the month of the record containing `mid`.
+    if let Some(line_start) = t[..mid].iter().rposition(|&b| b == b'\n') {
+        let p = line_start + 1;
+        if p + 3 < t.len() {
+            t[p] = b'X';
+            t[p + 1] = b'x';
+            t[p + 2] = b'x';
+        }
+    }
+    t
+}
+
+fn last_newline_before(text: &[u8], len: usize) -> Option<usize> {
+    let bound = len.min(text.len());
+    text[..bound].iter().rposition(|&b| b == b'\n')
+}
+
+fn push_record(out: &mut Vec<u8>, rng: &mut SmallRng) {
+    const MESSAGES: [&str; 5] = [
+        "connection accepted",
+        "packet dropped by policy",
+        "TCP retransmit detected",
+        "session closed cleanly",
+        "rate limit applied",
+    ];
+    let month = MONTHS[rng.gen_range(0..12)];
+    let day = rng.gen_range(1..=28);
+    let record = format!(
+        "{month} {day:2} {:02}:{:02}:{:02} host{} {}[{}]: src={}.{}.{}.{} dst={}.{}.{}.{} len={} {}\n",
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60),
+        rng.gen_range(1..200),
+        DAEMONS[rng.gen_range(0..4)],
+        rng.gen_range(1..99999),
+        rng.gen_range(1..255),
+        rng.gen_range(0..255),
+        rng.gen_range(0..255),
+        rng.gen_range(1..255),
+        rng.gen_range(1..255),
+        rng.gen_range(0..255),
+        rng.gen_range(0..255),
+        rng.gen_range(1..255),
+        rng.gen_range(40..1500),
+        MESSAGES[rng.gen_range(0..5)],
+    );
+    out.extend_from_slice(record.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::dfa::{minimize::minimize, powerset::determinize};
+
+    #[test]
+    fn nfa_is_around_a_hundred_states() {
+        let n = nfa().num_states();
+        assert!((80..200).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn traffic_is_an_even_benchmark() {
+        let n = nfa();
+        let min = minimize(&determinize(&n));
+        assert!(
+            min.num_live_states() <= 2 * n.num_states(),
+            "DFA {} vs NFA {}",
+            min.num_live_states(),
+            n.num_states()
+        );
+    }
+
+    #[test]
+    fn generated_text_is_accepted() {
+        let n = nfa();
+        for seed in 0..3 {
+            let t = text(4096, seed);
+            assert!(n.accepts(&t), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejected_text_is_rejected() {
+        let n = nfa();
+        let t = rejected_text(4096, 7);
+        assert!(!n.accepts(&t));
+    }
+
+    #[test]
+    fn empty_log_is_accepted() {
+        // The pattern is a starred record: zero records conform.
+        assert!(nfa().accepts(b""));
+    }
+
+    #[test]
+    fn lines_look_like_syslog() {
+        let t = text(2048, 0);
+        let first_line = t.split(|&b| b == b'\n').next().unwrap();
+        let s = String::from_utf8_lossy(first_line);
+        assert!(s.contains("src="), "{s}");
+        assert!(s.contains("]: "), "{s}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Bring your own automaton: build an NFA programmatically, persist it in
+//! the text format, reload it, and recognize with the RID device — the
+//! workflow for benchmark collections (like Ondrik) that ship automata
+//! rather than regular expressions.
+//!
+//! ```text
+//! cargo run --example custom_nfa
+//! ```
+
+use ridfa::automata::nfa::Builder;
+use ridfa::automata::serialize;
+use ridfa::core::csdpa::{recognize, Executor, RidCa};
+use ridfa::core::ridfa::RiDfa;
+
+fn main() {
+    // A tiny protocol machine: 'h' (hello) then any number of 'd' (data)
+    // or 'k' (keepalive), closed by 'b' (bye); sessions repeat. A second
+    // nondeterministic reading of 'd' allows an early close.
+    let mut b = Builder::new();
+    let idle = b.add_state();
+    let open = b.add_state();
+    let closing = b.add_state();
+    b.add_transition(idle, b'h', open);
+    b.add_transition(open, b'd', open);
+    b.add_transition(open, b'k', open);
+    b.add_transition(open, b'd', closing);
+    b.add_transition(closing, b'b', idle);
+    b.add_transition(open, b'b', idle);
+    b.set_start(idle);
+    b.set_final(idle);
+    let nfa = b.build().expect("well-formed NFA");
+
+    // Persist and reload (the `.nfa` text format of ridfa-automata).
+    let saved = serialize::nfa_to_text(&nfa);
+    println!("serialized machine:\n{saved}");
+    let reloaded = serialize::nfa_from_text(&saved).expect("round-trips");
+    assert_eq!(nfa, reloaded);
+
+    // Build the RI-DFA and recognize a session log.
+    let rid = RiDfa::from_nfa(&reloaded).minimized();
+    println!(
+        "NFA {} states → RI-DFA {} states, {} interface",
+        nfa.num_states(),
+        rid.num_live_states(),
+        rid.interface().len()
+    );
+
+    let ca = RidCa::new(&rid);
+    let mut log = Vec::new();
+    for _ in 0..100_000 {
+        log.extend_from_slice(b"hddkdbhkb");
+    }
+    let outcome = recognize(&ca, &log, 8, Executor::PerChunk);
+    println!(
+        "session log of {} bytes in 8 chunks: {}",
+        log.len(),
+        if outcome.accepted { "VALID" } else { "INVALID" }
+    );
+    assert!(outcome.accepted);
+
+    // An unterminated session is invalid.
+    log.extend_from_slice(b"hdd");
+    assert!(!recognize(&ca, &log, 8, Executor::PerChunk).accepted);
+    println!("unterminated session: INVALID (as expected)");
+}

@@ -1,0 +1,50 @@
+//! Quickstart: recognize a large text in parallel with minimal speculation.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use ridfa::automata::{nfa::glushkov, regex};
+use ridfa::core::csdpa::{recognize, Executor, RidCa};
+use ridfa::core::ridfa::RiDfa;
+
+fn main() {
+    // 1. A language: identifiers separated by commas.
+    let pattern = "\\w+(,\\w+)*";
+    let ast = regex::parse(pattern).expect("valid pattern");
+    let nfa = glushkov::build(&ast).expect("NFA fits");
+
+    // 2. The RI-DFA: deterministic transitions, NFA-sized interface.
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    println!("pattern          : {pattern}");
+    println!("NFA states       : {}", nfa.num_states());
+    println!("RI-DFA states    : {}", rid.num_live_states());
+    println!("interface states : {} (speculative runs per chunk)", rid.interface().len());
+
+    // 3. A text to recognize (≈ 4 MB of comma-separated words).
+    let mut text = b"hello".to_vec();
+    while text.len() < 4 << 20 {
+        text.extend_from_slice(b",parallel_recognizers_have_minimal_speculation");
+    }
+
+    // 4. Parallel recognition: chunks scanned concurrently, joined serially.
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let ca = RidCa::new(&rid);
+    let outcome = recognize(&ca, &text, threads, Executor::PerChunk);
+    println!(
+        "recognized {} MB in {} chunks: {} (reach {:.2} ms, join {:.3} ms)",
+        text.len() >> 20,
+        outcome.num_chunks,
+        if outcome.accepted { "ACCEPTED" } else { "REJECTED" },
+        outcome.reach.as_secs_f64() * 1e3,
+        outcome.join.as_secs_f64() * 1e3,
+    );
+    assert!(outcome.accepted);
+
+    // 5. A corrupted text is rejected.
+    let mut bad = text.clone();
+    bad[text.len() / 2] = b'!';
+    let outcome = recognize(&ca, &bad, threads, Executor::PerChunk);
+    assert!(!outcome.accepted);
+    println!("corrupted copy  : REJECTED (as expected)");
+}

@@ -1,0 +1,57 @@
+//! The exponential gap, live: `(a|b)* a (a|b)^k` — minimal-DFA states
+//! double with every increment of `k` while the RI-DFA interface grows by
+//! one. This is the paper's `regexp` family (the ideal conditions for top
+//! RID performance, Sect. 4.4).
+//!
+//! ```text
+//! cargo run --example state_explosion --release
+//! ```
+
+use std::time::Instant;
+
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::core::csdpa::{recognize_counted, DfaCa, Executor, RidCa};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::regexp;
+
+fn main() {
+    println!("k | NFA states | min-DFA states | RI-DFA interface | DFA/RID transition ratio");
+    println!("--+------------+----------------+------------------+-------------------------");
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for k in [2usize, 4, 6, 8, 10] {
+        let nfa = regexp::nfa(k);
+        let dfa = minimize::minimize(&powerset::determinize(&nfa));
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+
+        let text = regexp::text(k, 1 << 20, 42);
+        let c_dfa = recognize_counted(&DfaCa::new(&dfa), &text, 32, Executor::Team(threads));
+        let c_rid = recognize_counted(&RidCa::new(&rid), &text, 32, Executor::Team(threads));
+        assert!(c_dfa.accepted && c_rid.accepted);
+        println!(
+            "{k:>2} | {:>10} | {:>14} | {:>16} | {:>7.2}",
+            nfa.num_states(),
+            dfa.num_live_states(),
+            rid.interface().len(),
+            c_dfa.transitions as f64 / c_rid.transitions as f64,
+        );
+    }
+
+    // Construction stays cheap even where the DFA is big.
+    let k = 14;
+    let nfa = regexp::nfa(k);
+    let t0 = Instant::now();
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let t_rid = t0.elapsed();
+    let t1 = Instant::now();
+    let dfa = minimize::minimize(&powerset::determinize(&nfa));
+    let t_dfa = t1.elapsed();
+    println!(
+        "\nk = {k}: min-DFA {} states in {:.1} ms; RI-DFA interface {} in {:.1} ms",
+        dfa.num_live_states(),
+        t_dfa.as_secs_f64() * 1e3,
+        rid.interface().len(),
+        t_rid.as_secs_f64() * 1e3,
+    );
+    println!("the classic variant must speculate on all {} DFA states per chunk;", dfa.num_live_states());
+    println!("the RID speculates on {} — that is the whole paper in one line.", rid.interface().len());
+}

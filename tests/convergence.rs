@@ -1,0 +1,131 @@
+//! Property tests for the state-convergence optimization: the convergent
+//! chunk automata must produce bit-identical mappings (hence identical
+//! verdicts) while never executing *more* transitions than the plain scan.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::automata::nfa::glushkov;
+use ridfa::automata::{NoCount, TransitionCount};
+use ridfa::core::csdpa::{
+    recognize, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, DfaCa, Executor, RidCa,
+};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::regen::{random_ast, sample_into, RegenConfig};
+
+fn config() -> RegenConfig {
+    RegenConfig {
+        alphabet: b"ab".to_vec(),
+        max_depth: 3,
+        max_width: 3,
+        star_percent: 35,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn convergent_dfa_mapping_is_identical(seed in any::<u64>(), text_seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let dfa = minimize::minimize(&powerset::determinize(&glushkov::build(&ast).unwrap()));
+        let plain = DfaCa::new(&dfa);
+        let conv = ConvergentDfaCa::new(&dfa);
+        let mut rng = SmallRng::seed_from_u64(text_seed);
+        let mut text = Vec::new();
+        for _ in 0..4 {
+            sample_into(&ast, &mut rng, &mut text);
+        }
+        prop_assert_eq!(
+            plain.scan(&text, &mut NoCount),
+            conv.scan(&text, &mut NoCount),
+            "ast {}", ast
+        );
+    }
+
+    #[test]
+    fn convergent_rid_mapping_is_identical(seed in any::<u64>(), text_seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let rid = RiDfa::from_nfa(&glushkov::build(&ast).unwrap()).minimized();
+        let plain = RidCa::new(&rid);
+        let conv = ConvergentRidCa::new(&rid);
+        let mut rng = SmallRng::seed_from_u64(text_seed);
+        let mut text = Vec::new();
+        for _ in 0..4 {
+            sample_into(&ast, &mut rng, &mut text);
+        }
+        prop_assert_eq!(
+            plain.scan(&text, &mut NoCount),
+            conv.scan(&text, &mut NoCount),
+            "ast {}", ast
+        );
+    }
+
+    #[test]
+    fn convergence_never_increases_work(seed in any::<u64>(), text_seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let dfa = minimize::minimize(&powerset::determinize(&glushkov::build(&ast).unwrap()));
+        let plain = DfaCa::new(&dfa);
+        let conv = ConvergentDfaCa::new(&dfa);
+        let mut rng = SmallRng::seed_from_u64(text_seed);
+        let mut text = Vec::new();
+        for _ in 0..4 {
+            sample_into(&ast, &mut rng, &mut text);
+        }
+        let mut c_plain = TransitionCount::default();
+        plain.scan(&text, &mut c_plain);
+        let mut c_conv = TransitionCount::default();
+        conv.scan(&text, &mut c_conv);
+        prop_assert!(c_conv.get() <= c_plain.get());
+    }
+}
+
+#[test]
+fn convergent_variants_agree_on_benchmarks() {
+    for b in ridfa::workloads::standard_benchmarks() {
+        let dfa = minimize::minimize(&powerset::determinize(&b.nfa));
+        let rid = RiDfa::from_nfa(&b.nfa).minimized();
+        let conv_dfa = ConvergentDfaCa::new(&dfa);
+        let conv_rid = ConvergentRidCa::new(&rid);
+        for (text, expected) in [
+            ((b.accepted)(32 << 10, 13), true),
+            ((b.rejected)(32 << 10, 13), false),
+        ] {
+            assert_eq!(
+                recognize(&conv_dfa, &text, 16, Executor::Team(4)).accepted,
+                expected,
+                "{} dfa+conv",
+                b.name
+            );
+            assert_eq!(
+                recognize(&conv_rid, &text, 16, Executor::Team(4)).accepted,
+                expected,
+                "{} rid+conv",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn convergence_collapses_runs_on_structured_text() {
+    // On the bible benchmark the DFA has ~113 speculative runs; after a
+    // few hundred bytes they converge to a handful of groups, so the
+    // convergent scan executes a small fraction of the plain transitions.
+    let bible = ridfa::workloads::standard_benchmarks().remove(2);
+    assert_eq!(bible.name, "bible");
+    let dfa = minimize::minimize(&powerset::determinize(&bible.nfa));
+    let text = (bible.accepted)(64 << 10, 3);
+    let mut c_plain = TransitionCount::default();
+    DfaCa::new(&dfa).scan(&text, &mut c_plain);
+    let mut c_conv = TransitionCount::default();
+    ConvergentDfaCa::new(&dfa).scan(&text, &mut c_conv);
+    assert!(
+        c_conv.get() * 4 < c_plain.get(),
+        "convergent {} vs plain {}",
+        c_conv.get(),
+        c_plain.get()
+    );
+}

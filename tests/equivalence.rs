@@ -1,0 +1,119 @@
+//! Property tests: the whole construction pipeline defines one language.
+//!
+//! For random regular expressions (via the REgen-style generator), the
+//! Glushkov NFA, the Thompson NFA, the powerset DFA, the minimal DFA, the
+//! RI-DFA, and the interface-minimized RI-DFA must all agree — both on
+//! strings sampled *from* the language and on random byte strings.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ridfa::automata::dfa::{equivalence, minimize, powerset};
+use ridfa::automata::nfa::{glushkov, thompson};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::regen::{random_ast, sample_into, RegenConfig};
+
+fn config() -> RegenConfig {
+    RegenConfig {
+        alphabet: b"abc".to_vec(),
+        max_depth: 3,
+        max_width: 3,
+        star_percent: 30,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn glushkov_equals_thompson_as_dfas(seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let g = powerset::determinize(&glushkov::build(&ast).unwrap());
+        let t = powerset::determinize(&thompson::build(&ast).unwrap());
+        prop_assert!(
+            equivalence::equivalent(&g, &t),
+            "Glushkov and Thompson disagree on {} (counterexample {:?})",
+            ast,
+            equivalence::counterexample(&g, &t),
+        );
+    }
+
+    #[test]
+    fn minimization_preserves_language(seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let dfa = powerset::determinize(&glushkov::build(&ast).unwrap());
+        let min = minimize::minimize(&dfa);
+        prop_assert!(equivalence::equivalent(&dfa, &min), "{}", ast);
+        prop_assert!(min.num_states() <= dfa.num_states());
+    }
+
+    #[test]
+    fn minimal_dfa_is_minimal(seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let min = minimize::minimize(&powerset::determinize(&glushkov::build(&ast).unwrap()));
+        let classes = minimize::equivalence_classes(&min);
+        let mut distinct = classes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(distinct.len(), min.num_states(), "no equivalent pair survives");
+    }
+
+    #[test]
+    fn ridfa_accepts_sampled_members(seed in any::<u64>(), text_seed in any::<u64>()) {
+        // Theorem 3.1 (positive direction): every sampled member of L is
+        // accepted by the RI-DFA's serial run.
+        let ast = random_ast(&config(), seed);
+        let nfa = glushkov::build(&ast).unwrap();
+        let rid = RiDfa::from_nfa(&nfa);
+        let mut rng = SmallRng::seed_from_u64(text_seed);
+        let mut text = Vec::new();
+        sample_into(&ast, &mut rng, &mut text);
+        prop_assert!(nfa.accepts(&text), "sampler broken for {}", ast);
+        prop_assert!(rid.accepts(&text), "RI-DFA rejects a member of {}", ast);
+        prop_assert!(rid.minimized().accepts(&text));
+    }
+
+    #[test]
+    fn ridfa_agrees_on_arbitrary_strings(
+        seed in any::<u64>(),
+        text in proptest::collection::vec(proptest::sample::select(b"abc!".to_vec()), 0..64),
+    ) {
+        // Theorem 3.1 (both directions) on arbitrary inputs, including a
+        // byte outside the pattern alphabet.
+        let ast = random_ast(&config(), seed);
+        let nfa = glushkov::build(&ast).unwrap();
+        let rid = RiDfa::from_nfa(&nfa);
+        let min = rid.minimized();
+        let expected = nfa.accepts(&text);
+        prop_assert_eq!(expected, rid.accepts(&text));
+        prop_assert_eq!(expected, min.accepts(&text));
+    }
+
+    #[test]
+    fn parser_printer_roundtrip(seed in any::<u64>()) {
+        let ast = random_ast(&config(), seed);
+        let printed = ast.to_string();
+        let reparsed = ridfa::automata::regex::parse(&printed).unwrap();
+        prop_assert_eq!(ast, reparsed, "printed form: {}", printed);
+    }
+}
+
+#[test]
+fn sfa_agrees_with_dfa_on_samples() {
+    use ridfa::core::sfa::{Sfa, SfaCa};
+    use ridfa::core::csdpa::{recognize, Executor};
+    for seed in 0..20u64 {
+        let ast = random_ast(&config(), seed);
+        let dfa = minimize::minimize(&powerset::determinize(&glushkov::build(&ast).unwrap()));
+        let Ok(sfa) = Sfa::build_limited(&dfa, 1 << 14) else {
+            continue; // function-space explosion: skip, that is SFA's flaw
+        };
+        let ca = SfaCa::new(&sfa);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut text = Vec::new();
+        sample_into(&ast, &mut rng, &mut text);
+        let out = recognize(&ca, &text, 3, Executor::Serial);
+        assert_eq!(out.accepted, dfa.accepts(&text), "seed {seed} ast {ast}");
+    }
+}

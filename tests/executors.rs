@@ -1,0 +1,94 @@
+//! Integration tests for the parallel runtime: all executors agree, the
+//! persistent pool behaves like `invokeAll`, and chunking edge cases
+//! (tiny texts, more chunks than bytes, huge chunk counts) are safe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ridfa::core::csdpa::{chunk_spans, recognize, Executor, RidCa};
+use ridfa::core::parallel::{run_indexed, ThreadPool};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::bible;
+
+#[test]
+fn executors_agree_on_real_workload() {
+    let rid = RiDfa::from_nfa(&bible::nfa()).minimized();
+    let ca = RidCa::new(&rid);
+    let text = bible::text(128 << 10, 21);
+    let expected = recognize(&ca, &text, 1, Executor::Serial).accepted;
+    assert!(expected);
+    for chunks in [2usize, 5, 16, 61] {
+        for executor in [
+            Executor::Serial,
+            Executor::PerChunk,
+            Executor::Team(1),
+            Executor::Team(2),
+            Executor::Team(7),
+            Executor::Team(64),
+        ] {
+            assert_eq!(
+                recognize(&ca, &text, chunks, executor).accepted,
+                expected,
+                "{chunks} chunks, {executor:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_indexed_handles_skewed_work() {
+    // Task 0 is much heavier than the rest; dynamic claiming must still
+    // return results in task order.
+    let out = run_indexed(4, 40, |i| {
+        if i == 0 {
+            // A deliberately slow task.
+            let mut acc = 0u64;
+            for k in 0..2_000_000u64 {
+                acc = acc.wrapping_add(k * k);
+            }
+            (i, acc != 1)
+        } else {
+            (i, true)
+        }
+    });
+    assert_eq!(out.len(), 40);
+    for (i, item) in out.iter().enumerate() {
+        assert_eq!(item.0, i);
+    }
+}
+
+#[test]
+fn pool_runs_many_recognitions_concurrently() {
+    let rid = Arc::new(RiDfa::from_nfa(&bible::nfa()).minimized());
+    let texts: Arc<Vec<Vec<u8>>> = Arc::new((0..16).map(|s| bible::text(8 << 10, s)).collect());
+    let accepted = Arc::new(AtomicUsize::new(0));
+
+    let pool = ThreadPool::new(4);
+    let (rid2, texts2, accepted2) = (Arc::clone(&rid), Arc::clone(&texts), Arc::clone(&accepted));
+    pool.invoke_all(texts.len(), move |i| {
+        let ca = RidCa::new(&rid2);
+        if recognize(&ca, &texts2[i], 4, Executor::Serial).accepted {
+            accepted2.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    assert_eq!(accepted.load(Ordering::Relaxed), texts.len());
+}
+
+#[test]
+fn chunk_spans_extreme_cases() {
+    assert_eq!(chunk_spans(1, usize::MAX).len(), 1);
+    assert_eq!(chunk_spans(usize::from(u16::MAX), 1).len(), 1);
+    let spans = chunk_spans(3, 2);
+    assert_eq!(spans.iter().map(|s| s.len()).sum::<usize>(), 3);
+}
+
+#[test]
+fn oversubscription_is_correct() {
+    // More chunks than any sane core count: per-chunk threads multiplex.
+    let rid = RiDfa::from_nfa(&bible::nfa()).minimized();
+    let ca = RidCa::new(&rid);
+    let text = bible::text(64 << 10, 3);
+    let out = recognize(&ca, &text, 256, Executor::PerChunk);
+    assert!(out.accepted);
+    assert_eq!(out.num_chunks, 256);
+}

@@ -1,0 +1,165 @@
+//! Property tests: the parallel device equals the serial recognizer for
+//! every chunk automaton variant, every chunk count, and every executor.
+//! This is the end-to-end correctness statement of the CSDPA scheme
+//! (paper Sect. 2) and of the RID refinement (Theorem 3.1 + Sect. 3.4).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::automata::nfa::glushkov;
+use ridfa::core::csdpa::{recognize, DfaCa, Executor, NfaCa, RidCa};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::regen::{random_ast, sample_into, RegenConfig};
+
+fn config() -> RegenConfig {
+    RegenConfig {
+        alphabet: b"ab".to_vec(),
+        max_depth: 3,
+        max_width: 3,
+        star_percent: 35,
+    }
+}
+
+/// A text that is *usually* in the language (sampled, possibly perturbed).
+fn make_text(ast: &ridfa::automata::regex::Ast, seed: u64, perturb: bool) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut text = Vec::new();
+    for _ in 0..8 {
+        sample_into(ast, &mut rng, &mut text);
+    }
+    if perturb && !text.is_empty() {
+        let i = (seed as usize) % text.len();
+        text[i] = if text[i] == b'a' { b'b' } else { b'a' };
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_equals_serial_for_all_variants(
+        seed in any::<u64>(),
+        text_seed in any::<u64>(),
+        perturb in any::<bool>(),
+        chunks in 1usize..12,
+    ) {
+        // Stars make the 8-fold sample likely—but not guaranteed—to stay
+        // in L; `perturb` flips one byte so rejection paths are exercised.
+        let ast = {
+            let core = random_ast(&config(), seed);
+            ridfa::automata::regex::Ast::star(core)
+        };
+        let nfa = glushkov::build(&ast).unwrap();
+        let dfa = minimize::minimize(&powerset::determinize(&nfa));
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let text = make_text(&ast, text_seed, perturb);
+        let expected = dfa.accepts(&text);
+
+        let dfa_ca = DfaCa::new(&dfa);
+        let nfa_ca = NfaCa::new(&nfa);
+        let rid_ca = RidCa::new(&rid);
+        for executor in [Executor::Serial, Executor::PerChunk, Executor::Team(3)] {
+            prop_assert_eq!(
+                recognize(&dfa_ca, &text, chunks, executor).accepted,
+                expected,
+                "dfa variant, {:?}, {} chunks", executor, chunks
+            );
+            prop_assert_eq!(
+                recognize(&nfa_ca, &text, chunks, executor).accepted,
+                expected,
+                "nfa variant, {:?}, {} chunks", executor, chunks
+            );
+            prop_assert_eq!(
+                recognize(&rid_ca, &text, chunks, executor).accepted,
+                expected,
+                "rid variant, {:?}, {} chunks", executor, chunks
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_count_never_changes_the_verdict(
+        seed in any::<u64>(),
+        text_seed in any::<u64>(),
+    ) {
+        let ast = random_ast(&config(), seed);
+        let nfa = glushkov::build(&ast).unwrap();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let ca = RidCa::new(&rid);
+        let text = make_text(&ast, text_seed, false);
+        let baseline = recognize(&ca, &text, 1, Executor::Serial).accepted;
+        for chunks in [2usize, 3, 5, 8, 13, 21, 100] {
+            prop_assert_eq!(
+                recognize(&ca, &text, chunks, Executor::PerChunk).accepted,
+                baseline,
+                "{} chunks", chunks
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_benchmarks_all_variants_agree() {
+    // End-to-end on the real benchmark generators (small sizes).
+    for b in ridfa::workloads::standard_benchmarks() {
+        let nfa = &b.nfa;
+        let dfa = minimize::minimize(&powerset::determinize(nfa));
+        let rid = RiDfa::from_nfa(nfa).minimized();
+        let dfa_ca = DfaCa::new(&dfa);
+        let nfa_ca = NfaCa::new(nfa);
+        let rid_ca = RidCa::new(&rid);
+        for (text, expected) in [
+            ((b.accepted)(16 << 10, 5), true),
+            ((b.rejected)(16 << 10, 5), false),
+        ] {
+            for chunks in [1usize, 4, 32] {
+                let executor = Executor::Team(4);
+                assert_eq!(
+                    recognize(&dfa_ca, &text, chunks, executor).accepted,
+                    expected,
+                    "{} dfa {} chunks",
+                    b.name,
+                    chunks
+                );
+                assert_eq!(
+                    recognize(&nfa_ca, &text, chunks, executor).accepted,
+                    expected,
+                    "{} nfa {} chunks",
+                    b.name,
+                    chunks
+                );
+                assert_eq!(
+                    recognize(&rid_ca, &text, chunks, executor).accepted,
+                    expected,
+                    "{} rid {} chunks",
+                    b.name,
+                    chunks
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_and_empty_texts() {
+    for b in ridfa::workloads::standard_benchmarks() {
+        let rid = RiDfa::from_nfa(&b.nfa).minimized();
+        let ca = RidCa::new(&rid);
+        for text in [&b""[..], b"a", b"\x00", b"\xff"] {
+            let expected = b.nfa.accepts(text);
+            for chunks in [1usize, 2, 8] {
+                assert_eq!(
+                    recognize(&ca, text, chunks, Executor::PerChunk).accepted,
+                    expected,
+                    "{} on {:?} with {} chunks",
+                    b.name,
+                    text,
+                    chunks
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the RI-DFA itself: the structural theorems of
+//! Sect. 3 of the paper, checked on random expressions and on the
+//! synthetic Ondrik machines.
+
+use proptest::prelude::*;
+
+use ridfa::automata::dfa::minimize::partition_refine;
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::automata::nfa::glushkov;
+use ridfa::automata::StateId;
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::ondrik::{machine, OndrikConfig};
+use ridfa::workloads::regen::{random_ast, RegenConfig};
+
+fn config() -> RegenConfig {
+    RegenConfig {
+        alphabet: b"abc".to_vec(),
+        max_depth: 3,
+        max_width: 3,
+        star_percent: 30,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interface_size_equals_nfa_size_before_minimization(seed in any::<u64>()) {
+        let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
+        let rid = RiDfa::from_nfa(&nfa);
+        prop_assert_eq!(rid.interface().len(), nfa.num_states());
+        // Every interface state is a singleton of its NFA state.
+        for q in 0..nfa.num_states() as StateId {
+            prop_assert_eq!(rid.content(rid.entry(q)), &[q]);
+        }
+    }
+
+    #[test]
+    fn minimized_interface_never_grows(seed in any::<u64>()) {
+        let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
+        let rid = RiDfa::from_nfa(&nfa);
+        let min = rid.minimized();
+        prop_assert!(min.interface().len() <= rid.interface().len());
+        // Downgrading only: the minimized interface is a subset.
+        for p in min.interface() {
+            prop_assert!(rid.interface().contains(p));
+        }
+        // Transition graph untouched.
+        prop_assert_eq!(min.num_states(), rid.num_states());
+    }
+
+    #[test]
+    fn delegates_are_nerode_equivalent(seed in any::<u64>()) {
+        // The Sect. 3.4 soundness condition: every delegate recognizes the
+        // same language as the entry it replaces.
+        let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
+        let min = RiDfa::from_nfa(&nfa).minimized();
+        let classes = partition_refine(
+            min.num_states(),
+            min.stride(),
+            |s, c| min.next_class(s, c),
+            |s| min.is_final(s),
+        );
+        for q in 0..min.num_nfa_states() as StateId {
+            prop_assert_eq!(
+                classes[min.entry(q) as usize],
+                classes[min.delegate(q) as usize],
+                "NFA state {}", q
+            );
+        }
+    }
+
+    #[test]
+    fn ridfa_contains_the_reachable_powerset(seed in any::<u64>()) {
+        // Every subset reachable from {q0} exists in the RI-DFA, so the
+        // RI-DFA is never smaller than the (unminimized) reachable DFA.
+        let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
+        let dfa = powerset::determinize(&nfa);
+        let rid = RiDfa::from_nfa(&nfa);
+        prop_assert!(rid.num_live_states() >= dfa.num_live_states());
+    }
+
+    #[test]
+    fn interface_bounded_by_minimal_nfa_languages(seed in any::<u64>()) {
+        // Corollary of Th. 3.4: the minimized interface cannot exceed the
+        // number of *distinct residual languages* of single NFA states —
+        // measured here as Nerode classes of the entry states.
+        let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
+        let rid = RiDfa::from_nfa(&nfa);
+        let min = rid.minimized();
+        let classes = partition_refine(
+            rid.num_states(),
+            rid.stride(),
+            |s, c| rid.next_class(s, c),
+            |s| rid.is_final(s),
+        );
+        let mut entry_classes: Vec<u32> = (0..nfa.num_states() as StateId)
+            .map(|q| classes[rid.entry(q) as usize])
+            .collect();
+        entry_classes.sort_unstable();
+        entry_classes.dedup();
+        prop_assert_eq!(min.interface().len(), entry_classes.len());
+    }
+
+    #[test]
+    fn validate_holds_for_random_machines(seed in any::<u64>()) {
+        let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
+        let rid = RiDfa::from_nfa(&nfa);
+        prop_assert_eq!(rid.validate(), Ok(()));
+        prop_assert_eq!(rid.minimized().validate(), Ok(()));
+    }
+}
+
+#[test]
+fn ondrik_machines_satisfy_rid_theorems() {
+    let config = OndrikConfig {
+        state_range: (12, 40),
+        ..OndrikConfig::default()
+    };
+    for i in 0..12u64 {
+        let nfa = machine(&config, 1000 + i);
+        let rid = RiDfa::from_nfa(&nfa);
+        assert_eq!(rid.validate(), Ok(()), "machine {i}");
+        assert_eq!(rid.interface().len(), nfa.num_states(), "machine {i}");
+        let min = rid.minimized();
+        assert!(min.interface().len() <= rid.interface().len());
+        // Serial recognition agrees with the NFA on probe strings.
+        for probe in [
+            &b""[..], b"a", b"ab", b"abc", b"aabbcc", b"cccc",
+            b"abababababab", b"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+        ] {
+            assert_eq!(
+                nfa.accepts(probe),
+                min.accepts(probe),
+                "machine {i} on {probe:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dfa_state_explosion_vs_interface_growth() {
+    // Theorem-level headline: on the regexp family, the minimal DFA is
+    // 2^(k+1) while the interface is k+2, for every k.
+    for k in [3usize, 5, 7] {
+        let nfa = ridfa::workloads::regexp::nfa(k);
+        let min = minimize::minimize(&powerset::determinize(&nfa));
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        assert_eq!(min.num_live_states(), 1 << (k + 1));
+        assert_eq!(rid.interface().len(), k + 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Round-trip tests of the text serialization across crates: benchmark
+//! NFAs and synthetic Ondrik machines survive save/load bit-exactly, and
+//! the reloaded machines drive the recognizer identically.
+
+use ridfa::automata::dfa::powerset;
+use ridfa::automata::serialize::{dfa_from_text, dfa_to_text, nfa_from_text, nfa_to_text};
+use ridfa::core::csdpa::{recognize, Executor, RidCa};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::ondrik::{machine, OndrikConfig};
+
+#[test]
+fn benchmark_nfas_roundtrip() {
+    for b in ridfa::workloads::standard_benchmarks() {
+        let text = nfa_to_text(&b.nfa);
+        let back = nfa_from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(b.nfa, back, "{}", b.name);
+    }
+}
+
+#[test]
+fn ondrik_machines_roundtrip() {
+    let config = OndrikConfig {
+        state_range: (8, 40),
+        ..OndrikConfig::default()
+    };
+    for i in 0..10u64 {
+        let nfa = machine(&config, 500 + i);
+        let back = nfa_from_text(&nfa_to_text(&nfa)).unwrap();
+        assert_eq!(nfa, back, "machine {i}");
+    }
+}
+
+#[test]
+fn dfas_roundtrip_and_recognize_identically() {
+    for b in ridfa::workloads::standard_benchmarks().into_iter().take(3) {
+        let dfa = powerset::determinize(&b.nfa);
+        let back = dfa_from_text(&dfa_to_text(&dfa)).unwrap();
+        assert_eq!(dfa.num_states(), back.num_states());
+        assert_eq!(dfa.start(), back.start());
+        let text = (b.accepted)(8 << 10, 3);
+        assert_eq!(dfa.accepts(&text), back.accepts(&text), "{}", b.name);
+        let rejected = (b.rejected)(8 << 10, 3);
+        assert_eq!(dfa.accepts(&rejected), back.accepts(&rejected), "{}", b.name);
+    }
+}
+
+#[test]
+fn reloaded_nfa_drives_the_parallel_recognizer() {
+    let b = &ridfa::workloads::standard_benchmarks()[2]; // bible
+    let reloaded = nfa_from_text(&nfa_to_text(&b.nfa)).unwrap();
+    let rid = RiDfa::from_nfa(&reloaded).minimized();
+    let ca = RidCa::new(&rid);
+    let text = (b.accepted)(64 << 10, 4);
+    assert!(recognize(&ca, &text, 8, Executor::Team(4)).accepted);
+    let bad = (b.rejected)(64 << 10, 4);
+    assert!(!recognize(&ca, &bad, 8, Executor::Team(4)).accepted);
+}
+
+#[test]
+fn serialized_form_is_human_readable() {
+    let b = &ridfa::workloads::standard_benchmarks()[0];
+    let text = nfa_to_text(&b.nfa);
+    assert!(text.starts_with("nfa "));
+    assert!(text.contains("start "));
+    assert!(text.contains("final "));
+    assert!(text.trim_end().ends_with("end"));
+}
