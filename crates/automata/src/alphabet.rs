@@ -9,11 +9,10 @@
 //! Two bytes are equivalent when no state of the source automaton can tell
 //! them apart, i.e. they have identical transition columns.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A surjective map `byte → class` with classes numbered `0..num_classes`.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct ByteClasses {
     map: Vec<u8>, // length 256
     num_classes: u16,
@@ -92,6 +91,24 @@ impl ByteClasses {
         self.map[byte as usize]
     }
 
+    /// Classifies a block of bytes in one pass: `out[i] = get(bytes[i])`.
+    ///
+    /// This is the shared byte→class translation of the lockstep scan
+    /// kernel: a chunk is classified block-wise *once*, instead of every
+    /// speculative run paying one [`get`](ByteClasses::get) per byte. The
+    /// loop is a pure gather over a 256-byte table, which the compiler
+    /// unrolls and the hardware prefetches perfectly.
+    ///
+    /// # Panics
+    /// When `out` is shorter than `bytes`.
+    #[inline]
+    pub fn classify_into(&self, bytes: &[u8], out: &mut [u8]) {
+        let out = &mut out[..bytes.len()];
+        for (slot, &byte) in out.iter_mut().zip(bytes) {
+            *slot = self.map[byte as usize];
+        }
+    }
+
     /// Number of distinct classes (the stride of dense transition tables).
     #[inline]
     pub fn num_classes(&self) -> usize {
@@ -108,7 +125,9 @@ impl ByteClasses {
                 reps[c] = Some(b);
             }
         }
-        reps.into_iter().map(|r| r.expect("class without member")).collect()
+        reps.into_iter()
+            .map(|r| r.expect("class without member"))
+            .collect()
     }
 
     /// All bytes belonging to `class`.

@@ -4,12 +4,10 @@
 //! rather than pulled from a crate so the hot membership test stays a single
 //! shift/mask with no feature baggage.
 
-use serde::{Deserialize, Serialize};
-
 use crate::StateId;
 
 /// A fixed-capacity set of [`StateId`]s backed by a `Vec<u64>`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Vec<u64>,
     capacity: usize,
@@ -74,10 +72,7 @@ impl BitSet {
 
     /// `true` if `self` and `other` share at least one element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// In-place union with `other` (capacities must match).
@@ -90,9 +85,13 @@ impl BitSet {
 
     /// Iterates over the ids present, in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: (wi * 64) as u32 }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: (wi * 64) as u32,
+            })
     }
 }
 

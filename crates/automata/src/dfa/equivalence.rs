@@ -21,8 +21,10 @@ pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<u8>> {
     let reps = classes.representatives();
 
     let start = (a.start(), b.start());
-    let mut parents: HashMap<(StateId, StateId), Option<((StateId, StateId), u8)>> =
-        HashMap::new();
+    // Maps a product state to the (predecessor, byte) edge it was first
+    // discovered through; `None` for the start pair.
+    type Parents = HashMap<(StateId, StateId), Option<((StateId, StateId), u8)>>;
+    let mut parents: Parents = HashMap::new();
     parents.insert(start, None);
     let mut queue = VecDeque::from([start]);
 
@@ -31,7 +33,7 @@ pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<u8>> {
             // Reconstruct the distinguishing string.
             let mut bytes = Vec::new();
             let mut cur = pair;
-            while let Some(&Some((prev, byte))) = parents.get(&cur).map(|p| p) {
+            while let Some(&Some((prev, byte))) = parents.get(&cur) {
                 bytes.push(byte);
                 cur = prev;
             }

@@ -320,10 +320,22 @@ mod tests {
             let min = minimize(&dfa);
             assert!(min.num_states() <= dfa.num_states());
             for input in [
-                &b""[..], b"a", b"abb", b"aabb", b"aa", b"aaaaa", b"abba",
-                b"xx", b"xyzx", b"xyz",
+                &b""[..],
+                b"a",
+                b"abb",
+                b"aabb",
+                b"aa",
+                b"aaaaa",
+                b"abba",
+                b"xx",
+                b"xyzx",
+                b"xyz",
             ] {
-                assert_eq!(dfa.accepts(input), min.accepts(input), "{pattern} {input:?}");
+                assert_eq!(
+                    dfa.accepts(input),
+                    min.accepts(input),
+                    "{pattern} {input:?}"
+                );
             }
         }
     }
@@ -404,7 +416,14 @@ mod tests {
         let nfa = nfa_for("(0|1)*1(0|1){2}");
         let min = minimize(&determinize(&nfa));
         for input in [
-            &b""[..], b"100", b"111", b"000", b"0100", b"1", b"10", b"0101100",
+            &b""[..],
+            b"100",
+            b"111",
+            b"000",
+            b"0100",
+            b"1",
+            b"10",
+            b"0101100",
         ] {
             assert_eq!(nfa.accepts(input), min.accepts(input), "{input:?}");
         }

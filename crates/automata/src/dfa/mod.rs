@@ -16,8 +16,6 @@ mod run;
 
 pub use run::run_chunk;
 
-use serde::{Deserialize, Serialize};
-
 use crate::alphabet::ByteClasses;
 use crate::counter::Counter;
 use crate::error::{Error, Result};
@@ -25,7 +23,7 @@ use crate::{BitSet, StateId, DEAD};
 
 /// A complete DFA over bytes (every state has a transition for every byte;
 /// missing language transitions go to [`DEAD`](crate::DEAD)).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dfa {
     classes: ByteClasses,
     stride: usize,
@@ -46,7 +44,7 @@ impl Dfa {
         finals: BitSet,
     ) -> Result<Dfa> {
         let stride = classes.num_classes();
-        if stride == 0 || table.len() % stride != 0 {
+        if stride == 0 || !table.len().is_multiple_of(stride) {
             return Err(Error::InvalidAutomaton(format!(
                 "table length {} is not a multiple of stride {stride}",
                 table.len()
@@ -151,6 +149,19 @@ impl Dfa {
         &self.table
     }
 
+    /// A copy of the transition table with every entry *premultiplied* by
+    /// the stride: `ptable[s * stride + c] = table[s * stride + c] * stride`.
+    ///
+    /// Scan loops that track premultiplied row offsets instead of state
+    /// ids advance with a single indexed load per byte
+    /// (`row = ptable[row + class]`), with no per-transition multiply.
+    /// Row `0` still denotes the dead state ([`DEAD`](crate::DEAD)` * stride = 0`).
+    /// Build once at automaton-wrapping time and reuse; see
+    /// `ridfa-core`'s lockstep kernel.
+    pub fn premultiplied_table(&self) -> Vec<StateId> {
+        premultiply(&self.table, self.stride)
+    }
+
     /// Serial whole-string recognition from the initial state: exactly
     /// `|text|` transitions unless the run dies early. This is the paper's
     /// serial baseline.
@@ -171,6 +182,25 @@ impl Dfa {
     pub fn live_states(&self) -> impl Iterator<Item = StateId> + '_ {
         1..self.num_states() as StateId
     }
+}
+
+/// Premultiplies a dense table's entries by its stride (see
+/// [`Dfa::premultiplied_table`]); shared with the RI-DFA, whose table has
+/// the identical layout.
+///
+/// # Panics
+/// When `num_states * stride` overflows `StateId` — such a table could
+/// not be indexed by `u32` offsets in the first place.
+pub fn premultiply(table: &[StateId], stride: usize) -> Vec<StateId> {
+    let limit = u32::try_from(table.len()).expect("table indexable by u32");
+    table
+        .iter()
+        .map(|&t| {
+            let row = t as u64 * stride as u64;
+            debug_assert!(row < u64::from(limit.max(1)));
+            row as StateId
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -16,8 +16,7 @@ use super::Dfa;
 
 /// Determinizes `nfa` with no state bound.
 pub fn determinize(nfa: &Nfa) -> Dfa {
-    determinize_limited(nfa, usize::MAX)
-        .expect("unbounded determinization cannot hit the limit")
+    determinize_limited(nfa, usize::MAX).expect("unbounded determinization cannot hit the limit")
 }
 
 /// Determinizes `nfa`, failing with [`Error::LimitExceeded`] if more than
@@ -110,8 +109,19 @@ mod tests {
             let nfa = nfa_for(pattern);
             let dfa = determinize(&nfa);
             for input in [
-                &b""[..], b"a", b"abb", b"aabb", b"abc", b"acc", b"xzzp", b"y",
-                b"aab", b"aabaab", b"aabb", b"b", b"aaab",
+                &b""[..],
+                b"a",
+                b"abb",
+                b"aabb",
+                b"abc",
+                b"acc",
+                b"xzzp",
+                b"y",
+                b"aab",
+                b"aabaab",
+                b"aabb",
+                b"b",
+                b"aaab",
             ] {
                 assert_eq!(
                     nfa.accepts(input),

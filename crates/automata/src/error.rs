@@ -69,7 +69,10 @@ mod tests {
             what: "powerset states",
             limit: 10,
         };
-        assert_eq!(e.to_string(), "powerset states exceeded configured limit of 10");
+        assert_eq!(
+            e.to_string(),
+            "powerset states exceeded configured limit of 10"
+        );
     }
 
     #[test]

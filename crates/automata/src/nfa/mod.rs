@@ -16,8 +16,6 @@ mod simulate;
 pub use builder::Builder;
 pub use simulate::Simulator;
 
-use serde::{Deserialize, Serialize};
-
 use crate::alphabet::ByteClasses;
 use crate::{BitSet, StateId};
 
@@ -26,7 +24,7 @@ use crate::{BitSet, StateId};
 /// States are `0..num_states()`; the conventional initial state is
 /// [`start`](Nfa::start) but the speculative recognizer may start runs from
 /// any state (that is the whole point of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Nfa {
     start: StateId,
     finals: BitSet,

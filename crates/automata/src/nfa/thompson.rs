@@ -45,13 +45,19 @@ fn compile(eps: &mut EpsNfa, ast: &Ast) -> Fragment {
             let s = eps.add_state();
             let t = eps.add_state();
             eps.add_epsilon(s, t);
-            Fragment { start: s, accept: t }
+            Fragment {
+                start: s,
+                accept: t,
+            }
         }
         Ast::Class(set) => {
             let s = eps.add_state();
             let t = eps.add_state();
             eps.add_class(s, set, t);
-            Fragment { start: s, accept: t }
+            Fragment {
+                start: s,
+                accept: t,
+            }
         }
         Ast::Concat(parts) => {
             let first = compile(eps, &parts[0]);
@@ -74,7 +80,10 @@ fn compile(eps: &mut EpsNfa, ast: &Ast) -> Fragment {
                 eps.add_epsilon(s, frag.start);
                 eps.add_epsilon(frag.accept, t);
             }
-            Fragment { start: s, accept: t }
+            Fragment {
+                start: s,
+                accept: t,
+            }
         }
         Ast::Star(inner) => {
             let s = eps.add_state();
@@ -84,7 +93,10 @@ fn compile(eps: &mut EpsNfa, ast: &Ast) -> Fragment {
             eps.add_epsilon(frag.accept, t);
             eps.add_epsilon(s, t);
             eps.add_epsilon(frag.accept, frag.start);
-            Fragment { start: s, accept: t }
+            Fragment {
+                start: s,
+                accept: t,
+            }
         }
         Ast::Repeat { .. } => unreachable!("compile() requires a desugared AST"),
     }

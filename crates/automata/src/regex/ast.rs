@@ -1,14 +1,12 @@
 //! The regular-expression abstract syntax tree and byte-class sets.
 
-use serde::{Deserialize, Serialize};
-
 /// A set of bytes (a character class), stored as a 256-bit mask.
 ///
 /// This is the symbol type of all automata in the workspace: an NFA/DFA edge
 /// is labelled by one byte, but the AST and the Glushkov construction handle
 /// whole classes at once to keep benchmark automata (whose alphabets are
 /// byte classes like `Σ`, `[a-z]`, `\d`) compact to describe.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ByteSet {
     words: [u64; 4],
 }
@@ -18,7 +16,9 @@ impl ByteSet {
     pub const EMPTY: ByteSet = ByteSet { words: [0; 4] };
 
     /// The full set of all 256 bytes.
-    pub const ANY: ByteSet = ByteSet { words: [u64::MAX; 4] };
+    pub const ANY: ByteSet = ByteSet {
+        words: [u64::MAX; 4],
+    };
 
     /// Creates a set containing a single byte.
     pub fn singleton(b: u8) -> ByteSet {
@@ -165,7 +165,7 @@ impl std::fmt::Debug for ByteSet {
 /// `Repeat` keeps bounded repetitions symbolic so patterns print back
 /// faithfully; [`Ast::desugar`] lowers the tree to the core operators
 /// (ε, class, concat, alt, star) that the NFA constructions consume.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ast {
     /// The empty string ε.
     Empty,
@@ -424,10 +424,7 @@ mod tests {
         // a+ = a a*
         assert_eq!(
             d,
-            Ast::Concat(vec![
-                Ast::literal(b'a'),
-                Ast::star(Ast::literal(b'a'))
-            ])
+            Ast::Concat(vec![Ast::literal(b'a'), Ast::star(Ast::literal(b'a'))])
         );
     }
 

@@ -105,7 +105,7 @@ fn write_class(f: &mut fmt::Formatter<'_>, set: &ByteSet) -> fmt::Result {
         return write_literal(f, set.iter().next().unwrap());
     }
     // Print whichever of the set / its complement is smaller.
-    if set.len() > 128 && set.negate().len() > 0 {
+    if set.len() > 128 && !set.negate().is_empty() {
         f.write_str("[^")?;
         write_class_body(f, &set.negate())?;
     } else {
@@ -153,8 +153,8 @@ fn write_class_byte(f: &mut fmt::Formatter<'_>, b: u8) -> fmt::Result {
 /// Escapes a byte for use as a bare literal.
 fn write_literal(f: &mut fmt::Formatter<'_>, b: u8) -> fmt::Result {
     match b {
-        b'\\' | b'.' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'{' | b'}'
-        | b'|' | b'^' | b'$' | b'-' => write!(f, "\\{}", b as char),
+        b'\\' | b'.' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'{' | b'}' | b'|'
+        | b'^' | b'$' | b'-' => write!(f, "\\{}", b as char),
         b'\n' => f.write_str("\\n"),
         b'\t' => f.write_str("\\t"),
         b'\r' => f.write_str("\\r"),

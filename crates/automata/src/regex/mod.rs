@@ -34,8 +34,8 @@ mod tests {
         ] {
             let once = parse(pattern).unwrap();
             let printed = once.to_string();
-            let twice = parse(&printed)
-                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            let twice =
+                parse(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
             assert_eq!(once, twice, "pattern {pattern:?} printed as {printed:?}");
         }
     }

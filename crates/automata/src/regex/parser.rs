@@ -379,26 +379,26 @@ mod tests {
 
     #[test]
     fn character_classes() {
-        let set = class_of(&parse("[a-cx]").unwrap()).clone();
+        let set = *class_of(&parse("[a-cx]").unwrap());
         assert_eq!(set.iter().collect::<Vec<_>>(), vec![b'a', b'b', b'c', b'x']);
 
-        let neg = class_of(&parse("[^a]").unwrap()).clone();
+        let neg = *class_of(&parse("[^a]").unwrap());
         assert!(!neg.contains(b'a'));
         assert_eq!(neg.len(), 255);
 
         // `]` first is literal; `-` last is literal.
-        let tricky = class_of(&parse("[]a-]").unwrap()).clone();
+        let tricky = *class_of(&parse("[]a-]").unwrap());
         assert!(tricky.contains(b']') && tricky.contains(b'a') && tricky.contains(b'-'));
         assert_eq!(tricky.len(), 3);
     }
 
     #[test]
     fn class_with_escapes() {
-        let set = class_of(&parse("[\\d\\-]").unwrap()).clone();
+        let set = *class_of(&parse("[\\d\\-]").unwrap());
         assert!(set.contains(b'5') && set.contains(b'-'));
         assert_eq!(set.len(), 11);
 
-        let range = class_of(&parse("[\\x41-\\x43]").unwrap()).clone();
+        let range = *class_of(&parse("[\\x41-\\x43]").unwrap());
         assert_eq!(range.iter().collect::<Vec<_>>(), vec![b'A', b'B', b'C']);
     }
 
@@ -414,7 +414,9 @@ mod tests {
 
     #[test]
     fn syntax_errors() {
-        for bad in ["(a", "a)", "*a", "+", "?x", "[a", "[z-a]", "\\", "\\q", "\\x1", "a{", "]"] {
+        for bad in [
+            "(a", "a)", "*a", "+", "?x", "[a", "[z-a]", "\\", "\\q", "\\x1", "a{", "]",
+        ] {
             assert!(parse(bad).is_err(), "pattern {bad:?} should fail");
         }
     }

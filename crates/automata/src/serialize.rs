@@ -68,9 +68,7 @@ pub fn nfa_from_text(text: &str) -> Result<Nfa> {
                 saw_end = true;
                 break;
             }
-            Some(other) => {
-                return Err(Error::Deserialize(format!("unknown directive {other:?}")))
-            }
+            Some(other) => return Err(Error::Deserialize(format!("unknown directive {other:?}"))),
             None => {}
         }
     }
@@ -171,9 +169,7 @@ pub fn dfa_from_text(text: &str) -> Result<Dfa> {
                 saw_end = true;
                 break;
             }
-            Some(other) => {
-                return Err(Error::Deserialize(format!("unknown directive {other:?}")))
-            }
+            Some(other) => return Err(Error::Deserialize(format!("unknown directive {other:?}"))),
             None => {}
         }
     }
@@ -183,8 +179,8 @@ pub fn dfa_from_text(text: &str) -> Result<Dfa> {
     let map = class_map.ok_or_else(|| Error::Deserialize("missing 'classes' line".into()))?;
     // Preserve the *exact* class ids from the file (rebuilding by
     // first-appearance order would scramble table columns).
-    let classes = ByteClasses::from_exact_map(map, stride)
-        .map_err(|e| Error::Deserialize(e.to_string()))?;
+    let classes =
+        ByteClasses::from_exact_map(map, stride).map_err(|e| Error::Deserialize(e.to_string()))?;
     Dfa::from_parts(classes, table, start, finals).map_err(|e| Error::Deserialize(e.to_string()))
 }
 
@@ -199,7 +195,9 @@ struct Lines<'a> {
 
 impl<'a> Lines<'a> {
     fn new(text: &'a str) -> Self {
-        Lines { inner: text.lines() }
+        Lines {
+            inner: text.lines(),
+        }
     }
 
     /// Next non-empty, non-comment line.
@@ -268,7 +266,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = "\n# a comment\nnfa 2\nstart 0\nfinal 1  # trailing comment\n\ntrans 0 120 1\nend\n";
+        let text =
+            "\n# a comment\nnfa 2\nstart 0\nfinal 1  # trailing comment\n\ntrans 0 120 1\nend\n";
         let nfa = nfa_from_text(text).unwrap();
         assert!(nfa.accepts(b"x"));
     }

@@ -6,11 +6,19 @@
 //! 2. **Executor shape** — the paper's one-thread-per-chunk model vs a
 //!    bounded dynamic team.
 //! 3. **SFA comparator** — zero speculation, huge table (reference \[25\]).
+//! 4. **Scan kernel** — per-run vs lockstep vs lockstep with shared
+//!    block classification, on the longest-interface workload
+//!    (`traffic`, 101 interface states), where fusing the `k` passes
+//!    matters most. The harness writes the group's results to
+//!    `target/criterion-shim/ablation_kernels.json`; the checked-in
+//!    baseline lives at `crates/bench/baselines/ablation_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use ridfa_bench::build_artifacts;
-use ridfa_core::csdpa::{recognize, ConvergentDfaCa, ConvergentRidCa, DfaCa, Executor, RidCa};
+use ridfa_core::csdpa::{
+    recognize, ConvergentDfaCa, ConvergentRidCa, DfaCa, Executor, Kernel, RidCa,
+};
 use ridfa_core::ridfa::RiDfa;
 use ridfa_core::sfa::{Sfa, SfaCa};
 use ridfa_workloads::standard_benchmarks;
@@ -18,7 +26,10 @@ use ridfa_workloads::standard_benchmarks;
 const TEXT_LEN: usize = 256 << 10;
 
 fn bench_interface_minimization(c: &mut Criterion) {
-    let fasta = standard_benchmarks().into_iter().find(|b| b.name == "fasta").unwrap();
+    let fasta = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "fasta")
+        .unwrap();
     let rid_raw = RiDfa::from_nfa(&fasta.nfa);
     let rid_min = rid_raw.minimized();
     assert!(
@@ -44,7 +55,10 @@ fn bench_interface_minimization(c: &mut Criterion) {
 }
 
 fn bench_executor_shape(c: &mut Criterion) {
-    let bible = standard_benchmarks().into_iter().find(|b| b.name == "bible").unwrap();
+    let bible = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "bible")
+        .unwrap();
     let a = build_artifacts(&bible);
     let ca = RidCa::new(&a.rid);
     let text = (a.accepted)(TEXT_LEN, 42);
@@ -70,7 +84,10 @@ fn bench_executor_shape(c: &mut Criterion) {
 fn bench_sfa_comparator(c: &mut Criterion) {
     // Small pattern: the SFA fits in memory, so the zero-speculation
     // trade-off can be measured directly.
-    let bigdata = standard_benchmarks().into_iter().find(|b| b.name == "bigdata").unwrap();
+    let bigdata = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "bigdata")
+        .unwrap();
     let a = build_artifacts(&bigdata);
     let sfa = Sfa::build_limited(&a.dfa, 1 << 20).expect("bigdata SFA fits");
     let text = (a.accepted)(TEXT_LEN, 42);
@@ -95,7 +112,10 @@ fn bench_convergence(c: &mut Criterion) {
     // The conclusion's "compatible with state-convergence" claim: lockstep
     // scanning with group merging, for both the DFA and RID variants, on
     // the winning benchmark where the DFA has the most runs to merge.
-    let bible = standard_benchmarks().into_iter().find(|b| b.name == "bible").unwrap();
+    let bible = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "bible")
+        .unwrap();
     let a = build_artifacts(&bible);
     let text = (a.accepted)(TEXT_LEN, 42);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -123,11 +143,44 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    // The tentpole ablation: how much of the reach phase's speculation
+    // overhead each kernel layer removes. `traffic` has the longest
+    // interface of the standard benchmarks, so per-run scanning pays the
+    // full k-pass cost and the lockstep layers have the most to merge.
+    let traffic = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "traffic")
+        .unwrap();
+    let a = build_artifacts(&traffic);
+    let text = (a.accepted)(TEXT_LEN, 42);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let chunks = threads * 2;
+    let mut group = c.benchmark_group("ablation_kernels");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    for (label, kernel) in [
+        ("per_run", Kernel::PerRun),
+        ("lockstep", Kernel::Lockstep),
+        ("lockstep_shared", Kernel::LockstepShared),
+        ("auto", Kernel::Auto),
+    ] {
+        let ca = ConvergentRidCa::with_kernel(&a.rid, kernel);
+        group.bench_function(label, |b| {
+            b.iter(|| recognize(&ca, &text, chunks, Executor::Team(threads)).accepted);
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_interface_minimization,
     bench_executor_shape,
     bench_sfa_comparator,
-    bench_convergence
+    bench_convergence,
+    bench_kernels
 );
 criterion_main!(benches);

@@ -13,9 +13,13 @@ fn bench_construction(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.sample_size(20);
     for b in standard_benchmarks() {
-        group.bench_with_input(BenchmarkId::new("determinize", b.name), &b.nfa, |bench, nfa| {
-            bench.iter(|| powerset::determinize(nfa));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("determinize", b.name),
+            &b.nfa,
+            |bench, nfa| {
+                bench.iter(|| powerset::determinize(nfa));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("determinize_minimize", b.name),
             &b.nfa,

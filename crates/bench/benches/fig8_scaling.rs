@@ -8,7 +8,10 @@ use ridfa_core::csdpa::{recognize, Executor, RidCa};
 use ridfa_workloads::standard_benchmarks;
 
 fn bench_thread_scaling(c: &mut Criterion) {
-    let bible = standard_benchmarks().into_iter().find(|b| b.name == "bible").unwrap();
+    let bible = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "bible")
+        .unwrap();
     let a = build_artifacts(&bible);
     let text = (a.accepted)(512 << 10, 42);
     let rid_ca = RidCa::new(&a.rid);
@@ -33,7 +36,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
 }
 
 fn bench_text_scaling(c: &mut Criterion) {
-    let regexp = standard_benchmarks().into_iter().find(|b| b.name == "regexp").unwrap();
+    let regexp = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "regexp")
+        .unwrap();
     let a = build_artifacts(&regexp);
     let rid_ca = RidCa::new(&a.rid);
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
@@ -44,13 +50,9 @@ fn bench_text_scaling(c: &mut Criterion) {
     for kb in [64usize, 128, 256, 512] {
         let text = (a.accepted)(kb << 10, 42);
         group.throughput(Throughput::Bytes(text.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("rid_regexp", kb),
-            &text,
-            |bench, text| {
-                bench.iter(|| recognize(&rid_ca, text, threads, Executor::Team(threads)).accepted);
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("rid_regexp", kb), &text, |bench, text| {
+            bench.iter(|| recognize(&rid_ca, text, threads, Executor::Team(threads)).accepted);
+        });
     }
     group.finish();
 }

@@ -18,13 +18,9 @@ fn bench_interface(c: &mut Criterion) {
             ..OndrikConfig::default()
         };
         let nfa = machine(&config, 1234);
-        group.bench_with_input(
-            BenchmarkId::new("min_dfa", states),
-            &nfa,
-            |b, nfa| {
-                b.iter(|| minimize::minimize(&powerset::determinize(nfa)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("min_dfa", states), &nfa, |b, nfa| {
+            b.iter(|| minimize::minimize(&powerset::determinize(nfa)));
+        });
         group.bench_with_input(
             BenchmarkId::new("ridfa_minimized", states),
             &nfa,

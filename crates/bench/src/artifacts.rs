@@ -2,8 +2,8 @@
 
 use std::time::{Duration, Instant};
 
-use ridfa_automata::dfa::{minimize, powerset};
 use ridfa_automata::dfa::Dfa;
+use ridfa_automata::dfa::{minimize, powerset};
 use ridfa_automata::nfa::Nfa;
 use ridfa_core::ridfa::RiDfa;
 use ridfa_workloads::{Benchmark, Group};

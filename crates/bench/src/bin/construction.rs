@@ -24,10 +24,7 @@ fn main() {
     let args = Args::parse();
     let config = OndrikConfig {
         num_machines: args.get_or("machines", 1084),
-        state_range: (
-            args.get_or("min-states", 24),
-            args.get_or("max-states", 96),
-        ),
+        state_range: (args.get_or("min-states", 24), args.get_or("max-states", 96)),
         seed: args.seed(),
         ..OndrikConfig::default()
     };

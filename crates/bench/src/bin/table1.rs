@@ -16,8 +16,14 @@ use ridfa_workloads::standard_benchmarks;
 fn main() {
     let args = Args::parse();
     let mut table = Table::new(&[
-        "name", "NFAs", "NFA states", "min-DFA", "RI-DFA states", "interface",
-        "text (MB)", "paper text (MB)",
+        "name",
+        "NFAs",
+        "NFA states",
+        "min-DFA",
+        "RI-DFA states",
+        "interface",
+        "text (MB)",
+        "paper text (MB)",
     ]);
     for b in standard_benchmarks() {
         let a = build_artifacts(&b);
@@ -47,7 +53,10 @@ fn main() {
     table.print();
     if args.has("verbose") {
         println!("\npatterns:");
-        println!("  regexp : (a|b)*a(a|b)^{}", ridfa_workloads::spec::REGEXP_K);
+        println!(
+            "  regexp : (a|b)*a(a|b)^{}",
+            ridfa_workloads::spec::REGEXP_K
+        );
         println!("  bible  : {}", ridfa_workloads::bible::pattern());
         println!("  fasta  : {}", ridfa_workloads::fasta::pattern());
         println!("  traffic: {}", ridfa_workloads::traffic::pattern());

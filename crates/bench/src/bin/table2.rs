@@ -24,10 +24,7 @@ fn main() {
     let defaults = OndrikConfig::default();
     let config = OndrikConfig {
         num_machines: args.get_or("machines", 1084),
-        state_range: (
-            args.get_or("min-states", 24),
-            args.get_or("max-states", 96),
-        ),
+        state_range: (args.get_or("min-states", 24), args.get_or("max-states", 96)),
         density_percent: args.get_or("density", defaults.density_percent),
         jump_percent: args.get_or("jump", defaults.jump_percent),
         gadget_percent: args.get_or("gadget", defaults.gadget_percent),

@@ -35,8 +35,13 @@ fn main() {
         if args.has("full") { "paper" } else { "default" }
     );
     let mut table = Table::new(&[
-        "benchmark", "group", "DFA/RID time", "NFA/RID time", "DFA/RID trans",
-        "NFA/RID trans", "text (MB)",
+        "benchmark",
+        "group",
+        "DFA/RID time",
+        "NFA/RID time",
+        "DFA/RID trans",
+        "NFA/RID trans",
+        "text (MB)",
     ]);
 
     for b in standard_benchmarks() {
@@ -56,8 +61,11 @@ fn main() {
         let rid_out = recognize(&rid_ca, &text, chunks, executor);
         let dfa_out = recognize(&dfa_ca, &text, chunks, executor);
         let nfa_out = recognize(&nfa_ca, &text, chunks, executor);
-        assert!(expect && rid_out.accepted && dfa_out.accepted && nfa_out.accepted,
-                "{}: all variants must accept the generated text", a.name);
+        assert!(
+            expect && rid_out.accepted && dfa_out.accepted && nfa_out.accepted,
+            "{}: all variants must accept the generated text",
+            a.name
+        );
 
         let t_dfa = median_duration(reps, || {
             recognize(&dfa_ca, &text, chunks, executor);

@@ -16,11 +16,11 @@ pub struct Args {
 impl Args {
     /// Parses `std::env::args` (skipping the binary name).
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list (for tests).
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Args {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut iter = args.into_iter().peekable();
@@ -87,7 +87,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Args {
-        Args::from_iter(list.iter().map(|s| s.to_string()))
+        Args::from_args(list.iter().map(|s| s.to_string()))
     }
 
     #[test]

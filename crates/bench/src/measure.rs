@@ -35,7 +35,7 @@ mod tests {
 
     #[test]
     fn median_is_a_sample() {
-        let d = median_duration(5, || std::thread::yield_now());
+        let d = median_duration(5, std::thread::yield_now);
         assert!(d < Duration::from_secs(1));
     }
 

@@ -18,9 +18,7 @@ use std::time::Instant;
 use ridfa_automata::dfa::{minimize, powerset};
 use ridfa_automata::nfa::{glushkov, Nfa};
 use ridfa_automata::{regex, serialize};
-use ridfa_core::csdpa::{
-    recognize_counted, ChunkAutomaton, DfaCa, Executor, NfaCa, RidCa,
-};
+use ridfa_core::csdpa::{recognize_counted, ChunkAutomaton, DfaCa, Executor, NfaCa, RidCa};
 use ridfa_core::ridfa::RiDfa;
 
 fn main() -> ExitCode {
@@ -90,7 +88,9 @@ impl Opts {
     }
 
     fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 

@@ -25,7 +25,10 @@ fn no_args_fails_with_usage() {
 
 #[test]
 fn gen_prints_nfa_text() {
-    let out = ridfa().args(["gen", "--regex", "(a|b)*abb"]).output().unwrap();
+    let out = ridfa()
+        .args(["gen", "--regex", "(a|b)*abb"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.starts_with("nfa "));
@@ -48,7 +51,15 @@ fn info_reports_interface_reduction() {
 fn recognize_accepts_and_rejects_via_exit_code() {
     for (input, expect_ok) in [("aabb", true), ("ba", false)] {
         let mut child = ridfa()
-            .args(["recognize", "--regex", "(a|b)*abb", "--text", "-", "--chunks", "2"])
+            .args([
+                "recognize",
+                "--regex",
+                "(a|b)*abb",
+                "--text",
+                "-",
+                "--chunks",
+                "2",
+            ])
             .stdin(Stdio::piped())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
@@ -74,7 +85,12 @@ fn drive_compares_all_variants() {
         .stderr(Stdio::null())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"xyxyxyxy").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"xyxyxyxy")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();

@@ -9,7 +9,8 @@ use std::ops::Range;
 /// (`y_i ∈ Σ+` in the paper); an empty text yields a single empty span.
 pub fn chunk_spans(len: usize, num_chunks: usize) -> Vec<Range<usize>> {
     if len == 0 {
-        return vec![0..0];
+        let empty: Range<usize> = 0..0;
+        return vec![empty];
     }
     let c = num_chunks.clamp(1, len);
     let base = len / c;

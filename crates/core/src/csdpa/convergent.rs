@@ -1,140 +1,87 @@
-//! State-convergence optimization for speculative chunk scans.
+//! State-convergence chunk automata: the lockstep [`kernel`] applied to
+//! the classic DFA CA and the RI-DFA CA.
 //!
 //! The paper's conclusion notes that the RI-DFA approach "is compatible
 //! with most existing [optimizations], in particular with state-
 //! convergence" (citing the data-parallel FSM work of Mytkowicz et al.
-//! \[22\]). This module implements that optimization for any dense
-//! deterministic table: instead of running each speculative start to
-//! completion one after the other, all runs advance in lockstep and runs
-//! that have *converged* to the same state are merged into one group —
-//! from that byte on they are charged a single transition. On realistic
-//! texts most runs converge (or die) within a few hundred bytes, so the
-//! per-byte cost collapses from `|I|` towards 1.
+//! \[22\]). These wrappers run all speculative starts through the
+//! single-pass lockstep kernel — runs that have *converged* to the same
+//! state are merged and charged a single transition from that byte on,
+//! and the byte→class translation is shared across all runs. On
+//! realistic texts most runs converge (or die) within a few hundred
+//! bytes, so the per-byte cost collapses from `|I|` towards 1.
 //!
-//! Offered for both the classic DFA chunk automaton
-//! ([`ConvergentDfaCa`]) and the RI-DFA one ([`ConvergentRidCa`]); both
-//! produce mappings identical to their non-convergent counterparts, which
-//! the tests assert, so the join phase is unchanged.
+//! Both CAs produce mappings bit-identical to their non-convergent
+//! counterparts (asserted by `tests/convergence.rs` across random
+//! regexes, texts and cut points), so the join phase is unchanged. The
+//! kernel strategy defaults to [`Kernel::Auto`] — short chunks and tiny
+//! interfaces scan per run, everything else takes the fused lockstep
+//! path — and can be pinned with
+//! [`with_kernel`](ConvergentDfaCa::with_kernel) for ablations.
 
 use ridfa_automata::counter::Counter;
 use ridfa_automata::dfa::Dfa;
-use ridfa_automata::{StateId, DEAD};
+use ridfa_automata::StateId;
 
 use crate::ridfa::RiDfa;
 
+use super::kernel::{self, DenseTable, Kernel, Scratch};
 use super::{ChunkAutomaton, DfaCa, RidCa, RidMapping};
 
-/// Lockstep scan with convergence merging over a dense table.
-///
-/// `starts` yields `(origin, start_state)` pairs; the result has one slot
-/// per origin, holding the last active state ([`DEAD`] when the run died).
-/// `counter` is incremented once per *group* per byte — the work actually
-/// executed after merging.
-fn lockstep_scan(
-    num_states: usize,
-    next: impl Fn(StateId, u8) -> StateId,
-    starts: impl Iterator<Item = (u32, StateId)>,
-    num_origins: usize,
-    chunk: &[u8],
-    counter: &mut impl Counter,
-) -> Vec<StateId> {
-    // Groups of origins currently sharing a state. Origin lists are moved,
-    // never copied, when groups merge.
-    let mut states: Vec<StateId> = Vec::new();
-    let mut members: Vec<Vec<u32>> = Vec::new();
-    {
-        // Initial grouping: distinct start states may already coincide.
-        let mut slot = vec![u32::MAX; num_states];
-        for (origin, start) in starts {
-            let s = slot[start as usize];
-            if s == u32::MAX {
-                slot[start as usize] = states.len() as u32;
-                states.push(start);
-                members.push(vec![origin]);
-            } else {
-                members[s as usize].push(origin);
-            }
-        }
-    }
-
-    // Generation-stamped slot map: avoids an O(num_states) clear per byte.
-    let mut slot: Vec<(u32, u32)> = vec![(0, 0); num_states];
-    let mut generation = 0u32;
-    let mut dead_origins: Vec<u32> = Vec::new();
-    let mut next_states: Vec<StateId> = Vec::new();
-    let mut next_members: Vec<Vec<u32>> = Vec::new();
-
-    for &byte in chunk {
-        if states.is_empty() {
-            break;
-        }
-        generation += 1;
-        next_states.clear();
-        next_members.clear();
-        for (state, origins) in states.drain(..).zip(next_members_drain(&mut members)) {
-            let target = next(state, byte);
-            if target == DEAD {
-                dead_origins.extend(origins);
-                continue;
-            }
-            counter.incr();
-            let (gen, idx) = slot[target as usize];
-            if gen == generation {
-                next_members[idx as usize].extend(origins);
-            } else {
-                slot[target as usize] = (generation, next_states.len() as u32);
-                next_states.push(target);
-                next_members.push(origins);
-            }
-        }
-        std::mem::swap(&mut states, &mut next_states);
-        std::mem::swap(&mut members, &mut next_members);
-    }
-
-    let mut mapping = vec![DEAD; num_origins];
-    for (state, origins) in states.iter().zip(&members) {
-        for &origin in origins {
-            mapping[origin as usize] = *state;
-        }
-    }
-    // Dead origins already map to DEAD.
-    drop(dead_origins);
-    mapping
-}
-
-/// Helper: drain `members` into an iterator of owned origin lists.
-fn next_members_drain(members: &mut Vec<Vec<u32>>) -> std::vec::Drain<'_, Vec<u32>> {
-    members.drain(..)
-}
-
 /// The classic DFA chunk automaton with convergence merging.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ConvergentDfaCa<'a> {
     inner: DfaCa<'a>,
+    kernel: Kernel,
 }
 
 impl<'a> ConvergentDfaCa<'a> {
-    /// Wraps `dfa`.
+    /// Wraps `dfa` with adaptive kernel selection.
     pub fn new(dfa: &'a Dfa) -> Self {
+        Self::with_kernel(dfa, Kernel::Auto)
+    }
+
+    /// Wraps `dfa`, pinning the scan strategy (for ablations and tests).
+    pub fn with_kernel(dfa: &'a Dfa, kernel: Kernel) -> Self {
         ConvergentDfaCa {
             inner: DfaCa::new(dfa),
+            kernel,
         }
+    }
+
+    /// The configured scan strategy.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 }
 
 impl ChunkAutomaton for ConvergentDfaCa<'_> {
     type Mapping = Vec<StateId>;
+    type Scratch = Scratch;
 
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
+    fn scan_with(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Scratch,
+        counter: &mut impl Counter,
+    ) -> Vec<StateId> {
         let dfa = self.inner.dfa();
-        lockstep_scan(
-            dfa.num_states(),
-            |s, b| dfa.next(s, b),
+        let mut mapping = Vec::new();
+        kernel::scan_into(
+            DenseTable {
+                ptable: self.inner.ptable(),
+                stride: dfa.stride(),
+                classes: dfa.classes(),
+            },
             dfa.live_states().map(|s| (s, s)),
             dfa.num_states(),
             chunk,
+            self.kernel,
+            scratch,
             counter,
-        )
+            &mut mapping,
+        );
+        mapping
     }
 
     fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
@@ -162,30 +109,55 @@ impl ChunkAutomaton for ConvergentDfaCa<'_> {
 #[derive(Debug, Clone)]
 pub struct ConvergentRidCa<'a> {
     inner: RidCa<'a>,
+    kernel: Kernel,
 }
 
 impl<'a> ConvergentRidCa<'a> {
-    /// Wraps `rid`.
+    /// Wraps `rid` with adaptive kernel selection.
     pub fn new(rid: &'a RiDfa) -> Self {
+        Self::with_kernel(rid, Kernel::Auto)
+    }
+
+    /// Wraps `rid`, pinning the scan strategy (for ablations and tests).
+    pub fn with_kernel(rid: &'a RiDfa, kernel: Kernel) -> Self {
         ConvergentRidCa {
             inner: RidCa::new(rid),
+            kernel,
         }
+    }
+
+    /// The configured scan strategy.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 }
 
 impl ChunkAutomaton for ConvergentRidCa<'_> {
     type Mapping = RidMapping;
+    type Scratch = Scratch;
 
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
+    fn scan_with(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Scratch,
+        counter: &mut impl Counter,
+    ) -> RidMapping {
         let rid = self.inner.rid();
         let interface = rid.interface();
-        let lasts = lockstep_scan(
-            rid.num_states(),
-            |s, b| rid.next(s, b),
+        let mut lasts = Vec::new();
+        kernel::scan_into(
+            DenseTable {
+                ptable: self.inner.ptable(),
+                stride: rid.stride(),
+                classes: rid.classes(),
+            },
             interface.iter().enumerate().map(|(i, &p)| (i as u32, p)),
             interface.len(),
             chunk,
+            self.kernel,
+            scratch,
             counter,
+            &mut lasts,
         );
         RidMapping::Interior(lasts)
     }
@@ -230,20 +202,27 @@ mod tests {
     fn convergent_mapping_equals_plain_mapping() {
         let (dfa, rid) = setup();
         let plain_dfa = DfaCa::new(&dfa);
-        let conv_dfa = ConvergentDfaCa::new(&dfa);
         let plain_rid = RidCa::new(&rid);
-        let conv_rid = ConvergentRidCa::new(&rid);
-        for chunk in [&b"cab"[..], b"aab", b"", b"bbbb", b"aabcabaabcab"] {
-            assert_eq!(
-                plain_dfa.scan(chunk, &mut NoCount),
-                conv_dfa.scan(chunk, &mut NoCount),
-                "dfa mapping on {chunk:?}"
-            );
-            assert_eq!(
-                plain_rid.scan(chunk, &mut NoCount),
-                conv_rid.scan(chunk, &mut NoCount),
-                "rid mapping on {chunk:?}"
-            );
+        for kernel in [
+            Kernel::PerRun,
+            Kernel::Lockstep,
+            Kernel::LockstepShared,
+            Kernel::Auto,
+        ] {
+            let conv_dfa = ConvergentDfaCa::with_kernel(&dfa, kernel);
+            let conv_rid = ConvergentRidCa::with_kernel(&rid, kernel);
+            for chunk in [&b"cab"[..], b"aab", b"", b"bbbb", b"aabcabaabcab"] {
+                assert_eq!(
+                    plain_dfa.scan(chunk, &mut NoCount),
+                    conv_dfa.scan(chunk, &mut NoCount),
+                    "dfa mapping ({kernel:?}) on {chunk:?}"
+                );
+                assert_eq!(
+                    plain_rid.scan(chunk, &mut NoCount),
+                    conv_rid.scan(chunk, &mut NoCount),
+                    "rid mapping ({kernel:?}) on {chunk:?}"
+                );
+            }
         }
     }
 
@@ -251,7 +230,7 @@ mod tests {
     fn convergence_reduces_executed_transitions() {
         let (dfa, _) = setup();
         let plain = DfaCa::new(&dfa);
-        let conv = ConvergentDfaCa::new(&dfa);
+        let conv = ConvergentDfaCa::with_kernel(&dfa, Kernel::LockstepShared);
         // Long chunk: runs converge, so the lockstep scan does less work.
         let chunk = b"aabcab".repeat(100);
         let mut c_plain = TransitionCount::default();

@@ -7,23 +7,48 @@ use ridfa_automata::counter::Counter;
 use ridfa_automata::dfa::Dfa;
 use ridfa_automata::{StateId, DEAD};
 
+use super::kernel::{self, DenseTable, Kernel, Scratch};
 use super::ChunkAutomaton;
 
 /// CSDPA chunk automaton wrapping a (usually minimal) DFA.
-#[derive(Debug, Clone, Copy)]
+///
+/// Interior scans go through the per-run path of the scan [`kernel`]
+/// (premultiplied rows, shared table layout) but never merge runs, so the
+/// executed-transition counts stay exactly the paper's `k × |chunk|`
+/// workload measure. For the convergence-merging variant see
+/// [`ConvergentDfaCa`](super::ConvergentDfaCa).
+#[derive(Debug, Clone)]
 pub struct DfaCa<'a> {
     dfa: &'a Dfa,
+    /// Premultiplied transition table (entries are `target * stride`).
+    ptable: Vec<StateId>,
 }
 
 impl<'a> DfaCa<'a> {
-    /// Wraps `dfa`; no preprocessing needed.
+    /// Wraps `dfa`, premultiplying its table once.
     pub fn new(dfa: &'a Dfa) -> Self {
-        DfaCa { dfa }
+        DfaCa {
+            dfa,
+            ptable: dfa.premultiplied_table(),
+        }
     }
 
     /// The wrapped automaton.
     pub fn dfa(&self) -> &'a Dfa {
         self.dfa
+    }
+
+    /// The premultiplied table, shared with the convergent wrapper.
+    pub(crate) fn ptable(&self) -> &[StateId] {
+        &self.ptable
+    }
+
+    fn table(&self) -> DenseTable<'_> {
+        DenseTable {
+            ptable: &self.ptable,
+            stride: self.dfa.stride(),
+            classes: self.dfa.classes(),
+        }
     }
 }
 
@@ -32,13 +57,25 @@ impl ChunkAutomaton for DfaCa<'_> {
     /// ([`DEAD`](ridfa_automata::DEAD) when the run died, and for the slots
     /// a first-chunk scan never starts).
     type Mapping = Vec<StateId>;
+    type Scratch = Scratch;
 
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
-        let n = self.dfa.num_states();
-        let mut mapping = vec![DEAD; n];
-        for s in self.dfa.live_states() {
-            mapping[s as usize] = self.dfa.run_from(s, chunk, counter);
-        }
+    fn scan_with(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Scratch,
+        counter: &mut impl Counter,
+    ) -> Vec<StateId> {
+        let mut mapping = Vec::new();
+        kernel::scan_into(
+            self.table(),
+            self.dfa.live_states().map(|s| (s, s)),
+            self.dfa.num_states(),
+            chunk,
+            Kernel::PerRun,
+            scratch,
+            counter,
+            &mut mapping,
+        );
         mapping
     }
 

@@ -1,0 +1,569 @@
+//! The single-pass lockstep scan kernel of the reach phase.
+//!
+//! A speculative chunk scan must run `k` runs — one per possible initial
+//! state — over the same bytes. Scanning per run costs `k` passes over the
+//! chunk: every byte is classified `k` times and the text is pulled
+//! through cache `k` times. This kernel makes **one** pass, advancing all
+//! runs in lockstep and merging runs that have *converged* to the same
+//! state (the state-convergence optimization of the data-parallel FSM
+//! literature the paper's conclusion points at), so the per-byte cost
+//! shrinks monotonically as runs die or merge — on realistic texts it
+//! collapses from `k` towards 1 within a few hundred bytes.
+//!
+//! Design points, all in service of an allocation-free inner loop:
+//!
+//! * **Flat origin groups.** Runs currently sharing a state form a
+//!   *group*. Each group's member origins are kept as an intrusive singly
+//!   linked list in one flat `next_origin` array (one `u32` per origin,
+//!   head/tail per group), so merging two groups is a constant-time link
+//!   splice — no `Vec<Vec<u32>>` origin lists, no per-byte churn.
+//! * **Generation-stamped dedup slots.** Per byte, target states are
+//!   deduplicated through a slot array stamped with a monotonically
+//!   increasing generation, avoiding an `O(table)` clear per byte.
+//! * **Dead-run compaction.** Groups are compacted in place every byte;
+//!   a group whose transition dies is simply not carried over, so the
+//!   live-group prefix only ever shrinks.
+//! * **Premultiplied rows.** Group state is tracked as a premultiplied
+//!   row offset (`state * stride`, see
+//!   [`Dfa::premultiplied_table`](ridfa_automata::dfa::Dfa::premultiplied_table)),
+//!   making the transition a single indexed load `ptable[row + class]`.
+//! * **Shared byte classification.** The chunk is translated byte→class
+//!   block-wise (4 KiB at a time) into a stack buffer *once*, instead of
+//!   every run paying a classifier lookup per byte
+//!   ([`ByteClasses::classify_into`]).
+//! * **Single-run fast path.** Once every run has died or converged into
+//!   one group, the scan degenerates to the plain serial loop: one load
+//!   per byte, zero bookkeeping.
+//!
+//! All working memory lives in a reusable per-worker [`Scratch`]; after
+//! its first-use warm-up a scan performs **zero heap allocations**, which
+//! `tests/kernel_alloc.rs` asserts with a counting global allocator.
+
+use ridfa_automata::alphabet::ByteClasses;
+use ridfa_automata::counter::Counter;
+use ridfa_automata::{StateId, DEAD};
+
+/// Size of the stack-resident byte→class translation buffer. 4 KiB keeps
+/// the buffer comfortably inside L1 alongside the group arrays.
+const CLASS_BLOCK: usize = 4096;
+
+/// Sentinel terminating a group's origin list.
+const NONE: u32 = u32::MAX;
+
+/// Which scan strategy executes a speculative chunk scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// One independent pass per speculative start (the paper's baseline
+    /// reach phase). Cheapest bookkeeping; cost is `k` passes over the
+    /// chunk regardless of convergence.
+    PerRun,
+    /// Single lockstep pass with convergence merging; bytes are
+    /// classified inline, one lookup per byte, and merging is attempted
+    /// on every byte to the end of the chunk.
+    Lockstep,
+    /// The default fused kernel: [`Kernel::Lockstep`] plus block-wise
+    /// shared byte classification through a stack buffer, plus the
+    /// *partition-stabilization cutover* — when a full block passes with
+    /// no merge and no death, the surviving groups finish with lean
+    /// serial loops instead of paying per-byte dedup bookkeeping.
+    LockstepShared,
+    /// Pick per chunk via [`select`], from the number of runs, the chunk
+    /// length, and the table size.
+    Auto,
+}
+
+/// Resolves [`Kernel::Auto`] for one chunk scan.
+///
+/// The heuristic keeps small problems on the bookkeeping-free path:
+///
+/// * `k ≤ 2` — merging at most two runs can never pay for group
+///   tracking; scan per run.
+/// * short chunks (`len < 64` or `len < 4·k`) — runs have no room to
+///   converge, so the lockstep pass would do `k` transitions per byte
+///   *plus* dedup work; scan per run.
+/// * large tables (> 1 MiB) — `k` per-run passes thrash the cache with
+///   `k` disjoint row walks; the single lockstep pass touches each hot
+///   row once per byte, so prefer it even for short chunks.
+/// * otherwise — the fused lockstep kernel with shared classification.
+pub fn select(num_runs: usize, chunk_len: usize, table_entries: usize) -> Kernel {
+    const LARGE_TABLE_ENTRIES: usize = (1 << 20) / std::mem::size_of::<StateId>();
+    if table_entries >= LARGE_TABLE_ENTRIES {
+        return Kernel::LockstepShared;
+    }
+    if num_runs <= 2 || chunk_len < 64 || chunk_len < 4 * num_runs {
+        return Kernel::PerRun;
+    }
+    Kernel::LockstepShared
+}
+
+/// The dense transition structure a kernel scan reads. Borrowed from a
+/// [`Dfa`](ridfa_automata::dfa::Dfa) or an
+/// [`RiDfa`](crate::ridfa::RiDfa) — both share the flat
+/// `state * stride + class` layout.
+#[derive(Clone, Copy)]
+pub struct DenseTable<'a> {
+    /// Premultiplied table: entries are `target * stride` (see
+    /// `premultiplied_table`). Row 0 is the dead state.
+    pub ptable: &'a [StateId],
+    /// Row stride = number of byte classes.
+    pub stride: usize,
+    /// The byte→class map the table is compressed with.
+    pub classes: &'a ByteClasses,
+}
+
+/// Reusable per-worker working memory of the lockstep kernel.
+///
+/// All vectors grow to the high-water mark of the automata scanned and
+/// then stay put: after this warm-up a scan allocates nothing. One
+/// `Scratch` must not be shared between concurrent scans (each worker
+/// thread owns one; see `parallel::run_indexed_with`).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Premultiplied row offset of each live group (compacted prefix).
+    rows: Vec<StateId>,
+    /// First origin of each group's member list.
+    heads: Vec<u32>,
+    /// Last origin of each group's member list (for O(1) splicing).
+    tails: Vec<u32>,
+    /// Intrusive linked list over origins: `next_origin[o]` = next member
+    /// of o's group, [`NONE`] at the tail.
+    next_origin: Vec<u32>,
+    /// Generation stamp per table row; a slot is live iff its stamp
+    /// equals the current generation.
+    slot_gen: Vec<u64>,
+    /// Group index the stamped row currently maps to.
+    slot_idx: Vec<u32>,
+    /// Monotonic generation counter (u64: never wraps in practice).
+    generation: u64,
+    /// Stack-sized class translation buffer, heap-allocated once so
+    /// `Scratch` stays `Default` + cheap to construct.
+    class_buf: Vec<u8>,
+}
+
+impl Scratch {
+    /// Clears the group arrays and grows everything to serve `table_len`
+    /// rows and `num_origins` origins. Capacity only ever grows —
+    /// repeated scans of the same automaton allocate nothing.
+    fn warm_up(&mut self, table_len: usize, num_origins: usize) {
+        if self.slot_gen.len() < table_len {
+            self.slot_gen.resize(table_len, 0);
+            self.slot_idx.resize(table_len, 0);
+        }
+        if self.next_origin.len() < num_origins {
+            self.next_origin.resize(num_origins, NONE);
+        }
+        self.rows.clear();
+        self.heads.clear();
+        self.tails.clear();
+        // At most one group per origin can ever exist.
+        self.rows.reserve(num_origins);
+        self.heads.reserve(num_origins);
+        self.tails.reserve(num_origins);
+        if self.class_buf.len() < CLASS_BLOCK {
+            self.class_buf.resize(CLASS_BLOCK, 0);
+        }
+    }
+}
+
+/// Scans `chunk` speculatively from every `(origin, start)` pair and
+/// writes the λ mapping into `out`: `out[origin]` = last active state of
+/// the run started at `start`, [`DEAD`] if it died. `out` is cleared and
+/// resized to `num_origins` first (no allocation once its capacity has
+/// warmed up).
+///
+/// `kernel` picks the strategy; [`Kernel::Auto`] defers to [`select`].
+/// Counting semantics per strategy:
+///
+/// * per-run: one increment per executed live transition per run — the
+///   paper's `k`-pass reach-phase workload measure;
+/// * lockstep: one increment per *group* advance — the work actually
+///   executed after merging, strictly fewer on any text where runs
+///   converge or die.
+#[allow(clippy::too_many_arguments)] // the kernel entry point is the hot seam; a config struct would cost a rebuild of every caller's borrows
+pub fn scan_into(
+    table: DenseTable<'_>,
+    starts: impl Iterator<Item = (u32, StateId)>,
+    num_origins: usize,
+    chunk: &[u8],
+    kernel: Kernel,
+    scratch: &mut Scratch,
+    counter: &mut impl Counter,
+    out: &mut Vec<StateId>,
+) {
+    out.clear();
+    out.resize(num_origins, DEAD);
+    debug_assert!(table.ptable.len().is_multiple_of(table.stride.max(1)));
+    match kernel {
+        Kernel::PerRun => per_run_scan(table, starts, chunk, counter, out),
+        Kernel::Lockstep => lockstep_scan(table, starts, chunk, false, scratch, counter, out),
+        Kernel::LockstepShared => lockstep_scan(table, starts, chunk, true, scratch, counter, out),
+        Kernel::Auto => {
+            // `starts` is not re-iterable, so bound k by `num_origins`
+            // (equal for every caller in this crate: one start per origin).
+            let choice = select(num_origins, chunk.len(), table.ptable.len());
+            scan_into(
+                table,
+                starts,
+                num_origins,
+                chunk,
+                choice,
+                scratch,
+                counter,
+                out,
+            )
+        }
+    }
+}
+
+/// Runs one premultiplied row serially over `bytes`: one indexed load per
+/// byte, counting each live transition. Returns the final row, or `0`
+/// (the dead row, whose state is [`DEAD`]) if the run died. Shared by the
+/// per-run strategy and the lockstep finishing loop so their counting and
+/// death semantics can never diverge.
+#[inline(always)]
+fn run_row_serial(
+    table: DenseTable<'_>,
+    mut row: usize,
+    bytes: &[u8],
+    counter: &mut impl Counter,
+) -> usize {
+    for &byte in bytes {
+        let next = table.ptable[row + table.classes.get(byte) as usize];
+        if next == 0 {
+            return 0;
+        }
+        counter.incr();
+        row = next as usize;
+    }
+    row
+}
+
+/// The baseline strategy: each run scans the whole chunk independently.
+fn per_run_scan(
+    table: DenseTable<'_>,
+    starts: impl Iterator<Item = (u32, StateId)>,
+    chunk: &[u8],
+    counter: &mut impl Counter,
+    out: &mut [StateId],
+) {
+    let stride = table.stride;
+    for (origin, start) in starts {
+        if start == DEAD {
+            continue;
+        }
+        let row = run_row_serial(table, start as usize * stride, chunk, counter);
+        out[origin as usize] = (row / stride) as StateId;
+    }
+}
+
+/// The fused strategy: one pass, all runs in lockstep, converged runs
+/// merged. With `shared_classes` the chunk is pre-classified block-wise;
+/// otherwise each byte is classified inline.
+fn lockstep_scan(
+    table: DenseTable<'_>,
+    starts: impl Iterator<Item = (u32, StateId)>,
+    chunk: &[u8],
+    shared_classes: bool,
+    scratch: &mut Scratch,
+    counter: &mut impl Counter,
+    out: &mut [StateId],
+) {
+    scratch.warm_up(table.ptable.len(), out.len());
+    let stride = table.stride;
+
+    // Initial grouping: distinct starts may already coincide (delegated
+    // interface states, for instance) — dedup them through the slots.
+    scratch.generation += 1;
+    let generation = scratch.generation;
+    for (origin, start) in starts {
+        if start == DEAD {
+            continue; // defensive: a dead start maps to DEAD, run nothing
+        }
+        scratch.next_origin[origin as usize] = NONE;
+        let row = start as usize * stride;
+        if scratch.slot_gen[row] == generation {
+            let g = scratch.slot_idx[row] as usize;
+            scratch.next_origin[scratch.tails[g] as usize] = origin;
+            scratch.tails[g] = origin;
+        } else {
+            scratch.slot_gen[row] = generation;
+            scratch.slot_idx[row] = scratch.rows.len() as u32;
+            scratch.rows.push(row as StateId);
+            scratch.heads.push(origin);
+            scratch.tails.push(origin);
+        }
+    }
+
+    let mut len = scratch.rows.len();
+    let mut consumed = 0;
+    if shared_classes {
+        // Split borrows: the class buffer must be readable while the
+        // group arrays are advanced.
+        let mut class_buf = std::mem::take(&mut scratch.class_buf);
+        // Partition-stabilization cutover: convergence happens in early
+        // bursts (runs die or merge within the first few dozen bytes on
+        // realistic texts). Once no group has merged or died for a full
+        // horizon, the survivors are tracking distinct trajectories and
+        // further convergence is unlikely — stop paying per-byte dedup
+        // bookkeeping and finish each group with the lean loop below.
+        // (The transitions executed stay the same; only bookkeeping is
+        // shed, so lockstep never loses badly to per-run scanning.)
+        const STABLE_HORIZON: usize = 256;
+        let mut since_change = 0;
+        'blocks: while consumed < chunk.len() && len > 1 {
+            let block = &chunk[consumed..(consumed + CLASS_BLOCK).min(chunk.len())];
+            table.classes.classify_into(block, &mut class_buf);
+            for &class in &class_buf[..block.len()] {
+                let next_len = advance(table.ptable, scratch, len, class, counter);
+                consumed += 1;
+                since_change = if next_len == len { since_change + 1 } else { 0 };
+                len = next_len;
+                if len <= 1 || since_change >= STABLE_HORIZON {
+                    break 'blocks;
+                }
+            }
+        }
+        scratch.class_buf = class_buf;
+    } else {
+        while consumed < chunk.len() && len > 1 {
+            let class = table.classes.get(chunk[consumed]);
+            len = advance(table.ptable, scratch, len, class, counter);
+            consumed += 1;
+        }
+    }
+
+    if consumed < chunk.len() {
+        // Finish the surviving groups with the plain serial loop — one
+        // load per byte, zero bookkeeping. One group when every run
+        // converged or died (the fast path); several after a
+        // stabilization cutover. A group that dies parks on row 0, whose
+        // state is DEAD — exactly what its origins should map to.
+        let rest = &chunk[consumed..];
+        for g in 0..len {
+            let row = run_row_serial(table, scratch.rows[g] as usize, rest, counter);
+            scratch.rows[g] = row as StateId;
+        }
+    }
+
+    // Write the mapping: walk each surviving group's origin list. Dead
+    // origins keep the DEAD the caller pre-filled.
+    for g in 0..len {
+        let state = (scratch.rows[g] as usize / stride) as StateId;
+        let mut origin = scratch.heads[g];
+        while origin != NONE {
+            out[origin as usize] = state;
+            origin = scratch.next_origin[origin as usize];
+        }
+    }
+}
+
+/// Advances all `len` live groups by one byte class, merging groups that
+/// land on the same target row and compacting out groups that die.
+/// Returns the new live-group count.
+#[inline(always)]
+fn advance(
+    ptable: &[StateId],
+    scratch: &mut Scratch,
+    len: usize,
+    class: u8,
+    counter: &mut impl Counter,
+) -> usize {
+    scratch.generation += 1;
+    let generation = scratch.generation;
+    let mut write = 0;
+    for read in 0..len {
+        let target = ptable[scratch.rows[read] as usize + class as usize];
+        if target == 0 {
+            continue; // the group died: its origins stay DEAD
+        }
+        counter.incr();
+        let slot = target as usize;
+        if scratch.slot_gen[slot] == generation {
+            // Converged with an already-advanced group: splice the origin
+            // lists in O(1). `idx < write ≤ read`, so both live in the
+            // compacted prefix.
+            let idx = scratch.slot_idx[slot] as usize;
+            scratch.next_origin[scratch.tails[idx] as usize] = scratch.heads[read];
+            scratch.tails[idx] = scratch.tails[read];
+        } else {
+            scratch.slot_gen[slot] = generation;
+            scratch.slot_idx[slot] = write as u32;
+            scratch.rows[write] = target;
+            scratch.heads[write] = scratch.heads[read];
+            scratch.tails[write] = scratch.tails[read];
+            write += 1;
+        }
+    }
+    write
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::dfa::powerset::determinize;
+    use ridfa_automata::dfa::Dfa;
+    use ridfa_automata::nfa::glushkov;
+    use ridfa_automata::regex::parse;
+    use ridfa_automata::{NoCount, TransitionCount};
+
+    fn dfa_for(pattern: &str) -> Dfa {
+        determinize(&glushkov::build(&parse(pattern).unwrap()).unwrap())
+    }
+
+    fn scan(dfa: &Dfa, chunk: &[u8], kernel: Kernel) -> (Vec<StateId>, u64) {
+        let ptable = dfa.premultiplied_table();
+        let table = DenseTable {
+            ptable: &ptable,
+            stride: dfa.stride(),
+            classes: dfa.classes(),
+        };
+        let mut scratch = Scratch::default();
+        let mut counter = TransitionCount::default();
+        let mut out = Vec::new();
+        scan_into(
+            table,
+            dfa.live_states().map(|s| (s, s)),
+            dfa.num_states(),
+            chunk,
+            kernel,
+            &mut scratch,
+            &mut counter,
+            &mut out,
+        );
+        (out, counter.get())
+    }
+
+    /// Oracle: the naive per-run scan through the unfused `Dfa` API.
+    fn oracle(dfa: &Dfa, chunk: &[u8]) -> Vec<StateId> {
+        let mut mapping = vec![DEAD; dfa.num_states()];
+        for s in dfa.live_states() {
+            mapping[s as usize] = dfa.run_from(s, chunk, &mut NoCount);
+        }
+        mapping
+    }
+
+    #[test]
+    fn all_kernels_match_the_oracle() {
+        for pattern in ["(a|b)*abb", "a{2,4}b*", "[ab]*a[ab][ab]", "abc"] {
+            let dfa = dfa_for(pattern);
+            for chunk in [
+                &b""[..],
+                b"a",
+                b"abab",
+                b"zzz",
+                b"abbabbabbabb",
+                &b"ab".repeat(3000),
+            ] {
+                let expected = oracle(&dfa, chunk);
+                for kernel in [
+                    Kernel::PerRun,
+                    Kernel::Lockstep,
+                    Kernel::LockstepShared,
+                    Kernel::Auto,
+                ] {
+                    let (got, _) = scan(&dfa, chunk, kernel);
+                    assert_eq!(
+                        got,
+                        expected,
+                        "{pattern} {kernel:?} on {:?}…",
+                        &chunk[..chunk.len().min(8)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_run_counts_match_plain_scan_semantics() {
+        // No run over {a,b} text can die in this language, so the per-run
+        // kernel must count exactly k × |chunk|.
+        let dfa = dfa_for("[ab]*a[ab][ab]");
+        let chunk = b"abab";
+        let (_, count) = scan(&dfa, chunk, Kernel::PerRun);
+        assert_eq!(count, (dfa.num_live_states() * chunk.len()) as u64);
+    }
+
+    #[test]
+    fn lockstep_executes_fewer_transitions_on_converging_text() {
+        let dfa = dfa_for("(a|b)*abb");
+        let chunk = b"ab".repeat(512);
+        let (_, per_run) = scan(&dfa, &chunk, Kernel::PerRun);
+        let (_, lockstep) = scan(&dfa, &chunk, Kernel::LockstepShared);
+        assert!(
+            lockstep < per_run,
+            "lockstep {lockstep} must beat per-run {per_run}"
+        );
+        // Fully converged tail: cost approaches one transition per byte.
+        assert!(lockstep < chunk.len() as u64 + (dfa.num_live_states() * 64) as u64);
+    }
+
+    #[test]
+    fn auto_picks_per_run_for_tiny_problems_and_lockstep_for_large() {
+        assert_eq!(select(2, 1 << 20, 1024), Kernel::PerRun);
+        assert_eq!(select(8, 16, 1024), Kernel::PerRun);
+        assert_eq!(select(8, 1 << 20, 1024), Kernel::LockstepShared);
+        assert_eq!(select(1, 4, 1 << 20), Kernel::LockstepShared);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_automata() {
+        // One scratch serving two different automata back to back must
+        // not leak group state between scans.
+        let small = dfa_for("ab");
+        let big = dfa_for("(a|b|c)*abc(a|b)*");
+        let ptable_small = small.premultiplied_table();
+        let ptable_big = big.premultiplied_table();
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            for (dfa, ptable) in [(&small, &ptable_small), (&big, &ptable_big)] {
+                let table = DenseTable {
+                    ptable,
+                    stride: dfa.stride(),
+                    classes: dfa.classes(),
+                };
+                scan_into(
+                    table,
+                    dfa.live_states().map(|s| (s, s)),
+                    dfa.num_states(),
+                    b"abcabcab",
+                    Kernel::LockstepShared,
+                    &mut scratch,
+                    &mut NoCount,
+                    &mut out,
+                );
+                assert_eq!(out, oracle(dfa, b"abcabcab"));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_start_states_share_one_run() {
+        // Two origins starting in the same state must be grouped from
+        // byte 0 and charged once.
+        let dfa = dfa_for("[ab]*");
+        let ptable = dfa.premultiplied_table();
+        let table = DenseTable {
+            ptable: &ptable,
+            stride: dfa.stride(),
+            classes: dfa.classes(),
+        };
+        let start = dfa.start();
+        let mut scratch = Scratch::default();
+        let mut counter = TransitionCount::default();
+        let mut out = Vec::new();
+        scan_into(
+            table,
+            [(0u32, start), (1u32, start)].into_iter(),
+            2,
+            b"abab",
+            Kernel::Lockstep,
+            &mut scratch,
+            &mut counter,
+            &mut out,
+        );
+        assert_eq!(out[0], out[1]);
+        assert_ne!(out[0], DEAD);
+        assert_eq!(counter.get(), 4, "one merged run, one count per byte");
+    }
+}

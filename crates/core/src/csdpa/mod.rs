@@ -9,28 +9,37 @@
 //! possible last active states. The serial **join phase** composes
 //! adjacent mappings and checks acceptance.
 //!
-//! Three CAs implement the common [`ChunkAutomaton`] interface:
+//! Five CAs implement the common [`ChunkAutomaton`] interface:
 //!
 //! | CA | speculative starts | transition cost/byte | paper role |
 //! |----|--------------------|----------------------|------------|
 //! | [`DfaCa`] | all DFA states | 1 per run | classic DFA variant |
 //! | [`NfaCa`] | all NFA states | set-simulation edges | classic NFA variant |
 //! | [`RidCa`] | RI-DFA interface (≈ NFA states) | 1 per run | the paper's RID |
+//! | [`ConvergentDfaCa`] | all DFA states | 1 per *merged group* | DFA + state convergence |
+//! | [`ConvergentRidCa`] | RI-DFA interface | 1 per *merged group* | RID + state convergence |
+//!
+//! The deterministic CAs execute their interior scans through the
+//! single-pass lockstep [`kernel`], which merges converged runs, shares
+//! the byte→class translation across all runs, and adaptively falls back
+//! to per-run scanning where lockstep bookkeeping cannot pay
+//! ([`kernel::select`]).
 
 mod chunking;
 mod convergent;
 mod dfa_ca;
+pub mod kernel;
 mod nfa_ca;
-mod rid_ca;
 mod recognizer;
+mod rid_ca;
 
 pub use chunking::chunk_spans;
 pub use convergent::{ConvergentDfaCa, ConvergentRidCa};
 pub use dfa_ca::DfaCa;
+pub use kernel::{Kernel, Scratch};
 pub use nfa_ca::NfaCa;
 pub use recognizer::{
-    recognize, recognize_counted, recognize_serial, ChunkStats, CountedOutcome, Executor,
-    Outcome,
+    recognize, recognize_counted, recognize_serial, ChunkStats, CountedOutcome, Executor, Outcome,
 };
 pub use rid_ca::{RidCa, RidMapping};
 
@@ -45,9 +54,28 @@ pub trait ChunkAutomaton: Sync {
     /// The partial mapping `λ_i` a chunk scan produces.
     type Mapping: Send;
 
-    /// Scans an interior chunk speculatively: one run per possible initial
-    /// state. Every executed transition increments `counter`.
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Self::Mapping;
+    /// Reusable per-worker working memory for interior scans. A worker
+    /// thread of the reach phase creates one scratch and feeds it to
+    /// every chunk it scans, so kernel state warms up once per worker
+    /// instead of once per chunk. CAs with no scratch use `()`.
+    type Scratch: Default + Send;
+
+    /// Scans an interior chunk speculatively — one run per possible
+    /// initial state — reusing `scratch` across calls. Every executed
+    /// transition increments `counter`.
+    fn scan_with(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Self::Scratch,
+        counter: &mut impl Counter,
+    ) -> Self::Mapping;
+
+    /// Convenience wrapper over [`scan_with`](ChunkAutomaton::scan_with)
+    /// with a throwaway scratch (first scan pays the warm-up
+    /// allocations; prefer `scan_with` on hot paths).
+    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Self::Mapping {
+        self.scan_with(chunk, &mut Self::Scratch::default(), counter)
+    }
 
     /// Scans the *first* chunk, whose initial state is known (`I₁ = {q0}`):
     /// exactly one run, no speculation.

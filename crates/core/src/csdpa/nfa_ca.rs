@@ -33,8 +33,14 @@ impl ChunkAutomaton for NfaCa<'_> {
     /// in `{q}` (empty when the run died, and for slots a first-chunk scan
     /// never starts).
     type Mapping = Vec<Vec<StateId>>;
+    type Scratch = ();
 
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<Vec<StateId>> {
+    fn scan_with(
+        &self,
+        chunk: &[u8],
+        _scratch: &mut (),
+        counter: &mut impl Counter,
+    ) -> Vec<Vec<StateId>> {
         let n = self.nfa.num_states();
         let mut sim = Simulator::new(self.nfa);
         let mut mapping = vec![Vec::new(); n];

@@ -4,11 +4,16 @@ use std::time::{Duration, Instant};
 
 use ridfa_automata::counter::{NoCount, TransitionCount};
 
-use crate::parallel::run_indexed;
+use crate::parallel::run_indexed_with;
 
 use super::{chunk_spans, ChunkAutomaton};
 
 /// How the reach phase distributes chunk scans over OS threads.
+///
+/// This is the thread-shape half of the adaptive execution layer; the
+/// scan-strategy half (per-run vs lockstep per chunk) lives in
+/// [`kernel::select`](super::kernel::select) and is consulted by the
+/// chunk automata themselves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Executor {
     /// All chunks on the calling thread (debug / baseline).
@@ -18,6 +23,10 @@ pub enum Executor {
     PerChunk,
     /// A bounded team of `n` threads claiming chunks dynamically.
     Team(usize),
+    /// Adaptive: one thread per chunk while chunks fit the available
+    /// cores, a core-sized dynamic team beyond that, serial for a single
+    /// chunk.
+    Auto,
 }
 
 impl Executor {
@@ -26,6 +35,10 @@ impl Executor {
             Executor::Serial => 1,
             Executor::PerChunk => num_chunks,
             Executor::Team(n) => n.max(1),
+            Executor::Auto => {
+                let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+                num_chunks.min(cores)
+            }
         }
     }
 }
@@ -83,12 +96,12 @@ pub fn recognize<CA: ChunkAutomaton>(
     let spans = chunk_spans(text.len(), num_chunks);
     let workers = executor.workers(spans.len());
     let reach_start = Instant::now();
-    let mappings = run_indexed(workers, spans.len(), |i| {
+    let mappings = run_indexed_with(workers, spans.len(), CA::Scratch::default, |scratch, i| {
         let chunk = &text[spans[i].clone()];
         if i == 0 {
             ca.scan_first(chunk, &mut NoCount)
         } else {
-            ca.scan(chunk, &mut NoCount)
+            ca.scan_with(chunk, scratch, &mut NoCount)
         }
     });
     let reach = reach_start.elapsed();
@@ -114,14 +127,14 @@ pub fn recognize_counted<CA: ChunkAutomaton>(
     let spans = chunk_spans(text.len(), num_chunks);
     let workers = executor.workers(spans.len());
     let reach_start = Instant::now();
-    let results = run_indexed(workers, spans.len(), |i| {
+    let results = run_indexed_with(workers, spans.len(), CA::Scratch::default, |scratch, i| {
         let chunk = &text[spans[i].clone()];
         let mut counter = TransitionCount::default();
         let scan_start = Instant::now();
         let mapping = if i == 0 {
             ca.scan_first(chunk, &mut counter)
         } else {
-            ca.scan(chunk, &mut counter)
+            ca.scan_with(chunk, scratch, &mut counter)
         };
         let stats = ChunkStats {
             len: chunk.len(),

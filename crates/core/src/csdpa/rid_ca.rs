@@ -9,15 +9,22 @@ use ridfa_automata::{StateId, DEAD};
 
 use crate::ridfa::RiDfa;
 
+use super::kernel::{self, DenseTable, Kernel, Scratch};
 use super::ChunkAutomaton;
 
 /// CSDPA chunk automaton wrapping an [`RiDfa`].
+///
+/// Interior scans use the per-run path of the scan [`kernel`]; the
+/// convergence-merging variant is
+/// [`ConvergentRidCa`](super::ConvergentRidCa).
 #[derive(Debug, Clone)]
 pub struct RidCa<'a> {
     rid: &'a RiDfa,
     /// `pos[p]` = index of interface state `p` inside
     /// [`RiDfa::interface`], or `u32::MAX` for non-interface states.
     pos: Vec<u32>,
+    /// Premultiplied transition table (entries are `target * stride`).
+    ptable: Vec<StateId>,
 }
 
 /// The λ mapping a RID chunk scan produces.
@@ -39,24 +46,54 @@ impl<'a> RidCa<'a> {
         for (i, &p) in rid.interface().iter().enumerate() {
             pos[p as usize] = i as u32;
         }
-        RidCa { rid, pos }
+        RidCa {
+            rid,
+            pos,
+            ptable: rid.premultiplied_table(),
+        }
     }
 
     /// The wrapped automaton.
     pub fn rid(&self) -> &'a RiDfa {
         self.rid
     }
+
+    /// The premultiplied table, shared with the convergent wrapper.
+    pub(crate) fn ptable(&self) -> &[StateId] {
+        &self.ptable
+    }
+
+    fn table(&self) -> DenseTable<'_> {
+        DenseTable {
+            ptable: &self.ptable,
+            stride: self.rid.stride(),
+            classes: self.rid.classes(),
+        }
+    }
 }
 
 impl ChunkAutomaton for RidCa<'_> {
     type Mapping = RidMapping;
+    type Scratch = Scratch;
 
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
+    fn scan_with(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Scratch,
+        counter: &mut impl Counter,
+    ) -> RidMapping {
         let interface = self.rid.interface();
-        let mut lasts = Vec::with_capacity(interface.len());
-        for &p in interface {
-            lasts.push(self.rid.run_from(p, chunk, counter));
-        }
+        let mut lasts = Vec::new();
+        kernel::scan_into(
+            self.table(),
+            interface.iter().enumerate().map(|(i, &p)| (i as u32, p)),
+            interface.len(),
+            chunk,
+            Kernel::PerRun,
+            scratch,
+            counter,
+            &mut lasts,
+        );
         RidMapping::Interior(lasts)
     }
 
@@ -140,9 +177,7 @@ mod tests {
         let nfa = figure1_nfa();
         let rid = RiDfa::from_nfa(&nfa);
         let ca = RidCa::new(&rid);
-        for text in [
-            &b"aabcab"[..], b"ab", b"aab", b"", b"ccc", b"abab", b"caab",
-        ] {
+        for text in [&b"aabcab"[..], b"ab", b"aab", b"", b"ccc", b"abab", b"caab"] {
             let mid = text.len() / 2;
             let m1 = ca.scan_first(&text[..mid], &mut NoCount);
             let m2 = ca.scan(&text[mid..], &mut NoCount);

@@ -8,12 +8,13 @@
 //! * [`scoped::run_indexed`] — fork-join over borrowed data with
 //!   `std::thread::scope`: either one OS thread per chunk (the paper's
 //!   model) or a bounded team pulling chunk indices from an atomic counter;
-//! * [`pool::ThreadPool`] — a persistent worker pool (crossbeam channel +
-//!   condvar wait-group) for benchmark drivers that dispatch thousands of
-//!   recognitions and must not pay thread-spawn cost per text.
+//! * [`pool::ThreadPool`] — a persistent worker pool (`std::sync` channel
+//!   and condvar wait-group) for benchmark drivers that dispatch
+//!   thousands of recognitions and must not pay thread-spawn cost per
+//!   text.
 
 pub mod pool;
 pub mod scoped;
 
 pub use pool::ThreadPool;
-pub use scoped::run_indexed;
+pub use scoped::{run_indexed, run_indexed_with};

@@ -2,15 +2,15 @@
 //!
 //! Benchmark drivers recognize thousands of texts back to back; spawning
 //! `c` OS threads per text would dominate the measurement for short
-//! chunks. The pool keeps `n` workers parked on a crossbeam channel and
+//! chunks. The pool keeps `n` workers parked on a shared channel and
 //! tracks outstanding jobs with a condvar-based [`WaitGroup`], so the
 //! caller can serialize the reach and join phases exactly like the paper's
 //! `ExecutorService.invokeAll` — the only synchronization requirement.
+//! Built entirely on `std::sync` (an `mpsc` channel behind a receiver
+//! mutex): no external runtime dependency.
 
-use std::sync::Arc;
-
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -24,17 +24,26 @@ impl ThreadPool {
     /// Spawns `num_workers` (≥ 1) parked worker threads.
     pub fn new(num_workers: usize) -> ThreadPool {
         let num_workers = num_workers.max(1);
-        let (sender, receiver) = unbounded::<Job>();
+        let (sender, receiver) = channel::<Job>();
+        // `mpsc::Receiver` is single-consumer; workers share it behind a
+        // mutex held only for the blocking `recv`, never while running a
+        // job, so job execution stays fully parallel.
+        let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..num_workers)
             .map(|i| {
-                let receiver = receiver.clone();
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("ridfa-worker-{i}"))
-                    .spawn(move || {
+                    .spawn(move || loop {
                         // Channel disconnect (pool drop) ends the loop.
-                        while let Ok(job) = receiver.recv() {
-                            job();
-                        }
+                        let job = match receiver.lock() {
+                            Ok(guard) => match guard.recv() {
+                                Ok(job) => job,
+                                Err(_) => break,
+                            },
+                            Err(_) => break,
+                        };
+                        job();
                     })
                     .expect("failed to spawn pool worker")
             })
@@ -111,7 +120,7 @@ impl WaitGroup {
 
     /// Marks one job complete.
     pub fn done(&self) {
-        let mut remaining = self.inner.remaining.lock();
+        let mut remaining = self.inner.remaining.lock().expect("waitgroup poisoned");
         *remaining = remaining
             .checked_sub(1)
             .expect("WaitGroup::done called more times than jobs");
@@ -122,9 +131,13 @@ impl WaitGroup {
 
     /// Blocks until every job has called [`done`](WaitGroup::done).
     pub fn wait(&self) {
-        let mut remaining = self.inner.remaining.lock();
+        let mut remaining = self.inner.remaining.lock().expect("waitgroup poisoned");
         while *remaining > 0 {
-            self.inner.all_done.wait(&mut remaining);
+            remaining = self
+                .inner
+                .all_done
+                .wait(remaining)
+                .expect("waitgroup poisoned");
         }
     }
 }

@@ -5,36 +5,62 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Runs `work(i)` for every `i in 0..num_tasks`, writing each result into
 /// the `i`-th output slot, using at most `num_workers` OS threads.
 ///
+/// Stateless convenience wrapper over [`run_indexed_with`]; see there for
+/// the executor shapes.
+pub fn run_indexed<T, F>(num_workers: usize, num_tasks: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(num_workers, num_tasks, || (), |(), i| work(i))
+}
+
+/// Runs `work(&mut state, i)` for every `i in 0..num_tasks`, writing each
+/// result into the `i`-th output slot, using at most `num_workers` OS
+/// threads. `init` builds one private `state` value **per worker thread**
+/// — the reach phase threads a reusable scan scratch through every chunk
+/// a worker claims, so kernel warm-up allocations happen once per worker,
+/// not once per chunk.
+///
 /// * `num_workers >= num_tasks` degenerates to one thread per task — the
 ///   paper's "each CA is a Java thread" model.
 /// * `num_workers < num_tasks` spawns a bounded team; workers claim task
 ///   indices from a shared atomic counter (dynamic self-scheduling), so an
 ///   unlucky long chunk does not leave threads idle.
-/// * `num_workers <= 1` runs everything on the calling thread (the serial
-///   executor used for debugging and as a baseline).
+/// * `num_workers <= 1` runs everything on the calling thread with a
+///   single state (the serial executor used for debugging and as a
+///   baseline).
 ///
 /// `work` only borrows its environment: no `Arc`, no channels, no locks on
 /// the hot path. Results are collected into a fresh `Vec` in task order.
-pub fn run_indexed<T, F>(num_workers: usize, num_tasks: usize, work: F) -> Vec<T>
+pub fn run_indexed_with<T, S, I, F>(
+    num_workers: usize,
+    num_tasks: usize,
+    init: I,
+    work: F,
+) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
 {
     let mut results: Vec<Option<T>> = (0..num_tasks).map(|_| None).collect();
     if num_tasks == 0 {
         return Vec::new();
     }
     if num_workers <= 1 {
+        let mut state = init();
         for (i, slot) in results.iter_mut().enumerate() {
-            *slot = Some(work(i));
+            *slot = Some(work(&mut state, i));
         }
     } else if num_workers >= num_tasks {
         // One thread per task, each owning exactly one result slot.
         std::thread::scope(|scope| {
             for (i, slot) in results.iter_mut().enumerate() {
                 let work = &work;
+                let init = &init;
                 scope.spawn(move || {
-                    *slot = Some(work(i));
+                    *slot = Some(work(&mut init(), i));
                 });
             }
         });
@@ -49,15 +75,17 @@ where
             let handles: Vec<_> = (0..num_workers)
                 .map(|_| {
                     let work = &work;
+                    let init = &init;
                     let counter = &counter;
                     scope.spawn(move || {
+                        let mut state = init();
                         let mut local = Vec::new();
                         loop {
                             let i = counter.fetch_add(1, Ordering::Relaxed);
                             if i >= num_tasks {
                                 break;
                             }
-                            local.push((i, work(i)));
+                            local.push((i, work(&mut state, i)));
                         }
                         local
                     })
@@ -89,7 +117,11 @@ mod tests {
     fn results_arrive_in_task_order() {
         for workers in [1, 2, 3, 8, 64] {
             let out = run_indexed(workers, 17, |i| i * i);
-            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "{workers} workers");
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
         }
     }
 
@@ -112,7 +144,7 @@ mod tests {
 
     #[test]
     fn borrows_environment_without_arc() {
-        let data = vec![10u64, 20, 30, 40];
+        let data = [10u64, 20, 30, 40];
         let out = run_indexed(2, data.len(), |i| data[i] + 1);
         assert_eq!(out, vec![11, 21, 31, 41]);
     }

@@ -211,8 +211,16 @@ pub(crate) mod tests {
         let nfa = figure1_nfa();
         let rid = RiDfa::from_nfa(&nfa);
         for input in [
-            &b""[..], b"a", b"ab", b"aab", b"aabcab", b"cab", b"abab",
-            b"bb", b"aabb", b"caab",
+            &b""[..],
+            b"a",
+            b"ab",
+            b"aab",
+            b"aabcab",
+            b"cab",
+            b"abab",
+            b"bb",
+            b"aabb",
+            b"caab",
         ] {
             assert_eq!(nfa.accepts(input), rid.accepts(input), "{input:?}");
         }

@@ -27,8 +27,6 @@ mod minimize;
 pub use construct::{construct, construct_limited};
 pub use minimize::minimize_interface;
 
-use serde::{Deserialize, Serialize};
-
 use ridfa_automata::alphabet::ByteClasses;
 use ridfa_automata::counter::Counter;
 use ridfa_automata::nfa::Nfa;
@@ -39,7 +37,7 @@ use ridfa_automata::{BitSet, StateId, DEAD};
 /// Build one with [`RiDfa::from_nfa`] (or [`construct_limited`] to bound
 /// state growth), then optionally shrink its interface with
 /// [`RiDfa::minimized`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RiDfa {
     pub(crate) classes: ByteClasses,
     pub(crate) stride: usize,
@@ -167,6 +165,14 @@ impl RiDfa {
         self.table[p as usize * self.stride + class as usize]
     }
 
+    /// A copy of the transition table with every entry premultiplied by
+    /// the stride — same layout contract as
+    /// [`Dfa::premultiplied_table`](ridfa_automata::dfa::Dfa::premultiplied_table);
+    /// consumed by the lockstep scan kernel.
+    pub fn premultiplied_table(&self) -> Vec<StateId> {
+        ridfa_automata::dfa::premultiply(&self.table, self.stride)
+    }
+
     /// Runs from state `p` over `chunk`; returns the last active state or
     /// [`DEAD`](ridfa_automata::DEAD) if the run terminated in error.
     /// Counts one transition per consumed byte (the step that discovers
@@ -223,8 +229,7 @@ impl RiDfa {
         if let Some(&bad) = self.table.iter().find(|&&t| t as usize >= n) {
             return Err(format!("transition target {bad} out of range"));
         }
-        if self.entry.len() != self.num_nfa_states || self.delegate.len() != self.num_nfa_states
-        {
+        if self.entry.len() != self.num_nfa_states || self.delegate.len() != self.num_nfa_states {
             return Err("entry/delegate must have one slot per NFA state".into());
         }
         for (q, &e) in self.entry.iter().enumerate() {

@@ -133,8 +133,9 @@ impl<'a> SfaCa<'a> {
 impl ChunkAutomaton for SfaCa<'_> {
     /// The SFA state (transition function) the chunk's single run reached.
     type Mapping = StateId;
+    type Scratch = ();
 
-    fn scan(&self, chunk: &[u8], counter: &mut impl Counter) -> StateId {
+    fn scan_with(&self, chunk: &[u8], _scratch: &mut (), counter: &mut impl Counter) -> StateId {
         self.sfa.run_from(self.sfa.identity(), chunk, counter)
     }
 

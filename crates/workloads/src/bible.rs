@@ -76,8 +76,24 @@ fn push_title(out: &mut Vec<u8>, rng: &mut SmallRng) {
 
 fn push_paragraph(out: &mut Vec<u8>, rng: &mut SmallRng) {
     const WORDS: &[&[u8]] = &[
-        b"and", b"the", b"in", b"of", b"beginning", b"earth", b"light", b"waters", b"day",
-        b"night", b"he", b"said", b"unto", b"them", b"created", b"good", b"was", b"it",
+        b"and",
+        b"the",
+        b"in",
+        b"of",
+        b"beginning",
+        b"earth",
+        b"light",
+        b"waters",
+        b"day",
+        b"night",
+        b"he",
+        b"said",
+        b"unto",
+        b"them",
+        b"created",
+        b"good",
+        b"was",
+        b"it",
     ];
     out.extend_from_slice(b"<p>");
     let words = rng.gen_range(40..120);

@@ -100,7 +100,7 @@ fn push_header(out: &mut Vec<u8>, sequence: &mut usize) {
 fn push_dna_line(out: &mut Vec<u8>, rng: &mut SmallRng) {
     const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
     for _ in 0..70 {
-        out.push(BASES[rng.gen_range(0..4)]);
+        out.push(BASES[rng.gen_range(0..4usize)]);
     }
     out.push(b'\n');
 }

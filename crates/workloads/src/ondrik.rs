@@ -117,7 +117,7 @@ pub fn machine(config: &OndrikConfig, seed: u64) -> Nfa {
         // 2^(j+1) between n/2 and 2n: the DFA gains about one backbone's
         // worth of window states, the NFA only j+2.
         let j_base = (usize::BITS - n.leading_zeros()) as i64 - 1; // ⌈log2(n)⌉
-        let j = (j_base + rng.gen_range(-1..=0)).clamp(2, 12) as usize;
+        let j = (j_base + rng.gen_range(-1i64..=0)).clamp(2, 12) as usize;
         edges.push((0, b'x', 0));
         edges.push((0, b'y', 0));
         let mut prev = num_states as StateId;

@@ -51,11 +51,19 @@ fn gen_node(config: &RegenConfig, rng: &mut SmallRng, depth: usize) -> Ast {
     let node = match rng.gen_range(0..10) {
         0..=3 => {
             let width = rng.gen_range(2..=config.max_width.max(2));
-            Ast::concat((0..width).map(|_| gen_node(config, rng, depth - 1)).collect())
+            Ast::concat(
+                (0..width)
+                    .map(|_| gen_node(config, rng, depth - 1))
+                    .collect(),
+            )
         }
         4..=6 => {
             let width = rng.gen_range(2..=config.max_width.max(2));
-            Ast::alt((0..width).map(|_| gen_node(config, rng, depth - 1)).collect())
+            Ast::alt(
+                (0..width)
+                    .map(|_| gen_node(config, rng, depth - 1))
+                    .collect(),
+            )
         }
         7..=8 => gen_leaf(config, rng),
         _ => Ast::opt(gen_node(config, rng, depth - 1)),

@@ -111,9 +111,17 @@ mod tests {
     fn every_generator_agrees_with_its_nfa() {
         for b in standard_benchmarks() {
             let accepted = (b.accepted)(4096, 11);
-            assert!(b.nfa.accepts(&accepted), "{}: accepted text rejected", b.name);
+            assert!(
+                b.nfa.accepts(&accepted),
+                "{}: accepted text rejected",
+                b.name
+            );
             let rejected = (b.rejected)(4096, 11);
-            assert!(!b.nfa.accepts(&rejected), "{}: rejected text accepted", b.name);
+            assert!(
+                !b.nfa.accepts(&rejected),
+                "{}: rejected text accepted",
+                b.name
+            );
         }
     }
 

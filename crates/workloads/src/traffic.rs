@@ -87,7 +87,7 @@ fn push_record(out: &mut Vec<u8>, rng: &mut SmallRng) {
         "session closed cleanly",
         "rate limit applied",
     ];
-    let month = MONTHS[rng.gen_range(0..12)];
+    let month = MONTHS[rng.gen_range(0..12usize)];
     let day = rng.gen_range(1..=28);
     let record = format!(
         "{month} {day:2} {:02}:{:02}:{:02} host{} {}[{}]: src={}.{}.{}.{} dst={}.{}.{}.{} len={} {}\n",
@@ -95,7 +95,7 @@ fn push_record(out: &mut Vec<u8>, rng: &mut SmallRng) {
         rng.gen_range(0..60),
         rng.gen_range(0..60),
         rng.gen_range(1..200),
-        DAEMONS[rng.gen_range(0..4)],
+        DAEMONS[rng.gen_range(0..4usize)],
         rng.gen_range(1..99999),
         rng.gen_range(1..255),
         rng.gen_range(0..255),
@@ -106,7 +106,7 @@ fn push_record(out: &mut Vec<u8>, rng: &mut SmallRng) {
         rng.gen_range(0..255),
         rng.gen_range(1..255),
         rng.gen_range(40..1500),
-        MESSAGES[rng.gen_range(0..5)],
+        MESSAGES[rng.gen_range(0..5usize)],
     );
     out.extend_from_slice(record.as_bytes());
 }

@@ -6,9 +6,9 @@
 //! cargo run --example dna_search --release
 //! ```
 
+use ridfa::automata::dfa::{minimize, powerset};
 use ridfa::core::csdpa::{recognize_counted, recognize_serial, DfaCa, Executor, RidCa};
 use ridfa::core::ridfa::RiDfa;
-use ridfa::automata::dfa::{minimize, powerset};
 use ridfa::workloads::fasta;
 
 fn main() {

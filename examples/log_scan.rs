@@ -32,9 +32,15 @@ fn main() {
     let nfa_ca = NfaCa::new(&nfa);
 
     for (name, accepted, ms) in [
-        timed("rid", || recognize(&rid_ca, &log, threads, Executor::Team(threads)).accepted),
-        timed("dfa", || recognize(&dfa_ca, &log, threads, Executor::Team(threads)).accepted),
-        timed("nfa", || recognize(&nfa_ca, &log, threads, Executor::Team(threads)).accepted),
+        timed("rid", || {
+            recognize(&rid_ca, &log, threads, Executor::Team(threads)).accepted
+        }),
+        timed("dfa", || {
+            recognize(&dfa_ca, &log, threads, Executor::Team(threads)).accepted
+        }),
+        timed("nfa", || {
+            recognize(&nfa_ca, &log, threads, Executor::Team(threads)).accepted
+        }),
     ] {
         println!("{name} variant    : {} in {ms:.2} ms", ok(accepted));
         assert!(accepted, "well-formed log must validate");

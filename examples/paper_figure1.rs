@@ -37,7 +37,10 @@ fn main() {
 
     println!("Fig. 1 machines:");
     println!("  NFA    : {} states (all initial as CA)", nfa.num_states());
-    println!("  min DFA: {} states (all initial as CA)", dfa.num_live_states());
+    println!(
+        "  min DFA: {} states (all initial as CA)",
+        dfa.num_live_states()
+    );
     println!(
         "  RI-DFA : {} states, only {} initial",
         rid.num_live_states(),

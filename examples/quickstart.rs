@@ -19,7 +19,10 @@ fn main() {
     println!("pattern          : {pattern}");
     println!("NFA states       : {}", nfa.num_states());
     println!("RI-DFA states    : {}", rid.num_live_states());
-    println!("interface states : {} (speculative runs per chunk)", rid.interface().len());
+    println!(
+        "interface states : {} (speculative runs per chunk)",
+        rid.interface().len()
+    );
 
     // 3. A text to recognize (≈ 4 MB of comma-separated words).
     let mut text = b"hello".to_vec();
@@ -35,7 +38,11 @@ fn main() {
         "recognized {} MB in {} chunks: {} (reach {:.2} ms, join {:.3} ms)",
         text.len() >> 20,
         outcome.num_chunks,
-        if outcome.accepted { "ACCEPTED" } else { "REJECTED" },
+        if outcome.accepted {
+            "ACCEPTED"
+        } else {
+            "REJECTED"
+        },
         outcome.reach.as_secs_f64() * 1e3,
         outcome.join.as_secs_f64() * 1e3,
     );

@@ -52,6 +52,12 @@ fn main() {
         rid.interface().len(),
         t_rid.as_secs_f64() * 1e3,
     );
-    println!("the classic variant must speculate on all {} DFA states per chunk;", dfa.num_live_states());
-    println!("the RID speculates on {} — that is the whole paper in one line.", rid.interface().len());
+    println!(
+        "the classic variant must speculate on all {} DFA states per chunk;",
+        dfa.num_live_states()
+    );
+    println!(
+        "the RID speculates on {} — that is the whole paper in one line.",
+        rid.interface().len()
+    );
 }

@@ -1,18 +1,21 @@
-//! Property tests: the whole construction pipeline defines one language.
+//! Randomized tests: the whole construction pipeline defines one language.
 //!
 //! For random regular expressions (via the REgen-style generator), the
 //! Glushkov NFA, the Thompson NFA, the powerset DFA, the minimal DFA, the
 //! RI-DFA, and the interface-minimized RI-DFA must all agree — both on
 //! strings sampled *from* the language and on random byte strings.
+//! Formerly a proptest suite; rewritten as seeded loops so the workspace
+//! carries no external test framework.
 
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use ridfa::automata::dfa::{equivalence, minimize, powerset};
 use ridfa::automata::nfa::{glushkov, thompson};
 use ridfa::core::ridfa::RiDfa;
 use ridfa::workloads::regen::{random_ast, sample_into, RegenConfig};
+
+const CASES: u64 = 64;
 
 fn config() -> RegenConfig {
     RegenConfig {
@@ -23,86 +26,100 @@ fn config() -> RegenConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn glushkov_equals_thompson_as_dfas(seed in any::<u64>()) {
+#[test]
+fn glushkov_equals_thompson_as_dfas() {
+    for seed in 0..CASES {
         let ast = random_ast(&config(), seed);
         let g = powerset::determinize(&glushkov::build(&ast).unwrap());
         let t = powerset::determinize(&thompson::build(&ast).unwrap());
-        prop_assert!(
+        assert!(
             equivalence::equivalent(&g, &t),
             "Glushkov and Thompson disagree on {} (counterexample {:?})",
             ast,
             equivalence::counterexample(&g, &t),
         );
     }
+}
 
-    #[test]
-    fn minimization_preserves_language(seed in any::<u64>()) {
+#[test]
+fn minimization_preserves_language() {
+    for seed in 0..CASES {
         let ast = random_ast(&config(), seed);
         let dfa = powerset::determinize(&glushkov::build(&ast).unwrap());
         let min = minimize::minimize(&dfa);
-        prop_assert!(equivalence::equivalent(&dfa, &min), "{}", ast);
-        prop_assert!(min.num_states() <= dfa.num_states());
+        assert!(equivalence::equivalent(&dfa, &min), "{ast}");
+        assert!(min.num_states() <= dfa.num_states());
     }
+}
 
-    #[test]
-    fn minimal_dfa_is_minimal(seed in any::<u64>()) {
+#[test]
+fn minimal_dfa_is_minimal() {
+    for seed in 0..CASES {
         let ast = random_ast(&config(), seed);
         let min = minimize::minimize(&powerset::determinize(&glushkov::build(&ast).unwrap()));
         let classes = minimize::equivalence_classes(&min);
         let mut distinct = classes.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert_eq!(distinct.len(), min.num_states(), "no equivalent pair survives");
+        assert_eq!(
+            distinct.len(),
+            min.num_states(),
+            "no equivalent pair survives ({ast})"
+        );
     }
+}
 
-    #[test]
-    fn ridfa_accepts_sampled_members(seed in any::<u64>(), text_seed in any::<u64>()) {
-        // Theorem 3.1 (positive direction): every sampled member of L is
-        // accepted by the RI-DFA's serial run.
+#[test]
+fn ridfa_accepts_sampled_members() {
+    // Theorem 3.1 (positive direction): every sampled member of L is
+    // accepted by the RI-DFA's serial run.
+    for seed in 0..CASES {
         let ast = random_ast(&config(), seed);
         let nfa = glushkov::build(&ast).unwrap();
         let rid = RiDfa::from_nfa(&nfa);
-        let mut rng = SmallRng::seed_from_u64(text_seed);
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37) ^ 1);
         let mut text = Vec::new();
         sample_into(&ast, &mut rng, &mut text);
-        prop_assert!(nfa.accepts(&text), "sampler broken for {}", ast);
-        prop_assert!(rid.accepts(&text), "RI-DFA rejects a member of {}", ast);
-        prop_assert!(rid.minimized().accepts(&text));
+        assert!(nfa.accepts(&text), "sampler broken for {ast}");
+        assert!(rid.accepts(&text), "RI-DFA rejects a member of {ast}");
+        assert!(rid.minimized().accepts(&text));
     }
+}
 
-    #[test]
-    fn ridfa_agrees_on_arbitrary_strings(
-        seed in any::<u64>(),
-        text in proptest::collection::vec(proptest::sample::select(b"abc!".to_vec()), 0..64),
-    ) {
-        // Theorem 3.1 (both directions) on arbitrary inputs, including a
-        // byte outside the pattern alphabet.
+#[test]
+fn ridfa_agrees_on_arbitrary_strings() {
+    // Theorem 3.1 (both directions) on arbitrary inputs, including a
+    // byte outside the pattern alphabet.
+    for seed in 0..CASES {
         let ast = random_ast(&config(), seed);
         let nfa = glushkov::build(&ast).unwrap();
         let rid = RiDfa::from_nfa(&nfa);
         let min = rid.minimized();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
+        let len = rng.gen_range(0..64usize);
+        let text: Vec<u8> = (0..len)
+            .map(|_| b"abc!"[rng.gen_range(0..4usize)])
+            .collect();
         let expected = nfa.accepts(&text);
-        prop_assert_eq!(expected, rid.accepts(&text));
-        prop_assert_eq!(expected, min.accepts(&text));
+        assert_eq!(expected, rid.accepts(&text), "{ast} on {text:?}");
+        assert_eq!(expected, min.accepts(&text), "{ast} on {text:?}");
     }
+}
 
-    #[test]
-    fn parser_printer_roundtrip(seed in any::<u64>()) {
+#[test]
+fn parser_printer_roundtrip() {
+    for seed in 0..CASES {
         let ast = random_ast(&config(), seed);
         let printed = ast.to_string();
         let reparsed = ridfa::automata::regex::parse(&printed).unwrap();
-        prop_assert_eq!(ast, reparsed, "printed form: {}", printed);
+        assert_eq!(ast, reparsed, "printed form: {printed}");
     }
 }
 
 #[test]
 fn sfa_agrees_with_dfa_on_samples() {
-    use ridfa::core::sfa::{Sfa, SfaCa};
     use ridfa::core::csdpa::{recognize, Executor};
+    use ridfa::core::sfa::{Sfa, SfaCa};
     for seed in 0..20u64 {
         let ast = random_ast(&config(), seed);
         let dfa = minimize::minimize(&powerset::determinize(&glushkov::build(&ast).unwrap()));

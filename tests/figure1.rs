@@ -5,9 +5,7 @@
 use ridfa::automata::dfa::{minimize, powerset};
 use ridfa::automata::nfa::{Builder, Nfa};
 use ridfa::automata::TransitionCount;
-use ridfa::core::csdpa::{
-    recognize_counted, ChunkAutomaton, DfaCa, Executor, NfaCa, RidCa,
-};
+use ridfa::core::csdpa::{recognize_counted, ChunkAutomaton, DfaCa, Executor, NfaCa, RidCa};
 use ridfa::core::ridfa::RiDfa;
 
 /// The Fig. 1 NFA over Σ = {a,b,c}.
@@ -34,10 +32,18 @@ fn machine_sizes_match_figure1() {
     let nfa = figure1_nfa();
     assert_eq!(nfa.num_states(), 3, "NFA has 3 states");
     let dfa = minimize::minimize(&powerset::determinize(&nfa));
-    assert_eq!(dfa.num_live_states(), 4, "minimal DFA has 4 states 0,1,01,02");
+    assert_eq!(
+        dfa.num_live_states(),
+        4,
+        "minimal DFA has 4 states 0,1,01,02"
+    );
     let rid = RiDfa::from_nfa(&nfa);
     assert_eq!(rid.num_live_states(), 5, "RI-DFA has 5 states 0,1,2,01,02");
-    assert_eq!(rid.interface().len(), 3, "only the three singletons are initial");
+    assert_eq!(
+        rid.interface().len(),
+        3,
+        "only the three singletons are initial"
+    );
 }
 
 #[test]

@@ -1,0 +1,145 @@
+//! Asserts the lockstep kernel's allocation contract: after the scratch
+//! and the output mapping have warmed up, a scan performs **zero** heap
+//! allocations, for every kernel strategy.
+//!
+//! Lives in its own test binary because the counting [`GlobalAlloc`]
+//! observes every thread in the process — sharing a binary with
+//! concurrently running tests would make the counter meaningless. The
+//! two tests here run single-threaded scans only.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::automata::nfa::glushkov;
+use ridfa::automata::regex::parse;
+use ridfa::automata::NoCount;
+use ridfa::core::csdpa::kernel::{self, DenseTable, Kernel, Scratch};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_scans_allocate_nothing() {
+    let dfa = minimize::minimize(&powerset::determinize(
+        &glushkov::build(&parse("(a|b)*abb(a|b)*ab").unwrap()).unwrap(),
+    ));
+    let ptable = dfa.premultiplied_table();
+    let table = DenseTable {
+        ptable: &ptable,
+        stride: dfa.stride(),
+        classes: dfa.classes(),
+    };
+    let chunk = b"abbaabbbab".repeat(2000);
+
+    for kernel in [
+        Kernel::PerRun,
+        Kernel::Lockstep,
+        Kernel::LockstepShared,
+        Kernel::Auto,
+    ] {
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        // Warm-up: sizes the scratch arrays and the output mapping.
+        kernel::scan_into(
+            table,
+            dfa.live_states().map(|s| (s, s)),
+            dfa.num_states(),
+            &chunk,
+            kernel,
+            &mut scratch,
+            &mut NoCount,
+            &mut out,
+        );
+        let before = allocations();
+        for _ in 0..5 {
+            kernel::scan_into(
+                table,
+                dfa.live_states().map(|s| (s, s)),
+                dfa.num_states(),
+                &chunk,
+                kernel,
+                &mut scratch,
+                &mut NoCount,
+                &mut out,
+            );
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{kernel:?} allocated on a warm scan"
+        );
+    }
+}
+
+#[test]
+fn scratch_growth_stops_at_the_high_water_mark() {
+    // Alternating between a small and a large automaton must stop
+    // allocating once both have been seen.
+    let small = powerset::determinize(&glushkov::build(&parse("ab").unwrap()).unwrap());
+    let big = powerset::determinize(
+        &glushkov::build(&parse("(a|b|c)*ab(a|b)(a|b)(a|b)").unwrap()).unwrap(),
+    );
+    let p_small = small.premultiplied_table();
+    let p_big = big.premultiplied_table();
+    let mut scratch = Scratch::default();
+    let mut out = Vec::new();
+    let chunk = b"abcab".repeat(200);
+    let scan = |dfa: &ridfa::automata::dfa::Dfa,
+                ptable: &[u32],
+                out: &mut Vec<u32>,
+                scratch: &mut Scratch| {
+        kernel::scan_into(
+            DenseTable {
+                ptable,
+                stride: dfa.stride(),
+                classes: dfa.classes(),
+            },
+            dfa.live_states().map(|s| (s, s)),
+            dfa.num_states(),
+            &chunk,
+            Kernel::LockstepShared,
+            scratch,
+            &mut NoCount,
+            out,
+        );
+    };
+    // Warm up on both automata.
+    scan(&small, &p_small, &mut out, &mut scratch);
+    scan(&big, &p_big, &mut out, &mut scratch);
+    let before = allocations();
+    for _ in 0..4 {
+        scan(&small, &p_small, &mut out, &mut scratch);
+        scan(&big, &p_big, &mut out, &mut scratch);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "alternating warm scans allocated"
+    );
+}

@@ -1,8 +1,7 @@
-//! Property tests for the RI-DFA itself: the structural theorems of
-//! Sect. 3 of the paper, checked on random expressions and on the
-//! synthetic Ondrik machines.
-
-use proptest::prelude::*;
+//! Randomized property tests for the RI-DFA itself: the structural
+//! theorems of Sect. 3 of the paper, checked on random expressions and on
+//! the synthetic Ondrik machines. Formerly a proptest suite; rewritten as
+//! seeded loops so the workspace carries no external test framework.
 
 use ridfa::automata::dfa::minimize::partition_refine;
 use ridfa::automata::dfa::{minimize, powerset};
@@ -11,6 +10,8 @@ use ridfa::automata::StateId;
 use ridfa::core::ridfa::RiDfa;
 use ridfa::workloads::ondrik::{machine, OndrikConfig};
 use ridfa::workloads::regen::{random_ast, RegenConfig};
+
+const CASES: u64 = 64;
 
 fn config() -> RegenConfig {
     RegenConfig {
@@ -21,38 +22,43 @@ fn config() -> RegenConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn interface_size_equals_nfa_size_before_minimization(seed in any::<u64>()) {
+#[test]
+fn interface_size_equals_nfa_size_before_minimization() {
+    for seed in 0..CASES {
         let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
         let rid = RiDfa::from_nfa(&nfa);
-        prop_assert_eq!(rid.interface().len(), nfa.num_states());
+        assert_eq!(rid.interface().len(), nfa.num_states(), "seed {seed}");
         // Every interface state is a singleton of its NFA state.
         for q in 0..nfa.num_states() as StateId {
-            prop_assert_eq!(rid.content(rid.entry(q)), &[q]);
+            assert_eq!(rid.content(rid.entry(q)), &[q], "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn minimized_interface_never_grows(seed in any::<u64>()) {
+#[test]
+fn minimized_interface_never_grows() {
+    for seed in 0..CASES {
         let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
         let rid = RiDfa::from_nfa(&nfa);
         let min = rid.minimized();
-        prop_assert!(min.interface().len() <= rid.interface().len());
+        assert!(
+            min.interface().len() <= rid.interface().len(),
+            "seed {seed}"
+        );
         // Downgrading only: the minimized interface is a subset.
         for p in min.interface() {
-            prop_assert!(rid.interface().contains(p));
+            assert!(rid.interface().contains(p), "seed {seed}");
         }
         // Transition graph untouched.
-        prop_assert_eq!(min.num_states(), rid.num_states());
+        assert_eq!(min.num_states(), rid.num_states(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn delegates_are_nerode_equivalent(seed in any::<u64>()) {
-        // The Sect. 3.4 soundness condition: every delegate recognizes the
-        // same language as the entry it replaces.
+#[test]
+fn delegates_are_nerode_equivalent() {
+    // The Sect. 3.4 soundness condition: every delegate recognizes the
+    // same language as the entry it replaces.
+    for seed in 0..CASES {
         let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
         let min = RiDfa::from_nfa(&nfa).minimized();
         let classes = partition_refine(
@@ -62,29 +68,36 @@ proptest! {
             |s| min.is_final(s),
         );
         for q in 0..min.num_nfa_states() as StateId {
-            prop_assert_eq!(
+            assert_eq!(
                 classes[min.entry(q) as usize],
                 classes[min.delegate(q) as usize],
-                "NFA state {}", q
+                "seed {seed}, NFA state {q}"
             );
         }
     }
+}
 
-    #[test]
-    fn ridfa_contains_the_reachable_powerset(seed in any::<u64>()) {
-        // Every subset reachable from {q0} exists in the RI-DFA, so the
-        // RI-DFA is never smaller than the (unminimized) reachable DFA.
+#[test]
+fn ridfa_contains_the_reachable_powerset() {
+    // Every subset reachable from {q0} exists in the RI-DFA, so the
+    // RI-DFA is never smaller than the (unminimized) reachable DFA.
+    for seed in 0..CASES {
         let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
         let dfa = powerset::determinize(&nfa);
         let rid = RiDfa::from_nfa(&nfa);
-        prop_assert!(rid.num_live_states() >= dfa.num_live_states());
+        assert!(
+            rid.num_live_states() >= dfa.num_live_states(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn interface_bounded_by_minimal_nfa_languages(seed in any::<u64>()) {
-        // Corollary of Th. 3.4: the minimized interface cannot exceed the
-        // number of *distinct residual languages* of single NFA states —
-        // measured here as Nerode classes of the entry states.
+#[test]
+fn interface_bounded_by_minimal_nfa_languages() {
+    // Corollary of Th. 3.4: the minimized interface cannot exceed the
+    // number of *distinct residual languages* of single NFA states —
+    // measured here as Nerode classes of the entry states.
+    for seed in 0..CASES {
         let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
         let rid = RiDfa::from_nfa(&nfa);
         let min = rid.minimized();
@@ -99,15 +112,17 @@ proptest! {
             .collect();
         entry_classes.sort_unstable();
         entry_classes.dedup();
-        prop_assert_eq!(min.interface().len(), entry_classes.len());
+        assert_eq!(min.interface().len(), entry_classes.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn validate_holds_for_random_machines(seed in any::<u64>()) {
+#[test]
+fn validate_holds_for_random_machines() {
+    for seed in 0..CASES {
         let nfa = glushkov::build(&random_ast(&config(), seed)).unwrap();
         let rid = RiDfa::from_nfa(&nfa);
-        prop_assert_eq!(rid.validate(), Ok(()));
-        prop_assert_eq!(rid.minimized().validate(), Ok(()));
+        assert_eq!(rid.validate(), Ok(()), "seed {seed}");
+        assert_eq!(rid.minimized().validate(), Ok(()), "seed {seed}");
     }
 }
 
@@ -126,8 +141,14 @@ fn ondrik_machines_satisfy_rid_theorems() {
         assert!(min.interface().len() <= rid.interface().len());
         // Serial recognition agrees with the NFA on probe strings.
         for probe in [
-            &b""[..], b"a", b"ab", b"abc", b"aabbcc", b"cccc",
-            b"abababababab", b"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+            &b""[..],
+            b"a",
+            b"ab",
+            b"abc",
+            b"aabbcc",
+            b"cccc",
+            b"abababababab",
+            b"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
         ] {
             assert_eq!(
                 nfa.accepts(probe),

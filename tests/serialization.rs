@@ -40,7 +40,12 @@ fn dfas_roundtrip_and_recognize_identically() {
         let text = (b.accepted)(8 << 10, 3);
         assert_eq!(dfa.accepts(&text), back.accepts(&text), "{}", b.name);
         let rejected = (b.rejected)(8 << 10, 3);
-        assert_eq!(dfa.accepts(&rejected), back.accepts(&rejected), "{}", b.name);
+        assert_eq!(
+            dfa.accepts(&rejected),
+            back.accepts(&rejected),
+            "{}",
+            b.name
+        );
     }
 }
 
