@@ -7,7 +7,9 @@
 //! ridfa gen --regex '(a|b)*abb' --out machine.nfa      # RE → NFA (text format)
 //! ridfa info --regex '(a|b)*abb'                       # construction report
 //! ridfa recognize --regex '(a|b)*abb' --text input.txt --variant rid --chunks 8
+//! ridfa recognize --regex '(a|b)*abb' --text input.txt --pool  # warm session
 //! ridfa drive --regex '(a|b)*abb' --text input.txt     # compare all variants
+//! ridfa serve --requests 1024 --len 2048               # batch/serving mode
 //! ridfa help
 //! ```
 
@@ -18,7 +20,10 @@ use std::time::Instant;
 use ridfa_automata::dfa::{minimize, powerset};
 use ridfa_automata::nfa::{glushkov, Nfa};
 use ridfa_automata::{regex, serialize};
-use ridfa_core::csdpa::{recognize_counted, ChunkAutomaton, DfaCa, Executor, NfaCa, RidCa};
+use ridfa_core::csdpa::{
+    recognize_counted, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, CountedOutcome, DfaCa,
+    Executor, NfaCa, RidCa, Session,
+};
 use ridfa_core::ridfa::RiDfa;
 
 fn main() -> ExitCode {
@@ -27,18 +32,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = Opts::parse(&args[1..]);
-    let result = match command {
+    let result = Opts::parse(&args[1..]).and_then(|opts| match command {
         "gen" => cmd_gen(&opts),
         "info" => cmd_info(&opts),
         "recognize" => cmd_recognize(&opts),
         "drive" => cmd_drive(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -55,11 +60,21 @@ USAGE:
   ridfa gen        --regex PATTERN [--out FILE]        print/save the NFA
   ridfa info       (--regex PATTERN | --nfa FILE)      construction report
   ridfa recognize  (--regex PATTERN | --nfa FILE)
-                   --text FILE [--variant dfa|nfa|rid]
-                   [--chunks N] [--threads N]           recognize one text
+                   --text FILE
+                   [--variant dfa|nfa|rid|convergent-dfa|convergent-rid]
+                   [--chunks N] [--threads N] [--pool]  recognize one text
   ridfa drive      (--regex PATTERN | --nfa FILE)
-                   --text FILE [--chunks N]             compare all variants
+                   --text FILE [--chunks N] [--pool]    compare all variants
+  ridfa serve      [--requests N] [--len BYTES] [--chunks N] [--threads N]
+                   [--variant ...] [--no-pool]          batch-recognize a
+                                                        generated syslog
+                                                        stream (workloads::
+                                                        traffic) through a
+                                                        warm session
   ridfa help
+
+`--pool` recognizes through a persistent Session (no thread spawn per
+text, warm per-worker scan state) instead of spawning threads per call.
 
 Exit code of `recognize`: 0 = accepted, 1 = rejected or error.";
 
@@ -68,16 +83,26 @@ struct Opts {
 }
 
 impl Opts {
-    fn parse(args: &[String]) -> Opts {
+    /// Parses `--name [value]` pairs. A following token that itself
+    /// starts with `--` is **not** consumed as a value (it is the next
+    /// flag; the previous flag simply has no value), and stray
+    /// positional tokens are rejected.
+    fn parse(args: &[String]) -> Result<Opts, String> {
         let mut flags = Vec::new();
-        let mut iter = args.iter();
+        let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
-            if let Some(name) = arg.strip_prefix("--") {
-                let value = iter.next().cloned().unwrap_or_default();
-                flags.push((name.to_string(), value));
-            }
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!(
+                    "unexpected argument {arg:?} (options are --name [value])"
+                ));
+            };
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
+            flags.push((name.to_string(), value));
         }
-        Opts { flags }
+        Ok(Opts { flags })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -87,20 +112,40 @@ impl Opts {
             .map(|(_, v)| v.as_str())
     }
 
-    fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+    /// Is the boolean flag present (with or without a value)?
+    fn get_bool(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// The flag's value, requiring one if the flag is present at all
+    /// (`--text --variant rid` errors instead of silently reading a file
+    /// named `--variant`).
+    fn get_value(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.get(name) {
+            Some("") => Err(format!("flag --{name} requires a value")),
+            other => Ok(other),
+        }
+    }
+
+    /// Numeric flag with a default; malformed numbers are an error, not
+    /// a silent fallback.
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get_value(name)? {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                format!("invalid value for --{name}: {v:?} (expected a non-negative integer)")
+            }),
+        }
     }
 }
 
 /// Loads the NFA from `--regex` or `--nfa`.
 fn load_nfa(opts: &Opts) -> Result<Nfa, String> {
-    if let Some(pattern) = opts.get("regex") {
+    if let Some(pattern) = opts.get_value("regex")? {
         let ast = regex::parse(pattern).map_err(|e| e.to_string())?;
         return glushkov::build(&ast).map_err(|e| e.to_string());
     }
-    if let Some(path) = opts.get("nfa") {
+    if let Some(path) = opts.get_value("nfa")? {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         return serialize::nfa_from_text(&text).map_err(|e| e.to_string());
     }
@@ -108,7 +153,7 @@ fn load_nfa(opts: &Opts) -> Result<Nfa, String> {
 }
 
 fn load_text(opts: &Opts) -> Result<Vec<u8>, String> {
-    match opts.get("text") {
+    match opts.get_value("text")? {
         Some("-") => {
             let mut buffer = Vec::new();
             std::io::stdin()
@@ -125,7 +170,7 @@ fn load_text(opts: &Opts) -> Result<Vec<u8>, String> {
 fn cmd_gen(opts: &Opts) -> Result<(), String> {
     let nfa = load_nfa(opts)?;
     let text = serialize::nfa_to_text(&nfa);
-    match opts.get("out") {
+    match opts.get_value("out")? {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
         None => {
             print!("{text}");
@@ -185,25 +230,108 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// How a command's recognitions are executed: spawn threads per call, or
+/// dispatch to a warm [`Session`].
+enum Runner {
+    Spawn(Executor),
+    Pool(Session),
+}
+
+impl Runner {
+    fn from_opts(opts: &Opts) -> Result<Runner, String> {
+        let threads = opts.get_usize("threads", default_threads())?;
+        Ok(Runner::new(opts.get_bool("pool"), threads))
+    }
+
+    fn new(pooled: bool, threads: usize) -> Runner {
+        if pooled {
+            // The session's caller thread participates in every reach
+            // phase, so size the pool one below the requested width.
+            Runner::Pool(Session::new(threads.saturating_sub(1).max(1)))
+        } else {
+            Runner::Spawn(Executor::Team(threads))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Runner::Spawn(_) => "spawn",
+            Runner::Pool(_) => "pooled",
+        }
+    }
+
+    fn recognize<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        chunks: usize,
+    ) -> CountedOutcome {
+        match self {
+            Runner::Spawn(executor) => recognize_counted(ca, text, chunks, *executor),
+            Runner::Pool(session) => session.recognize_counted(ca, text, chunks),
+        }
+    }
+
+    /// Pre-warms the pooled shape's per-worker state (no-op for spawn),
+    /// so timed runs start from steady state.
+    fn warm<CA: ChunkAutomaton>(&mut self, ca: &CA, sample: &[u8]) {
+        if let Runner::Pool(session) = self {
+            session.warm(ca, &sample[..sample.len().min(4096)]);
+        }
+    }
+
+    /// Recognizes a whole stream, returning the accepted count — the
+    /// pooled shape pipelines it as one `recognize_many` batch.
+    fn recognize_batch<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        texts: &[Vec<u8>],
+        chunks: usize,
+    ) -> usize {
+        match self {
+            Runner::Spawn(executor) => texts
+                .iter()
+                .filter(|text| ridfa_core::csdpa::recognize(ca, text, chunks, *executor).accepted)
+                .count(),
+            Runner::Pool(session) => session
+                .recognize_many(ca, texts, chunks)
+                .iter()
+                .filter(|&&v| v)
+                .count(),
+        }
+    }
+}
+
 fn cmd_recognize(opts: &Opts) -> Result<(), String> {
     let nfa = load_nfa(opts)?;
     let text = load_text(opts)?;
-    let chunks = opts.get_usize("chunks", default_threads());
-    let threads = opts.get_usize("threads", default_threads());
-    let variant = opts.get("variant").unwrap_or("rid");
-    let executor = Executor::Team(threads);
+    let chunks = opts.get_usize("chunks", default_threads())?;
+    let variant = opts.get_value("variant")?.unwrap_or("rid");
+    let mut runner = Runner::from_opts(opts)?;
 
     let accepted = match variant {
         "rid" => {
             let rid = RiDfa::from_nfa(&nfa).minimized();
-            report(&RidCa::new(&rid), &text, chunks, executor)
+            report(&RidCa::new(&rid), &text, chunks, &mut runner)
         }
         "dfa" => {
             let dfa = minimize::minimize(&powerset::determinize(&nfa));
-            report(&DfaCa::new(&dfa), &text, chunks, executor)
+            report(&DfaCa::new(&dfa), &text, chunks, &mut runner)
         }
-        "nfa" => report(&NfaCa::new(&nfa), &text, chunks, executor),
-        other => return Err(format!("unknown variant {other:?} (dfa|nfa|rid)")),
+        "nfa" => report(&NfaCa::new(&nfa), &text, chunks, &mut runner),
+        "convergent-rid" => {
+            let rid = RiDfa::from_nfa(&nfa).minimized();
+            report(&ConvergentRidCa::new(&rid), &text, chunks, &mut runner)
+        }
+        "convergent-dfa" => {
+            let dfa = minimize::minimize(&powerset::determinize(&nfa));
+            report(&ConvergentDfaCa::new(&dfa), &text, chunks, &mut runner)
+        }
+        other => {
+            return Err(format!(
+                "unknown variant {other:?} (dfa|nfa|rid|convergent-dfa|convergent-rid)"
+            ))
+        }
     };
     if accepted {
         Ok(())
@@ -212,8 +340,8 @@ fn cmd_recognize(opts: &Opts) -> Result<(), String> {
     }
 }
 
-fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, executor: Executor) -> bool {
-    let out = recognize_counted(ca, text, chunks, executor);
+fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut Runner) -> bool {
+    let out = runner.recognize(ca, text, chunks);
     println!(
         "{}: {} | {} bytes, {} chunks, {} transitions, reach {:.3} ms, join {:.3} ms",
         ca.name(),
@@ -230,18 +358,108 @@ fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, executor: Exe
 fn cmd_drive(opts: &Opts) -> Result<(), String> {
     let nfa = load_nfa(opts)?;
     let text = load_text(opts)?;
-    let chunks = opts.get_usize("chunks", default_threads());
-    let executor = Executor::Team(opts.get_usize("threads", default_threads()));
+    let chunks = opts.get_usize("chunks", default_threads())?;
+    let mut runner = Runner::from_opts(opts)?;
 
     let dfa = minimize::minimize(&powerset::determinize(&nfa));
     let rid = RiDfa::from_nfa(&nfa).minimized();
-    let a = report(&DfaCa::new(&dfa), &text, chunks, executor);
-    let b = report(&NfaCa::new(&nfa), &text, chunks, executor);
-    let c = report(&RidCa::new(&rid), &text, chunks, executor);
-    if a != b || b != c {
+    let verdicts = [
+        report(&DfaCa::new(&dfa), &text, chunks, &mut runner),
+        report(&NfaCa::new(&nfa), &text, chunks, &mut runner),
+        report(&RidCa::new(&rid), &text, chunks, &mut runner),
+        report(&ConvergentDfaCa::new(&dfa), &text, chunks, &mut runner),
+        report(&ConvergentRidCa::new(&rid), &text, chunks, &mut runner),
+    ];
+    if verdicts.iter().any(|&v| v != verdicts[0]) {
         return Err("variants disagree — this is a bug, please report".into());
     }
     Ok(())
+}
+
+/// Batch/serving mode: generate `--requests` syslog texts with the
+/// `traffic` workload generator and recognize them all through a warm
+/// [`Session`] (one pipelined task stream), reporting aggregate
+/// throughput and mean per-text latency. `--no-pool` recognizes each
+/// text with the spawning executor instead, for comparison.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let requests = opts.get_usize("requests", 256)?;
+    let len = opts.get_usize("len", 2048)?;
+    let chunks = opts.get_usize("chunks", 4)?;
+    let threads = opts.get_usize("threads", default_threads())?;
+    let variant = opts.get_value("variant")?.unwrap_or("convergent-rid");
+    let pooled = !opts.get_bool("no-pool");
+
+    let nfa = ridfa_workloads::traffic::nfa();
+    // One malformed record stream in eight keeps the rejection path warm.
+    let texts = ridfa_workloads::traffic::request_stream(requests, len, 8);
+    let total_bytes: usize = texts.iter().map(Vec::len).sum();
+
+    let mut runner = Runner::new(pooled, threads);
+    let rid;
+    let dfa;
+    let accepted = match variant {
+        "rid" => {
+            rid = RiDfa::from_nfa(&nfa).minimized();
+            serve(&RidCa::new(&rid), &texts, chunks, &mut runner)
+        }
+        "convergent-rid" => {
+            rid = RiDfa::from_nfa(&nfa).minimized();
+            serve(&ConvergentRidCa::new(&rid), &texts, chunks, &mut runner)
+        }
+        "dfa" => {
+            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            serve(&DfaCa::new(&dfa), &texts, chunks, &mut runner)
+        }
+        "convergent-dfa" => {
+            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            serve(&ConvergentDfaCa::new(&dfa), &texts, chunks, &mut runner)
+        }
+        other => {
+            return Err(format!(
+                "unknown variant {other:?} (dfa|rid|convergent-dfa|convergent-rid)"
+            ))
+        }
+    };
+    let expected = texts.len() - texts.len() / 8;
+    if accepted != expected {
+        return Err(format!(
+            "acceptance mismatch: {accepted} accepted, expected {expected}"
+        ));
+    }
+    println!(
+        "serve: {} texts OK ({} accepted / {} rejected, {} bytes total)",
+        texts.len(),
+        accepted,
+        texts.len() - accepted,
+        total_bytes
+    );
+    Ok(())
+}
+
+fn serve<CA: ChunkAutomaton>(
+    ca: &CA,
+    texts: &[Vec<u8>],
+    chunks: usize,
+    runner: &mut Runner,
+) -> usize {
+    if let Some(sample) = texts.first() {
+        runner.warm(ca, sample);
+    }
+    let start = Instant::now();
+    let accepted = runner.recognize_batch(ca, texts, chunks);
+    let elapsed = start.elapsed();
+    let total_bytes: usize = texts.iter().map(Vec::len).sum();
+    println!(
+        "{} [{}]: {} texts in {:.3} ms | {:.1} texts/s | {:.1} MiB/s | {:.1} µs/text",
+        ca.name(),
+        runner.name(),
+        texts.len(),
+        elapsed.as_secs_f64() * 1e3,
+        texts.len() as f64 / elapsed.as_secs_f64(),
+        total_bytes as f64 / elapsed.as_secs_f64() / (1024.0 * 1024.0),
+        elapsed.as_secs_f64() * 1e6 / texts.len().max(1) as f64,
+    );
+    accepted
 }
 
 fn default_threads() -> usize {

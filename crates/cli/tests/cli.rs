@@ -132,3 +132,159 @@ fn bad_regex_reports_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("error"));
 }
+
+#[test]
+fn flag_value_cannot_be_another_flag() {
+    // Regression: `--text --variant rid` used to silently read a file
+    // named "--variant". It must now demand a value for --text.
+    let out = ridfa()
+        .args(["recognize", "--regex", "a*", "--text", "--variant", "rid"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--text requires a value"), "{err}");
+}
+
+#[test]
+fn malformed_number_is_rejected() {
+    // Regression: `--chunks abc` used to fall back to the default
+    // silently.
+    for (flag, value) in [("--chunks", "abc"), ("--threads", "4x"), ("--chunks", "-1")] {
+        let mut child = ridfa()
+            .args(["recognize", "--regex", "a*", "--text", "-", flag, value])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.as_mut().unwrap().write_all(b"aaa").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(!out.status.success(), "{flag} {value}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("invalid value"), "{flag} {value}: {err}");
+    }
+}
+
+#[test]
+fn stray_positional_argument_is_rejected() {
+    let out = ridfa()
+        .args(["recognize", "--regex", "a*", "input.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unexpected argument"), "{err}");
+}
+
+#[test]
+fn convergent_variants_recognize() {
+    for variant in ["convergent-dfa", "convergent-rid"] {
+        for (input, expect_ok) in [("aabb", true), ("ba", false)] {
+            let mut child = ridfa()
+                .args([
+                    "recognize",
+                    "--regex",
+                    "(a|b)*abb",
+                    "--text",
+                    "-",
+                    "--variant",
+                    variant,
+                    "--chunks",
+                    "3",
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .unwrap();
+            child
+                .stdin
+                .as_mut()
+                .unwrap()
+                .write_all(input.as_bytes())
+                .unwrap();
+            let status = child.wait().unwrap();
+            assert_eq!(status.success(), expect_ok, "{variant} on {input:?}");
+        }
+    }
+}
+
+#[test]
+fn pooled_recognition_matches_spawned() {
+    for pool in [false, true] {
+        for (input, expect_ok) in [("abababaabb", true), ("abba", false)] {
+            let mut args = vec![
+                "recognize",
+                "--regex",
+                "(a|b)*abb",
+                "--text",
+                "-",
+                "--chunks",
+                "4",
+                "--threads",
+                "3",
+            ];
+            if pool {
+                args.push("--pool");
+            }
+            let mut child = ridfa()
+                .args(&args)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .unwrap();
+            child
+                .stdin
+                .as_mut()
+                .unwrap()
+                .write_all(input.as_bytes())
+                .unwrap();
+            let status = child.wait().unwrap();
+            assert_eq!(status.success(), expect_ok, "pool={pool} input={input:?}");
+        }
+    }
+}
+
+#[test]
+fn drive_includes_convergent_variants() {
+    let mut child = ridfa()
+        .args(["drive", "--regex", "(xy)*", "--text", "-", "--chunks", "3"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"xyxyxy").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("dfa+conv:"), "{text}");
+    assert!(text.contains("rid+conv:"), "{text}");
+}
+
+#[test]
+fn serve_batch_mode_reports_throughput() {
+    for mode in [&["--no-pool"][..], &[][..]] {
+        let out = ridfa()
+            .args([
+                "serve",
+                "--requests",
+                "24",
+                "--len",
+                "512",
+                "--threads",
+                "2",
+                "--chunks",
+                "2",
+            ])
+            .args(mode)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "mode {mode:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("texts/s"), "{text}");
+        assert!(text.contains("24 texts OK"), "{text}");
+    }
+}

@@ -8,22 +8,32 @@ use std::ops::Range;
 /// `num_chunks` is clamped to `1..=len` so every chunk is non-empty
 /// (`y_i ∈ Σ+` in the paper); an empty text yields a single empty span.
 pub fn chunk_spans(len: usize, num_chunks: usize) -> Vec<Range<usize>> {
+    let mut spans = Vec::new();
+    chunk_spans_into(len, num_chunks, &mut spans);
+    spans
+}
+
+/// Like [`chunk_spans`] but writing into a reusable buffer (cleared
+/// first) — allocation-free once `out` has grown to the high-water chunk
+/// count. A [`Session`](super::Session) recomputes spans per text through
+/// this path.
+pub fn chunk_spans_into(len: usize, num_chunks: usize, out: &mut Vec<Range<usize>>) {
+    out.clear();
     if len == 0 {
-        let empty: Range<usize> = 0..0;
-        return vec![empty];
+        out.push(0..0);
+        return;
     }
     let c = num_chunks.clamp(1, len);
     let base = len / c;
     let extra = len % c;
-    let mut spans = Vec::with_capacity(c);
+    out.reserve(c);
     let mut offset = 0;
     for i in 0..c {
         let size = base + usize::from(i < extra);
-        spans.push(offset..offset + size);
+        out.push(offset..offset + size);
         offset += size;
     }
     debug_assert_eq!(offset, len);
-    spans
 }
 
 #[cfg(test)]
@@ -65,6 +75,15 @@ mod tests {
     fn empty_text_single_empty_span() {
         let spans = chunk_spans(0, 8);
         assert_eq!(spans, vec![0..0]);
+    }
+
+    #[test]
+    fn spans_into_reuses_buffer() {
+        let mut buf = chunk_spans(100, 7);
+        let cap = buf.capacity();
+        chunk_spans_into(10, 3, &mut buf);
+        assert_eq!(buf, chunk_spans(10, 3));
+        assert!(buf.capacity() >= cap, "capacity must be retained");
     }
 
     #[test]

@@ -58,15 +58,16 @@ impl<'a> ConvergentDfaCa<'a> {
 impl ChunkAutomaton for ConvergentDfaCa<'_> {
     type Mapping = Vec<StateId>;
     type Scratch = Scratch;
+    type JoinScratch = (Vec<StateId>, Vec<StateId>);
 
-    fn scan_with(
+    fn scan_into(
         &self,
         chunk: &[u8],
         scratch: &mut Scratch,
         counter: &mut impl Counter,
-    ) -> Vec<StateId> {
+        out: &mut Vec<StateId>,
+    ) {
         let dfa = self.inner.dfa();
-        let mut mapping = Vec::new();
         kernel::scan_into(
             DenseTable {
                 ptable: self.inner.ptable(),
@@ -79,17 +80,16 @@ impl ChunkAutomaton for ConvergentDfaCa<'_> {
             self.kernel,
             scratch,
             counter,
-            &mut mapping,
+            out,
         );
-        mapping
     }
 
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
-        self.inner.scan_first(chunk, counter)
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut Vec<StateId>) {
+        self.inner.scan_first_into(chunk, counter, out)
     }
 
-    fn join(&self, mappings: &[Vec<StateId>]) -> bool {
-        self.inner.join(mappings)
+    fn join_with(&self, mappings: &[Vec<StateId>], scratch: &mut Self::JoinScratch) -> bool {
+        self.inner.join_with(mappings, scratch)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
@@ -135,16 +135,17 @@ impl<'a> ConvergentRidCa<'a> {
 impl ChunkAutomaton for ConvergentRidCa<'_> {
     type Mapping = RidMapping;
     type Scratch = Scratch;
+    type JoinScratch = (Vec<StateId>, Vec<StateId>);
 
-    fn scan_with(
+    fn scan_into(
         &self,
         chunk: &[u8],
         scratch: &mut Scratch,
         counter: &mut impl Counter,
-    ) -> RidMapping {
+        out: &mut RidMapping,
+    ) {
         let rid = self.inner.rid();
         let interface = rid.interface();
-        let mut lasts = Vec::new();
         kernel::scan_into(
             DenseTable {
                 ptable: self.inner.ptable(),
@@ -157,17 +158,16 @@ impl ChunkAutomaton for ConvergentRidCa<'_> {
             self.kernel,
             scratch,
             counter,
-            &mut lasts,
+            out.interior_buf(),
         );
-        RidMapping::Interior(lasts)
     }
 
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
-        self.inner.scan_first(chunk, counter)
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut RidMapping) {
+        self.inner.scan_first_into(chunk, counter, out)
     }
 
-    fn join(&self, mappings: &[RidMapping]) -> bool {
-        self.inner.join(mappings)
+    fn join_with(&self, mappings: &[RidMapping], scratch: &mut Self::JoinScratch) -> bool {
+        self.inner.join_with(mappings, scratch)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {

@@ -58,14 +58,15 @@ impl ChunkAutomaton for DfaCa<'_> {
     /// a first-chunk scan never starts).
     type Mapping = Vec<StateId>;
     type Scratch = Scratch;
+    type JoinScratch = (Vec<StateId>, Vec<StateId>);
 
-    fn scan_with(
+    fn scan_into(
         &self,
         chunk: &[u8],
         scratch: &mut Scratch,
         counter: &mut impl Counter,
-    ) -> Vec<StateId> {
-        let mut mapping = Vec::new();
+        out: &mut Vec<StateId>,
+    ) {
         kernel::scan_into(
             self.table(),
             self.dfa.live_states().map(|s| (s, s)),
@@ -74,23 +75,27 @@ impl ChunkAutomaton for DfaCa<'_> {
             Kernel::PerRun,
             scratch,
             counter,
-            &mut mapping,
+            out,
         );
-        mapping
     }
 
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<StateId> {
-        let mut mapping = vec![DEAD; self.dfa.num_states()];
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut Vec<StateId>) {
+        out.clear();
+        out.resize(self.dfa.num_states(), DEAD);
         let start = self.dfa.start();
-        mapping[start as usize] = self.dfa.run_from(start, chunk, counter);
-        mapping
+        out[start as usize] = self.dfa.run_from(start, chunk, counter);
     }
 
-    fn join(&self, mappings: &[Vec<StateId>]) -> bool {
+    fn join_with(
+        &self,
+        mappings: &[Vec<StateId>],
+        scratch: &mut (Vec<StateId>, Vec<StateId>),
+    ) -> bool {
         // PLAS₀ = {q0}; PLASᵢ = λᵢ(PLASᵢ₋₁) — PIS is implicit: a run that
         // died maps to DEAD and is filtered.
-        let mut plas: Vec<StateId> = vec![self.dfa.start()];
-        let mut next: Vec<StateId> = Vec::new();
+        let (plas, next) = scratch;
+        plas.clear();
+        plas.push(self.dfa.start());
         for mapping in mappings {
             next.clear();
             next.extend(
@@ -100,7 +105,7 @@ impl ChunkAutomaton for DfaCa<'_> {
             );
             next.sort_unstable();
             next.dedup();
-            std::mem::swap(&mut plas, &mut next);
+            std::mem::swap(plas, next);
             if plas.is_empty() {
                 return false;
             }

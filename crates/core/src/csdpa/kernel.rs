@@ -77,20 +77,27 @@ pub enum Kernel {
 /// The heuristic keeps small problems on the bookkeeping-free path:
 ///
 /// * `k ≤ 2` — merging at most two runs can never pay for group
-///   tracking; scan per run.
+///   tracking, *no matter how large the table*: the lockstep pass would
+///   pay per-byte dedup bookkeeping on a scan that is at worst two plain
+///   row walks. Scan per run. (Checked first — an earlier version tested
+///   the table size before this bail-out and sent 1–2-run scans over big
+///   tables through `LockstepShared` for nothing.)
+/// * large tables (> 1 MiB) — `k ≥ 3` per-run passes thrash the cache
+///   with `k` disjoint row walks; the single lockstep pass touches each
+///   hot row once per byte, so prefer it even for short chunks.
 /// * short chunks (`len < 64` or `len < 4·k`) — runs have no room to
 ///   converge, so the lockstep pass would do `k` transitions per byte
 ///   *plus* dedup work; scan per run.
-/// * large tables (> 1 MiB) — `k` per-run passes thrash the cache with
-///   `k` disjoint row walks; the single lockstep pass touches each hot
-///   row once per byte, so prefer it even for short chunks.
 /// * otherwise — the fused lockstep kernel with shared classification.
 pub fn select(num_runs: usize, chunk_len: usize, table_entries: usize) -> Kernel {
     const LARGE_TABLE_ENTRIES: usize = (1 << 20) / std::mem::size_of::<StateId>();
+    if num_runs <= 2 {
+        return Kernel::PerRun;
+    }
     if table_entries >= LARGE_TABLE_ENTRIES {
         return Kernel::LockstepShared;
     }
-    if num_runs <= 2 || chunk_len < 64 || chunk_len < 4 * num_runs {
+    if chunk_len < 64 || chunk_len < 4 * num_runs {
         return Kernel::PerRun;
     }
     Kernel::LockstepShared
@@ -502,7 +509,32 @@ mod tests {
         assert_eq!(select(2, 1 << 20, 1024), Kernel::PerRun);
         assert_eq!(select(8, 16, 1024), Kernel::PerRun);
         assert_eq!(select(8, 1 << 20, 1024), Kernel::LockstepShared);
-        assert_eq!(select(1, 4, 1 << 20), Kernel::LockstepShared);
+        assert_eq!(select(3, 4, 1 << 20), Kernel::LockstepShared);
+    }
+
+    #[test]
+    fn selection_matrix_is_pinned() {
+        const BIG: usize = 1 << 20; // entries ≥ the large-table threshold
+        const SMALL: usize = 1024;
+        // k ≤ 2 always scans per run — group bookkeeping cannot pay with
+        // at most one possible merge, regardless of the table size (the
+        // regression: big tables used to win this tie).
+        for table in [SMALL, BIG] {
+            for len in [0, 16, 1 << 20] {
+                assert_eq!(select(1, len, table), Kernel::PerRun, "k=1 len={len}");
+                assert_eq!(select(2, len, table), Kernel::PerRun, "k=2 len={len}");
+            }
+        }
+        // k ≥ 3 over a big table: lockstep even for short chunks.
+        for len in [0, 16, 63, 1 << 20] {
+            assert_eq!(select(3, len, BIG), Kernel::LockstepShared, "len={len}");
+            assert_eq!(select(100, len, BIG), Kernel::LockstepShared, "len={len}");
+        }
+        // k ≥ 3, small table: chunk length decides.
+        assert_eq!(select(8, 63, SMALL), Kernel::PerRun, "len < 64");
+        assert_eq!(select(8, 64, SMALL), Kernel::LockstepShared);
+        assert_eq!(select(100, 256, SMALL), Kernel::PerRun, "len < 4k");
+        assert_eq!(select(100, 400, SMALL), Kernel::LockstepShared);
     }
 
     #[test]

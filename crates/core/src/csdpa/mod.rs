@@ -24,6 +24,12 @@
 //! the byte→class translation across all runs, and adaptively falls back
 //! to per-run scanning where lockstep bookkeeping cannot pay
 //! ([`kernel::select`]).
+//!
+//! The reach phase runs under one of two execution shapes: the one-shot
+//! spawning executors of [`recognize`] ([`Executor`]), or a persistent
+//! [`Session`] that keeps a worker pool and per-worker scan scratches
+//! warm across texts — the right shape for high-traffic streams of short
+//! texts, where thread-spawn cost would otherwise dominate.
 
 mod chunking;
 mod convergent;
@@ -32,8 +38,9 @@ pub mod kernel;
 mod nfa_ca;
 mod recognizer;
 mod rid_ca;
+mod session;
 
-pub use chunking::chunk_spans;
+pub use chunking::{chunk_spans, chunk_spans_into};
 pub use convergent::{ConvergentDfaCa, ConvergentRidCa};
 pub use dfa_ca::DfaCa;
 pub use kernel::{Kernel, Scratch};
@@ -42,33 +49,71 @@ pub use recognizer::{
     recognize, recognize_counted, recognize_serial, ChunkStats, CountedOutcome, Executor, Outcome,
 };
 pub use rid_ca::{RidCa, RidMapping};
+pub use session::Session;
 
 use ridfa_automata::counter::Counter;
 
 /// A chunk automaton: the unit the reach phase replicates per chunk.
 ///
 /// Implementations are read-only and shared across worker threads
-/// (`Sync`); all scratch state lives in the per-call stack, so a single CA
-/// value serves any number of concurrent chunk scans.
+/// (`Sync`); all scratch state lives in caller-provided buffers, so a
+/// single CA value serves any number of concurrent chunk scans.
+///
+/// The required methods are the `*_into` shapes that scan and join
+/// through **reusable** buffers — a warm [`Session`] recognizes a text
+/// without a single heap allocation. The owning convenience wrappers
+/// ([`scan`](ChunkAutomaton::scan), [`scan_with`](ChunkAutomaton::scan_with),
+/// [`scan_first`](ChunkAutomaton::scan_first), [`join`](ChunkAutomaton::join))
+/// are provided on top.
 pub trait ChunkAutomaton: Sync {
-    /// The partial mapping `λ_i` a chunk scan produces.
-    type Mapping: Send;
+    /// The partial mapping `λ_i` a chunk scan produces. `Default` yields
+    /// an empty mapping slot a scan can fill (and later scans can reuse).
+    type Mapping: Send + Default + 'static;
 
     /// Reusable per-worker working memory for interior scans. A worker
-    /// thread of the reach phase creates one scratch and feeds it to
-    /// every chunk it scans, so kernel state warms up once per worker
-    /// instead of once per chunk. CAs with no scratch use `()`.
-    type Scratch: Default + Send;
+    /// thread of the reach phase owns one scratch and feeds it to every
+    /// chunk it claims — and, under a [`Session`], to every *text* — so
+    /// kernel state warms up once per worker. CAs with no scratch use `()`.
+    type Scratch: Default + Send + 'static;
+
+    /// Reusable working memory for the serial join phase. CAs whose join
+    /// needs no buffers use `()`.
+    type JoinScratch: Default + Send + 'static;
 
     /// Scans an interior chunk speculatively — one run per possible
-    /// initial state — reusing `scratch` across calls. Every executed
-    /// transition increments `counter`.
+    /// initial state — writing the mapping into `out` (cleared first;
+    /// allocation-free once `out`'s buffers have grown to size) and
+    /// reusing `scratch` across calls. Every executed transition
+    /// increments `counter`.
+    fn scan_into(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Self::Scratch,
+        counter: &mut impl Counter,
+        out: &mut Self::Mapping,
+    );
+
+    /// Scans the *first* chunk, whose initial state is known (`I₁ = {q0}`)
+    /// — exactly one run, no speculation — writing the mapping into `out`.
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut Self::Mapping);
+
+    /// Serial join through a reusable scratch: composes the chunk
+    /// mappings in order and decides acceptance. `mappings[0]` must come
+    /// from [`scan_first_into`](ChunkAutomaton::scan_first_into).
+    fn join_with(&self, mappings: &[Self::Mapping], scratch: &mut Self::JoinScratch) -> bool;
+
+    /// Owning wrapper over [`scan_into`](ChunkAutomaton::scan_into) with
+    /// a fresh mapping.
     fn scan_with(
         &self,
         chunk: &[u8],
         scratch: &mut Self::Scratch,
         counter: &mut impl Counter,
-    ) -> Self::Mapping;
+    ) -> Self::Mapping {
+        let mut out = Self::Mapping::default();
+        self.scan_into(chunk, scratch, counter, &mut out);
+        out
+    }
 
     /// Convenience wrapper over [`scan_with`](ChunkAutomaton::scan_with)
     /// with a throwaway scratch (first scan pays the warm-up
@@ -77,14 +122,19 @@ pub trait ChunkAutomaton: Sync {
         self.scan_with(chunk, &mut Self::Scratch::default(), counter)
     }
 
-    /// Scans the *first* chunk, whose initial state is known (`I₁ = {q0}`):
-    /// exactly one run, no speculation.
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Self::Mapping;
+    /// Owning wrapper over
+    /// [`scan_first_into`](ChunkAutomaton::scan_first_into).
+    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Self::Mapping {
+        let mut out = Self::Mapping::default();
+        self.scan_first_into(chunk, counter, &mut out);
+        out
+    }
 
-    /// Serial join: composes the chunk mappings in order and decides
-    /// acceptance. `mappings[0]` must come from
-    /// [`scan_first`](ChunkAutomaton::scan_first).
-    fn join(&self, mappings: &[Self::Mapping]) -> bool;
+    /// Convenience wrapper over [`join_with`](ChunkAutomaton::join_with)
+    /// with a throwaway scratch.
+    fn join(&self, mappings: &[Self::Mapping]) -> bool {
+        self.join_with(mappings, &mut Self::JoinScratch::default())
+    }
 
     /// Whole-string serial recognition — the oracle and speedup baseline.
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool;

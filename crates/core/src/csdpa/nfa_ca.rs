@@ -34,47 +34,59 @@ impl ChunkAutomaton for NfaCa<'_> {
     /// never starts).
     type Mapping = Vec<Vec<StateId>>;
     type Scratch = ();
+    type JoinScratch = (Vec<StateId>, Vec<StateId>);
 
-    fn scan_with(
+    fn scan_into(
         &self,
         chunk: &[u8],
         _scratch: &mut (),
         counter: &mut impl Counter,
-    ) -> Vec<Vec<StateId>> {
+        out: &mut Vec<Vec<StateId>>,
+    ) {
         let n = self.nfa.num_states();
+        out.iter_mut().for_each(Vec::clear);
+        out.resize_with(n, Vec::new);
         let mut sim = Simulator::new(self.nfa);
-        let mut mapping = vec![Vec::new(); n];
         for q in 0..n as StateId {
             let last = sim.run(self.nfa, &[q], chunk, counter);
-            let slot = &mut mapping[q as usize];
+            let slot = &mut out[q as usize];
             slot.extend_from_slice(last);
             slot.sort_unstable();
         }
-        mapping
     }
 
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> Vec<Vec<StateId>> {
+    fn scan_first_into(
+        &self,
+        chunk: &[u8],
+        counter: &mut impl Counter,
+        out: &mut Vec<Vec<StateId>>,
+    ) {
+        out.iter_mut().for_each(Vec::clear);
+        out.resize_with(self.nfa.num_states(), Vec::new);
         let mut sim = Simulator::new(self.nfa);
-        let mut mapping = vec![Vec::new(); self.nfa.num_states()];
         let start = self.nfa.start();
         let last = sim.run(self.nfa, &[start], chunk, counter);
-        let slot = &mut mapping[start as usize];
+        let slot = &mut out[start as usize];
         slot.extend_from_slice(last);
         slot.sort_unstable();
-        mapping
     }
 
-    fn join(&self, mappings: &[Vec<Vec<StateId>>]) -> bool {
-        let mut plas: Vec<StateId> = vec![self.nfa.start()];
-        let mut next: Vec<StateId> = Vec::new();
+    fn join_with(
+        &self,
+        mappings: &[Vec<Vec<StateId>>],
+        scratch: &mut (Vec<StateId>, Vec<StateId>),
+    ) -> bool {
+        let (plas, next) = scratch;
+        plas.clear();
+        plas.push(self.nfa.start());
         for mapping in mappings {
             next.clear();
-            for &q in &plas {
+            for &q in plas.iter() {
                 next.extend_from_slice(&mapping[q as usize]);
             }
             next.sort_unstable();
             next.dedup();
-            std::mem::swap(&mut plas, &mut next);
+            std::mem::swap(plas, next);
             if plas.is_empty() {
                 return false;
             }

@@ -27,6 +27,13 @@ pub enum Executor {
     /// cores, a core-sized dynamic team beyond that, serial for a single
     /// chunk.
     Auto,
+    /// The persistent worker pool of a [`Session`](super::Session): no
+    /// thread spawn per text, per-worker scan scratches stay warm across
+    /// texts. Meaningful through
+    /// [`Session::recognize_with`](super::Session::recognize_with);
+    /// through the free [`recognize`] functions (which have no pool at
+    /// hand) it degrades to [`Executor::Auto`].
+    Pooled,
 }
 
 impl Executor {
@@ -35,7 +42,7 @@ impl Executor {
             Executor::Serial => 1,
             Executor::PerChunk => num_chunks,
             Executor::Team(n) => n.max(1),
-            Executor::Auto => {
+            Executor::Auto | Executor::Pooled => {
                 let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
                 num_chunks.min(cores)
             }

@@ -38,6 +38,27 @@ pub enum RidMapping {
     Interior(Vec<StateId>),
 }
 
+impl Default for RidMapping {
+    /// An empty interior mapping slot, ready to be scanned into.
+    fn default() -> RidMapping {
+        RidMapping::Interior(Vec::new())
+    }
+}
+
+impl RidMapping {
+    /// The interior `lasts` buffer, converting (and keeping any existing
+    /// buffer's capacity) if the slot held a first-chunk mapping.
+    pub(super) fn interior_buf(&mut self) -> &mut Vec<StateId> {
+        if let RidMapping::First(_) = self {
+            *self = RidMapping::Interior(Vec::new());
+        }
+        match self {
+            RidMapping::Interior(lasts) => lasts,
+            RidMapping::First(_) => unreachable!("converted above"),
+        }
+    }
+}
+
 impl<'a> RidCa<'a> {
     /// Wraps `rid`, precomputing the interface-position index used by the
     /// join phase.
@@ -75,15 +96,16 @@ impl<'a> RidCa<'a> {
 impl ChunkAutomaton for RidCa<'_> {
     type Mapping = RidMapping;
     type Scratch = Scratch;
+    type JoinScratch = (Vec<StateId>, Vec<StateId>);
 
-    fn scan_with(
+    fn scan_into(
         &self,
         chunk: &[u8],
         scratch: &mut Scratch,
         counter: &mut impl Counter,
-    ) -> RidMapping {
+        out: &mut RidMapping,
+    ) {
         let interface = self.rid.interface();
-        let mut lasts = Vec::new();
         kernel::scan_into(
             self.table(),
             interface.iter().enumerate().map(|(i, &p)| (i as u32, p)),
@@ -92,20 +114,24 @@ impl ChunkAutomaton for RidCa<'_> {
             Kernel::PerRun,
             scratch,
             counter,
-            &mut lasts,
+            out.interior_buf(),
         );
-        RidMapping::Interior(lasts)
     }
 
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> RidMapping {
-        RidMapping::First(self.rid.run_from(self.rid.start(), chunk, counter))
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut RidMapping) {
+        *out = RidMapping::First(self.rid.run_from(self.rid.start(), chunk, counter));
     }
 
-    fn join(&self, mappings: &[RidMapping]) -> bool {
+    fn join_with(
+        &self,
+        mappings: &[RidMapping],
+        scratch: &mut (Vec<StateId>, Vec<StateId>),
+    ) -> bool {
         // PLAS₁ from the first chunk, then
         // PLASᵢ = λᵢ( if(PLASᵢ₋₁) ∩ PISᵢ ) for the interior chunks.
-        let mut plas: Vec<StateId> = Vec::new();
-        let mut pis: Vec<StateId> = Vec::new();
+        let (plas, pis) = scratch;
+        plas.clear();
+        pis.clear();
         for (i, mapping) in mappings.iter().enumerate() {
             match mapping {
                 RidMapping::First(last) => {
@@ -117,9 +143,9 @@ impl ChunkAutomaton for RidCa<'_> {
                 }
                 RidMapping::Interior(lasts) => {
                     // if(PLAS) — the interface function with delegation.
-                    self.rid.interface_map(&plas, &mut pis);
+                    self.rid.interface_map(plas, pis);
                     plas.clear();
-                    for &p in &pis {
+                    for &p in pis.iter() {
                         let idx = self.pos[p as usize];
                         debug_assert_ne!(idx, u32::MAX, "if() returns interface states");
                         let last = lasts[idx as usize];

@@ -1,0 +1,542 @@
+//! Persistent recognition sessions: the warm execution layer for
+//! high-traffic streams of (mostly short) texts.
+//!
+//! The free [`recognize`](super::recognize) functions spawn OS threads
+//! per text through `std::thread::scope`. That mirrors the paper's
+//! one-measurement-at-a-time driver, but under serving traffic the spawn
+//! cost dominates short texts, and every per-worker scan
+//! [`Scratch`](super::Scratch) is thrown away between calls, re-paying
+//! warm-up allocations each text. A [`Session`] fixes both:
+//!
+//! * a persistent [`ThreadPool`] — workers park on a condvar between
+//!   texts; dispatching a text is a notify, not `c` thread spawns;
+//! * **per-worker resident scratches** — pool worker `w` reuses *its own*
+//!   scan scratch for every chunk of every text it ever claims, so kernel
+//!   warm-up happens once per worker per session;
+//! * **buffer reuse** — chunk spans, λ-mapping slots, and join buffers
+//!   all live in the session; once warm (see [`Session::warm`]),
+//!   [`Session::recognize`] performs **zero heap allocations** per text
+//!   (asserted by `tests/session_alloc.rs` with a counting allocator);
+//! * a batch path — [`Session::recognize_many`] pipelines a whole slice
+//!   of texts through the pool as one task stream: chunk scans of text
+//!   `t+1` start while scans of text `t` are still in flight, with a
+//!   single quiescence point per *batch* instead of a barrier per text.
+//!
+//! One session serves any mix of chunk-automaton types; the typed buffers
+//! are cached per CA type and rebuilt transparently when the type
+//! changes (keep one session per CA type if that matters for latency).
+
+// λ-mapping slots are written by whichever claimant picks the chunk; the
+// disjointness argument lives on `DisjointSlots`.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+use ridfa_automata::counter::{NoCount, TransitionCount};
+
+use crate::parallel::ThreadPool;
+
+use super::{
+    chunk_spans_into, recognizer, ChunkAutomaton, ChunkStats, CountedOutcome, Executor, Outcome,
+};
+
+/// A flattened (text, chunk) task of a batch recognition.
+struct BatchTask {
+    text: u32,
+    start: usize,
+    end: usize,
+    first: bool,
+}
+
+/// The per-CA-type buffer set a session keeps warm.
+struct TypedCache<S, M, J> {
+    /// One scan scratch per pool worker plus one for the calling thread
+    /// (slot layout mandated by [`ThreadPool::invoke_all_scoped`]).
+    scratches: Vec<S>,
+    /// λ-mapping slots, one per chunk task; grown to the high-water mark
+    /// and reused across texts.
+    mappings: Vec<M>,
+    /// Join-phase working memory.
+    join: J,
+}
+
+/// A persistent recognition session: worker pool + warm per-worker scan
+/// scratches + reusable chunk/λ/join buffers.
+///
+/// ```
+/// use ridfa_core::csdpa::{Session, RidCa};
+/// use ridfa_core::ridfa::RiDfa;
+/// use ridfa_automata::{nfa, regex};
+///
+/// let ast = regex::parse("[ab]*a[ab]{4}").unwrap();
+/// let nfa = nfa::glushkov::build(&ast).unwrap();
+/// let rid = RiDfa::from_nfa(&nfa).minimized();
+/// let ca = RidCa::new(&rid);
+///
+/// let mut session = Session::new(4);
+/// session.warm(&ca, b"abab");
+/// assert!(session.recognize(&ca, b"abbaabbbaabab", 4).accepted);
+/// let verdicts = session.recognize_many(&ca, &[&b"abbaabbbaabab"[..], b"zzz"], 2);
+/// assert_eq!(verdicts, [true, false]);
+/// ```
+pub struct Session {
+    pool: ThreadPool,
+    /// Reusable chunk spans of the current text.
+    spans: Vec<std::ops::Range<usize>>,
+    /// Reusable flattened task table of a batch.
+    batch: Vec<BatchTask>,
+    /// `offsets[t]..offsets[t+1]` = `batch`/mapping indices of text `t`.
+    offsets: Vec<usize>,
+    /// The [`TypedCache`] of the most recent CA type.
+    cache: Option<Box<dyn Any + Send>>,
+}
+
+impl Session {
+    /// Creates a session with `num_workers` (≥ 1) pool workers. The
+    /// calling thread participates in every reach phase too, so total
+    /// scan parallelism is `num_workers + 1`.
+    pub fn new(num_workers: usize) -> Session {
+        Session {
+            pool: ThreadPool::new(num_workers),
+            spans: Vec::new(),
+            batch: Vec::new(),
+            offsets: Vec::new(),
+            cache: None,
+        }
+    }
+
+    /// Creates a session sized to the machine: one pool worker per
+    /// available core, minus the calling thread.
+    pub fn with_available_parallelism() -> Session {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Session::new(cores.saturating_sub(1).max(1))
+    }
+
+    /// Number of pool workers (excluding the participating caller).
+    pub fn num_workers(&self) -> usize {
+        self.pool.num_workers()
+    }
+
+    /// Pre-warms every per-worker scratch (and the join buffers) against
+    /// `ca` by scanning `sample` once per slot on the calling thread.
+    ///
+    /// Without this, a pool worker that happens not to claim any chunk of
+    /// the first few texts still pays its scratch warm-up allocations the
+    /// first time it does — harmless, but latency-visible. After `warm`
+    /// plus one recognition (which sizes the mapping slots), a session
+    /// recognizes without allocating.
+    pub fn warm<CA: ChunkAutomaton>(&mut self, ca: &CA, sample: &[u8]) {
+        let mut cache = self.take_cache::<CA>();
+        let mut interior = CA::Mapping::default();
+        for scratch in cache.scratches.iter_mut() {
+            ca.scan_into(sample, scratch, &mut NoCount, &mut interior);
+        }
+        let mut first = CA::Mapping::default();
+        ca.scan_first_into(sample, &mut NoCount, &mut first);
+        let _ = ca.join_with(std::slice::from_ref(&first), &mut cache.join);
+        self.cache = Some(cache);
+    }
+
+    /// Recognizes `text` on the session pool — the warm counterpart of
+    /// the free [`recognize`](super::recognize) with
+    /// [`Executor::Pooled`]. Allocation-free once the session is warm.
+    pub fn recognize<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        num_chunks: usize,
+    ) -> Outcome {
+        let mut cache = self.take_cache::<CA>();
+        chunk_spans_into(text.len(), num_chunks, &mut self.spans);
+        let n = self.spans.len();
+        let cache_mut = &mut *cache;
+        if cache_mut.mappings.len() < n {
+            cache_mut.mappings.resize_with(n, CA::Mapping::default);
+        }
+        let reach_start = Instant::now();
+        pooled_reach(
+            &self.pool,
+            ca,
+            text,
+            &self.spans,
+            &mut cache_mut.scratches,
+            &mut cache_mut.mappings[..n],
+            None,
+        );
+        let reach = reach_start.elapsed();
+        let join_start = Instant::now();
+        let accepted = ca.join_with(&cache_mut.mappings[..n], &mut cache_mut.join);
+        let join = join_start.elapsed();
+        self.cache = Some(cache);
+        Outcome {
+            accepted,
+            num_chunks: n,
+            reach,
+            join,
+        }
+    }
+
+    /// Like [`Session::recognize`] but tallying executed transitions per
+    /// chunk (paper Sect. 4.3). The instrumentation buffers are per-call,
+    /// so this path allocates; never mix it into a timing comparison with
+    /// the uncounted path.
+    pub fn recognize_counted<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        num_chunks: usize,
+    ) -> CountedOutcome {
+        let mut cache = self.take_cache::<CA>();
+        chunk_spans_into(text.len(), num_chunks, &mut self.spans);
+        let n = self.spans.len();
+        let cache_mut = &mut *cache;
+        if cache_mut.mappings.len() < n {
+            cache_mut.mappings.resize_with(n, CA::Mapping::default);
+        }
+        let mut per_chunk = vec![
+            ChunkStats {
+                len: 0,
+                transitions: 0,
+                scan_time: Duration::ZERO,
+            };
+            n
+        ];
+        let reach_start = Instant::now();
+        pooled_reach(
+            &self.pool,
+            ca,
+            text,
+            &self.spans,
+            &mut cache_mut.scratches,
+            &mut cache_mut.mappings[..n],
+            Some(&mut per_chunk[..]),
+        );
+        let reach = reach_start.elapsed();
+        let join_start = Instant::now();
+        let accepted = ca.join_with(&cache_mut.mappings[..n], &mut cache_mut.join);
+        let join = join_start.elapsed();
+        self.cache = Some(cache);
+        CountedOutcome {
+            accepted,
+            num_chunks: n,
+            transitions: per_chunk.iter().map(|s| s.transitions).sum(),
+            per_chunk,
+            reach,
+            join,
+        }
+    }
+
+    /// Recognizes with an explicit [`Executor`] shape:
+    /// [`Executor::Pooled`] and [`Executor::Auto`] run on the session
+    /// pool (a session *is* the preferred executor when one exists);
+    /// the spawning shapes delegate to the free
+    /// [`recognize`](super::recognize) unchanged — useful for
+    /// apples-to-apples comparisons over one code path.
+    pub fn recognize_with<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        num_chunks: usize,
+        executor: Executor,
+    ) -> Outcome {
+        match executor {
+            Executor::Pooled | Executor::Auto => self.recognize(ca, text, num_chunks),
+            other => recognizer::recognize(ca, text, num_chunks, other),
+        }
+    }
+
+    /// Recognizes a whole batch of texts as **one** pipelined task stream
+    /// over the pool: every chunk of every text is a claimable task, so
+    /// workers flow from text to text without a per-text barrier (the
+    /// single quiescence point is at the end of the batch), and short
+    /// texts never leave workers idle. Returns one verdict per text, in
+    /// order.
+    ///
+    /// Peak memory holds one λ mapping per chunk across the whole batch;
+    /// chop very large streams into waves of a few thousand texts.
+    pub fn recognize_many<CA, T>(&mut self, ca: &CA, texts: &[T], num_chunks: usize) -> Vec<bool>
+    where
+        CA: ChunkAutomaton,
+        T: AsRef<[u8]> + Sync,
+    {
+        assert!(u32::try_from(texts.len()).is_ok(), "batch too large");
+        let mut cache = self.take_cache::<CA>();
+        self.batch.clear();
+        self.offsets.clear();
+        for (t, text) in texts.iter().enumerate() {
+            self.offsets.push(self.batch.len());
+            chunk_spans_into(text.as_ref().len(), num_chunks, &mut self.spans);
+            for (ci, span) in self.spans.iter().enumerate() {
+                self.batch.push(BatchTask {
+                    text: t as u32,
+                    start: span.start,
+                    end: span.end,
+                    first: ci == 0,
+                });
+            }
+        }
+        self.offsets.push(self.batch.len());
+        let total = self.batch.len();
+        let cache_mut = &mut *cache;
+        if cache_mut.mappings.len() < total {
+            cache_mut.mappings.resize_with(total, CA::Mapping::default);
+        }
+        {
+            let batch = &self.batch;
+            let slots = DisjointSlots::new(&mut cache_mut.mappings[..total]);
+            self.pool
+                .invoke_all_scoped(total, &mut cache_mut.scratches, |scratch, i| {
+                    // SAFETY: the pool claims each task index exactly once.
+                    let out = unsafe { slots.get(i) };
+                    let task = &batch[i];
+                    let chunk = &texts[task.text as usize].as_ref()[task.start..task.end];
+                    if task.first {
+                        ca.scan_first_into(chunk, &mut NoCount, out);
+                    } else {
+                        ca.scan_into(chunk, scratch, &mut NoCount, out);
+                    }
+                });
+        }
+        let verdicts = (0..texts.len())
+            .map(|t| {
+                let mappings = &cache_mut.mappings[self.offsets[t]..self.offsets[t + 1]];
+                ca.join_with(mappings, &mut cache_mut.join)
+            })
+            .collect();
+        self.cache = Some(cache);
+        verdicts
+    }
+
+    /// The warm buffer set for `CA`'s scratch/mapping/join types, taken
+    /// out of the session for the duration of a call (split-borrow
+    /// friendly); rebuilt if the session last served a different CA type.
+    fn take_cache<CA: ChunkAutomaton>(
+        &mut self,
+    ) -> Box<TypedCache<CA::Scratch, CA::Mapping, CA::JoinScratch>> {
+        if let Some(cache) = self.cache.take() {
+            if let Ok(typed) = cache.downcast() {
+                return typed;
+            }
+        }
+        let slots = self.pool.num_workers() + 1;
+        Box::new(TypedCache {
+            scratches: (0..slots).map(|_| CA::Scratch::default()).collect(),
+            mappings: Vec::new(),
+            join: CA::JoinScratch::default(),
+        })
+    }
+}
+
+/// The single-text pooled reach phase, shared by the timed and the
+/// counted entry points: every chunk is a claimable pool task scanned
+/// into its own mapping slot. With `stats` the scan is instrumented
+/// (per-chunk transition counts and scan wall time).
+fn pooled_reach<CA: ChunkAutomaton>(
+    pool: &ThreadPool,
+    ca: &CA,
+    text: &[u8],
+    spans: &[std::ops::Range<usize>],
+    scratches: &mut [CA::Scratch],
+    mappings: &mut [CA::Mapping],
+    stats: Option<&mut [ChunkStats]>,
+) {
+    debug_assert_eq!(spans.len(), mappings.len());
+    let slots = DisjointSlots::new(mappings);
+    let stat_slots = stats.map(DisjointSlots::new);
+    pool.invoke_all_scoped(spans.len(), scratches, |scratch, i| {
+        // SAFETY: the pool claims each task index exactly once.
+        let out = unsafe { slots.get(i) };
+        let chunk = &text[spans[i].clone()];
+        if let Some(stat_slots) = &stat_slots {
+            let mut counter = TransitionCount::default();
+            let scan_start = Instant::now();
+            if i == 0 {
+                ca.scan_first_into(chunk, &mut counter, out);
+            } else {
+                ca.scan_into(chunk, scratch, &mut counter, out);
+            }
+            // SAFETY: same index, same single claimant.
+            *unsafe { stat_slots.get(i) } = ChunkStats {
+                len: chunk.len(),
+                transitions: counter.get(),
+                scan_time: scan_start.elapsed(),
+            };
+        } else if i == 0 {
+            ca.scan_first_into(chunk, &mut NoCount, out);
+        } else {
+            ca.scan_into(chunk, scratch, &mut NoCount, out);
+        }
+    });
+}
+
+/// Shares a slice across the reach phase for disjoint per-index writes.
+///
+/// Soundness argument: the pool hands out each task index to exactly one
+/// claimant (an atomic `fetch_add`), and `get(i)` is only called with
+/// that claimant's own index, so no two live `&mut` ever alias.
+struct DisjointSlots<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _slice: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: see the disjointness argument on the type; T values are moved
+// across threads, hence T: Send.
+unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
+
+impl<'a, T> DisjointSlots<'a, T> {
+    fn new(slice: &'a mut [T]) -> DisjointSlots<'a, T> {
+        DisjointSlots {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _slice: PhantomData,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `i < len`, and no two concurrent calls may pass the same `i`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csdpa::{DfaCa, NfaCa, RidCa};
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use crate::ridfa::RiDfa;
+    use ridfa_automata::dfa::powerset::determinize;
+
+    fn sample_text(accept: bool) -> Vec<u8> {
+        let mut t = b"aabcab".repeat(300);
+        if !accept {
+            t.push(b'c');
+        }
+        t
+    }
+
+    #[test]
+    fn session_agrees_with_free_recognizer() {
+        let nfa = figure1_nfa();
+        let dfa = determinize(&nfa);
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let dfa_ca = DfaCa::new(&dfa);
+        let rid_ca = RidCa::new(&rid);
+        let mut session = Session::new(3);
+        for accept in [true, false] {
+            let text = sample_text(accept);
+            for chunks in [1usize, 2, 7, 32] {
+                assert_eq!(
+                    session.recognize(&dfa_ca, &text, chunks).accepted,
+                    accept,
+                    "dfa c={chunks}"
+                );
+                assert_eq!(
+                    session.recognize(&rid_ca, &text, chunks).accepted,
+                    accept,
+                    "rid c={chunks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_counted_matches_figure1() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut session = Session::new(2);
+        let out = session.recognize_counted(&ca, b"aabcab", 2);
+        assert!(out.accepted);
+        assert_eq!(out.num_chunks, 2);
+        assert_eq!(out.transitions, 9, "paper Fig. 1 bottom-right total");
+        assert_eq!(out.per_chunk.len(), 2);
+        assert_eq!(out.per_chunk[0].transitions, 3);
+        assert_eq!(out.per_chunk[1].transitions, 6);
+    }
+
+    #[test]
+    fn batch_verdicts_match_single_texts() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let ca = RidCa::new(&rid);
+        let mut session = Session::new(2);
+        let texts: Vec<Vec<u8>> = (0..17)
+            .map(|i| {
+                let mut t = b"aabcab".repeat(1 + i % 5);
+                if i % 3 == 0 {
+                    t.push(b'c'); // rejected
+                }
+                t
+            })
+            .collect();
+        let batch = session.recognize_many(&ca, &texts, 3);
+        for (i, text) in texts.iter().enumerate() {
+            assert_eq!(
+                batch[i],
+                session.recognize(&ca, text, 3).accepted,
+                "text {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_and_tiny_texts() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut session = Session::new(2);
+        let texts: [&[u8]; 4] = [b"", b"a", b"aabcab", b"c"];
+        let verdicts = session.recognize_many(&ca, &texts, 8);
+        for (i, text) in texts.iter().enumerate() {
+            assert_eq!(verdicts[i], nfa.accepts(text), "text {i}");
+        }
+        assert!(session.recognize_many(&ca, &[] as &[&[u8]], 4).is_empty());
+    }
+
+    #[test]
+    fn cache_rebuilds_across_ca_types() {
+        // Alternating CA types through one session must stay correct
+        // (the typed buffers are rebuilt on each switch).
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let rid_ca = RidCa::new(&rid);
+        let nfa_ca = NfaCa::new(&nfa);
+        let mut session = Session::new(2);
+        for _ in 0..3 {
+            assert!(session.recognize(&rid_ca, b"aabcab", 2).accepted);
+            assert!(session.recognize(&nfa_ca, b"aabcab", 2).accepted);
+            assert!(!session.recognize(&nfa_ca, b"caa", 2).accepted);
+        }
+    }
+
+    #[test]
+    fn executor_shapes_through_session_agree() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let ca = RidCa::new(&rid);
+        let mut session = Session::new(2);
+        for accept in [true, false] {
+            let text = sample_text(accept);
+            for executor in [
+                Executor::Serial,
+                Executor::PerChunk,
+                Executor::Team(2),
+                Executor::Auto,
+                Executor::Pooled,
+            ] {
+                assert_eq!(
+                    session.recognize_with(&ca, &text, 5, executor).accepted,
+                    accept,
+                    "{executor:?}"
+                );
+            }
+        }
+    }
+}

@@ -7,11 +7,15 @@
 //!
 //! * [`scoped::run_indexed`] — fork-join over borrowed data with
 //!   `std::thread::scope`: either one OS thread per chunk (the paper's
-//!   model) or a bounded team pulling chunk indices from an atomic counter;
-//! * [`pool::ThreadPool`] — a persistent worker pool (`std::sync` channel
-//!   and condvar wait-group) for benchmark drivers that dispatch
-//!   thousands of recognitions and must not pay thread-spawn cost per
-//!   text.
+//!   model) or a bounded team pulling chunk indices from an atomic
+//!   counter. Simple and dependency-free, but it pays thread-spawn cost
+//!   on every call — fine for long texts, ruinous for short ones;
+//! * [`pool::ThreadPool`] — a persistent worker pool whose scoped
+//!   [`invoke_all_scoped`](pool::ThreadPool::invoke_all_scoped) runs
+//!   borrowed-data batches with per-worker resident state and zero
+//!   allocations per warm call. This is what a
+//!   [`Session`](crate::csdpa::Session) dispatches texts through when
+//!   recognitions arrive by the thousands.
 
 pub mod pool;
 pub mod scoped;

@@ -1,57 +1,245 @@
 //! A persistent worker pool — the `ExecutorService` analogue.
 //!
-//! Benchmark drivers recognize thousands of texts back to back; spawning
-//! `c` OS threads per text would dominate the measurement for short
-//! chunks. The pool keeps `n` workers parked on a shared channel and
-//! tracks outstanding jobs with a condvar-based [`WaitGroup`], so the
-//! caller can serialize the reach and join phases exactly like the paper's
-//! `ExecutorService.invokeAll` — the only synchronization requirement.
-//! Built entirely on `std::sync` (an `mpsc` channel behind a receiver
-//! mutex): no external runtime dependency.
+//! Recognition traffic is dominated by *short* texts: spawning `c` OS
+//! threads per text (as the scoped executor does) costs more than the
+//! scan itself once chunks drop below a few tens of kilobytes. The pool
+//! keeps `n` workers parked on a condvar and offers two submission paths:
+//!
+//! * [`ThreadPool::execute`] — fire-and-forget boxed `'static` jobs
+//!   (queued behind a mutex, like a classic executor);
+//! * [`ThreadPool::invoke_all_scoped`] — the hot path: a *scoped*
+//!   `invokeAll` over **borrowed** data with **per-worker resident
+//!   state**. No `Arc`, no boxing, no channel node: the call publishes a
+//!   raw descriptor of a stack-resident scope, workers claim task indices
+//!   from an atomic counter, and each worker reuses its own long-lived
+//!   slot of caller-provided state (the reach phase keeps one scan
+//!   `Scratch` per worker warm across *texts*, not just across the chunks
+//!   of one text). A warm call performs zero heap allocations.
+//!
+//! Panic safety (the liveness contract): a panicking job can neither kill
+//! a worker (each job runs under `catch_unwind`) nor strand a caller —
+//! scoped workers detach through a drop guard, so the invoking thread
+//! always drains, and the first panic payload is re-raised on the caller
+//! once the scope is quiescent. The same guard pattern is available to
+//! manual [`execute`](ThreadPool::execute)/[`WaitGroup`] users via
+//! [`WaitGroup::done_guard`].
+//!
+//! Built entirely on `std::sync`; no external runtime dependency.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+// The scoped path shares caller-stack data with workers through raw
+// pointers; every dereference is justified by the attach/drain protocol
+// documented on `ScopeHeader`.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn Any + Send + 'static>;
 
-/// A fixed-size pool of worker threads executing boxed jobs.
+/// A fixed-size pool of worker threads executing boxed jobs and scoped
+/// borrowed-data batches.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+    shared: Arc<PoolShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signaled on every state change: new job, new scope, scope slot
+    /// freed, shutdown. Workers and scope-slot waiters both park here.
+    signal: Condvar,
+}
+
+struct PoolState {
+    /// One-shot boxed jobs ([`ThreadPool::execute`]).
+    queue: VecDeque<Job>,
+    /// The (single) scoped batch currently being broadcast, if any.
+    scoped: Option<ScopedTask>,
+    /// Monotonic batch id so a worker never re-enters a batch it has
+    /// already served.
+    scoped_seq: u64,
+    shutdown: bool,
+}
+
+/// Type-erased descriptor of a scoped batch, pointing into the invoking
+/// caller's stack frame.
+#[derive(Clone, Copy)]
+struct ScopedTask {
+    seq: u64,
+    header: *const ScopeHeader,
+    data: *const (),
+    /// Monomorphized entry point: `run(data, worker_index)`.
+    run: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointers reference a `Scope` pinned on the caller's stack
+// for the whole batch. The attach/drain protocol (see `ScopeHeader`)
+// guarantees no worker dereferences them after the caller returns.
+unsafe impl Send for ScopedTask {}
+
+/// The non-generic part of a scoped batch, shared between the caller and
+/// the workers.
+///
+/// # Lifetime protocol
+///
+/// The header lives on the caller's stack. A worker may only learn of it
+/// by reading `PoolState::scoped` **while holding the pool lock**, and
+/// must [`attach`](Latch::attach) before releasing that lock. The caller
+/// tears down by clearing `PoolState::scoped` under the same lock and
+/// then blocking until the attach count drains to zero. Hence every
+/// worker dereference happens either under the pool lock (slot still
+/// published) or between attach and detach (caller still draining) — the
+/// header is alive for both.
+struct ScopeHeader {
+    /// Next unclaimed task index; claims are `fetch_add(1)`.
+    next: AtomicUsize,
+    num_tasks: usize,
+    /// Counts workers currently inside the scope.
+    attached: Latch,
+    /// First panic raised by any claimant, re-raised on the caller.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl ScopeHeader {
+    fn store_panic(&self, payload: PanicPayload) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        slot.get_or_insert(payload);
+    }
+}
+
+/// The generic part of a scoped batch: the work closure and the base of
+/// the per-worker state slots. All pointers, no lifetimes — validity is
+/// carried by the [`ScopeHeader`] protocol, not the type system.
+struct Scope<S, F> {
+    header: ScopeHeader,
+    work: *const F,
+    /// Worker `w` exclusively owns slot `locals[w]`; the caller uses a
+    /// separate slot it holds directly.
+    locals: *mut S,
+    num_slots: usize,
+}
+
+impl<S, F: Fn(&mut S, usize) + Sync> Scope<S, F> {
+    /// Claims and runs task indices until the batch is exhausted or a
+    /// task panics (the panic is recorded; remaining indices are left to
+    /// the other claimants).
+    fn drive(&self, slot: &mut S) {
+        // SAFETY: `work` points to the caller's closure, alive for the
+        // whole batch per the header protocol.
+        let work = unsafe { &*self.work };
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = self.header.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.header.num_tasks {
+                break;
+            }
+            work(slot, i);
+        }));
+        if let Err(payload) = result {
+            self.header.store_panic(payload);
+        }
+    }
+}
+
+/// Monomorphized worker entry point stored in [`ScopedTask::run`].
+///
+/// # Safety
+///
+/// `data` must point to a live `Scope<S, F>` whose slot region has at
+/// least `worker + 1` elements, and slot `worker` must not be aliased by
+/// any other thread (guaranteed: each pool worker has a unique index and
+/// serves a batch at most once).
+unsafe fn run_scope_worker<S, F: Fn(&mut S, usize) + Sync>(data: *const (), worker: usize) {
+    let scope = &*(data as *const Scope<S, F>);
+    debug_assert!(worker < scope.num_slots);
+    let slot = &mut *scope.locals.add(worker);
+    scope.drive(slot);
+}
+
+/// Detaches from the scope on drop, so the caller's drain can never hang
+/// on a worker — not even one whose task panicked.
+struct DetachGuard {
+    header: *const ScopeHeader,
+}
+
+impl Drop for DetachGuard {
+    fn drop(&mut self) {
+        // SAFETY: between attach and this detach the header is alive per
+        // the ScopeHeader protocol.
+        unsafe { (*self.header).attached.detach() }
+    }
+}
+
+/// An inline (non-`Arc`) count-to-zero latch.
+struct Latch {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn attach(&self) {
+        *self.count.lock().expect("latch poisoned") += 1;
+    }
+
+    fn detach(&self) {
+        let mut count = self.count.lock().expect("latch poisoned");
+        *count -= 1;
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut count = self.count.lock().expect("latch poisoned");
+        while *count > 0 {
+            count = self.zero.wait(count).expect("latch poisoned");
+        }
+    }
 }
 
 impl ThreadPool {
     /// Spawns `num_workers` (≥ 1) parked worker threads.
     pub fn new(num_workers: usize) -> ThreadPool {
         let num_workers = num_workers.max(1);
-        let (sender, receiver) = channel::<Job>();
-        // `mpsc::Receiver` is single-consumer; workers share it behind a
-        // mutex held only for the blocking `recv`, never while running a
-        // job, so job execution stays fully parallel.
-        let receiver = Arc::new(Mutex::new(receiver));
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                scoped: None,
+                scoped_seq: 0,
+                shutdown: false,
+            }),
+            signal: Condvar::new(),
+        });
+        // Block until every worker has bootstrapped and entered its
+        // loop: OS thread start-up allocates on the child thread, and a
+        // lazily scheduled worker would otherwise pay that inside some
+        // later (supposedly allocation-free) batch.
+        let started = WaitGroup::new(num_workers);
         let workers = (0..num_workers)
-            .map(|i| {
-                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let started = started.clone();
                 std::thread::Builder::new()
-                    .name(format!("ridfa-worker-{i}"))
-                    .spawn(move || loop {
-                        // Channel disconnect (pool drop) ends the loop.
-                        let job = match receiver.lock() {
-                            Ok(guard) => match guard.recv() {
-                                Ok(job) => job,
-                                Err(_) => break,
-                            },
-                            Err(_) => break,
-                        };
-                        job();
+                    .name(format!("ridfa-worker-{index}"))
+                    .spawn(move || {
+                        started.done();
+                        worker_loop(&shared, index)
                     })
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool {
-            sender: Some(sender),
-            workers,
-        }
+        started.wait();
+        ThreadPool { shared, workers }
     }
 
     /// Number of worker threads.
@@ -59,37 +247,171 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submits a job (runs as soon as a worker is free).
+    /// Submits a fire-and-forget job (runs as soon as a worker is free).
+    /// A panicking job is contained by the worker; pair with a
+    /// [`WaitGroup`] and [`WaitGroup::done_guard`] to observe completion
+    /// robustly.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.sender
-            .as_ref()
-            .expect("pool is shutting down")
-            .send(Box::new(job))
-            .expect("pool workers disappeared");
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        assert!(!state.shutdown, "pool is shutting down");
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.signal.notify_all();
     }
 
     /// Submits `num_tasks` indexed jobs and blocks until all complete —
-    /// the `invokeAll` pattern. `work` must be `'static`, so share inputs
-    /// via `Arc`.
-    pub fn invoke_all(&self, num_tasks: usize, work: impl Fn(usize) + Send + Sync + 'static) {
-        let wg = WaitGroup::new(num_tasks);
-        let work = Arc::new(work);
-        for i in 0..num_tasks {
-            let wg = wg.clone();
-            let work = Arc::clone(&work);
-            self.execute(move || {
-                work(i);
-                wg.done();
-            });
+    /// the `invokeAll` pattern. `work` may borrow from the caller's
+    /// frame. If any task panics, the panic is re-raised here *after*
+    /// every in-flight task has finished (no deadlock, no leaked
+    /// borrows); the pool remains fully usable.
+    pub fn invoke_all(&self, num_tasks: usize, work: impl Fn(usize) + Sync) {
+        let mut locals = vec![(); self.num_workers() + 1];
+        self.invoke_all_scoped(num_tasks, &mut locals, |_, i| work(i));
+    }
+
+    /// The scoped `invokeAll` with per-worker resident state: runs
+    /// `work(&mut locals[w], i)` for every `i in 0..num_tasks`, where `w`
+    /// is a claimant-private slot index. `locals` must hold at least
+    /// [`num_workers`](ThreadPool::num_workers)` + 1` slots: slot `w`
+    /// belongs to pool worker `w` *stably across calls* (pass the same
+    /// buffer every time and each worker's state stays warm from one call
+    /// to the next), and the last slot belongs to the calling thread,
+    /// which participates in claiming.
+    ///
+    /// Tasks are claimed dynamically from an atomic counter, so skewed
+    /// task costs self-balance exactly like the scoped team executor.
+    /// Panics in tasks are contained and the first one is re-raised here
+    /// once the batch is quiescent.
+    ///
+    /// Not re-entrant: calling this from inside a `work` closure of the
+    /// same pool deadlocks (the scope slot is single-occupancy).
+    pub fn invoke_all_scoped<S, F>(&self, num_tasks: usize, locals: &mut [S], work: F)
+    where
+        S: Send,
+        F: Fn(&mut S, usize) + Sync,
+    {
+        let num_workers = self.num_workers();
+        assert!(
+            locals.len() > num_workers,
+            "need one local slot per pool worker plus one for the caller \
+             ({} workers, {} slots)",
+            num_workers,
+            locals.len()
+        );
+        if num_tasks == 0 {
+            return;
         }
-        wg.wait();
+        let (worker_slots, caller_slots) = locals.split_at_mut(num_workers);
+        let caller_slot = &mut caller_slots[0];
+        if num_tasks == 1 {
+            // Single task: not worth waking the pool.
+            work(caller_slot, 0);
+            return;
+        }
+
+        let scope = Scope {
+            header: ScopeHeader {
+                next: AtomicUsize::new(0),
+                num_tasks,
+                attached: Latch::new(),
+                panic: Mutex::new(None),
+            },
+            work: &work,
+            locals: worker_slots.as_mut_ptr(),
+            num_slots: worker_slots.len(),
+        };
+
+        // Publish the scope. A pool shared by several sessions serializes
+        // batches here (single scope slot).
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            while state.scoped.is_some() {
+                state = self.shared.signal.wait(state).expect("pool lock poisoned");
+            }
+            state.scoped_seq += 1;
+            state.scoped = Some(ScopedTask {
+                seq: state.scoped_seq,
+                header: &scope.header,
+                data: &scope as *const Scope<S, F> as *const (),
+                run: run_scope_worker::<S, F>,
+            });
+            drop(state);
+            self.shared.signal.notify_all();
+        }
+
+        // The caller is a claimant too: on short batches it often drains
+        // everything before a worker even wakes.
+        scope.drive(caller_slot);
+
+        // Teardown: retract the descriptor, then wait for attached
+        // workers to finish their in-flight tasks.
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.scoped = None;
+            drop(state);
+            self.shared.signal.notify_all();
+        }
+        scope.header.attached.wait_zero();
+
+        let panic = scope
+            .header
+            .panic
+            .lock()
+            .expect("scope panic slot poisoned")
+            .take();
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let mut last_seq = 0u64;
+    let mut state = shared.state.lock().expect("pool lock poisoned");
+    loop {
+        // Scoped batches take priority: a blocked invoke_all_scoped
+        // caller is latency-sensitive, queued jobs are not.
+        if let Some(task) = state.scoped.filter(|t| t.seq != last_seq) {
+            last_seq = task.seq;
+            // SAFETY: the slot is published, so the scope is alive and
+            // attaching under the pool lock is race-free (teardown clears
+            // the slot under this same lock).
+            unsafe { (*task.header).attached.attach() };
+            drop(state);
+            {
+                let _guard = DetachGuard {
+                    header: task.header,
+                };
+                // SAFETY: attached above; slot `index` is this worker's
+                // exclusively (unique index, one batch entry per seq).
+                unsafe { (task.run)(task.data, index) };
+                // `_guard` detaches here, panic or not.
+            }
+            state = shared.state.lock().expect("pool lock poisoned");
+            continue;
+        }
+        if let Some(job) = state.queue.pop_front() {
+            drop(state);
+            // Contain panics so one bad job cannot kill the worker.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            state = shared.state.lock().expect("pool lock poisoned");
+            continue;
+        }
+        if state.shutdown {
+            return;
+        }
+        state = shared.signal.wait(state).expect("pool lock poisoned");
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Disconnect the channel; workers drain outstanding jobs and exit.
-        self.sender.take();
+        // Workers drain outstanding queued jobs (the queue is checked
+        // before the shutdown flag) and exit.
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.signal.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -129,6 +451,16 @@ impl WaitGroup {
         }
     }
 
+    /// Returns a guard that calls [`done`](WaitGroup::done) when dropped —
+    /// **including on unwind**. Jobs submitted via
+    /// [`ThreadPool::execute`] should take one at entry so a panicking
+    /// job can never strand a [`wait`](WaitGroup::wait)ing caller.
+    pub fn done_guard(&self) -> DoneGuard {
+        DoneGuard {
+            group: self.clone(),
+        }
+    }
+
     /// Blocks until every job has called [`done`](WaitGroup::done).
     pub fn wait(&self) {
         let mut remaining = self.inner.remaining.lock().expect("waitgroup poisoned");
@@ -139,6 +471,18 @@ impl WaitGroup {
                 .wait(remaining)
                 .expect("waitgroup poisoned");
         }
+    }
+}
+
+/// Calls [`WaitGroup::done`] exactly once on drop (see
+/// [`WaitGroup::done_guard`]).
+pub struct DoneGuard {
+    group: WaitGroup,
+}
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.group.done();
     }
 }
 
@@ -156,8 +500,8 @@ mod tests {
             let hits = Arc::clone(&hits);
             let wg = wg.clone();
             pool.execute(move || {
+                let _done = wg.done_guard();
                 hits.fetch_add(1, Ordering::Relaxed);
-                wg.done();
             });
         }
         wg.wait();
@@ -167,12 +511,97 @@ mod tests {
     #[test]
     fn invoke_all_blocks_until_done() {
         let pool = ThreadPool::new(3);
-        let sum = Arc::new(AtomicUsize::new(0));
-        let sum2 = Arc::clone(&sum);
-        pool.invoke_all(10, move |i| {
-            sum2.fetch_add(i + 1, Ordering::Relaxed);
+        let sum = AtomicUsize::new(0);
+        pool.invoke_all(10, |i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn invoke_all_borrows_without_arc() {
+        // The whole point of the scoped rewrite: plain borrows, no Arc.
+        let data = [1u64, 2, 3, 4, 5];
+        let pool = ThreadPool::new(2);
+        let sum = AtomicUsize::new(0);
+        pool.invoke_all(data.len(), |i| {
+            sum.fetch_add(data[i] as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_invoke_all() {
+        // The headline regression: before the drop-guard/drain protocol a
+        // panicking job skipped its completion signal and `invoke_all`
+        // hung forever. It must now return (by re-raising the panic).
+        let pool = ThreadPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.invoke_all(8, |i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+
+        // And the pool must still be fully alive afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.invoke_all(16, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn panicking_queued_job_does_not_kill_workers() {
+        let pool = ThreadPool::new(1);
+        let wg = WaitGroup::new(2);
+        {
+            let wg = wg.clone();
+            pool.execute(move || {
+                let _done = wg.done_guard();
+                panic!("queued job exploded");
+            });
+        }
+        {
+            let wg = wg.clone();
+            pool.execute(move || {
+                let _done = wg.done_guard();
+            });
+        }
+        // With a single worker, the second job only runs if the worker
+        // survived the first one's panic.
+        wg.wait();
+    }
+
+    #[test]
+    fn scoped_invoke_keeps_worker_state_warm() {
+        // Slots accumulate across calls: per-worker state is resident.
+        let pool = ThreadPool::new(3);
+        let mut locals = vec![0u64; pool.num_workers() + 1];
+        for round in 0..5 {
+            pool.invoke_all_scoped(64, &mut locals, |slot, _i| {
+                *slot += 1;
+            });
+            let total: u64 = locals.iter().sum();
+            assert_eq!(total, 64 * (round + 1), "round {round}");
+        }
+    }
+
+    #[test]
+    fn scoped_invoke_writes_disjoint_results_in_order() {
+        let pool = ThreadPool::new(4);
+        let results: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let mut locals = vec![(); pool.num_workers() + 1];
+        pool.invoke_all_scoped(100, &mut locals, |_, i| {
+            results[i].fetch_add(i * i + 1, Ordering::Relaxed);
+        });
+        for (i, slot) in results.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), i * i + 1, "task {i}");
+        }
     }
 
     #[test]
@@ -195,10 +624,9 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.num_workers(), 1);
-        let flag = Arc::new(AtomicUsize::new(0));
-        let f2 = Arc::clone(&flag);
-        pool.invoke_all(1, move |_| {
-            f2.store(7, Ordering::Relaxed);
+        let flag = AtomicUsize::new(0);
+        pool.invoke_all(1, |_| {
+            flag.store(7, Ordering::Relaxed);
         });
         assert_eq!(flag.load(Ordering::Relaxed), 7);
     }
@@ -206,5 +634,61 @@ mod tests {
     #[test]
     fn waitgroup_with_zero_jobs_returns_immediately() {
         WaitGroup::new(0).wait();
+    }
+
+    #[test]
+    fn concurrent_invoke_all_callers_serialize_on_the_scope_slot() {
+        // Several threads sharing one pool: batches take the (single)
+        // scope slot in turn; every task of every batch must still run.
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        pool.invoke_all(16, |_| {
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 8 * 16);
+    }
+
+    #[test]
+    fn queued_jobs_and_scoped_batches_interleave() {
+        let pool = ThreadPool::new(2);
+        let queued = Arc::new(AtomicUsize::new(0));
+        let wg = WaitGroup::new(32);
+        for _ in 0..32 {
+            let queued = Arc::clone(&queued);
+            let wg = wg.clone();
+            pool.execute(move || {
+                let _done = wg.done_guard();
+                queued.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let scoped = AtomicUsize::new(0);
+        pool.invoke_all(64, |_| {
+            scoped.fetch_add(1, Ordering::Relaxed);
+        });
+        wg.wait();
+        assert_eq!(queued.load(Ordering::Relaxed), 32);
+        assert_eq!(scoped.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn sequential_batches_reuse_the_pool() {
+        let pool = ThreadPool::new(2);
+        for n in [1usize, 2, 7, 33] {
+            let count = AtomicUsize::new(0);
+            pool.invoke_all(n, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), n);
+        }
     }
 }

@@ -1,4 +1,8 @@
-//! Scoped fork-join execution over borrowed data.
+//! Scoped fork-join execution over borrowed data — the spawn-per-call
+//! executor behind the free `recognize` functions. Each call spawns (and
+//! joins) fresh OS threads, so prefer the pooled
+//! [`Session`](crate::csdpa::Session) path when many texts are
+//! recognized back to back.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

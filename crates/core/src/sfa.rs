@@ -134,18 +134,25 @@ impl ChunkAutomaton for SfaCa<'_> {
     /// The SFA state (transition function) the chunk's single run reached.
     type Mapping = StateId;
     type Scratch = ();
+    type JoinScratch = ();
 
-    fn scan_with(&self, chunk: &[u8], _scratch: &mut (), counter: &mut impl Counter) -> StateId {
-        self.sfa.run_from(self.sfa.identity(), chunk, counter)
+    fn scan_into(
+        &self,
+        chunk: &[u8],
+        _scratch: &mut (),
+        counter: &mut impl Counter,
+        out: &mut StateId,
+    ) {
+        *out = self.sfa.run_from(self.sfa.identity(), chunk, counter);
     }
 
-    fn scan_first(&self, chunk: &[u8], counter: &mut impl Counter) -> StateId {
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut StateId) {
         // The first chunk also runs from the identity: the start state is
         // applied at join time.
-        self.sfa.run_from(self.sfa.identity(), chunk, counter)
+        *out = self.sfa.run_from(self.sfa.identity(), chunk, counter);
     }
 
-    fn join(&self, mappings: &[StateId]) -> bool {
+    fn join_with(&self, mappings: &[StateId], _scratch: &mut ()) -> bool {
         // Compose the chunk functions left to right, applied to q0.
         let mut q = self.sfa.dfa_start;
         for &s in mappings {

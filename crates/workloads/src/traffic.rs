@@ -74,6 +74,24 @@ pub fn rejected_text(len: usize, seed: u64) -> Vec<u8> {
     t
 }
 
+/// Generates a serving-style request stream: `count` independent syslog
+/// texts of ≈ `len` bytes each, with every `reject_every`-th text (1-based;
+/// `0` disables) carrying one malformed record so the rejection path stays
+/// exercised. This is the workload behind `ridfa serve` and the
+/// short-text batch-latency bench.
+pub fn request_stream(count: usize, len: usize, reject_every: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            let seed = i as u64;
+            if reject_every != 0 && (i + 1) % reject_every == 0 {
+                rejected_text(len, seed)
+            } else {
+                text(len, seed)
+            }
+        })
+        .collect()
+}
+
 fn last_newline_before(text: &[u8], len: usize) -> Option<usize> {
     let bound = len.min(text.len());
     text[..bound].iter().rposition(|&b| b == b'\n')
@@ -154,6 +172,18 @@ mod tests {
     fn empty_log_is_accepted() {
         // The pattern is a starred record: zero records conform.
         assert!(nfa().accepts(b""));
+    }
+
+    #[test]
+    fn request_stream_mixes_verdicts_predictably() {
+        let n = nfa();
+        let stream = request_stream(8, 512, 4);
+        assert_eq!(stream.len(), 8);
+        for (i, t) in stream.iter().enumerate() {
+            assert_eq!(n.accepts(t), (i + 1) % 4 != 0, "text {i}");
+        }
+        // reject_every = 0: everything conforms.
+        assert!(request_stream(3, 512, 0).iter().all(|t| n.accepts(t)));
     }
 
     #[test]

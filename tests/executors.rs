@@ -1,14 +1,23 @@
-//! Integration tests for the parallel runtime: all executors agree, the
-//! persistent pool behaves like `invokeAll`, and chunking edge cases
-//! (tiny texts, more chunks than bytes, huge chunk counts) are safe.
+//! Integration tests for the parallel runtime: all executors (including
+//! the pooled session) agree, the persistent pool behaves like
+//! `invokeAll` even under panics, batch recognition matches one-by-one
+//! recognition, and chunking edge cases (tiny texts, more chunks than
+//! bytes, huge chunk counts) are safe.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ridfa::core::csdpa::{chunk_spans, recognize, Executor, RidCa};
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::automata::NoCount;
+use ridfa::core::csdpa::{
+    chunk_spans, recognize, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, DfaCa, Executor,
+    NfaCa, RidCa, Session,
+};
 use ridfa::core::parallel::{run_indexed, ThreadPool};
 use ridfa::core::ridfa::RiDfa;
-use ridfa::workloads::bible;
+use ridfa::workloads::regen::{random_ast, sample_into, RegenConfig};
+use ridfa::workloads::{bible, traffic};
 
 #[test]
 fn executors_agree_on_real_workload() {
@@ -17,6 +26,7 @@ fn executors_agree_on_real_workload() {
     let text = bible::text(128 << 10, 21);
     let expected = recognize(&ca, &text, 1, Executor::Serial).accepted;
     assert!(expected);
+    let mut session = Session::new(3);
     for chunks in [2usize, 5, 16, 61] {
         for executor in [
             Executor::Serial,
@@ -25,14 +35,142 @@ fn executors_agree_on_real_workload() {
             Executor::Team(2),
             Executor::Team(7),
             Executor::Team(64),
+            Executor::Auto,
+            Executor::Pooled,
         ] {
             assert_eq!(
                 recognize(&ca, &text, chunks, executor).accepted,
                 expected,
                 "{chunks} chunks, {executor:?}"
             );
+            assert_eq!(
+                session
+                    .recognize_with(&ca, &text, chunks, executor)
+                    .accepted,
+                expected,
+                "session, {chunks} chunks, {executor:?}"
+            );
         }
     }
+}
+
+/// Every CA variant: the pooled session must produce mappings (hence
+/// verdicts) identical to the spawning executors, across random regexes,
+/// texts and chunk counts — the randomized differential suite extended
+/// to the session path.
+#[test]
+fn pooled_session_matches_spawned_executors_on_random_cases() {
+    use rand::rngs::{SmallRng, StdRng};
+    use rand::{Rng, SeedableRng};
+
+    let config = RegenConfig {
+        alphabet: b"ab".to_vec(),
+        max_depth: 3,
+        max_width: 3,
+        star_percent: 35,
+    };
+    let mut rng = StdRng::seed_from_u64(0x5E55);
+    let mut session = Session::new(2);
+    for seed in 0..32u64 {
+        let ast = random_ast(&config, seed);
+        let nfa = ridfa::automata::nfa::glushkov::build(&ast).unwrap();
+        let dfa = minimize::minimize(&powerset::determinize(&nfa));
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let mut sampler = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let mut text = Vec::new();
+        for _ in 0..rng.gen_range(1..6usize) {
+            sample_into(&ast, &mut sampler, &mut text);
+        }
+        if rng.gen_ratio(1, 2) && !text.is_empty() {
+            let i = rng.gen_range(0..text.len());
+            text[i] = if text[i] == b'a' { b'b' } else { b'a' };
+        }
+        let expected = dfa.accepts(&text);
+        let chunks = rng.gen_range(1..16usize);
+
+        let dfa_ca = DfaCa::new(&dfa);
+        let rid_ca = RidCa::new(&rid);
+        let nfa_ca = NfaCa::new(&nfa);
+        let conv_dfa = ConvergentDfaCa::new(&dfa);
+        let conv_rid = ConvergentRidCa::new(&rid);
+        assert_eq!(
+            session.recognize(&dfa_ca, &text, chunks).accepted,
+            expected,
+            "seed {seed} dfa ({chunks} chunks, ast {ast})"
+        );
+        assert_eq!(
+            session.recognize(&rid_ca, &text, chunks).accepted,
+            expected,
+            "seed {seed} rid ({chunks} chunks, ast {ast})"
+        );
+        assert_eq!(
+            session.recognize(&nfa_ca, &text, chunks).accepted,
+            expected,
+            "seed {seed} nfa ({chunks} chunks, ast {ast})"
+        );
+        assert_eq!(
+            session.recognize(&conv_dfa, &text, chunks).accepted,
+            expected,
+            "seed {seed} dfa+conv ({chunks} chunks, ast {ast})"
+        );
+        assert_eq!(
+            session.recognize(&conv_rid, &text, chunks).accepted,
+            expected,
+            "seed {seed} rid+conv ({chunks} chunks, ast {ast})"
+        );
+        // Chunk-level mapping equivalence: a pooled interior scan is the
+        // same scan_into the spawning path runs.
+        let cut = text.len() / 2;
+        assert_eq!(
+            dfa_ca.scan(&text[cut..], &mut NoCount),
+            conv_dfa.scan(&text[cut..], &mut NoCount),
+            "seed {seed} mapping"
+        );
+    }
+}
+
+#[test]
+fn batch_path_matches_serial_verdicts_on_traffic() {
+    let nfa = traffic::nfa();
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let ca = ConvergentRidCa::new(&rid);
+    let texts: Vec<Vec<u8>> = (0..24)
+        .map(|i| {
+            if i % 3 == 0 {
+                traffic::rejected_text(2048, i)
+            } else {
+                traffic::text(2048, i)
+            }
+        })
+        .collect();
+    let mut session = Session::new(3);
+    session.warm(&ca, &texts[0]);
+    let verdicts = session.recognize_many(&ca, &texts, 4);
+    for (i, text) in texts.iter().enumerate() {
+        let expected = recognize(&ca, text, 1, Executor::Serial).accepted;
+        assert_eq!(verdicts[i], expected, "text {i}");
+        assert_eq!(expected, i % 3 != 0, "generator promise, text {i}");
+    }
+}
+
+#[test]
+fn panicking_chunk_scan_does_not_hang_the_session_pool() {
+    // End-to-end shape of the headline bugfix: a panic inside pooled
+    // work propagates instead of deadlocking, and the pool survives.
+    let pool = ThreadPool::new(2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.invoke_all(6, |i| {
+            if i == 4 {
+                panic!("chunk scan exploded");
+            }
+        });
+    }));
+    assert!(result.is_err());
+    let done = AtomicUsize::new(0);
+    pool.invoke_all(6, |_| {
+        done.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 6);
 }
 
 #[test]
