@@ -22,7 +22,7 @@ use ridfa_automata::nfa::{glushkov, Nfa};
 use ridfa_automata::{regex, serialize};
 use ridfa_core::csdpa::{
     recognize_counted, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, CountedOutcome, DfaCa,
-    Executor, NfaCa, RidCa, Session,
+    Executor, NfaCa, RidCa, Session, StreamOutcome, StreamSession,
 };
 use ridfa_core::ridfa::RiDfa;
 
@@ -58,12 +58,18 @@ ridfa — parallel recognizer for regular texts with minimal speculation
 
 USAGE:
   ridfa gen        --regex PATTERN [--out FILE]        print/save the NFA
-  ridfa info       (--regex PATTERN | --nfa FILE)      construction report
-  ridfa recognize  (--regex PATTERN | --nfa FILE)
+  ridfa info       (--regex PATTERN | --nfa FILE | --workload NAME)
+                                                       construction report
+  ridfa recognize  (--regex PATTERN | --nfa FILE | --workload NAME)
                    --text FILE
                    [--variant dfa|nfa|rid|convergent-dfa|convergent-rid]
                    [--chunks N] [--threads N] [--pool]  recognize one text
-  ridfa drive      (--regex PATTERN | --nfa FILE)
+                   [--stream] [--block-size BYTES]      …or recognize the
+                                                        text as a bounded-
+                                                        memory stream (the
+                                                        file/stdin is never
+                                                        loaded whole)
+  ridfa drive      (--regex PATTERN | --nfa FILE | --workload NAME)
                    --text FILE [--chunks N] [--pool]    compare all variants
   ridfa serve      [--requests N] [--len BYTES] [--chunks N] [--threads N]
                    [--variant ...] [--no-pool]          batch-recognize a
@@ -71,10 +77,18 @@ USAGE:
                                                         stream (workloads::
                                                         traffic) through a
                                                         warm session
+                   [--stream] [--bytes N]               …or validate one
+                   [--block-size BYTES]                 N-byte generated
+                                                        record pipe through
+                                                        a StreamSession
   ridfa help
 
 `--pool` recognizes through a persistent Session (no thread spawn per
 text, warm per-worker scan state) instead of spawning threads per call.
+`--stream` reads fixed-size blocks through a reusable ring and composes
+chunk mappings eagerly: live memory is O(threads × block-size) no matter
+how large the input. `--workload traffic|bible` uses a built-in benchmark
+pattern instead of --regex/--nfa.
 
 Exit code of `recognize`: 0 = accepted, 1 = rejected or error.";
 
@@ -139,7 +153,7 @@ impl Opts {
     }
 }
 
-/// Loads the NFA from `--regex` or `--nfa`.
+/// Loads the NFA from `--regex`, `--nfa`, or a built-in `--workload`.
 fn load_nfa(opts: &Opts) -> Result<Nfa, String> {
     if let Some(pattern) = opts.get_value("regex")? {
         let ast = regex::parse(pattern).map_err(|e| e.to_string())?;
@@ -149,7 +163,14 @@ fn load_nfa(opts: &Opts) -> Result<Nfa, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         return serialize::nfa_from_text(&text).map_err(|e| e.to_string());
     }
-    Err("need --regex PATTERN or --nfa FILE".into())
+    if let Some(name) = opts.get_value("workload")? {
+        return match name {
+            "traffic" => Ok(ridfa_workloads::traffic::nfa()),
+            "bible" => Ok(ridfa_workloads::bible::nfa()),
+            other => Err(format!("unknown workload {other:?} (traffic|bible)")),
+        };
+    }
+    Err("need --regex PATTERN, --nfa FILE, or --workload NAME".into())
 }
 
 fn load_text(opts: &Opts) -> Result<Vec<u8>, String> {
@@ -304,9 +325,12 @@ impl Runner {
 
 fn cmd_recognize(opts: &Opts) -> Result<(), String> {
     let nfa = load_nfa(opts)?;
+    let variant = opts.get_value("variant")?.unwrap_or("rid");
+    if opts.get_bool("stream") {
+        return cmd_recognize_stream(opts, &nfa, variant);
+    }
     let text = load_text(opts)?;
     let chunks = opts.get_usize("chunks", default_threads())?;
-    let variant = opts.get_value("variant")?.unwrap_or("rid");
     let mut runner = Runner::from_opts(opts)?;
 
     let accepted = match variant {
@@ -342,8 +366,11 @@ fn cmd_recognize(opts: &Opts) -> Result<(), String> {
 
 fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut Runner) -> bool {
     let out = runner.recognize(ca, text, chunks);
+    // `out.executor` is the shape that actually ran, not the one asked
+    // for — Executor::Pooled without a session degrades to Auto and says
+    // so here.
     println!(
-        "{}: {} | {} bytes, {} chunks, {} transitions, reach {:.3} ms, join {:.3} ms",
+        "{}: {} | {} bytes, {} chunks, {} transitions, reach {:.3} ms, join {:.3} ms, via {:?}",
         ca.name(),
         if out.accepted { "ACCEPTED" } else { "REJECTED" },
         text.len(),
@@ -351,8 +378,95 @@ fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut 
         out.transitions,
         out.reach.as_secs_f64() * 1e3,
         out.join.as_secs_f64() * 1e3,
+        out.executor,
     );
     out.accepted
+}
+
+/// The `recognize --stream` path: never loads the text; reads the file or
+/// stdin through a [`StreamSession`] in `--block-size` blocks.
+fn cmd_recognize_stream(opts: &Opts, nfa: &Nfa, variant: &str) -> Result<(), String> {
+    if opts.get_bool("pool") {
+        return Err("--stream manages its own worker pool; drop --pool".into());
+    }
+    let block_size = opts.get_usize("block-size", 1 << 20)?;
+    if block_size == 0 {
+        return Err("invalid value for --block-size: 0 (expected ≥ 1)".into());
+    }
+    let threads = opts.get_usize("threads", default_threads())?;
+    let mut session = StreamSession::new(threads.saturating_sub(1).max(1), block_size);
+
+    let rid;
+    let dfa;
+    let accepted = match variant {
+        "rid" => {
+            rid = RiDfa::from_nfa(nfa).minimized();
+            stream_report(&RidCa::new(&rid), opts, &mut session)?
+        }
+        "convergent-rid" => {
+            rid = RiDfa::from_nfa(nfa).minimized();
+            stream_report(&ConvergentRidCa::new(&rid), opts, &mut session)?
+        }
+        "dfa" => {
+            dfa = minimize::minimize(&powerset::determinize(nfa));
+            stream_report(&DfaCa::new(&dfa), opts, &mut session)?
+        }
+        "convergent-dfa" => {
+            dfa = minimize::minimize(&powerset::determinize(nfa));
+            stream_report(&ConvergentDfaCa::new(&dfa), opts, &mut session)?
+        }
+        "nfa" => stream_report(&NfaCa::new(nfa), opts, &mut session)?,
+        other => {
+            return Err(format!(
+                "unknown variant {other:?} (dfa|nfa|rid|convergent-dfa|convergent-rid)"
+            ))
+        }
+    };
+    if accepted {
+        Ok(())
+    } else {
+        Err("text rejected".into())
+    }
+}
+
+fn stream_report<CA: ChunkAutomaton>(
+    ca: &CA,
+    opts: &Opts,
+    session: &mut StreamSession,
+) -> Result<bool, String> {
+    let out = match opts.get_value("text")? {
+        Some("-") => session.recognize_stream(ca, std::io::stdin()),
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            session.recognize_stream(ca, file)
+        }
+        None => return Err("need --text FILE (or --text - for stdin)".into()),
+    }
+    .map_err(|e| e.to_string())?;
+    print_stream_outcome(ca.name(), session, &out);
+    Ok(out.accepted)
+}
+
+fn print_stream_outcome(name: &str, session: &StreamSession, out: &StreamOutcome) {
+    let secs = out.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "{}: {} | streamed {} bytes in {} blocks of ≤{} KiB, {} transitions, \
+         {:.1} MiB/s, compose {:.3} ms, ring {} KiB{}",
+        name,
+        if out.accepted { "ACCEPTED" } else { "REJECTED" },
+        out.bytes,
+        out.blocks,
+        session.block_size() / 1024,
+        out.transitions,
+        out.bytes as f64 / secs / (1024.0 * 1024.0),
+        out.compose.as_secs_f64() * 1e3,
+        session.buffer_bytes() / 1024,
+        if out.rejected_early {
+            " (rejected early, rest of stream skipped)"
+        } else {
+            ""
+        },
+    );
 }
 
 fn cmd_drive(opts: &Opts) -> Result<(), String> {
@@ -382,6 +496,9 @@ fn cmd_drive(opts: &Opts) -> Result<(), String> {
 /// throughput and mean per-text latency. `--no-pool` recognizes each
 /// text with the spawning executor instead, for comparison.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    if opts.get_bool("stream") {
+        return cmd_serve_stream(opts);
+    }
     let requests = opts.get_usize("requests", 256)?;
     let len = opts.get_usize("len", 2048)?;
     let chunks = opts.get_usize("chunks", 4)?;
@@ -432,6 +549,87 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         accepted,
         texts.len() - accepted,
         total_bytes
+    );
+    Ok(())
+}
+
+/// Streaming serve mode: validate one long *generated* record pipe
+/// (`workloads::traffic::RecordSource`) through a [`StreamSession`] —
+/// the record stream is produced lazily and scanned in blocks, so
+/// neither side ever holds more than O(threads × block-size) bytes. Runs
+/// an accepted pipe and a corrupted (rejected) pipe, so both verdict
+/// paths stay exercised.
+fn cmd_serve_stream(opts: &Opts) -> Result<(), String> {
+    let bytes = opts.get_usize("bytes", 64 << 20)? as u64;
+    let block_size = opts.get_usize("block-size", 1 << 20)?;
+    if block_size == 0 {
+        return Err("invalid value for --block-size: 0 (expected ≥ 1)".into());
+    }
+    let threads = opts.get_usize("threads", default_threads())?;
+    let variant = opts.get_value("variant")?.unwrap_or("convergent-rid");
+
+    let nfa = ridfa_workloads::traffic::nfa();
+    let mut session = StreamSession::new(threads.saturating_sub(1).max(1), block_size);
+    let rid;
+    let dfa;
+    match variant {
+        "rid" => {
+            rid = RiDfa::from_nfa(&nfa).minimized();
+            serve_stream(&RidCa::new(&rid), bytes, &mut session)
+        }
+        "convergent-rid" => {
+            rid = RiDfa::from_nfa(&nfa).minimized();
+            serve_stream(&ConvergentRidCa::new(&rid), bytes, &mut session)
+        }
+        "dfa" => {
+            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            serve_stream(&DfaCa::new(&dfa), bytes, &mut session)
+        }
+        "convergent-dfa" => {
+            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            serve_stream(&ConvergentDfaCa::new(&dfa), bytes, &mut session)
+        }
+        other => Err(format!(
+            "unknown variant {other:?} (dfa|rid|convergent-dfa|convergent-rid)"
+        )),
+    }
+}
+
+fn serve_stream<CA: ChunkAutomaton>(
+    ca: &CA,
+    bytes: u64,
+    session: &mut StreamSession,
+) -> Result<(), String> {
+    use ridfa_workloads::traffic::{text, RecordSource};
+
+    session.warm(ca, &text(4096, 0));
+
+    let out = session
+        .recognize_stream(ca, RecordSource::new(bytes, 1))
+        .map_err(|e| e.to_string())?;
+    print_stream_outcome(ca.name(), session, &out);
+    if !out.accepted {
+        return Err("conforming record pipe was rejected — this is a bug".into());
+    }
+
+    // The rejection path: a short pipe with one malformed record. Records
+    // are at most ~128 bytes, so index `reject_bytes / 256` is always
+    // among the records the pipe actually emits.
+    let reject_bytes = bytes.clamp(1, 1 << 20);
+    let bad = session
+        .recognize_stream(
+            ca,
+            RecordSource::with_corruption(reject_bytes, 2, reject_bytes / 256),
+        )
+        .map_err(|e| e.to_string())?;
+    print_stream_outcome(ca.name(), session, &bad);
+    if bad.accepted {
+        return Err("corrupted record pipe was accepted — this is a bug".into());
+    }
+    println!(
+        "serve --stream: OK ({} accepted bytes, corrupted pipe rejected{})",
+        out.bytes,
+        if bad.rejected_early { " early" } else { "" },
     );
     Ok(())
 }

@@ -264,6 +264,151 @@ fn drive_includes_convergent_variants() {
     assert!(text.contains("rid+conv:"), "{text}");
 }
 
+/// Two handwritten records conforming to the `workloads::traffic`
+/// grammar (month, day, time, host, daemon[pid], src/dst/len, message).
+const SYSLOG: &str =
+    "Jan  1 00:00:00 host1 sshd[123]: src=1.2.3.4 dst=5.6.7.8 len=100 hello world\n\
+                      Feb 12 23:59:59 host42 nginx[9]: src=10.0.0.1 dst=10.0.0.2 len=1 x\n";
+
+#[test]
+fn stream_recognize_accepts_and_rejects_from_stdin() {
+    // (input, expect_ok): the corrupted variant malforms the first month.
+    let corrupted = SYSLOG.replacen("Jan", "Xxx", 1);
+    for (input, expect_ok) in [(SYSLOG.to_string(), true), (corrupted, false)] {
+        let mut child = ridfa()
+            .args([
+                "recognize",
+                "--workload",
+                "traffic",
+                "--stream",
+                "--block-size",
+                "32",
+                "--text",
+                "-",
+                "--threads",
+                "2",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.success(), expect_ok, "input {input:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("streamed"), "{text}");
+    }
+}
+
+#[test]
+fn stream_recognize_reads_files_without_loading() {
+    let dir = std::env::temp_dir().join(format!("ridfa-stream-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("records.log");
+    std::fs::write(&path, SYSLOG.repeat(64)).unwrap();
+    let out = ridfa()
+        .args([
+            "recognize",
+            "--workload",
+            "traffic",
+            "--stream",
+            "--block-size",
+            "256",
+            "--text",
+            path.to_str().unwrap(),
+            "--variant",
+            "convergent-rid",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ACCEPTED"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stream_rejects_pool_flag() {
+    let out = ridfa()
+        .args([
+            "recognize",
+            "--regex",
+            "a*",
+            "--stream",
+            "--pool",
+            "--text",
+            "-",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--stream"), "{err}");
+}
+
+#[test]
+fn serve_stream_validates_a_generated_pipe() {
+    let out = ridfa()
+        .args([
+            "serve",
+            "--stream",
+            "--bytes",
+            "200000",
+            "--block-size",
+            "8192",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("serve --stream: OK"), "{text}");
+    assert!(text.contains("rejected"), "{text}");
+}
+
+#[test]
+fn recognize_reports_effective_executor() {
+    // The outcome line must say which executor shape actually ran —
+    // pooled when --pool, the spawning team otherwise.
+    for (pool, needle) in [(true, "via Pooled"), (false, "via Team")] {
+        let mut args = vec![
+            "recognize",
+            "--regex",
+            "a*",
+            "--text",
+            "-",
+            "--threads",
+            "2",
+        ];
+        if pool {
+            args.push("--pool");
+        }
+        let mut child = ridfa()
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child.stdin.as_mut().unwrap().write_all(b"aaa").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success(), "pool={pool}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(needle), "pool={pool}: {text}");
+    }
+}
+
 #[test]
 fn serve_batch_mode_reports_throughput() {
     for mode in [&["--no-pool"][..], &[][..]] {

@@ -58,7 +58,7 @@ impl<'a> ConvergentDfaCa<'a> {
 impl ChunkAutomaton for ConvergentDfaCa<'_> {
     type Mapping = Vec<StateId>;
     type Scratch = Scratch;
-    type JoinScratch = (Vec<StateId>, Vec<StateId>);
+    type ComposeScratch = ();
 
     fn scan_into(
         &self,
@@ -88,8 +88,22 @@ impl ChunkAutomaton for ConvergentDfaCa<'_> {
         self.inner.scan_first_into(chunk, counter, out)
     }
 
-    fn join_with(&self, mappings: &[Vec<StateId>], scratch: &mut Self::JoinScratch) -> bool {
-        self.inner.join_with(mappings, scratch)
+    fn compose_into(
+        &self,
+        left: &Vec<StateId>,
+        right: &Vec<StateId>,
+        scratch: &mut (),
+        out: &mut Vec<StateId>,
+    ) {
+        self.inner.compose_into(left, right, scratch, out)
+    }
+
+    fn accepts_mapping(&self, mapping: &Vec<StateId>) -> bool {
+        self.inner.accepts_mapping(mapping)
+    }
+
+    fn mapping_is_dead(&self, mapping: &Vec<StateId>) -> bool {
+        self.inner.mapping_is_dead(mapping)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
@@ -135,7 +149,7 @@ impl<'a> ConvergentRidCa<'a> {
 impl ChunkAutomaton for ConvergentRidCa<'_> {
     type Mapping = RidMapping;
     type Scratch = Scratch;
-    type JoinScratch = (Vec<StateId>, Vec<StateId>);
+    type ComposeScratch = (Vec<StateId>, Vec<StateId>);
 
     fn scan_into(
         &self,
@@ -166,8 +180,22 @@ impl ChunkAutomaton for ConvergentRidCa<'_> {
         self.inner.scan_first_into(chunk, counter, out)
     }
 
-    fn join_with(&self, mappings: &[RidMapping], scratch: &mut Self::JoinScratch) -> bool {
-        self.inner.join_with(mappings, scratch)
+    fn compose_into(
+        &self,
+        left: &RidMapping,
+        right: &RidMapping,
+        scratch: &mut (Vec<StateId>, Vec<StateId>),
+        out: &mut RidMapping,
+    ) {
+        self.inner.compose_into(left, right, scratch, out)
+    }
+
+    fn accepts_mapping(&self, mapping: &RidMapping) -> bool {
+        self.inner.accepts_mapping(mapping)
+    }
+
+    fn mapping_is_dead(&self, mapping: &RidMapping) -> bool {
+        self.inner.mapping_is_dead(mapping)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {

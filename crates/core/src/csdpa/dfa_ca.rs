@@ -58,7 +58,7 @@ impl ChunkAutomaton for DfaCa<'_> {
     /// a first-chunk scan never starts).
     type Mapping = Vec<StateId>;
     type Scratch = Scratch;
-    type JoinScratch = (Vec<StateId>, Vec<StateId>);
+    type ComposeScratch = ();
 
     fn scan_into(
         &self,
@@ -86,31 +86,30 @@ impl ChunkAutomaton for DfaCa<'_> {
         out[start as usize] = self.dfa.run_from(start, chunk, counter);
     }
 
-    fn join_with(
+    /// Function composition: the DFA mapping is a (partial) function
+    /// `Q → Q`, so `(right ⊙ left)(s) = right(left(s))`, with
+    /// [`DEAD`](ridfa_automata::DEAD) absorbing.
+    fn compose_into(
         &self,
-        mappings: &[Vec<StateId>],
-        scratch: &mut (Vec<StateId>, Vec<StateId>),
-    ) -> bool {
-        // PLAS₀ = {q0}; PLASᵢ = λᵢ(PLASᵢ₋₁) — PIS is implicit: a run that
-        // died maps to DEAD and is filtered.
-        let (plas, next) = scratch;
-        plas.clear();
-        plas.push(self.dfa.start());
-        for mapping in mappings {
-            next.clear();
-            next.extend(
-                plas.iter()
-                    .map(|&s| mapping[s as usize])
-                    .filter(|&t| t != DEAD),
-            );
-            next.sort_unstable();
-            next.dedup();
-            std::mem::swap(plas, next);
-            if plas.is_empty() {
-                return false;
-            }
-        }
-        plas.iter().any(|&s| self.dfa.is_final(s))
+        left: &Vec<StateId>,
+        right: &Vec<StateId>,
+        _scratch: &mut (),
+        out: &mut Vec<StateId>,
+    ) {
+        out.clear();
+        out.extend(
+            left.iter()
+                .map(|&s| if s == DEAD { DEAD } else { right[s as usize] }),
+        );
+    }
+
+    fn accepts_mapping(&self, mapping: &Vec<StateId>) -> bool {
+        let last = mapping[self.dfa.start() as usize];
+        last != DEAD && self.dfa.is_final(last)
+    }
+
+    fn mapping_is_dead(&self, mapping: &Vec<StateId>) -> bool {
+        mapping.iter().all(|&s| s == DEAD)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {

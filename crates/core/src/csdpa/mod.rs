@@ -39,6 +39,7 @@ mod nfa_ca;
 mod recognizer;
 mod rid_ca;
 mod session;
+pub mod stream;
 
 pub use chunking::{chunk_spans, chunk_spans_into};
 pub use convergent::{ConvergentDfaCa, ConvergentRidCa};
@@ -50,8 +51,38 @@ pub use recognizer::{
 };
 pub use rid_ca::{RidCa, RidMapping};
 pub use session::Session;
+pub use stream::{StreamOutcome, StreamSession};
 
-use ridfa_automata::counter::Counter;
+use ridfa_automata::counter::{Counter, NoCount};
+
+/// Reusable working memory for the join fold: two mapping accumulators
+/// (composition ping-pongs between them) plus the CA's composition
+/// scratch. `M` is the CA's [`Mapping`](ChunkAutomaton::Mapping), `C` its
+/// [`ComposeScratch`](ChunkAutomaton::ComposeScratch); see the
+/// [`JoinScratchOf`] alias.
+#[derive(Debug)]
+pub struct JoinScratch<M, C> {
+    /// Left-composed prefix `λ_k ∘ … ∘ λ_1` of the fold so far.
+    acc: M,
+    /// Output slot of the next composition, swapped with `acc`.
+    tmp: M,
+    /// The CA's composition working memory.
+    compose: C,
+}
+
+impl<M: Default, C: Default> Default for JoinScratch<M, C> {
+    fn default() -> JoinScratch<M, C> {
+        JoinScratch {
+            acc: M::default(),
+            tmp: M::default(),
+            compose: C::default(),
+        }
+    }
+}
+
+/// The [`JoinScratch`] type of a chunk automaton.
+pub type JoinScratchOf<CA> =
+    JoinScratch<<CA as ChunkAutomaton>::Mapping, <CA as ChunkAutomaton>::ComposeScratch>;
 
 /// A chunk automaton: the unit the reach phase replicates per chunk.
 ///
@@ -59,16 +90,31 @@ use ridfa_automata::counter::Counter;
 /// (`Sync`); all scratch state lives in caller-provided buffers, so a
 /// single CA value serves any number of concurrent chunk scans.
 ///
-/// The required methods are the `*_into` shapes that scan and join
+/// The required methods are the `*_into` shapes that scan and compose
 /// through **reusable** buffers — a warm [`Session`] recognizes a text
 /// without a single heap allocation. The owning convenience wrappers
 /// ([`scan`](ChunkAutomaton::scan), [`scan_with`](ChunkAutomaton::scan_with),
 /// [`scan_first`](ChunkAutomaton::scan_first), [`join`](ChunkAutomaton::join))
 /// are provided on top.
+///
+/// # λ-composition
+///
+/// Partial mappings `λ_i : PIS → PLAS` compose **associatively**
+/// ([`compose_into`](ChunkAutomaton::compose_into)): `λ_2 ⊙ λ_1` is the
+/// mapping of the concatenated chunks. The serial join of the paper is
+/// therefore just the left fold `λ_c ⊙ … ⊙ λ_1` followed by an
+/// acceptance test ([`accepts_mapping`](ChunkAutomaton::accepts_mapping))
+/// — which is exactly how the provided
+/// [`join_with`](ChunkAutomaton::join_with) is implemented — and the same
+/// two primitives give an O(1)-live-mapping streaming fold
+/// ([`StreamSession`]) and a parallel tree-reduce join ([`Session`] at
+/// high chunk counts) for free.
 pub trait ChunkAutomaton: Sync {
     /// The partial mapping `λ_i` a chunk scan produces. `Default` yields
     /// an empty mapping slot a scan can fill (and later scans can reuse).
-    type Mapping: Send + Default + 'static;
+    /// `Sync` because the tree-reduce join reads mappings from several
+    /// composing workers at once.
+    type Mapping: Send + Sync + Default + 'static;
 
     /// Reusable per-worker working memory for interior scans. A worker
     /// thread of the reach phase owns one scratch and feeds it to every
@@ -76,9 +122,10 @@ pub trait ChunkAutomaton: Sync {
     /// kernel state warms up once per worker. CAs with no scratch use `()`.
     type Scratch: Default + Send + 'static;
 
-    /// Reusable working memory for the serial join phase. CAs whose join
-    /// needs no buffers use `()`.
-    type JoinScratch: Default + Send + 'static;
+    /// Reusable working memory for λ-composition
+    /// ([`compose_into`](ChunkAutomaton::compose_into)). CAs whose
+    /// composition needs no buffers use `()`.
+    type ComposeScratch: Default + Send + 'static;
 
     /// Scans an interior chunk speculatively — one run per possible
     /// initial state — writing the mapping into `out` (cleared first;
@@ -97,10 +144,78 @@ pub trait ChunkAutomaton: Sync {
     /// — exactly one run, no speculation — writing the mapping into `out`.
     fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut Self::Mapping);
 
-    /// Serial join through a reusable scratch: composes the chunk
-    /// mappings in order and decides acceptance. `mappings[0]` must come
-    /// from [`scan_first_into`](ChunkAutomaton::scan_first_into).
-    fn join_with(&self, mappings: &[Self::Mapping], scratch: &mut Self::JoinScratch) -> bool;
+    /// Composes two adjacent partial mappings: `out = right ⊙ left`, the
+    /// mapping of the concatenation `chunk(left) · chunk(right)` (`left`
+    /// is applied first). Composition is associative, so any reduction
+    /// order over a mapping sequence yields the same verdict.
+    ///
+    /// `left` may be any mapping shape (a
+    /// [`scan_first_into`](ChunkAutomaton::scan_first_into) product, an
+    /// interior mapping, or a previous composition); `right` must derive
+    /// from interior scans only — a first-chunk mapping is only ever the
+    /// leftmost factor. `out` is cleared first and must not alias either
+    /// input; once its buffers have grown to size the composition is
+    /// allocation-free.
+    fn compose_into(
+        &self,
+        left: &Self::Mapping,
+        right: &Self::Mapping,
+        scratch: &mut Self::ComposeScratch,
+        out: &mut Self::Mapping,
+    );
+
+    /// Acceptance verdict of a fully composed mapping whose **leftmost**
+    /// factor came from
+    /// [`scan_first_into`](ChunkAutomaton::scan_first_into) (so the
+    /// initial state is resolved).
+    fn accepts_mapping(&self, mapping: &Self::Mapping) -> bool;
+
+    /// `true` if every extension of this mapping rejects — all
+    /// speculative runs are dead, so composing further chunks onto it can
+    /// never produce an accepting mapping. Used by the join fold and the
+    /// streaming layer to stop early on rejection. The default is the
+    /// always-sound `false`.
+    fn mapping_is_dead(&self, _mapping: &Self::Mapping) -> bool {
+        false
+    }
+
+    /// Serial join through a reusable scratch: the left fold of
+    /// [`compose_into`](ChunkAutomaton::compose_into) over the chunk
+    /// mappings, then
+    /// [`accepts_mapping`](ChunkAutomaton::accepts_mapping).
+    /// `mappings[0]` must come from
+    /// [`scan_first_into`](ChunkAutomaton::scan_first_into).
+    fn join_with(
+        &self,
+        mappings: &[Self::Mapping],
+        scratch: &mut JoinScratch<Self::Mapping, Self::ComposeScratch>,
+    ) -> bool {
+        match mappings {
+            [] => {
+                // Zero chunks = the empty text: a single non-speculative
+                // empty scan resolves acceptance of ε.
+                self.scan_first_into(b"", &mut NoCount, &mut scratch.acc);
+                self.accepts_mapping(&scratch.acc)
+            }
+            [only] => self.accepts_mapping(only),
+            [first, rest @ ..] => {
+                self.compose_into(first, &rest[0], &mut scratch.compose, &mut scratch.acc);
+                for mapping in &rest[1..] {
+                    if self.mapping_is_dead(&scratch.acc) {
+                        return false;
+                    }
+                    self.compose_into(
+                        &scratch.acc,
+                        mapping,
+                        &mut scratch.compose,
+                        &mut scratch.tmp,
+                    );
+                    std::mem::swap(&mut scratch.acc, &mut scratch.tmp);
+                }
+                self.accepts_mapping(&scratch.acc)
+            }
+        }
+    }
 
     /// Owning wrapper over [`scan_into`](ChunkAutomaton::scan_into) with
     /// a fresh mapping.
@@ -133,7 +248,16 @@ pub trait ChunkAutomaton: Sync {
     /// Convenience wrapper over [`join_with`](ChunkAutomaton::join_with)
     /// with a throwaway scratch.
     fn join(&self, mappings: &[Self::Mapping]) -> bool {
-        self.join_with(mappings, &mut Self::JoinScratch::default())
+        self.join_with(mappings, &mut JoinScratch::default())
+    }
+
+    /// Owning wrapper over
+    /// [`compose_into`](ChunkAutomaton::compose_into) with a fresh
+    /// mapping and a throwaway scratch.
+    fn compose(&self, left: &Self::Mapping, right: &Self::Mapping) -> Self::Mapping {
+        let mut out = Self::Mapping::default();
+        self.compose_into(left, right, &mut Self::ComposeScratch::default(), &mut out);
+        out
     }
 
     /// Whole-string serial recognition — the oracle and speedup baseline.

@@ -34,7 +34,7 @@ impl ChunkAutomaton for NfaCa<'_> {
     /// never starts).
     type Mapping = Vec<Vec<StateId>>;
     type Scratch = ();
-    type JoinScratch = (Vec<StateId>, Vec<StateId>);
+    type ComposeScratch = ();
 
     fn scan_into(
         &self,
@@ -71,27 +71,35 @@ impl ChunkAutomaton for NfaCa<'_> {
         slot.sort_unstable();
     }
 
-    fn join_with(
+    /// Relation composition: `(right ⊙ left)(q) = ⋃_{p ∈ left(q)} right(p)`,
+    /// each row sorted and deduplicated (a dead row stays empty).
+    fn compose_into(
         &self,
-        mappings: &[Vec<Vec<StateId>>],
-        scratch: &mut (Vec<StateId>, Vec<StateId>),
-    ) -> bool {
-        let (plas, next) = scratch;
-        plas.clear();
-        plas.push(self.nfa.start());
-        for mapping in mappings {
-            next.clear();
-            for &q in plas.iter() {
-                next.extend_from_slice(&mapping[q as usize]);
+        left: &Vec<Vec<StateId>>,
+        right: &Vec<Vec<StateId>>,
+        _scratch: &mut (),
+        out: &mut Vec<Vec<StateId>>,
+    ) {
+        out.iter_mut().for_each(Vec::clear);
+        out.resize_with(left.len(), Vec::new);
+        for (q, lasts) in left.iter().enumerate() {
+            let row = &mut out[q];
+            for &p in lasts {
+                row.extend_from_slice(&right[p as usize]);
             }
-            next.sort_unstable();
-            next.dedup();
-            std::mem::swap(plas, next);
-            if plas.is_empty() {
-                return false;
-            }
+            row.sort_unstable();
+            row.dedup();
         }
-        plas.iter().any(|&q| self.nfa.is_final(q))
+    }
+
+    fn accepts_mapping(&self, mapping: &Vec<Vec<StateId>>) -> bool {
+        mapping[self.nfa.start() as usize]
+            .iter()
+            .any(|&q| self.nfa.is_final(q))
+    }
+
+    fn mapping_is_dead(&self, mapping: &Vec<Vec<StateId>>) -> bool {
+        mapping.iter().all(Vec::is_empty)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {

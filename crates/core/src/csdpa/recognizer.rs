@@ -32,7 +32,9 @@ pub enum Executor {
     /// texts. Meaningful through
     /// [`Session::recognize_with`](super::Session::recognize_with);
     /// through the free [`recognize`] functions (which have no pool at
-    /// hand) it degrades to [`Executor::Auto`].
+    /// hand) it degrades to [`Executor::Auto`] — the degrade is visible
+    /// in [`Outcome::executor`] / [`CountedOutcome::executor`], which
+    /// always record the shape that actually ran.
     Pooled,
 }
 
@@ -48,6 +50,18 @@ impl Executor {
             }
         }
     }
+
+    /// The executor shape the free [`recognize`] functions actually run:
+    /// [`Executor::Pooled`] needs a [`Session`](super::Session) and
+    /// degrades to [`Executor::Auto`] here. Callers comparing execution
+    /// shapes should check the recorded outcome executor rather than the
+    /// one they requested.
+    pub fn effective_spawning(self) -> Executor {
+        match self {
+            Executor::Pooled => Executor::Auto,
+            other => other,
+        }
+    }
 }
 
 /// Result of an uninstrumented (timed) recognition.
@@ -61,6 +75,10 @@ pub struct Outcome {
     pub reach: Duration,
     /// Wall time of the serial join phase.
     pub join: Duration,
+    /// The executor shape that actually ran — [`Executor::Pooled`]
+    /// requested through the free [`recognize`] degrades to
+    /// [`Executor::Auto`] and is recorded as such.
+    pub executor: Executor,
 }
 
 /// Per-chunk measurements of an instrumented recognition.
@@ -89,6 +107,8 @@ pub struct CountedOutcome {
     pub reach: Duration,
     /// Wall time of the serial join phase.
     pub join: Duration,
+    /// The executor shape that actually ran (see [`Outcome::executor`]).
+    pub executor: Executor,
 }
 
 /// Recognizes `text` with chunk automaton `ca`, split into `num_chunks`
@@ -100,6 +120,7 @@ pub fn recognize<CA: ChunkAutomaton>(
     num_chunks: usize,
     executor: Executor,
 ) -> Outcome {
+    let executor = executor.effective_spawning();
     let spans = chunk_spans(text.len(), num_chunks);
     let workers = executor.workers(spans.len());
     let reach_start = Instant::now();
@@ -119,6 +140,7 @@ pub fn recognize<CA: ChunkAutomaton>(
         num_chunks: spans.len(),
         reach,
         join: join_start.elapsed(),
+        executor,
     }
 }
 
@@ -131,6 +153,7 @@ pub fn recognize_counted<CA: ChunkAutomaton>(
     num_chunks: usize,
     executor: Executor,
 ) -> CountedOutcome {
+    let executor = executor.effective_spawning();
     let spans = chunk_spans(text.len(), num_chunks);
     let workers = executor.workers(spans.len());
     let reach_start = Instant::now();
@@ -161,6 +184,7 @@ pub fn recognize_counted<CA: ChunkAutomaton>(
         per_chunk,
         reach,
         join: join_start.elapsed(),
+        executor,
     }
 }
 
@@ -260,6 +284,31 @@ mod tests {
         let out = recognize(&ca, b"", 8, Executor::PerChunk);
         assert!(!out.accepted, "ε ∉ L (state 0 is not final)");
         assert_eq!(out.num_chunks, 1);
+    }
+
+    #[test]
+    fn pooled_degrade_is_recorded() {
+        // Regression: the free recognizer has no pool, so requesting
+        // `Executor::Pooled` silently ran `Auto` — the outcome must now
+        // say so instead of letting callers believe they measured the
+        // pooled path.
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let out = recognize(&ca, b"aabcab", 2, Executor::Pooled);
+        assert!(out.accepted);
+        assert_eq!(out.executor, Executor::Auto, "degrade must be visible");
+        let counted = recognize_counted(&ca, b"aabcab", 2, Executor::Pooled);
+        assert_eq!(counted.executor, Executor::Auto);
+        // Non-degrading shapes are recorded verbatim.
+        assert_eq!(
+            recognize(&ca, b"aabcab", 2, Executor::Team(3)).executor,
+            Executor::Team(3)
+        );
+        assert_eq!(
+            recognize(&ca, b"aabcab", 2, Executor::Serial).executor,
+            Executor::Serial
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub struct RidCa<'a> {
     ptable: Vec<StateId>,
 }
 
-/// The λ mapping a RID chunk scan produces.
+/// The λ mapping a RID chunk scan (or composition) produces.
+///
+/// Scans only ever yield the first two shapes; composition introduces the
+/// set-valued shapes, because the interface function can expand one last
+/// active state into several interface states — `λ₂ ⊙ λ₁` maps a start
+/// to a *set* even though each `λᵢ` is single-valued.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RidMapping {
     /// First chunk: the single run from the known initial state
@@ -36,6 +41,20 @@ pub enum RidMapping {
     /// Interior chunk: `lasts[i]` = last active state of the run started
     /// in `interface()[i]` ([`DEAD`](ridfa_automata::DEAD) if it died).
     Interior(Vec<StateId>),
+    /// A composed prefix whose leftmost factor was a first-chunk mapping:
+    /// the set of possible last active states reachable from the known
+    /// initial state (sorted, deduplicated; empty = every run died).
+    Prefix(Vec<StateId>),
+    /// A composition of interior mappings: row `i` holds the sorted set
+    /// of possible last active states of the run started in
+    /// `interface()[i]`, stored CSR-style as
+    /// `lasts[offsets[i]..offsets[i + 1]]`.
+    Composed {
+        /// `interface().len() + 1` row boundaries into `lasts`.
+        offsets: Vec<u32>,
+        /// Concatenated per-row last-active-state sets.
+        lasts: Vec<StateId>,
+    },
 }
 
 impl Default for RidMapping {
@@ -46,17 +65,76 @@ impl Default for RidMapping {
 }
 
 impl RidMapping {
+    /// Reclaims the largest buffer of the current shape, so converting a
+    /// slot between shapes keeps its allocation.
+    fn take_vec(&mut self) -> Vec<StateId> {
+        match self {
+            RidMapping::First(_) => Vec::new(),
+            RidMapping::Interior(v) | RidMapping::Prefix(v) => std::mem::take(v),
+            RidMapping::Composed { lasts, .. } => std::mem::take(lasts),
+        }
+    }
+
     /// The interior `lasts` buffer, converting (and keeping any existing
-    /// buffer's capacity) if the slot held a first-chunk mapping.
+    /// buffer's capacity) if the slot held another shape.
     pub(super) fn interior_buf(&mut self) -> &mut Vec<StateId> {
-        if let RidMapping::First(_) = self {
-            *self = RidMapping::Interior(Vec::new());
+        if !matches!(self, RidMapping::Interior(_)) {
+            let buf = self.take_vec();
+            *self = RidMapping::Interior(buf);
         }
         match self {
             RidMapping::Interior(lasts) => lasts,
-            RidMapping::First(_) => unreachable!("converted above"),
+            _ => unreachable!("converted above"),
         }
     }
+
+    /// The cleared `Prefix` set buffer, converting shape if needed.
+    fn prefix_buf(&mut self) -> &mut Vec<StateId> {
+        if !matches!(self, RidMapping::Prefix(_)) {
+            let buf = self.take_vec();
+            *self = RidMapping::Prefix(buf);
+        }
+        match self {
+            RidMapping::Prefix(set) => {
+                set.clear();
+                set
+            }
+            _ => unreachable!("converted above"),
+        }
+    }
+
+    /// The cleared `Composed` CSR buffers, converting shape if needed.
+    fn composed_bufs(&mut self) -> (&mut Vec<u32>, &mut Vec<StateId>) {
+        if !matches!(self, RidMapping::Composed { .. }) {
+            let buf = self.take_vec();
+            *self = RidMapping::Composed {
+                offsets: Vec::new(),
+                lasts: buf,
+            };
+        }
+        match self {
+            RidMapping::Composed { offsets, lasts } => {
+                offsets.clear();
+                lasts.clear();
+                (offsets, lasts)
+            }
+            _ => unreachable!("converted above"),
+        }
+    }
+}
+
+/// Sorts and deduplicates `v[start..]` in place (the freshly appended row
+/// of a CSR composition).
+fn sort_dedup_tail(v: &mut Vec<StateId>, start: usize) {
+    v[start..].sort_unstable();
+    let mut write = start;
+    for read in start..v.len() {
+        if write == start || v[read] != v[write - 1] {
+            v[write] = v[read];
+            write += 1;
+        }
+    }
+    v.truncate(write);
 }
 
 impl<'a> RidCa<'a> {
@@ -91,12 +169,51 @@ impl<'a> RidCa<'a> {
             classes: self.rid.classes(),
         }
     }
+
+    /// One composition step for a single PLAS set: translates `plas`
+    /// through the interface function into `pis`, applies `right`'s rows
+    /// to every resulting interface state, and appends the surviving last
+    /// states to `out` as a fresh sorted, deduplicated row.
+    fn apply_set(
+        &self,
+        plas: &[StateId],
+        right: &RidMapping,
+        pis: &mut Vec<StateId>,
+        out: &mut Vec<StateId>,
+    ) {
+        let row_start = out.len();
+        self.rid.interface_map(plas, pis);
+        match right {
+            RidMapping::Interior(lasts) => {
+                for &p in pis.iter() {
+                    let idx = self.pos[p as usize];
+                    debug_assert_ne!(idx, u32::MAX, "if() returns interface states");
+                    let last = lasts[idx as usize];
+                    if last != DEAD {
+                        out.push(last);
+                    }
+                }
+            }
+            RidMapping::Composed { offsets, lasts } => {
+                for &p in pis.iter() {
+                    let idx = self.pos[p as usize] as usize;
+                    debug_assert_ne!(idx as u32, u32::MAX, "if() returns interface states");
+                    out.extend_from_slice(&lasts[offsets[idx] as usize..offsets[idx + 1] as usize]);
+                }
+            }
+            RidMapping::First(_) | RidMapping::Prefix(_) => {
+                panic!("compose_into: the right factor must derive from interior scans")
+            }
+        }
+        sort_dedup_tail(out, row_start);
+    }
 }
 
 impl ChunkAutomaton for RidCa<'_> {
     type Mapping = RidMapping;
     type Scratch = Scratch;
-    type JoinScratch = (Vec<StateId>, Vec<StateId>);
+    /// `(plas, pis)` working sets of the interface translation.
+    type ComposeScratch = (Vec<StateId>, Vec<StateId>);
 
     fn scan_into(
         &self,
@@ -122,46 +239,74 @@ impl ChunkAutomaton for RidCa<'_> {
         *out = RidMapping::First(self.rid.run_from(self.rid.start(), chunk, counter));
     }
 
-    fn join_with(
+    /// `PLAS`-set composition through the interface function:
+    /// `out = right ⊙ left` where each row of `left` is translated by
+    /// `if(·)` (with delegation) and pushed through `right`'s rows.
+    fn compose_into(
         &self,
-        mappings: &[RidMapping],
+        left: &RidMapping,
+        right: &RidMapping,
         scratch: &mut (Vec<StateId>, Vec<StateId>),
-    ) -> bool {
-        // PLAS₁ from the first chunk, then
-        // PLASᵢ = λᵢ( if(PLASᵢ₋₁) ∩ PISᵢ ) for the interior chunks.
+        out: &mut RidMapping,
+    ) {
         let (plas, pis) = scratch;
-        plas.clear();
-        pis.clear();
-        for (i, mapping) in mappings.iter().enumerate() {
-            match mapping {
-                RidMapping::First(last) => {
-                    debug_assert_eq!(i, 0, "First mapping only at chunk 1");
-                    plas.clear();
-                    if *last != DEAD {
-                        plas.push(*last);
-                    }
+        match left {
+            RidMapping::First(last) => {
+                plas.clear();
+                if *last != DEAD {
+                    plas.push(*last);
                 }
-                RidMapping::Interior(lasts) => {
-                    // if(PLAS) — the interface function with delegation.
-                    self.rid.interface_map(plas, pis);
-                    plas.clear();
-                    for &p in pis.iter() {
-                        let idx = self.pos[p as usize];
-                        debug_assert_ne!(idx, u32::MAX, "if() returns interface states");
-                        let last = lasts[idx as usize];
-                        if last != DEAD {
-                            plas.push(last);
-                        }
+                let set = out.prefix_buf();
+                self.apply_set(plas, right, pis, set);
+            }
+            RidMapping::Prefix(prefix) => {
+                let set = out.prefix_buf();
+                self.apply_set(prefix, right, pis, set);
+            }
+            RidMapping::Interior(lasts) => {
+                let (offsets, out_lasts) = out.composed_bufs();
+                offsets.push(0);
+                for &last in lasts {
+                    if last != DEAD {
+                        plas.clear();
+                        plas.push(last);
+                        self.apply_set(plas, right, pis, out_lasts);
                     }
-                    plas.sort_unstable();
-                    plas.dedup();
+                    offsets.push(out_lasts.len() as u32);
                 }
             }
-            if plas.is_empty() {
-                return false;
+            RidMapping::Composed {
+                offsets: left_off,
+                lasts: left_lasts,
+            } => {
+                let (offsets, out_lasts) = out.composed_bufs();
+                offsets.push(0);
+                for row in left_off.windows(2) {
+                    let set = &left_lasts[row[0] as usize..row[1] as usize];
+                    self.apply_set(set, right, pis, out_lasts);
+                    offsets.push(out_lasts.len() as u32);
+                }
             }
         }
-        plas.iter().any(|&p| self.rid.is_final(p))
+    }
+
+    fn accepts_mapping(&self, mapping: &RidMapping) -> bool {
+        match mapping {
+            RidMapping::First(last) => *last != DEAD && self.rid.is_final(*last),
+            RidMapping::Prefix(set) => set.iter().any(|&p| self.rid.is_final(p)),
+            RidMapping::Interior(_) | RidMapping::Composed { .. } => {
+                panic!("accepts_mapping: the leftmost factor must be a first-chunk scan")
+            }
+        }
+    }
+
+    fn mapping_is_dead(&self, mapping: &RidMapping) -> bool {
+        match mapping {
+            RidMapping::First(last) => *last == DEAD,
+            RidMapping::Prefix(set) => set.is_empty(),
+            RidMapping::Interior(lasts) => lasts.iter().all(|&l| l == DEAD),
+            RidMapping::Composed { lasts, .. } => lasts.is_empty(),
+        }
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {

@@ -39,8 +39,17 @@ use ridfa_automata::counter::{NoCount, TransitionCount};
 use crate::parallel::ThreadPool;
 
 use super::{
-    chunk_spans_into, recognizer, ChunkAutomaton, ChunkStats, CountedOutcome, Executor, Outcome,
+    chunk_spans_into, recognizer, ChunkAutomaton, ChunkStats, CountedOutcome, Executor,
+    JoinScratch, JoinScratchOf, Outcome,
 };
+
+/// Minimum chunk count before [`Session::recognize`] switches from the
+/// serial fold-join to the parallel tree-reduce join.
+const TREE_JOIN_MIN: usize = 64;
+
+/// The tree reduction hands the last few partials to the serial fold —
+/// below this width, dispatch overhead exceeds the composition work.
+const TREE_JOIN_TAIL: usize = 8;
 
 /// A flattened (text, chunk) task of a batch recognition.
 struct BatchTask {
@@ -51,15 +60,20 @@ struct BatchTask {
 }
 
 /// The per-CA-type buffer set a session keeps warm.
-struct TypedCache<S, M, J> {
+struct TypedCache<S, M, C> {
     /// One scan scratch per pool worker plus one for the calling thread
     /// (slot layout mandated by [`ThreadPool::invoke_all_scoped`]).
     scratches: Vec<S>,
     /// λ-mapping slots, one per chunk task; grown to the high-water mark
     /// and reused across texts.
     mappings: Vec<M>,
-    /// Join-phase working memory.
-    join: J,
+    /// Join-phase working memory (fold accumulators + compose scratch).
+    join: JoinScratch<M, C>,
+    /// Output slots of one tree-reduce level (high-water sized).
+    tree: Vec<M>,
+    /// One compose scratch per pool worker plus one for the caller, for
+    /// the parallel tree-reduce join.
+    compose_slots: Vec<C>,
 }
 
 /// A persistent recognition session: worker pool + warm per-worker scan
@@ -167,7 +181,7 @@ impl Session {
         );
         let reach = reach_start.elapsed();
         let join_start = Instant::now();
-        let accepted = ca.join_with(&cache_mut.mappings[..n], &mut cache_mut.join);
+        let accepted = Self::join_mappings(&self.pool, ca, cache_mut, n);
         let join = join_start.elapsed();
         self.cache = Some(cache);
         Outcome {
@@ -175,6 +189,7 @@ impl Session {
             num_chunks: n,
             reach,
             join,
+            executor: Executor::Pooled,
         }
     }
 
@@ -215,7 +230,7 @@ impl Session {
         );
         let reach = reach_start.elapsed();
         let join_start = Instant::now();
-        let accepted = ca.join_with(&cache_mut.mappings[..n], &mut cache_mut.join);
+        let accepted = Self::join_mappings(&self.pool, ca, cache_mut, n);
         let join = join_start.elapsed();
         self.cache = Some(cache);
         CountedOutcome {
@@ -225,6 +240,7 @@ impl Session {
             per_chunk,
             reach,
             join,
+            executor: Executor::Pooled,
         }
     }
 
@@ -314,7 +330,7 @@ impl Session {
     /// friendly); rebuilt if the session last served a different CA type.
     fn take_cache<CA: ChunkAutomaton>(
         &mut self,
-    ) -> Box<TypedCache<CA::Scratch, CA::Mapping, CA::JoinScratch>> {
+    ) -> Box<TypedCache<CA::Scratch, CA::Mapping, CA::ComposeScratch>> {
         if let Some(cache) = self.cache.take() {
             if let Ok(typed) = cache.downcast() {
                 return typed;
@@ -324,9 +340,78 @@ impl Session {
         Box::new(TypedCache {
             scratches: (0..slots).map(|_| CA::Scratch::default()).collect(),
             mappings: Vec::new(),
-            join: CA::JoinScratch::default(),
+            join: JoinScratchOf::<CA>::default(),
+            tree: Vec::new(),
+            compose_slots: (0..slots).map(|_| CA::ComposeScratch::default()).collect(),
         })
     }
+
+    /// The join phase of a pooled recognition: the serial fold for small
+    /// chunk counts, the parallel tree reduction over
+    /// [`compose_into`](ChunkAutomaton::compose_into) once the O(c)
+    /// serial barrier would dominate.
+    fn join_mappings<CA: ChunkAutomaton>(
+        pool: &ThreadPool,
+        ca: &CA,
+        cache: &mut TypedCache<CA::Scratch, CA::Mapping, CA::ComposeScratch>,
+        n: usize,
+    ) -> bool {
+        if n >= TREE_JOIN_MIN {
+            tree_join(
+                pool,
+                ca,
+                &mut cache.mappings[..n],
+                &mut cache.tree,
+                &mut cache.compose_slots,
+                &mut cache.join,
+            )
+        } else {
+            ca.join_with(&cache.mappings[..n], &mut cache.join)
+        }
+    }
+}
+
+/// Parallel tree-reduce join: each level composes adjacent pairs of
+/// partial mappings concurrently on the pool (an odd tail rides up
+/// unchanged), halving the sequence until the serial fold finishes the
+/// last few — O(log c) parallel depth instead of the O(c) serial
+/// barrier. Associativity of λ-composition guarantees the same verdict
+/// as the left fold; the contents of `mappings` are consumed as scratch.
+fn tree_join<CA: ChunkAutomaton>(
+    pool: &ThreadPool,
+    ca: &CA,
+    mappings: &mut [CA::Mapping],
+    tree: &mut Vec<CA::Mapping>,
+    compose_slots: &mut [CA::ComposeScratch],
+    join: &mut JoinScratchOf<CA>,
+) -> bool {
+    let mut len = mappings.len();
+    while len > TREE_JOIN_TAIL {
+        let pairs = len / 2;
+        let odd = len % 2;
+        if tree.len() < pairs {
+            tree.resize_with(pairs, CA::Mapping::default);
+        }
+        {
+            let src: &[CA::Mapping] = &mappings[..len];
+            let slots = DisjointSlots::new(&mut tree[..pairs]);
+            pool.invoke_all_scoped(pairs, compose_slots, |scratch, i| {
+                // SAFETY: the pool claims each task index exactly once.
+                let out = unsafe { slots.get(i) };
+                ca.compose_into(&src[2 * i], &src[2 * i + 1], scratch, out);
+            });
+        }
+        // Swap the level's results back to the front (pointer swaps, so
+        // the buffers of both levels stay warm for the next call).
+        for i in 0..pairs {
+            std::mem::swap(&mut mappings[i], &mut tree[i]);
+        }
+        if odd == 1 {
+            mappings.swap(pairs, len - 1);
+        }
+        len = pairs + odd;
+    }
+    ca.join_with(&mappings[..len], join)
 }
 
 /// The single-text pooled reach phase, shared by the timed and the
@@ -371,12 +456,14 @@ fn pooled_reach<CA: ChunkAutomaton>(
     });
 }
 
-/// Shares a slice across the reach phase for disjoint per-index writes.
+/// Shares a slice across a pooled batch for disjoint per-index writes
+/// (used by the reach phase, the tree-reduce join, and the streaming
+/// layer).
 ///
 /// Soundness argument: the pool hands out each task index to exactly one
 /// claimant (an atomic `fetch_add`), and `get(i)` is only called with
 /// that claimant's own index, so no two live `&mut` ever alias.
-struct DisjointSlots<'a, T> {
+pub(crate) struct DisjointSlots<'a, T> {
     ptr: *mut T,
     len: usize,
     _slice: PhantomData<&'a mut [T]>,
@@ -387,7 +474,7 @@ struct DisjointSlots<'a, T> {
 unsafe impl<T: Send> Sync for DisjointSlots<'_, T> {}
 
 impl<'a, T> DisjointSlots<'a, T> {
-    fn new(slice: &'a mut [T]) -> DisjointSlots<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> DisjointSlots<'a, T> {
         DisjointSlots {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
@@ -399,7 +486,7 @@ impl<'a, T> DisjointSlots<'a, T> {
     ///
     /// `i < len`, and no two concurrent calls may pass the same `i`.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn get(&self, i: usize) -> &mut T {
+    pub(crate) unsafe fn get(&self, i: usize) -> &mut T {
         debug_assert!(i < self.len);
         &mut *self.ptr.add(i)
     }

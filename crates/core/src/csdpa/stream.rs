@@ -1,0 +1,622 @@
+//! Bounded-memory streaming recognition: validate a text of *any* length
+//! — a multi-GB log file, a network pipe, stdin — without ever holding it
+//! in memory.
+//!
+//! Every other recognition path ([`recognize`](super::recognize),
+//! [`Session`](super::Session)) needs the whole text resident and buffers
+//! all `c` chunk mappings before the join. A [`StreamSession`] instead
+//! exploits the associativity of λ-composition
+//! ([`ChunkAutomaton::compose_into`]): the join is an **incremental left
+//! fold**, so only *one* composed prefix mapping has to live at any time,
+//! and blocks can be scanned as they arrive.
+//!
+//! The execution shape is a double-buffered wave pipeline over the
+//! persistent [`ThreadPool`]:
+//!
+//! * the text is read in fixed-size **blocks** into a ring of
+//!   `2 × (workers + 1)` reusable buffers — live buffer memory is
+//!   `O(workers · block_size)` regardless of stream length
+//!   ([`StreamSession::buffer_bytes`] accounts for it exactly);
+//! * each wave is one [`invoke_all_scoped`](ThreadPool::invoke_all_scoped)
+//!   batch whose tasks are the **scans of the current wave's blocks plus
+//!   the read of the next wave** — I/O overlaps scanning because the read
+//!   is just another dynamically claimed task;
+//! * after each wave the caller **eagerly composes** the finished
+//!   mappings into the running prefix *in arrival order*, so mapping
+//!   memory is O(1) live mappings (plus the per-slot scan outputs of one
+//!   ring) — there is no O(c) buffered join barrier;
+//! * a composed prefix with no surviving run
+//!   ([`ChunkAutomaton::mapping_is_dead`]) rejects the entire stream, so
+//!   the session stops reading **early** instead of scanning gigabytes of
+//!   doomed suffix.
+//!
+//! The verdict, a [`CountedOutcome`](super::CountedOutcome)-style
+//! transition tally, and byte/block counts are delivered at EOF as a
+//! [`StreamOutcome`]. Once warm, a stream session performs **zero heap
+//! allocations per block** (asserted by `tests/stream_alloc.rs` with a
+//! counting allocator).
+
+// Mapping/read slots are written by single claimants through
+// `DisjointSlots`; see the soundness argument on that type.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::io::{self, Read};
+use std::time::{Duration, Instant};
+
+use ridfa_automata::counter::{NoCount, TransitionCount};
+
+use crate::parallel::ThreadPool;
+
+use super::session::DisjointSlots;
+use super::ChunkAutomaton;
+
+/// Result of a streaming recognition.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Did the device accept the stream?
+    pub accepted: bool,
+    /// Bytes scanned *and composed into the verdict*. At EOF this is the
+    /// whole stream; on [`rejected_early`](StreamOutcome::rejected_early)
+    /// it is the validated prefix only — note the read-ahead may have
+    /// *consumed* up to one extra wave from the reader beyond this count,
+    /// so it is not a resume offset for the underlying reader.
+    pub bytes: u64,
+    /// Blocks scanned and composed (same caveat as
+    /// [`bytes`](StreamOutcome::bytes)).
+    pub blocks: u64,
+    /// Total executed transitions across all block scans (the paper's
+    /// workload measure, as in
+    /// [`CountedOutcome`](super::CountedOutcome)).
+    pub transitions: u64,
+    /// Wall time of the whole stream (read + scan + compose).
+    pub elapsed: Duration,
+    /// Time the caller spent in eager composition (the streaming
+    /// equivalent of the join phase).
+    pub compose: Duration,
+    /// `true` when the composed prefix died before EOF and the session
+    /// stopped reading — the verdict is a definite rejection.
+    pub rejected_early: bool,
+}
+
+/// A fixed-size reusable block buffer of the ring.
+struct Block {
+    data: Vec<u8>,
+    /// Valid bytes (`< data.len()` only for the final block).
+    len: usize,
+}
+
+/// The per-CA-type buffer set a stream session keeps warm.
+struct StreamCache<S, M, C> {
+    /// One scan scratch per pool worker plus one for the caller.
+    scratches: Vec<S>,
+    /// One `(mapping, transitions)` output slot per ring block.
+    slots: Vec<(M, u64)>,
+    /// Dedicated output slot of the stream's very first block — kept
+    /// apart from the ring so ring slots only ever hold interior-shaped
+    /// mappings and their buffers stay warm across streams.
+    first: (M, u64),
+    /// The composed prefix `λ_k ⊙ … ⊙ λ_1` of everything consumed so far.
+    acc: M,
+    /// Output slot of the next composition, swapped with `acc`.
+    tmp: M,
+    /// The CA's composition working memory.
+    compose: C,
+}
+
+/// Exclusive state of the read-ahead task (one claimant per wave).
+struct ReadAhead<'a, R> {
+    reader: &'a mut R,
+    blocks: &'a mut [Block],
+    /// Blocks of the next wave holding at least one byte.
+    filled: usize,
+    eof: bool,
+    error: Option<io::Error>,
+}
+
+/// A persistent streaming recognition session: worker pool + block ring +
+/// warm per-worker scan scratches + the O(1) composition state.
+///
+/// ```
+/// use std::io::Cursor;
+/// use ridfa_core::csdpa::{RidCa, StreamSession};
+/// use ridfa_core::ridfa::RiDfa;
+/// use ridfa_automata::{nfa, regex};
+///
+/// let ast = regex::parse("[ab]*a[ab]{4}").unwrap();
+/// let nfa = nfa::glushkov::build(&ast).unwrap();
+/// let rid = RiDfa::from_nfa(&nfa).minimized();
+/// let ca = RidCa::new(&rid);
+///
+/// let mut session = StreamSession::new(2, 4096);
+/// let text = b"abbaabbbaabab".repeat(1000);
+/// let out = session.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+/// assert_eq!(out.accepted, nfa.accepts(&text));
+/// assert_eq!(out.bytes, text.len() as u64);
+/// ```
+pub struct StreamSession {
+    pool: ThreadPool,
+    block_size: usize,
+    /// `2 × (workers + 1)` fixed-size buffers: two waves of one block per
+    /// reach-phase claimant.
+    blocks: Vec<Block>,
+    /// The [`StreamCache`] of the most recent CA type.
+    cache: Option<Box<dyn Any + Send>>,
+}
+
+impl StreamSession {
+    /// Creates a stream session with `num_workers` (≥ 1) pool workers
+    /// reading in `block_size`-byte (≥ 1) blocks. The calling thread
+    /// participates in every wave, so scan parallelism is
+    /// `num_workers + 1` and the block ring holds
+    /// `2 × (num_workers + 1)` buffers.
+    pub fn new(num_workers: usize, block_size: usize) -> StreamSession {
+        let block_size = block_size.max(1);
+        let pool = ThreadPool::new(num_workers);
+        let ring = 2 * (pool.num_workers() + 1);
+        StreamSession {
+            pool,
+            block_size,
+            blocks: (0..ring)
+                .map(|_| Block {
+                    data: vec![0u8; block_size],
+                    len: 0,
+                })
+                .collect(),
+            cache: None,
+        }
+    }
+
+    /// Creates a session sized to the machine (one pool worker per core,
+    /// minus the calling thread).
+    pub fn with_available_parallelism(block_size: usize) -> StreamSession {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        StreamSession::new(cores.saturating_sub(1).max(1), block_size)
+    }
+
+    /// Number of pool workers (excluding the participating caller).
+    pub fn num_workers(&self) -> usize {
+        self.pool.num_workers()
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of block buffers in the ring
+    /// (`2 × (`[`num_workers`](StreamSession::num_workers)` + 1)`).
+    pub fn ring_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Exact bytes held by the block ring — the session's text-buffer
+    /// footprint, **independent of stream length**:
+    /// [`ring_blocks`](StreamSession::ring_blocks)` × `
+    /// [`block_size`](StreamSession::block_size).
+    pub fn buffer_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.data.capacity()).sum()
+    }
+
+    /// Number of live λ-mapping slots a stream of any length uses: one
+    /// per ring block, the dedicated first-block slot, and the two
+    /// composition accumulators.
+    pub fn live_mappings(&self) -> usize {
+        self.blocks.len() + 3
+    }
+
+    /// Pre-warms every per-worker scratch, mapping slot, and the
+    /// composition buffers against `ca` so the next
+    /// [`recognize_stream`](StreamSession::recognize_stream) runs
+    /// allocation-free from its first block.
+    pub fn warm<CA: ChunkAutomaton>(&mut self, ca: &CA, sample: &[u8]) {
+        let mut cache = self.take_cache::<CA>();
+        let StreamCache {
+            scratches,
+            slots,
+            first,
+            acc,
+            tmp,
+            compose,
+        } = &mut *cache;
+        for scratch in scratches.iter_mut() {
+            ca.scan_into(sample, scratch, &mut NoCount, tmp);
+        }
+        for (slot, _) in slots.iter_mut() {
+            ca.scan_into(sample, &mut scratches[0], &mut NoCount, slot);
+        }
+        ca.scan_first_into(sample, &mut NoCount, &mut first.0);
+        // Two compositions size the accumulator/compose buffers in both
+        // roles (first ⊙ interior seeding `acc`, then prefix ⊙ interior).
+        ca.compose_into(&first.0, &slots[0].0, compose, acc);
+        ca.compose_into(acc, &slots[0].0, compose, tmp);
+        std::mem::swap(acc, tmp);
+        ca.compose_into(acc, &slots[0].0, compose, tmp);
+        self.cache = Some(cache);
+    }
+
+    /// Recognizes the entire `reader` stream, scanning it in
+    /// [`block_size`](StreamSession::block_size) blocks that are never
+    /// all resident: live memory stays `O(workers · block_size)` however
+    /// long the stream runs. The verdict and the transition tally are
+    /// delivered at EOF (or as soon as the composed prefix dies — see
+    /// [`StreamOutcome::rejected_early`]).
+    ///
+    /// `reader` needs no buffering of its own (the session reads whole
+    /// blocks) and may hand out data in arbitrarily small pieces;
+    /// [`ErrorKind::Interrupted`](io::ErrorKind::Interrupted) reads are
+    /// retried. Any other I/O error aborts recognition and is returned.
+    pub fn recognize_stream<CA, R>(&mut self, ca: &CA, reader: R) -> io::Result<StreamOutcome>
+    where
+        CA: ChunkAutomaton,
+        R: Read + Send,
+    {
+        let mut reader = reader;
+        let mut cache = self.take_cache::<CA>();
+        let StreamCache {
+            scratches,
+            slots,
+            first,
+            acc,
+            tmp,
+            compose,
+        } = &mut *cache;
+
+        let wave = self.pool.num_workers() + 1;
+        debug_assert_eq!(self.blocks.len(), 2 * wave);
+        debug_assert_eq!(slots.len(), 2 * wave);
+
+        let start = Instant::now();
+        let mut compose_time = Duration::ZERO;
+        let mut bytes = 0u64;
+        let mut blocks_done = 0u64;
+        let mut transitions = 0u64;
+        let mut rejected_early = false;
+
+        // Prologue: the first wave is read on the caller (nothing to
+        // overlap with yet).
+        let (w0, w1) = self.blocks.split_at_mut(wave);
+        let mut prologue = ReadAhead {
+            reader: &mut reader,
+            blocks: w0,
+            filled: 0,
+            eof: false,
+            error: None,
+        };
+        fill_wave(&mut prologue);
+        let mut eof = prologue.eof;
+        let mut cur_count = prologue.filled;
+        if let Some(e) = prologue.error {
+            self.cache = Some(cache);
+            return Err(e);
+        }
+        let (mut cur_wave, mut next_wave) = (&mut *w0, &mut *w1);
+
+        let mut cur = 0usize; // ring half holding the wave being scanned
+        let mut first_wave = true;
+        while cur_count > 0 {
+            let read_tasks = usize::from(!eof);
+            let num_tasks = cur_count + read_tasks;
+
+            let mut read_ahead = ReadAhead {
+                reader: &mut reader,
+                blocks: &mut *next_wave,
+                filled: 0,
+                eof: false,
+                error: None,
+            };
+            {
+                // Exclusive single-claimant cells: the read-ahead state
+                // for task 0, the first-block slot, and one
+                // (mapping, count) ring slot per scan task.
+                let read_cell = DisjointSlots::new(std::slice::from_mut(&mut read_ahead));
+                let first_cell = DisjointSlots::new(std::slice::from_mut(first));
+                let slot_cells = DisjointSlots::new(&mut slots[..]);
+                let scan_wave: &[Block] = cur_wave;
+                let slot_base = cur * wave;
+                let is_first_wave = first_wave;
+                self.pool
+                    .invoke_all_scoped(num_tasks, scratches, |scratch, t| {
+                        if t < read_tasks {
+                            // SAFETY: task 0 has exactly one claimant.
+                            fill_wave(unsafe { read_cell.get(0) });
+                        } else {
+                            let b = t - read_tasks;
+                            let block = &scan_wave[b];
+                            let mut counter = TransitionCount::default();
+                            if is_first_wave && b == 0 {
+                                // SAFETY: only the stream's first scan
+                                // task touches the first-block slot.
+                                let (mapping, count) = unsafe { first_cell.get(0) };
+                                ca.scan_first_into(&block.data[..block.len], &mut counter, mapping);
+                                *count = counter.get();
+                            } else {
+                                // SAFETY: scan task `t` is the only
+                                // claimant of slot `slot_base + b`.
+                                let (mapping, count) = unsafe { slot_cells.get(slot_base + b) };
+                                ca.scan_into(
+                                    &block.data[..block.len],
+                                    scratch,
+                                    &mut counter,
+                                    mapping,
+                                );
+                                *count = counter.get();
+                            }
+                        }
+                    });
+            }
+
+            // Eager in-order composition of the finished wave: the only
+            // mapping that survives it is the composed prefix `acc`. The
+            // first two blocks seed `acc` directly (`first ⊙ block`), so
+            // `acc`/`tmp` only ever hold composition-shaped mappings and
+            // keep their buffers warm across streams; a single-block
+            // stream takes its verdict straight from the first slot.
+            let compose_start = Instant::now();
+            let mut b = 0;
+            if first_wave {
+                transitions += first.1;
+                bytes += cur_wave[0].len as u64;
+                blocks_done += 1;
+                b = 1;
+                if cur_count >= 2 {
+                    transitions += slots[cur * wave + 1].1;
+                    bytes += cur_wave[1].len as u64;
+                    blocks_done += 1;
+                    ca.compose_into(&first.0, &slots[cur * wave + 1].0, compose, acc);
+                    b = 2;
+                }
+            }
+            while b < cur_count {
+                let slot = cur * wave + b;
+                transitions += slots[slot].1;
+                bytes += cur_wave[b].len as u64;
+                blocks_done += 1;
+                ca.compose_into(acc, &slots[slot].0, compose, tmp);
+                std::mem::swap(acc, tmp);
+                b += 1;
+            }
+            compose_time += compose_start.elapsed();
+            first_wave = false;
+
+            if let Some(e) = read_ahead.error {
+                self.cache = Some(cache);
+                return Err(e);
+            }
+            eof |= read_ahead.eof;
+            let next_count = if read_tasks == 1 {
+                read_ahead.filled
+            } else {
+                0
+            };
+
+            // A dead prefix rejects every possible continuation: stop
+            // reading instead of scanning the rest of the stream. (`acc`
+            // is only seeded once two blocks exist; a single-block
+            // stream is already at EOF.)
+            let prefix_dead = if blocks_done >= 2 {
+                ca.mapping_is_dead(acc)
+            } else {
+                ca.mapping_is_dead(&first.0)
+            };
+            if prefix_dead && !(eof && next_count == 0) {
+                rejected_early = true;
+                break;
+            }
+
+            cur_count = next_count;
+            std::mem::swap(&mut cur_wave, &mut next_wave);
+            cur = 1 - cur;
+        }
+
+        let accepted = if rejected_early {
+            false
+        } else if blocks_done == 0 {
+            // Empty stream: acceptance of ε via one empty first scan.
+            ca.scan_first_into(b"", &mut NoCount, &mut first.0);
+            ca.accepts_mapping(&first.0)
+        } else if blocks_done == 1 {
+            ca.accepts_mapping(&first.0)
+        } else {
+            ca.accepts_mapping(acc)
+        };
+        self.cache = Some(cache);
+        Ok(StreamOutcome {
+            accepted,
+            bytes,
+            blocks: blocks_done,
+            transitions,
+            elapsed: start.elapsed(),
+            compose: compose_time,
+            rejected_early,
+        })
+    }
+
+    /// The warm buffer set for `CA`, rebuilt if the session last served a
+    /// different CA type.
+    fn take_cache<CA: ChunkAutomaton>(
+        &mut self,
+    ) -> Box<StreamCache<CA::Scratch, CA::Mapping, CA::ComposeScratch>> {
+        if let Some(cache) = self.cache.take() {
+            if let Ok(typed) = cache.downcast() {
+                return typed;
+            }
+        }
+        let claimants = self.pool.num_workers() + 1;
+        Box::new(StreamCache {
+            scratches: (0..claimants).map(|_| CA::Scratch::default()).collect(),
+            slots: (0..2 * claimants)
+                .map(|_| (CA::Mapping::default(), 0))
+                .collect(),
+            first: (CA::Mapping::default(), 0),
+            acc: CA::Mapping::default(),
+            tmp: CA::Mapping::default(),
+            compose: CA::ComposeScratch::default(),
+        })
+    }
+}
+
+/// Fills consecutive blocks of `ra.blocks` until the reader is exhausted
+/// or the wave is full, recording the filled-block count and EOF. Runs on
+/// whichever claimant takes the read task.
+fn fill_wave<R: Read>(ra: &mut ReadAhead<'_, R>) {
+    for block in ra.blocks.iter_mut() {
+        match fill_block(ra.reader, &mut block.data) {
+            Ok(0) => {
+                ra.eof = true;
+                return;
+            }
+            Ok(n) => {
+                block.len = n;
+                ra.filled += 1;
+                if n < block.data.len() {
+                    // A short block means the reader hit EOF mid-block.
+                    ra.eof = true;
+                    return;
+                }
+            }
+            Err(e) => {
+                ra.error = Some(e);
+                ra.eof = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Reads until `buf` is full or EOF, retrying
+/// [`Interrupted`](io::ErrorKind::Interrupted) and accepting arbitrarily
+/// short reads (1-byte readers, block-misaligned pipes).
+fn fill_block(reader: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csdpa::{recognize, Executor, RidCa};
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use crate::ridfa::RiDfa;
+    use std::io::Cursor;
+
+    #[test]
+    fn stream_matches_one_shot_on_figure1_language() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut session = StreamSession::new(2, 64);
+        for pump in [0usize, 1, 3, 100, 1000] {
+            let mut text = b"aabcab".repeat(pump);
+            for tail in [false, true] {
+                if tail {
+                    text.push(b'c');
+                }
+                let expected = recognize(&ca, &text, 4, Executor::Serial).accepted;
+                let out = session.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+                assert_eq!(out.accepted, expected, "pump {pump} tail {tail}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_epsilon() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut session = StreamSession::new(1, 4096);
+        let out = session
+            .recognize_stream(&ca, Cursor::new(&b""[..]))
+            .unwrap();
+        assert_eq!(out.accepted, nfa.accepts(b""));
+        assert_eq!(out.bytes, 0);
+        assert_eq!(out.blocks, 0);
+    }
+
+    #[test]
+    fn transitions_match_block_aligned_one_shot() {
+        // With block_size = text/2 the stream sees exactly the two chunks
+        // of the one-shot device: the tallies must agree.
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let text = b"aabcab";
+        let counted = crate::csdpa::recognize_counted(&ca, text, 2, Executor::Serial);
+        let mut session = StreamSession::new(1, 3);
+        let out = session
+            .recognize_stream(&ca, Cursor::new(&text[..]))
+            .unwrap();
+        assert_eq!(out.transitions, counted.transitions, "Fig. 1 tally");
+        assert_eq!(out.blocks, 2);
+        assert_eq!(out.accepted, counted.accepted);
+    }
+
+    #[test]
+    fn early_rejection_stops_reading() {
+        // 'z' kills every run immediately; the session must not consume
+        // the whole 10 MiB stream.
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut text = b"aabcab".repeat(4);
+        text.push(b'z');
+        text.extend(std::iter::repeat_n(b'a', 10 << 20));
+        let mut session = StreamSession::new(2, 4096);
+        let out = session.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+        assert!(!out.accepted);
+        assert!(out.rejected_early);
+        assert!(
+            out.bytes < text.len() as u64 / 2,
+            "read {} of {} bytes",
+            out.bytes,
+            text.len()
+        );
+    }
+
+    #[test]
+    fn io_errors_propagate() {
+        struct Broken;
+        impl Read for Broken {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::ConnectionReset, "gone"))
+            }
+        }
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut session = StreamSession::new(1, 1024);
+        let err = session.recognize_stream(&ca, Broken).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The session survives the error.
+        let out = session
+            .recognize_stream(&ca, Cursor::new(&b"aabcab"[..]))
+            .unwrap();
+        assert!(out.accepted);
+    }
+
+    #[test]
+    fn buffer_accounting_is_constant() {
+        let mut session = StreamSession::new(3, 8192);
+        let expected = 2 * (session.num_workers() + 1) * 8192;
+        assert_eq!(session.buffer_bytes(), expected);
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let text = b"aabcab".repeat(50_000); // ≫ ring capacity
+        let out = session.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+        assert!(out.accepted);
+        assert_eq!(
+            session.buffer_bytes(),
+            expected,
+            "ring must not grow with stream length"
+        );
+    }
+}

@@ -29,6 +29,11 @@ pub struct Sfa {
     /// `functions[s]` = the DFA-state mapping this SFA state denotes
     /// (`functions[s][q]` = where a run started in `q` currently is).
     functions: Vec<Vec<StateId>>,
+    /// Inverse of `functions`: resolves a composed function back to its
+    /// SFA state id (the function space is closed under composition —
+    /// `δ_v ∘ δ_w = δ_wv` and every word's function is discovered by the
+    /// construction).
+    ids: HashMap<Vec<StateId>, StateId>,
     /// The underlying DFA's start/finals (needed at join time).
     dfa_start: StateId,
     dfa_finals: ridfa_automata::BitSet,
@@ -79,9 +84,25 @@ impl Sfa {
             stride,
             byte_classes: dfa.classes().clone(),
             functions,
+            ids,
             dfa_start: dfa.start(),
             dfa_finals: dfa.finals().clone(),
         })
+    }
+
+    /// The SFA state denoting `g ∘ f` (apply `f` first). `key` is a
+    /// reusable buffer for the composed function.
+    pub fn compose(&self, f: StateId, g: StateId, key: &mut Vec<StateId>) -> StateId {
+        let ff = self.function(f);
+        let gf = self.function(g);
+        key.clear();
+        // functions[·][DEAD] is DEAD for every SFA state, so death
+        // propagates without a branch.
+        key.extend(ff.iter().map(|&q| gf[q as usize]));
+        *self
+            .ids
+            .get(key)
+            .expect("SFA function space is closed under composition")
     }
 
     /// Number of SFA states (reachable transition functions).
@@ -134,7 +155,8 @@ impl ChunkAutomaton for SfaCa<'_> {
     /// The SFA state (transition function) the chunk's single run reached.
     type Mapping = StateId;
     type Scratch = ();
-    type JoinScratch = ();
+    /// Buffer for the composed function during the inverse lookup.
+    type ComposeScratch = Vec<StateId>;
 
     fn scan_into(
         &self,
@@ -152,16 +174,26 @@ impl ChunkAutomaton for SfaCa<'_> {
         *out = self.sfa.run_from(self.sfa.identity(), chunk, counter);
     }
 
-    fn join_with(&self, mappings: &[StateId], _scratch: &mut ()) -> bool {
-        // Compose the chunk functions left to right, applied to q0.
-        let mut q = self.sfa.dfa_start;
-        for &s in mappings {
-            q = self.sfa.function(s)[q as usize];
-            if q == DEAD {
-                return false;
-            }
-        }
-        self.sfa.dfa_finals.contains(q)
+    /// SFA states *are* transition functions, so composition is the
+    /// inverse table lookup of the composed function — speculation-free
+    /// like the scans themselves.
+    fn compose_into(
+        &self,
+        left: &StateId,
+        right: &StateId,
+        scratch: &mut Vec<StateId>,
+        out: &mut StateId,
+    ) {
+        *out = self.sfa.compose(*left, *right, scratch);
+    }
+
+    fn accepts_mapping(&self, mapping: &StateId) -> bool {
+        let q = self.sfa.function(*mapping)[self.sfa.dfa_start as usize];
+        q != DEAD && self.sfa.dfa_finals.contains(q)
+    }
+
+    fn mapping_is_dead(&self, mapping: &StateId) -> bool {
+        self.sfa.function(*mapping).iter().all(|&q| q == DEAD)
     }
 
     fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {

@@ -62,13 +62,17 @@ pub fn text(len: usize, seed: u64) -> Vec<u8> {
 pub fn rejected_text(len: usize, seed: u64) -> Vec<u8> {
     let mut t = text(len, seed);
     let mid = t.len() / 2;
-    // Corrupt the month of the record containing `mid`.
-    if let Some(line_start) = t[..mid].iter().rposition(|&b| b == b'\n') {
-        let p = line_start + 1;
-        if p + 3 < t.len() {
-            t[p] = b'X';
-            t[p + 1] = b'x';
-            t[p + 2] = b'x';
+    // Corrupt the month of the record containing `mid`. When `mid` falls
+    // inside the *first* record there is no upstream newline — corrupt
+    // offset 0 instead of silently returning a conforming text (short
+    // texts used to ship as "rejected" while every record was intact).
+    let p = t[..mid]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |line_start| line_start + 1);
+    for (off, &byte) in [b'X', b'x', b'x'].iter().enumerate() {
+        if let Some(slot) = t.get_mut(p + off) {
+            *slot = byte;
         }
     }
     t
@@ -90,6 +94,73 @@ pub fn request_stream(count: usize, len: usize, reject_every: usize) -> Vec<Vec<
             }
         })
         .collect()
+}
+
+/// An unbounded conforming record pipe: an [`io::Read`](std::io::Read)
+/// that *generates* ≈ `target_bytes` of syslog records lazily, one record
+/// at a time, always ending on a record boundary — so arbitrarily large
+/// accepted streams cost O(1) memory to produce. This is the source
+/// behind `ridfa serve --stream` and the ≥ 256 MiB streaming acceptance
+/// test.
+///
+/// [`with_corruption`](RecordSource::with_corruption) malforms the month
+/// of one chosen record, making the whole stream rejected (the streaming
+/// analogue of [`rejected_text`]).
+#[derive(Debug)]
+pub struct RecordSource {
+    rng: SmallRng,
+    target: u64,
+    emitted: u64,
+    corrupt_record: Option<u64>,
+    record_index: u64,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl RecordSource {
+    /// A pipe of ≈ `target_bytes` conforming records (always accepted).
+    pub fn new(target_bytes: u64, seed: u64) -> RecordSource {
+        RecordSource {
+            rng: SmallRng::seed_from_u64(seed),
+            target: target_bytes,
+            emitted: 0,
+            corrupt_record: None,
+            record_index: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Like [`new`](RecordSource::new) but record `record` (0-based) is
+    /// malformed, so the stream is rejected.
+    pub fn with_corruption(target_bytes: u64, seed: u64, record: u64) -> RecordSource {
+        RecordSource {
+            corrupt_record: Some(record),
+            ..RecordSource::new(target_bytes, seed)
+        }
+    }
+}
+
+impl std::io::Read for RecordSource {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.buf.len() {
+            if self.emitted >= self.target {
+                return Ok(0);
+            }
+            self.buf.clear();
+            self.pos = 0;
+            push_record(&mut self.buf, &mut self.rng);
+            if self.corrupt_record == Some(self.record_index) {
+                self.buf[..3].copy_from_slice(b"Xxx");
+            }
+            self.record_index += 1;
+            self.emitted += self.buf.len() as u64;
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
 }
 
 fn last_newline_before(text: &[u8], len: usize) -> Option<usize> {
@@ -166,6 +237,66 @@ mod tests {
         let n = nfa();
         let t = rejected_text(4096, 7);
         assert!(!n.accepts(&t));
+    }
+
+    #[test]
+    fn rejected_text_rejects_at_every_length() {
+        // Regression: when the corruption midpoint fell inside the first
+        // record (any len ≲ 200) the upstream-newline lookup found
+        // nothing and corruption was silently skipped — "rejected" texts
+        // were accepted, turning the rejection path of every downstream
+        // consumer (request_stream, serve, the batch-latency bench) into
+        // a no-op at short lengths.
+        let n = nfa();
+        for len in [10usize, 40, 80, 200, 2048] {
+            for seed in [0u64, 7, 41] {
+                let t = rejected_text(len, seed);
+                assert!(!t.is_empty(), "len {len} seed {seed}: empty");
+                assert!(!n.accepts(&t), "len {len} seed {seed}: accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn short_request_streams_reject_on_schedule() {
+        // The request_stream contract at lengths where the old
+        // rejected_text bug bit.
+        let n = nfa();
+        for len in [10usize, 80] {
+            let stream = request_stream(8, len, 4);
+            for (i, t) in stream.iter().enumerate() {
+                assert_eq!(n.accepts(t), (i + 1) % 4 != 0, "len {len} text {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_source_pipes_accepted_records() {
+        use std::io::Read;
+        let n = nfa();
+        let mut source = RecordSource::new(8192, 3);
+        let mut text = Vec::new();
+        source.read_to_end(&mut text).unwrap();
+        assert!(text.len() >= 8192, "short pipe: {}", text.len());
+        assert_eq!(*text.last().unwrap(), b'\n', "record boundary at EOF");
+        assert!(n.accepts(&text));
+        // Deterministic: same seed, same bytes.
+        let mut again = Vec::new();
+        RecordSource::new(8192, 3).read_to_end(&mut again).unwrap();
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn corrupted_record_source_is_rejected() {
+        use std::io::Read;
+        let n = nfa();
+        for record in [0u64, 5] {
+            let mut text = Vec::new();
+            RecordSource::with_corruption(4096, 1, record)
+                .read_to_end(&mut text)
+                .unwrap();
+            assert!(!n.accepts(&text), "corrupt record {record}");
+        }
     }
 
     #[test]

@@ -130,6 +130,76 @@ fn pooled_session_matches_spawned_executors_on_random_cases() {
 }
 
 #[test]
+fn pooled_request_is_recorded_as_degraded_by_free_recognizer() {
+    // Regression: `recognize(..., Executor::Pooled)` has no pool and runs
+    // Auto; the outcome must record the effective shape, and the session
+    // must record Pooled.
+    let rid = RiDfa::from_nfa(&traffic::nfa()).minimized();
+    let ca = RidCa::new(&rid);
+    let text = traffic::text(4096, 5);
+    let free = recognize(&ca, &text, 4, Executor::Pooled);
+    assert_eq!(free.executor, Executor::Auto, "free path degrades");
+    let mut session = Session::new(2);
+    assert_eq!(
+        session.recognize(&ca, &text, 4).executor,
+        Executor::Pooled,
+        "session path is genuinely pooled"
+    );
+    assert_eq!(
+        session
+            .recognize_with(&ca, &text, 4, Executor::Team(2))
+            .executor,
+        Executor::Team(2),
+        "explicit spawning shapes pass through"
+    );
+}
+
+/// High chunk counts route the session join through the parallel
+/// tree-reduce over `compose_into`: verdicts must match the serial
+/// oracle for every CA, accepted and rejected, across reduction shapes
+/// (power of two, odd, prime).
+#[test]
+fn tree_reduce_join_matches_serial_at_high_chunk_counts() {
+    let nfa = traffic::nfa();
+    let dfa = minimize::minimize(&powerset::determinize(&nfa));
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let dfa_ca = DfaCa::new(&dfa);
+    let rid_ca = RidCa::new(&rid);
+    let conv_dfa = ConvergentDfaCa::new(&dfa);
+    let conv_rid = ConvergentRidCa::new(&rid);
+    let mut session = Session::new(3);
+    for accept in [true, false] {
+        let text = if accept {
+            traffic::text(96 << 10, 9)
+        } else {
+            traffic::rejected_text(96 << 10, 9)
+        };
+        for chunks in [64usize, 127, 128, 200, 333] {
+            assert_eq!(
+                session.recognize(&dfa_ca, &text, chunks).accepted,
+                accept,
+                "dfa c={chunks} accept={accept}"
+            );
+            assert_eq!(
+                session.recognize(&rid_ca, &text, chunks).accepted,
+                accept,
+                "rid c={chunks} accept={accept}"
+            );
+            assert_eq!(
+                session.recognize(&conv_dfa, &text, chunks).accepted,
+                accept,
+                "dfa+conv c={chunks} accept={accept}"
+            );
+            assert_eq!(
+                session.recognize(&conv_rid, &text, chunks).accepted,
+                accept,
+                "rid+conv c={chunks} accept={accept}"
+            );
+        }
+    }
+}
+
+#[test]
 fn batch_path_matches_serial_verdicts_on_traffic() {
     let nfa = traffic::nfa();
     let rid = RiDfa::from_nfa(&nfa).minimized();

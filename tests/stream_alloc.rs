@@ -1,0 +1,116 @@
+//! Asserts the streaming allocation contract: once a [`StreamSession`]
+//! is warm (scratches, ring mapping slots, and composition accumulators
+//! sized by `warm` plus one full stream), recognizing a whole stream —
+//! dozens of blocks of reads, scans, and eager compositions — performs
+//! **zero** heap allocations, across the caller, the pool dispatch, and
+//! every worker thread. Together with the constant block ring
+//! (`buffer_bytes`), this is the O(workers · block_size) memory proof.
+//!
+//! Lives in its own test binary with a single test function: the
+//! counting `GlobalAlloc` observes every thread in the process, so any
+//! parallel test activity would make the counter meaningless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ridfa::core::csdpa::{ConvergentRidCa, RidCa, StreamSession};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::workloads::traffic;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_stream_session_allocates_nothing_per_block() {
+    let nfa = traffic::nfa();
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let conv = ConvergentRidCa::new(&rid);
+    let plain = RidCa::new(&rid);
+
+    // In-memory streams (a slice is a `Read`), so the reader itself is
+    // allocation-free and the counter sees only the session.
+    let text1 = traffic::text(4 << 20, 1);
+    let text2 = traffic::text(4 << 20, 2);
+
+    // 64 KiB blocks → the 4 MiB streams cross ~64 block boundaries each.
+    let mut session = StreamSession::new(2, 64 << 10);
+    session.warm(&conv, &text1[..64 << 10]);
+    let first = session.recognize_stream(&conv, &text1[..]).unwrap();
+    assert!(first.accepted);
+
+    let before = allocations();
+    let out = session.recognize_stream(&conv, &text2[..]).unwrap();
+    assert_eq!(
+        allocations() - before,
+        0,
+        "a warm stream recognition must not allocate (streamed {} blocks)",
+        out.blocks
+    );
+    assert!(out.accepted);
+    assert_eq!(out.bytes, text2.len() as u64);
+    assert!(
+        out.blocks >= 60,
+        "expected dozens of blocks, got {}",
+        out.blocks
+    );
+
+    // Same contract for the per-run (non-convergent) CA.
+    session.warm(&plain, &text1[..64 << 10]);
+    let first = session.recognize_stream(&plain, &text1[..]).unwrap();
+    assert!(first.accepted);
+    let before = allocations();
+    assert!(
+        session
+            .recognize_stream(&plain, &text2[..])
+            .unwrap()
+            .accepted
+    );
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm per-run stream recognition must not allocate"
+    );
+
+    // Twice the stream, same allocation count (i.e. zero): per-block cost
+    // is exactly nothing, not merely amortized.
+    let long = traffic::text(8 << 20, 3);
+    session.warm(&conv, &text1[..64 << 10]);
+    assert!(
+        session
+            .recognize_stream(&conv, &text1[..])
+            .unwrap()
+            .accepted
+    );
+    let before = allocations();
+    assert!(session.recognize_stream(&conv, &long[..]).unwrap().accepted);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "doubling the stream length must not introduce allocations"
+    );
+}
