@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::error::{Error, Result};
+use crate::error::{ConstructionBudget, Result};
 use crate::nfa::Nfa;
 use crate::{BitSet, StateId, DEAD};
 
@@ -19,10 +19,17 @@ pub fn determinize(nfa: &Nfa) -> Dfa {
     determinize_limited(nfa, usize::MAX).expect("unbounded determinization cannot hit the limit")
 }
 
-/// Determinizes `nfa`, failing with [`Error::LimitExceeded`] if more than
+/// Determinizes `nfa`, failing with [`crate::Error::LimitExceeded`] if more than
 /// `max_states` DFA states (excluding the dead state) would be created.
 pub fn determinize_limited(nfa: &Nfa, max_states: usize) -> Result<Dfa> {
-    Ok(determinize_mapped_limited(nfa, max_states)?.0)
+    determinize_budgeted(nfa, &ConstructionBudget::with_max_states(max_states))
+}
+
+/// Determinizes `nfa` under a full [`ConstructionBudget`] (state count
+/// *and* table bytes), failing with [`crate::Error::LimitExceeded`] before any
+/// allocation beyond the budget happens.
+pub fn determinize_budgeted(nfa: &Nfa, budget: &ConstructionBudget) -> Result<Dfa> {
+    Ok(determinize_mapped_budgeted(nfa, budget)?.0)
 }
 
 /// Like [`determinize`], but also returns, for each DFA state, the sorted
@@ -32,24 +39,36 @@ pub fn determinize_mapped(nfa: &Nfa) -> (Dfa, Vec<Vec<StateId>>) {
         .expect("unbounded determinization cannot hit the limit")
 }
 
-/// The general entry point: bounded determinization with state contents.
+/// Bounded determinization with state contents, state-count bound only.
 pub fn determinize_mapped_limited(
     nfa: &Nfa,
     max_states: usize,
+) -> Result<(Dfa, Vec<Vec<StateId>>)> {
+    determinize_mapped_budgeted(nfa, &ConstructionBudget::with_max_states(max_states))
+}
+
+/// The general entry point: budgeted determinization with state contents.
+pub fn determinize_mapped_budgeted(
+    nfa: &Nfa,
+    budget: &ConstructionBudget,
 ) -> Result<(Dfa, Vec<Vec<StateId>>)> {
     let classes = nfa.byte_classes();
     let stride = classes.num_classes();
     let reps = classes.representatives();
 
+    const WHAT_STATES: &str = "powerset DFA states";
+    const WHAT_BYTES: &str = "powerset DFA table bytes";
+
     // Dead state occupies id 0 / row 0.
-    let mut table: Vec<StateId> = vec![DEAD; stride];
+    let mut table: Vec<StateId> = Vec::new();
+    budget.grow_table(&mut table, stride, DEAD, WHAT_BYTES)?;
     let mut contents: Vec<Vec<StateId>> = vec![Vec::new()];
     let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
 
     let start_set = vec![nfa.start()];
     ids.insert(start_set.clone(), 1);
     contents.push(start_set);
-    table.resize(table.len() + stride, DEAD);
+    budget.grow_table(&mut table, stride, DEAD, WHAT_BYTES)?;
     let start: StateId = 1;
 
     let mut worklist: Vec<StateId> = vec![start];
@@ -71,15 +90,10 @@ pub fn determinize_mapped_limited(
                 Some(&id) => id,
                 None => {
                     let id = contents.len() as StateId;
-                    if contents.len() > max_states {
-                        return Err(Error::LimitExceeded {
-                            what: "powerset DFA states",
-                            limit: max_states,
-                        });
-                    }
+                    budget.charge_state(contents.len(), WHAT_STATES)?;
+                    budget.grow_table(&mut table, stride, DEAD, WHAT_BYTES)?;
                     ids.insert(target.clone(), id);
                     contents.push(target.clone());
-                    table.resize(table.len() + stride, DEAD);
                     worklist.push(id);
                     id
                 }
@@ -102,6 +116,7 @@ pub fn determinize_mapped_limited(
 mod tests {
     use super::*;
     use crate::dfa::testutil::nfa_for;
+    use crate::error::Error;
 
     #[test]
     fn dfa_agrees_with_nfa_on_samples() {
@@ -161,6 +176,23 @@ mod tests {
         let nfa = nfa_for("[ab]*a[ab]{10}");
         let err = determinize_limited(&nfa, 100).unwrap_err();
         assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn byte_budget_aborts_explosion() {
+        let nfa = nfa_for("[ab]*a[ab]{10}");
+        let budget = ConstructionBudget::with_max_table_bytes(4 << 10);
+        let err = determinize_budgeted(&nfa, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::LimitExceeded {
+                what: "powerset DFA table bytes",
+                ..
+            }
+        ));
+        // The same machine fits comfortably under a generous budget.
+        let ok = determinize_budgeted(&nfa, &ConstructionBudget::with_max_table_bytes(1 << 20));
+        assert!(ok.is_ok());
     }
 
     #[test]

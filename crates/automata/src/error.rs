@@ -47,6 +47,114 @@ impl std::error::Error for Error {}
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Alias naming the error returned by budgeted automaton constructions
+/// ([`ConstructionBudget`]): today always [`Error::LimitExceeded`].
+pub type ConstructionError = Error;
+
+/// Resource bounds for automaton construction (powerset, RI-DFA, SFA).
+///
+/// Untrusted patterns can explode exponentially during determinization;
+/// a budget converts that blow-up into a typed [`Error::LimitExceeded`]
+/// *before* the offending allocation happens, instead of running the
+/// process out of memory. Both axes are enforced:
+///
+/// * `max_states` — discovered states (excluding the dead state);
+/// * `max_table_bytes` — bytes of dense transition table. Growth is
+///   performed through [`grow_table`](ConstructionBudget::grow_table),
+///   which also clamps `Vec` doubling so capacity never overshoots the
+///   byte cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstructionBudget {
+    /// Maximum number of constructed states (excluding the dead state).
+    pub max_states: usize,
+    /// Maximum size of the dense transition table, in bytes.
+    pub max_table_bytes: usize,
+}
+
+impl Default for ConstructionBudget {
+    fn default() -> Self {
+        ConstructionBudget::UNLIMITED
+    }
+}
+
+impl ConstructionBudget {
+    /// No bounds: every construction succeeds (or aborts the process on
+    /// genuine OOM, exactly like the unbudgeted entry points).
+    pub const UNLIMITED: ConstructionBudget = ConstructionBudget {
+        max_states: usize::MAX,
+        max_table_bytes: usize::MAX,
+    };
+
+    /// A budget bounding only the number of states.
+    pub fn with_max_states(max_states: usize) -> ConstructionBudget {
+        ConstructionBudget {
+            max_states,
+            ..ConstructionBudget::UNLIMITED
+        }
+    }
+
+    /// A budget bounding only the transition-table size in bytes.
+    pub fn with_max_table_bytes(max_table_bytes: usize) -> ConstructionBudget {
+        ConstructionBudget {
+            max_table_bytes,
+            ..ConstructionBudget::UNLIMITED
+        }
+    }
+
+    /// Checks the state axis: `states` is the number of states already
+    /// constructed (the candidate id of the next one). Mirrors the
+    /// `contents.len() > max_states` convention of the historical
+    /// `*_limited` entry points.
+    pub fn charge_state(&self, states: usize, what: &'static str) -> Result<()> {
+        if states > self.max_states {
+            return Err(Error::LimitExceeded {
+                what,
+                limit: self.max_states,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends one row of `stride` entries filled with `fill` to `table`,
+    /// failing with [`Error::LimitExceeded`] if the resulting table would
+    /// exceed `max_table_bytes`.
+    ///
+    /// Under a finite byte budget the reservation schedule is clamped:
+    /// capacity grows geometrically (like `Vec`'s own doubling) but never
+    /// past the cap, so the *allocation* also respects the budget — not
+    /// just the length.
+    pub fn grow_table<T: Clone>(
+        &self,
+        table: &mut Vec<T>,
+        stride: usize,
+        fill: T,
+        what: &'static str,
+    ) -> Result<()> {
+        let entry = std::mem::size_of::<T>().max(1);
+        let over = Error::LimitExceeded {
+            what,
+            limit: self.max_table_bytes,
+        };
+        let new_len = table
+            .len()
+            .checked_add(stride)
+            .ok_or_else(|| over.clone())?;
+        let bytes = new_len.checked_mul(entry).ok_or_else(|| over.clone())?;
+        if bytes > self.max_table_bytes {
+            return Err(over);
+        }
+        if self.max_table_bytes != usize::MAX && table.capacity() < new_len {
+            // Clamped geometric growth: double, but stay under the cap so
+            // the backing allocation can never exceed the byte budget.
+            let cap_entries = self.max_table_bytes / entry;
+            let target = (table.len().saturating_mul(2)).clamp(new_len, cap_entries);
+            table.reserve_exact(target - table.len());
+        }
+        table.resize(new_len, fill);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +199,46 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::Deserialize("x".into()));
+    }
+
+    #[test]
+    fn budget_charge_state_matches_limited_convention() {
+        let b = ConstructionBudget::with_max_states(4);
+        assert!(b.charge_state(4, "states").is_ok());
+        let err = b.charge_state(5, "states").unwrap_err();
+        assert_eq!(
+            err,
+            Error::LimitExceeded {
+                what: "states",
+                limit: 4
+            }
+        );
+    }
+
+    #[test]
+    fn budget_grow_table_enforces_byte_cap() {
+        // u32 entries: 16 bytes allow exactly 4 entries.
+        let b = ConstructionBudget::with_max_table_bytes(16);
+        let mut table: Vec<u32> = Vec::new();
+        b.grow_table(&mut table, 2, 7, "table").unwrap();
+        b.grow_table(&mut table, 2, 7, "table").unwrap();
+        assert_eq!(table, vec![7, 7, 7, 7]);
+        // Capacity never overshot the cap.
+        assert!(table.capacity() * 4 <= 16, "capacity {}", table.capacity());
+        let err = b.grow_table(&mut table, 1, 7, "table").unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded { limit: 16, .. }));
+        assert_eq!(table.len(), 4, "failed growth must not change the table");
+    }
+
+    #[test]
+    fn unlimited_budget_grows_freely() {
+        let b = ConstructionBudget::UNLIMITED;
+        assert_eq!(b, ConstructionBudget::default());
+        let mut table: Vec<u32> = Vec::new();
+        for _ in 0..100 {
+            b.grow_table(&mut table, 8, 0, "table").unwrap();
+        }
+        assert_eq!(table.len(), 800);
+        assert!(b.charge_state(usize::MAX - 1, "states").is_ok());
     }
 }

@@ -53,7 +53,7 @@ mod sparse;
 
 pub use bitset::BitSet;
 pub use counter::{Counter, NoCount, TransitionCount};
-pub use error::{Error, Result};
+pub use error::{ConstructionBudget, ConstructionError, Error, Result};
 pub use sparse::SparseSet;
 
 /// Dense identifier of an automaton state.

@@ -64,7 +64,7 @@ impl<'a> Parser<'a> {
             branches.push(self.concatenation()?);
         }
         if branches.len() == 1 {
-            Ok(branches.pop().unwrap())
+            Ok(branches.pop().unwrap_or(Ast::Empty))
         } else {
             // Do not collapse duplicate-free alternations through the smart
             // constructor: branches may legitimately include ε (`a|`).
@@ -215,7 +215,8 @@ impl<'a> Parser<'a> {
                         first = false;
                         continue;
                     }
-                    esc.min_byte().unwrap()
+                    esc.min_byte()
+                        .ok_or_else(|| self.err("empty class escape"))?
                 }
                 Some(b) => b,
             };
@@ -230,7 +231,8 @@ impl<'a> Parser<'a> {
                         if esc.len() != 1 {
                             return Err(self.err("class escape cannot end a range"));
                         }
-                        esc.min_byte().unwrap()
+                        esc.min_byte()
+                            .ok_or_else(|| self.err("empty class escape"))?
                     }
                     Some(hi) => hi,
                 };

@@ -15,14 +15,15 @@
 
 use std::io::Read;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ridfa_automata::dfa::{minimize, powerset};
+use ridfa_automata::dfa::{minimize, powerset, Dfa};
 use ridfa_automata::nfa::{glushkov, Nfa};
-use ridfa_automata::{regex, serialize};
+use ridfa_automata::{regex, serialize, ConstructionBudget};
 use ridfa_core::csdpa::{
-    recognize_counted, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, CountedOutcome, DfaCa,
-    Executor, NfaCa, RidCa, Session, StreamOutcome, StreamSession,
+    recognize_counted, Budget, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, CountedOutcome,
+    DfaCa, Executor, NfaCa, Outcome, RecognizeError, RidCa, Session, StreamError, StreamOutcome,
+    StreamSession,
 };
 use ridfa_core::ridfa::RiDfa;
 
@@ -32,24 +33,88 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = Opts::parse(&args[1..]).and_then(|opts| match command {
-        "gen" => cmd_gen(&opts),
-        "info" => cmd_info(&opts),
-        "recognize" => cmd_recognize(&opts),
-        "drive" => cmd_drive(&opts),
-        "serve" => cmd_serve(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
-    });
+    let result = Opts::parse(&args[1..])
+        .map_err(CliError::Usage)
+        .and_then(|opts| match command {
+            "gen" => cmd_gen(&opts),
+            "info" => cmd_info(&opts),
+            "recognize" => cmd_recognize(&opts),
+            "drive" => cmd_drive(&opts),
+            "serve" => cmd_serve(&opts),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(CliError::Usage(format!(
+                "unknown command {other:?}\n{USAGE}"
+            ))),
+        });
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => error.report(),
+    }
+}
+
+/// Typed CLI failure: each category carries a distinct exit code, so a
+/// caller can tell a rejected text from a broken reader from an expired
+/// deadline without parsing stderr.
+enum CliError {
+    /// The text is simply not in the language (exit 1) — mirrors `grep`.
+    Rejected,
+    /// Bad flags, patterns, or configuration (exit 2).
+    Usage(String),
+    /// The reader or filesystem failed (exit 3).
+    Io(String),
+    /// The `--timeout-ms` deadline expired, or the run was cancelled
+    /// (exit 4).
+    Interrupted(String),
+    /// A `--max-states` construction budget was exhausted (exit 5).
+    Budget(String),
+    /// A contained internal fault (exit 6) — reported, never re-thrown.
+    Internal(String),
+}
+
+/// Plain-`String` errors from helpers are configuration-level.
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Usage(message)
+    }
+}
+
+impl CliError {
+    /// Prints the one-line message and yields the process exit code.
+    fn report(self) -> ExitCode {
+        let (code, message) = match self {
+            CliError::Rejected => (1, "text rejected".into()),
+            CliError::Usage(m) => (2, m),
+            CliError::Io(m) => (3, m),
+            CliError::Interrupted(m) => (4, m),
+            CliError::Budget(m) => (5, m),
+            CliError::Internal(m) => (6, m),
+        };
+        eprintln!("error: {message}");
+        ExitCode::from(code)
+    }
+}
+
+fn recognize_error(error: RecognizeError) -> CliError {
+    match error {
+        RecognizeError::DeadlineExceeded => {
+            CliError::Interrupted("deadline exceeded (--timeout-ms)".into())
         }
+        RecognizeError::Cancelled => CliError::Interrupted("recognition cancelled".into()),
+        RecognizeError::Panicked(m) => CliError::Internal(format!("contained panic: {m}")),
+    }
+}
+
+fn stream_error(error: StreamError) -> CliError {
+    match error {
+        StreamError::Io(e) => CliError::Io(e.to_string()),
+        StreamError::DeadlineExceeded => {
+            CliError::Interrupted("deadline exceeded (--timeout-ms)".into())
+        }
+        StreamError::Cancelled => CliError::Interrupted("recognition cancelled".into()),
+        StreamError::Panicked(m) => CliError::Internal(format!("contained panic: {m}")),
     }
 }
 
@@ -64,6 +129,8 @@ USAGE:
                    --text FILE
                    [--variant dfa|nfa|rid|convergent-dfa|convergent-rid]
                    [--chunks N] [--threads N] [--pool]  recognize one text
+                   [--timeout-ms MS] [--max-states N]   …under a deadline /
+                                                        construction cap
                    [--stream] [--block-size BYTES]      …or recognize the
                                                         text as a bounded-
                                                         memory stream (the
@@ -90,7 +157,14 @@ chunk mappings eagerly: live memory is O(threads × block-size) no matter
 how large the input. `--workload traffic|bible` uses a built-in benchmark
 pattern instead of --regex/--nfa.
 
-Exit code of `recognize`: 0 = accepted, 1 = rejected or error.";
+`--timeout-ms MS` bounds wall time: recognition past the deadline stops
+at the next 4 KiB block boundary with exit code 4, never a partial
+verdict. `--max-states N` caps every automaton construction; exceeding
+it is exit code 5 instead of an OOM kill.
+
+Exit codes: 0 = accepted · 1 = rejected · 2 = usage/config error ·
+3 = I/O error · 4 = deadline exceeded or cancelled · 5 = construction
+budget exceeded · 6 = contained internal fault.";
 
 struct Opts {
     flags: Vec<(String, String)>,
@@ -154,45 +228,99 @@ impl Opts {
 }
 
 /// Loads the NFA from `--regex`, `--nfa`, or a built-in `--workload`.
-fn load_nfa(opts: &Opts) -> Result<Nfa, String> {
+fn load_nfa(opts: &Opts) -> Result<Nfa, CliError> {
     if let Some(pattern) = opts.get_value("regex")? {
         let ast = regex::parse(pattern).map_err(|e| e.to_string())?;
-        return glushkov::build(&ast).map_err(|e| e.to_string());
+        return glushkov::build(&ast).map_err(|e| CliError::Usage(e.to_string()));
     }
     if let Some(path) = opts.get_value("nfa")? {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        return serialize::nfa_from_text(&text).map_err(|e| e.to_string());
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        return serialize::nfa_from_text(&text).map_err(|e| CliError::Usage(e.to_string()));
     }
     if let Some(name) = opts.get_value("workload")? {
         return match name {
             "traffic" => Ok(ridfa_workloads::traffic::nfa()),
             "bible" => Ok(ridfa_workloads::bible::nfa()),
-            other => Err(format!("unknown workload {other:?} (traffic|bible)")),
+            other => Err(CliError::Usage(format!(
+                "unknown workload {other:?} (traffic|bible)"
+            ))),
         };
     }
-    Err("need --regex PATTERN, --nfa FILE, or --workload NAME".into())
+    Err(CliError::Usage(
+        "need --regex PATTERN, --nfa FILE, or --workload NAME".into(),
+    ))
 }
 
-fn load_text(opts: &Opts) -> Result<Vec<u8>, String> {
+fn load_text(opts: &Opts) -> Result<Vec<u8>, CliError> {
     match opts.get_value("text")? {
         Some("-") => {
             let mut buffer = Vec::new();
             std::io::stdin()
                 .lock()
                 .read_to_end(&mut buffer)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Io(e.to_string()))?;
             Ok(buffer)
         }
-        Some(path) => std::fs::read(path).map_err(|e| format!("{path}: {e}")),
-        None => Err("need --text FILE (or --text - for stdin)".into()),
+        Some(path) => std::fs::read(path).map_err(|e| CliError::Io(format!("{path}: {e}"))),
+        None => Err(CliError::Usage(
+            "need --text FILE (or --text - for stdin)".into(),
+        )),
     }
 }
 
-fn cmd_gen(opts: &Opts) -> Result<(), String> {
+/// `--timeout-ms` as a recognition budget (absent → no deadline).
+fn timeout_budget(opts: &Opts) -> Result<Option<Budget>, String> {
+    match opts.get_value("timeout-ms")? {
+        None => Ok(None),
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| {
+                format!("invalid value for --timeout-ms: {v:?} (expected milliseconds)")
+            })?;
+            Ok(Some(Budget::with_timeout(Duration::from_millis(ms))))
+        }
+    }
+}
+
+/// `--max-states` as a construction budget (absent → unbudgeted).
+fn construction_budget(opts: &Opts) -> Result<Option<ConstructionBudget>, String> {
+    match opts.get_value("max-states")? {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(ConstructionBudget::with_max_states(n))),
+            _ => Err(format!(
+                "invalid value for --max-states: {v:?} (expected an integer ≥ 1)"
+            )),
+        },
+    }
+}
+
+/// Builds the minimized RI-DFA, honoring `--max-states`.
+fn build_rid(nfa: &Nfa, opts: &Opts) -> Result<RiDfa, CliError> {
+    Ok(match construction_budget(opts)? {
+        None => RiDfa::from_nfa(nfa),
+        Some(budget) => {
+            RiDfa::from_nfa_budgeted(nfa, &budget).map_err(|e| CliError::Budget(e.to_string()))?
+        }
+    }
+    .minimized())
+}
+
+/// Builds the minimal DFA, honoring `--max-states`.
+fn build_dfa(nfa: &Nfa, opts: &Opts) -> Result<Dfa, CliError> {
+    let dfa = match construction_budget(opts)? {
+        None => powerset::determinize(nfa),
+        Some(budget) => powerset::determinize_budgeted(nfa, &budget)
+            .map_err(|e| CliError::Budget(e.to_string()))?,
+    };
+    Ok(minimize::minimize(&dfa))
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), CliError> {
     let nfa = load_nfa(opts)?;
     let text = serialize::nfa_to_text(&nfa);
     match opts.get_value("out")? {
-        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        Some(path) => std::fs::write(path, text).map_err(|e| CliError::Io(format!("{path}: {e}"))),
         None => {
             print!("{text}");
             Ok(())
@@ -200,16 +328,26 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
     }
 }
 
-fn cmd_info(opts: &Opts) -> Result<(), String> {
+fn cmd_info(opts: &Opts) -> Result<(), CliError> {
     let nfa = load_nfa(opts)?;
+    let cap = construction_budget(opts)?;
     let t0 = Instant::now();
-    let dfa = powerset::determinize(&nfa);
+    let dfa = match &cap {
+        None => powerset::determinize(&nfa),
+        Some(budget) => powerset::determinize_budgeted(&nfa, budget)
+            .map_err(|e| CliError::Budget(e.to_string()))?,
+    };
     let t_dfa = t0.elapsed();
     let t1 = Instant::now();
     let min = minimize::minimize(&dfa);
     let t_min = t1.elapsed();
     let t2 = Instant::now();
-    let rid = RiDfa::from_nfa(&nfa);
+    let rid = match &cap {
+        None => RiDfa::from_nfa(&nfa),
+        Some(budget) => {
+            RiDfa::from_nfa_budgeted(&nfa, budget).map_err(|e| CliError::Budget(e.to_string()))?
+        }
+    };
     let t_rid = t2.elapsed();
     let t3 = Instant::now();
     let rid_min = rid.minimized();
@@ -293,6 +431,23 @@ impl Runner {
         }
     }
 
+    /// Recognizes under a deadline/cancellation budget; typed errors, no
+    /// partial verdicts.
+    fn recognize_budgeted<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        chunks: usize,
+        budget: &Budget,
+    ) -> Result<Outcome, RecognizeError> {
+        match self {
+            Runner::Spawn(executor) => {
+                ridfa_core::csdpa::recognize_budgeted(ca, text, chunks, *executor, budget)
+            }
+            Runner::Pool(session) => session.recognize_budgeted(ca, text, chunks, budget),
+        }
+    }
+
     /// Pre-warms the pooled shape's per-worker state (no-op for spawn),
     /// so timed runs start from steady state.
     fn warm<CA: ChunkAutomaton>(&mut self, ca: &CA, sample: &[u8]) {
@@ -323,7 +478,7 @@ impl Runner {
     }
 }
 
-fn cmd_recognize(opts: &Opts) -> Result<(), String> {
+fn cmd_recognize(opts: &Opts) -> Result<(), CliError> {
     let nfa = load_nfa(opts)?;
     let variant = opts.get_value("variant")?.unwrap_or("rid");
     if opts.get_bool("stream") {
@@ -331,37 +486,94 @@ fn cmd_recognize(opts: &Opts) -> Result<(), String> {
     }
     let text = load_text(opts)?;
     let chunks = opts.get_usize("chunks", default_threads())?;
+    let budget = timeout_budget(opts)?;
     let mut runner = Runner::from_opts(opts)?;
 
     let accepted = match variant {
         "rid" => {
-            let rid = RiDfa::from_nfa(&nfa).minimized();
-            report(&RidCa::new(&rid), &text, chunks, &mut runner)
+            let rid = build_rid(&nfa, opts)?;
+            run(
+                &RidCa::new(&rid),
+                &text,
+                chunks,
+                &mut runner,
+                budget.as_ref(),
+            )?
         }
         "dfa" => {
-            let dfa = minimize::minimize(&powerset::determinize(&nfa));
-            report(&DfaCa::new(&dfa), &text, chunks, &mut runner)
+            let dfa = build_dfa(&nfa, opts)?;
+            run(
+                &DfaCa::new(&dfa),
+                &text,
+                chunks,
+                &mut runner,
+                budget.as_ref(),
+            )?
         }
-        "nfa" => report(&NfaCa::new(&nfa), &text, chunks, &mut runner),
+        "nfa" => run(
+            &NfaCa::new(&nfa),
+            &text,
+            chunks,
+            &mut runner,
+            budget.as_ref(),
+        )?,
         "convergent-rid" => {
-            let rid = RiDfa::from_nfa(&nfa).minimized();
-            report(&ConvergentRidCa::new(&rid), &text, chunks, &mut runner)
+            let rid = build_rid(&nfa, opts)?;
+            run(
+                &ConvergentRidCa::new(&rid),
+                &text,
+                chunks,
+                &mut runner,
+                budget.as_ref(),
+            )?
         }
         "convergent-dfa" => {
-            let dfa = minimize::minimize(&powerset::determinize(&nfa));
-            report(&ConvergentDfaCa::new(&dfa), &text, chunks, &mut runner)
+            let dfa = build_dfa(&nfa, opts)?;
+            run(
+                &ConvergentDfaCa::new(&dfa),
+                &text,
+                chunks,
+                &mut runner,
+                budget.as_ref(),
+            )?
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown variant {other:?} (dfa|nfa|rid|convergent-dfa|convergent-rid)"
-            ))
+            )))
         }
     };
     if accepted {
         Ok(())
     } else {
-        Err("text rejected".into())
+        Err(CliError::Rejected)
     }
+}
+
+/// Recognizes through the runner — budgeted (typed errors, no transition
+/// counter) when `--timeout-ms` is set, the counted report otherwise.
+fn run<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    chunks: usize,
+    runner: &mut Runner,
+    budget: Option<&Budget>,
+) -> Result<bool, CliError> {
+    let Some(budget) = budget else {
+        return Ok(report(ca, text, chunks, runner));
+    };
+    let out = runner
+        .recognize_budgeted(ca, text, chunks, budget)
+        .map_err(recognize_error)?;
+    println!(
+        "{}: {} | {} bytes, {} chunks, via {:?}",
+        ca.name(),
+        if out.accepted { "ACCEPTED" } else { "REJECTED" },
+        text.len(),
+        out.num_chunks,
+        out.executor,
+    );
+    Ok(out.accepted)
 }
 
 fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut Runner) -> bool {
@@ -385,47 +597,62 @@ fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut 
 
 /// The `recognize --stream` path: never loads the text; reads the file or
 /// stdin through a [`StreamSession`] in `--block-size` blocks.
-fn cmd_recognize_stream(opts: &Opts, nfa: &Nfa, variant: &str) -> Result<(), String> {
+fn cmd_recognize_stream(opts: &Opts, nfa: &Nfa, variant: &str) -> Result<(), CliError> {
     if opts.get_bool("pool") {
-        return Err("--stream manages its own worker pool; drop --pool".into());
+        return Err(CliError::Usage(
+            "--stream manages its own worker pool; drop --pool".into(),
+        ));
     }
     let block_size = opts.get_usize("block-size", 1 << 20)?;
     if block_size == 0 {
-        return Err("invalid value for --block-size: 0 (expected ≥ 1)".into());
+        return Err(CliError::Usage(
+            "invalid value for --block-size: 0 (expected ≥ 1)".into(),
+        ));
     }
     let threads = opts.get_usize("threads", default_threads())?;
+    let budget = timeout_budget(opts)?;
     let mut session = StreamSession::new(threads.saturating_sub(1).max(1), block_size);
 
     let rid;
     let dfa;
     let accepted = match variant {
         "rid" => {
-            rid = RiDfa::from_nfa(nfa).minimized();
-            stream_report(&RidCa::new(&rid), opts, &mut session)?
+            rid = build_rid(nfa, opts)?;
+            stream_report(&RidCa::new(&rid), opts, &mut session, budget.as_ref())?
         }
         "convergent-rid" => {
-            rid = RiDfa::from_nfa(nfa).minimized();
-            stream_report(&ConvergentRidCa::new(&rid), opts, &mut session)?
+            rid = build_rid(nfa, opts)?;
+            stream_report(
+                &ConvergentRidCa::new(&rid),
+                opts,
+                &mut session,
+                budget.as_ref(),
+            )?
         }
         "dfa" => {
-            dfa = minimize::minimize(&powerset::determinize(nfa));
-            stream_report(&DfaCa::new(&dfa), opts, &mut session)?
+            dfa = build_dfa(nfa, opts)?;
+            stream_report(&DfaCa::new(&dfa), opts, &mut session, budget.as_ref())?
         }
         "convergent-dfa" => {
-            dfa = minimize::minimize(&powerset::determinize(nfa));
-            stream_report(&ConvergentDfaCa::new(&dfa), opts, &mut session)?
+            dfa = build_dfa(nfa, opts)?;
+            stream_report(
+                &ConvergentDfaCa::new(&dfa),
+                opts,
+                &mut session,
+                budget.as_ref(),
+            )?
         }
-        "nfa" => stream_report(&NfaCa::new(nfa), opts, &mut session)?,
+        "nfa" => stream_report(&NfaCa::new(nfa), opts, &mut session, budget.as_ref())?,
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown variant {other:?} (dfa|nfa|rid|convergent-dfa|convergent-rid)"
-            ))
+            )))
         }
     };
     if accepted {
         Ok(())
     } else {
-        Err("text rejected".into())
+        Err(CliError::Rejected)
     }
 }
 
@@ -433,16 +660,36 @@ fn stream_report<CA: ChunkAutomaton>(
     ca: &CA,
     opts: &Opts,
     session: &mut StreamSession,
-) -> Result<bool, String> {
-    let out = match opts.get_value("text")? {
-        Some("-") => session.recognize_stream(ca, std::io::stdin()),
-        Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            session.recognize_stream(ca, file)
+    budget: Option<&Budget>,
+) -> Result<bool, CliError> {
+    fn drive<CA: ChunkAutomaton>(
+        ca: &CA,
+        session: &mut StreamSession,
+        reader: impl Read + Send,
+        budget: Option<&Budget>,
+    ) -> Result<StreamOutcome, CliError> {
+        match budget {
+            None => session
+                .recognize_stream(ca, reader)
+                .map_err(|e| CliError::Io(e.to_string())),
+            Some(budget) => session
+                .recognize_stream_budgeted(ca, reader, budget)
+                .map_err(stream_error),
         }
-        None => return Err("need --text FILE (or --text - for stdin)".into()),
     }
-    .map_err(|e| e.to_string())?;
+    let out = match opts.get_value("text")? {
+        Some("-") => drive(ca, session, std::io::stdin(), budget)?,
+        Some(path) => {
+            let file =
+                std::fs::File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            drive(ca, session, file, budget)?
+        }
+        None => {
+            return Err(CliError::Usage(
+                "need --text FILE (or --text - for stdin)".into(),
+            ))
+        }
+    };
     print_stream_outcome(ca.name(), session, &out);
     Ok(out.accepted)
 }
@@ -469,14 +716,14 @@ fn print_stream_outcome(name: &str, session: &StreamSession, out: &StreamOutcome
     );
 }
 
-fn cmd_drive(opts: &Opts) -> Result<(), String> {
+fn cmd_drive(opts: &Opts) -> Result<(), CliError> {
     let nfa = load_nfa(opts)?;
     let text = load_text(opts)?;
     let chunks = opts.get_usize("chunks", default_threads())?;
     let mut runner = Runner::from_opts(opts)?;
 
-    let dfa = minimize::minimize(&powerset::determinize(&nfa));
-    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let dfa = build_dfa(&nfa, opts)?;
+    let rid = build_rid(&nfa, opts)?;
     let verdicts = [
         report(&DfaCa::new(&dfa), &text, chunks, &mut runner),
         report(&NfaCa::new(&nfa), &text, chunks, &mut runner),
@@ -485,7 +732,9 @@ fn cmd_drive(opts: &Opts) -> Result<(), String> {
         report(&ConvergentRidCa::new(&rid), &text, chunks, &mut runner),
     ];
     if verdicts.iter().any(|&v| v != verdicts[0]) {
-        return Err("variants disagree — this is a bug, please report".into());
+        return Err(CliError::Internal(
+            "variants disagree — this is a bug, please report".into(),
+        ));
     }
     Ok(())
 }
@@ -495,7 +744,7 @@ fn cmd_drive(opts: &Opts) -> Result<(), String> {
 /// [`Session`] (one pipelined task stream), reporting aggregate
 /// throughput and mean per-text latency. `--no-pool` recognizes each
 /// text with the spawning executor instead, for comparison.
-fn cmd_serve(opts: &Opts) -> Result<(), String> {
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
     if opts.get_bool("stream") {
         return cmd_serve_stream(opts);
     }
@@ -516,32 +765,32 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let dfa;
     let accepted = match variant {
         "rid" => {
-            rid = RiDfa::from_nfa(&nfa).minimized();
+            rid = build_rid(&nfa, opts)?;
             serve(&RidCa::new(&rid), &texts, chunks, &mut runner)
         }
         "convergent-rid" => {
-            rid = RiDfa::from_nfa(&nfa).minimized();
+            rid = build_rid(&nfa, opts)?;
             serve(&ConvergentRidCa::new(&rid), &texts, chunks, &mut runner)
         }
         "dfa" => {
-            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            dfa = build_dfa(&nfa, opts)?;
             serve(&DfaCa::new(&dfa), &texts, chunks, &mut runner)
         }
         "convergent-dfa" => {
-            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            dfa = build_dfa(&nfa, opts)?;
             serve(&ConvergentDfaCa::new(&dfa), &texts, chunks, &mut runner)
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown variant {other:?} (dfa|rid|convergent-dfa|convergent-rid)"
-            ))
+            )))
         }
     };
     let expected = texts.len() - texts.len() / 8;
     if accepted != expected {
-        return Err(format!(
+        return Err(CliError::Internal(format!(
             "acceptance mismatch: {accepted} accepted, expected {expected}"
-        ));
+        )));
     }
     println!(
         "serve: {} texts OK ({} accepted / {} rejected, {} bytes total)",
@@ -559,11 +808,13 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
 /// neither side ever holds more than O(threads × block-size) bytes. Runs
 /// an accepted pipe and a corrupted (rejected) pipe, so both verdict
 /// paths stay exercised.
-fn cmd_serve_stream(opts: &Opts) -> Result<(), String> {
+fn cmd_serve_stream(opts: &Opts) -> Result<(), CliError> {
     let bytes = opts.get_usize("bytes", 64 << 20)? as u64;
     let block_size = opts.get_usize("block-size", 1 << 20)?;
     if block_size == 0 {
-        return Err("invalid value for --block-size: 0 (expected ≥ 1)".into());
+        return Err(CliError::Usage(
+            "invalid value for --block-size: 0 (expected ≥ 1)".into(),
+        ));
     }
     let threads = opts.get_usize("threads", default_threads())?;
     let variant = opts.get_value("variant")?.unwrap_or("convergent-rid");
@@ -574,24 +825,24 @@ fn cmd_serve_stream(opts: &Opts) -> Result<(), String> {
     let dfa;
     match variant {
         "rid" => {
-            rid = RiDfa::from_nfa(&nfa).minimized();
+            rid = build_rid(&nfa, opts)?;
             serve_stream(&RidCa::new(&rid), bytes, &mut session)
         }
         "convergent-rid" => {
-            rid = RiDfa::from_nfa(&nfa).minimized();
+            rid = build_rid(&nfa, opts)?;
             serve_stream(&ConvergentRidCa::new(&rid), bytes, &mut session)
         }
         "dfa" => {
-            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            dfa = build_dfa(&nfa, opts)?;
             serve_stream(&DfaCa::new(&dfa), bytes, &mut session)
         }
         "convergent-dfa" => {
-            dfa = minimize::minimize(&powerset::determinize(&nfa));
+            dfa = build_dfa(&nfa, opts)?;
             serve_stream(&ConvergentDfaCa::new(&dfa), bytes, &mut session)
         }
-        other => Err(format!(
+        other => Err(CliError::Usage(format!(
             "unknown variant {other:?} (dfa|rid|convergent-dfa|convergent-rid)"
-        )),
+        ))),
     }
 }
 
@@ -599,17 +850,19 @@ fn serve_stream<CA: ChunkAutomaton>(
     ca: &CA,
     bytes: u64,
     session: &mut StreamSession,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     use ridfa_workloads::traffic::{text, RecordSource};
 
     session.warm(ca, &text(4096, 0));
 
     let out = session
         .recognize_stream(ca, RecordSource::new(bytes, 1))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(e.to_string()))?;
     print_stream_outcome(ca.name(), session, &out);
     if !out.accepted {
-        return Err("conforming record pipe was rejected — this is a bug".into());
+        return Err(CliError::Internal(
+            "conforming record pipe was rejected — this is a bug".into(),
+        ));
     }
 
     // The rejection path: a short pipe with one malformed record. Records
@@ -621,10 +874,12 @@ fn serve_stream<CA: ChunkAutomaton>(
             ca,
             RecordSource::with_corruption(reject_bytes, 2, reject_bytes / 256),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(e.to_string()))?;
     print_stream_outcome(ca.name(), session, &bad);
     if bad.accepted {
-        return Err("corrupted record pipe was accepted — this is a bug".into());
+        return Err(CliError::Internal(
+            "corrupted record pipe was accepted — this is a bug".into(),
+        ));
     }
     println!(
         "serve --stream: OK ({} accepted bytes, corrupted pipe rejected{})",

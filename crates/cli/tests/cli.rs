@@ -433,3 +433,171 @@ fn serve_batch_mode_reports_throughput() {
         assert!(text.contains("24 texts OK"), "{text}");
     }
 }
+
+#[test]
+fn exit_codes_distinguish_rejection_usage_and_io() {
+    // Rejected text is exit 1, exactly.
+    let mut child = ridfa()
+        .args(["recognize", "--regex", "(a|b)*abb", "--text", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"ba").unwrap();
+    assert_eq!(child.wait().unwrap().code(), Some(1));
+
+    // Configuration errors are exit 2.
+    let out = ridfa()
+        .args([
+            "recognize",
+            "--regex",
+            "a*",
+            "--variant",
+            "bogus",
+            "--text",
+            "-",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown variant");
+
+    // Reader/filesystem failures are exit 3.
+    let out = ridfa()
+        .args([
+            "recognize",
+            "--regex",
+            "a*",
+            "--text",
+            "/nonexistent/input.txt",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "missing file");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("/nonexistent/input.txt"), "{err}");
+}
+
+#[test]
+fn expired_timeout_exits_with_deadline_code() {
+    // --timeout-ms 0 is a pre-expired deadline: deterministic exit 4,
+    // one-line message, never a verdict.
+    for extra in [
+        &[][..],
+        &["--pool"][..],
+        &["--stream", "--block-size", "64"][..],
+    ] {
+        let mut child = ridfa()
+            .args([
+                "recognize",
+                "--regex",
+                "(a|b)*abb",
+                "--text",
+                "-",
+                "--timeout-ms",
+                "0",
+            ])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.as_mut().unwrap().write_all(b"aabb").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(4), "{extra:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("deadline"), "{extra:?}: {err}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            !text.contains("ACCEPTED") && !text.contains("REJECTED"),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn generous_timeout_still_recognizes() {
+    for (input, code) in [("aabb", 0), ("ba", 1)] {
+        let mut child = ridfa()
+            .args([
+                "recognize",
+                "--regex",
+                "(a|b)*abb",
+                "--text",
+                "-",
+                "--timeout-ms",
+                "60000",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        assert_eq!(child.wait().unwrap().code(), Some(code), "input {input:?}");
+    }
+}
+
+#[test]
+fn exhausted_state_budget_exits_with_budget_code() {
+    // [ab]*a[ab]{12} needs 2^13 DFA states; a cap of 64 must fail typed
+    // (exit 5) for every construction the variants reach.
+    for variant in ["dfa", "rid"] {
+        let mut child = ridfa()
+            .args([
+                "recognize",
+                "--regex",
+                "[ab]*a[ab]{12}",
+                "--text",
+                "-",
+                "--variant",
+                variant,
+                "--max-states",
+                "64",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        child.stdin.as_mut().unwrap().write_all(b"ab").unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert_eq!(out.status.code(), Some(5), "{variant}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error"), "{variant}: {err}");
+    }
+    // Within the cap, recognition proceeds normally.
+    let mut child = ridfa()
+        .args([
+            "recognize",
+            "--regex",
+            "(a|b)*abb",
+            "--text",
+            "-",
+            "--max-states",
+            "4096",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"aabb").unwrap();
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}
+
+#[test]
+fn info_honors_max_states() {
+    let out = ridfa()
+        .args(["info", "--regex", "[ab]*a[ab]{12}", "--max-states", "64"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+}

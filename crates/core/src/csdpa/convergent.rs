@@ -88,6 +88,10 @@ impl ChunkAutomaton for ConvergentDfaCa<'_> {
         self.inner.scan_first_into(chunk, counter, out)
     }
 
+    fn arm_interrupt(&self, scratch: &mut Scratch, probe: Option<&super::budget::InterruptProbe>) {
+        self.inner.arm_interrupt(scratch, probe)
+    }
+
     fn compose_into(
         &self,
         left: &Vec<StateId>,
@@ -178,6 +182,10 @@ impl ChunkAutomaton for ConvergentRidCa<'_> {
 
     fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut RidMapping) {
         self.inner.scan_first_into(chunk, counter, out)
+    }
+
+    fn arm_interrupt(&self, scratch: &mut Scratch, probe: Option<&super::budget::InterruptProbe>) {
+        self.inner.arm_interrupt(scratch, probe)
     }
 
     fn compose_into(

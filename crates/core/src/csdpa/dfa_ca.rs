@@ -86,6 +86,10 @@ impl ChunkAutomaton for DfaCa<'_> {
         out[start as usize] = self.dfa.run_from(start, chunk, counter);
     }
 
+    fn arm_interrupt(&self, scratch: &mut Scratch, probe: Option<&super::budget::InterruptProbe>) {
+        scratch.set_interrupt(probe.cloned());
+    }
+
     /// Function composition: the DFA mapping is a (partial) function
     /// `Q → Q`, so `(right ⊙ left)(s) = right(left(s))`, with
     /// [`DEAD`](ridfa_automata::DEAD) absorbing.

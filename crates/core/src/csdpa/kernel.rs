@@ -43,6 +43,8 @@ use ridfa_automata::alphabet::ByteClasses;
 use ridfa_automata::counter::Counter;
 use ridfa_automata::{StateId, DEAD};
 
+use super::budget::InterruptProbe;
+
 /// Size of the stack-resident byte→class translation buffer. 4 KiB keeps
 /// the buffer comfortably inside L1 alongside the group arrays.
 const CLASS_BLOCK: usize = 4096;
@@ -145,9 +147,19 @@ pub struct Scratch {
     /// Stack-sized class translation buffer, heap-allocated once so
     /// `Scratch` stays `Default` + cheap to construct.
     class_buf: Vec<u8>,
+    /// Interrupt probe of the budgeted call currently driving this
+    /// scratch, checked once per classification block. `None` (the
+    /// default and the unbudgeted state) keeps the hot loops untouched.
+    interrupt: Option<InterruptProbe>,
 }
 
 impl Scratch {
+    /// Arms (`Some`) or clears (`None`) the deadline/cancellation probe
+    /// consulted by kernel scans through this scratch. Budgeted executors
+    /// set it on every chunk claim; passing `None` costs one store.
+    pub fn set_interrupt(&mut self, probe: Option<InterruptProbe>) {
+        self.interrupt = probe;
+    }
     /// Clears the group arrays and grows everything to serve `table_len`
     /// rows and `num_origins` origins. Capacity only ever grows —
     /// repeated scans of the same automaton allocate nothing.
@@ -201,7 +213,14 @@ pub fn scan_into(
     out.resize(num_origins, DEAD);
     debug_assert!(table.ptable.len().is_multiple_of(table.stride.max(1)));
     match kernel {
-        Kernel::PerRun => per_run_scan(table, starts, chunk, counter, out),
+        Kernel::PerRun => per_run_scan(
+            table,
+            starts,
+            chunk,
+            scratch.interrupt.as_ref(),
+            counter,
+            out,
+        ),
         Kernel::Lockstep => lockstep_scan(table, starts, chunk, false, scratch, counter, out),
         Kernel::LockstepShared => lockstep_scan(table, starts, chunk, true, scratch, counter, out),
         Kernel::Auto => {
@@ -245,11 +264,36 @@ fn run_row_serial(
     row
 }
 
+/// Segmented interruptible row run: like [`run_row_serial`] but checks
+/// the probe once per [`CLASS_BLOCK`]. Only reached when a budget is
+/// armed, so the unbudgeted hot loop stays byte-identical. On a trip the
+/// partial row is returned — the budgeted caller discards the whole
+/// mapping anyway.
+fn run_row_interruptible(
+    table: DenseTable<'_>,
+    mut row: usize,
+    bytes: &[u8],
+    counter: &mut impl Counter,
+    probe: &InterruptProbe,
+) -> usize {
+    for segment in bytes.chunks(CLASS_BLOCK) {
+        if probe.should_stop() {
+            break;
+        }
+        row = run_row_serial(table, row, segment, counter);
+        if row == 0 {
+            break;
+        }
+    }
+    row
+}
+
 /// The baseline strategy: each run scans the whole chunk independently.
 fn per_run_scan(
     table: DenseTable<'_>,
     starts: impl Iterator<Item = (u32, StateId)>,
     chunk: &[u8],
+    interrupt: Option<&InterruptProbe>,
     counter: &mut impl Counter,
     out: &mut [StateId],
 ) {
@@ -258,7 +302,15 @@ fn per_run_scan(
         if start == DEAD {
             continue;
         }
-        let row = run_row_serial(table, start as usize * stride, chunk, counter);
+        let row = match interrupt {
+            None => run_row_serial(table, start as usize * stride, chunk, counter),
+            Some(probe) => {
+                if probe.should_stop() {
+                    return; // abandoned: the caller discards the mapping
+                }
+                run_row_interruptible(table, start as usize * stride, chunk, counter, probe)
+            }
+        };
         out[origin as usize] = (row / stride) as StateId;
     }
 }
@@ -318,6 +370,9 @@ fn lockstep_scan(
         const STABLE_HORIZON: usize = 256;
         let mut since_change = 0;
         'blocks: while consumed < chunk.len() && len > 1 {
+            if scratch.interrupt.as_ref().is_some_and(|p| p.should_stop()) {
+                break 'blocks;
+            }
             let block = &chunk[consumed..(consumed + CLASS_BLOCK).min(chunk.len())];
             table.classes.classify_into(block, &mut class_buf);
             for &class in &class_buf[..block.len()] {
@@ -333,9 +388,15 @@ fn lockstep_scan(
         scratch.class_buf = class_buf;
     } else {
         while consumed < chunk.len() && len > 1 {
-            let class = table.classes.get(chunk[consumed]);
-            len = advance(table.ptable, scratch, len, class, counter);
-            consumed += 1;
+            if scratch.interrupt.as_ref().is_some_and(|p| p.should_stop()) {
+                break;
+            }
+            let segment_end = (consumed + CLASS_BLOCK).min(chunk.len());
+            while consumed < segment_end && len > 1 {
+                let class = table.classes.get(chunk[consumed]);
+                len = advance(table.ptable, scratch, len, class, counter);
+                consumed += 1;
+            }
         }
     }
 
@@ -346,8 +407,12 @@ fn lockstep_scan(
         // stabilization cutover. A group that dies parks on row 0, whose
         // state is DEAD — exactly what its origins should map to.
         let rest = &chunk[consumed..];
+        let probe = scratch.interrupt.clone();
         for g in 0..len {
-            let row = run_row_serial(table, scratch.rows[g] as usize, rest, counter);
+            let row = match &probe {
+                None => run_row_serial(table, scratch.rows[g] as usize, rest, counter),
+                Some(p) => run_row_interruptible(table, scratch.rows[g] as usize, rest, counter, p),
+            };
             scratch.rows[g] = row as StateId;
         }
     }

@@ -31,6 +31,7 @@
 //! warm across texts — the right shape for high-traffic streams of short
 //! texts, where thread-spawn cost would otherwise dominate.
 
+pub mod budget;
 mod chunking;
 mod convergent;
 mod dfa_ca;
@@ -41,13 +42,15 @@ mod rid_ca;
 mod session;
 pub mod stream;
 
+pub use budget::{Budget, CancelToken, Degraded, RecognizeError, StreamError};
 pub use chunking::{chunk_spans, chunk_spans_into};
 pub use convergent::{ConvergentDfaCa, ConvergentRidCa};
 pub use dfa_ca::DfaCa;
 pub use kernel::{Kernel, Scratch};
 pub use nfa_ca::NfaCa;
 pub use recognizer::{
-    recognize, recognize_counted, recognize_serial, ChunkStats, CountedOutcome, Executor, Outcome,
+    recognize, recognize_budgeted, recognize_counted, recognize_serial, ChunkStats, CountedOutcome,
+    Executor, Outcome,
 };
 pub use rid_ca::{RidCa, RidMapping};
 pub use session::Session;
@@ -258,6 +261,17 @@ pub trait ChunkAutomaton: Sync {
         let mut out = Self::Mapping::default();
         self.compose_into(left, right, &mut Self::ComposeScratch::default(), &mut out);
         out
+    }
+
+    /// Arms (or clears, with `None`) the [`InterruptProbe`](budget::InterruptProbe)
+    /// of a budgeted call on this CA's scan scratch, so the kernel can
+    /// honor deadlines/cancellation *inside* a chunk scan. The default is
+    /// a no-op: CAs without kernel scratch (`NfaCa`, `SfaCa`) are then
+    /// interrupted at chunk boundaries only. Budgeted executors call this
+    /// on every chunk claim — with `None` on unbudgeted calls, so a
+    /// probe never leaks from a budgeted call into a later one through a
+    /// cached scratch.
+    fn arm_interrupt(&self, _scratch: &mut Self::Scratch, _probe: Option<&budget::InterruptProbe>) {
     }
 
     /// Whole-string serial recognition — the oracle and speedup baseline.

@@ -6,6 +6,7 @@ use ridfa_automata::counter::{NoCount, TransitionCount};
 
 use crate::parallel::run_indexed_with;
 
+use super::budget::{panic_message, Budget, InterruptProbe, RecognizeError};
 use super::{chunk_spans, ChunkAutomaton};
 
 /// How the reach phase distributes chunk scans over OS threads.
@@ -120,11 +121,60 @@ pub fn recognize<CA: ChunkAutomaton>(
     num_chunks: usize,
     executor: Executor,
 ) -> Outcome {
+    recognize_inner(ca, text, num_chunks, executor, None)
+        .expect("unbudgeted recognition cannot be interrupted")
+}
+
+/// Like [`recognize`] but bounded by `budget`: the reach phase checks the
+/// deadline/cancellation probe at chunk-claim boundaries and (through
+/// [`ChunkAutomaton::arm_interrupt`]) once per classification block inside
+/// kernel scans, so even a single giant chunk notices expiry promptly.
+/// The check is amortized — an unexpired budget costs one relaxed atomic
+/// load per block — and allocation-free.
+///
+/// Any panic escaping the chunk automaton during the reach or join phase
+/// is trapped and surfaced as [`RecognizeError::Panicked`] instead of
+/// unwinding through the caller.
+///
+/// Granularity caveat: first-chunk scans and chunk automata without a
+/// kernel scratch ([`NfaCa`](super::NfaCa), [`SfaCa`](super::SfaCa)) are
+/// only interruptible *between* chunks, not mid-scan.
+pub fn recognize_budgeted<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    num_chunks: usize,
+    executor: Executor,
+    budget: &Budget,
+) -> Result<Outcome, RecognizeError> {
+    let probe = budget.probe();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        recognize_inner(ca, text, num_chunks, executor, probe.as_ref())
+    })) {
+        Ok(result) => result,
+        Err(payload) => Err(RecognizeError::Panicked(panic_message(payload))),
+    }
+}
+
+/// Shared body of [`recognize`] and [`recognize_budgeted`]: the probe is
+/// the only difference, so the two entry points cannot drift apart.
+fn recognize_inner<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    num_chunks: usize,
+    executor: Executor,
+    probe: Option<&InterruptProbe>,
+) -> Result<Outcome, RecognizeError> {
     let executor = executor.effective_spawning();
     let spans = chunk_spans(text.len(), num_chunks);
     let workers = executor.workers(spans.len());
     let reach_start = Instant::now();
     let mappings = run_indexed_with(workers, spans.len(), CA::Scratch::default, |scratch, i| {
+        // Arm (or clear) the in-scan probe; a tripped budget abandons the
+        // chunk outright — the partial mappings are discarded below.
+        ca.arm_interrupt(scratch, probe);
+        if probe.is_some_and(|p| p.should_stop()) {
+            return CA::Mapping::default();
+        }
         let chunk = &text[spans[i].clone()];
         if i == 0 {
             ca.scan_first(chunk, &mut NoCount)
@@ -133,15 +183,18 @@ pub fn recognize<CA: ChunkAutomaton>(
         }
     });
     let reach = reach_start.elapsed();
+    if let Some(err) = probe.and_then(|p| p.status()) {
+        return Err(err);
+    }
     let join_start = Instant::now();
     let accepted = ca.join(&mappings);
-    Outcome {
+    Ok(Outcome {
         accepted,
         num_chunks: spans.len(),
         reach,
         join: join_start.elapsed(),
         executor,
-    }
+    })
 }
 
 /// Like [`recognize`] but tallying executed transitions per chunk — the
@@ -308,6 +361,39 @@ mod tests {
         assert_eq!(
             recognize(&ca, b"aabcab", 2, Executor::Serial).executor,
             Executor::Serial
+        );
+    }
+
+    #[test]
+    fn budgeted_recognition_matches_plain_and_fails_typed() {
+        use super::super::budget::{Budget, CancelToken};
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let text = b"aabcab".repeat(100);
+        // Unlimited budget: same verdict as the plain path.
+        let out = recognize_budgeted(&ca, &text, 4, Executor::Auto, &Budget::unlimited()).unwrap();
+        assert!(out.accepted);
+        // Pre-expired deadline: deterministic typed failure.
+        let expired = Budget::with_timeout(Duration::ZERO);
+        assert_eq!(
+            recognize_budgeted(&ca, &text, 4, Executor::Auto, &expired).unwrap_err(),
+            RecognizeError::DeadlineExceeded
+        );
+        // Pre-cancelled token: ditto.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = Budget::with_cancel(&token);
+        assert_eq!(
+            recognize_budgeted(&ca, &text, 4, Executor::Auto, &cancelled).unwrap_err(),
+            RecognizeError::Cancelled
+        );
+        // A generous budget does not perturb the verdict.
+        let roomy = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(
+            recognize_budgeted(&ca, &text, 4, Executor::Serial, &roomy)
+                .unwrap()
+                .accepted
         );
     }
 

@@ -239,6 +239,10 @@ impl ChunkAutomaton for RidCa<'_> {
         *out = RidMapping::First(self.rid.run_from(self.rid.start(), chunk, counter));
     }
 
+    fn arm_interrupt(&self, scratch: &mut Scratch, probe: Option<&super::budget::InterruptProbe>) {
+        scratch.set_interrupt(probe.cloned());
+    }
+
     /// `PLAS`-set composition through the interface function:
     /// `out = right ⊙ left` where each row of `left` is translated by
     /// `if(·)` (with delegation) and pushed through `right`'s rows.

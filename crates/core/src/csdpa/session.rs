@@ -36,8 +36,9 @@ use std::time::{Duration, Instant};
 
 use ridfa_automata::counter::{NoCount, TransitionCount};
 
-use crate::parallel::ThreadPool;
+use crate::parallel::{PoolHealth, ThreadPool};
 
+use super::budget::{panic_message, Budget, Degraded, InterruptProbe, RecognizeError};
 use super::{
     chunk_spans_into, recognizer, ChunkAutomaton, ChunkStats, CountedOutcome, Executor,
     JoinScratch, JoinScratchOf, Outcome,
@@ -105,6 +106,9 @@ pub struct Session {
     offsets: Vec<usize>,
     /// The [`TypedCache`] of the most recent CA type.
     cache: Option<Box<dyn Any + Send>>,
+    /// Why the most recent recognition ran degraded, if it did (cleared
+    /// at the start of every recognition).
+    last_degraded: Option<Degraded>,
 }
 
 impl Session {
@@ -112,12 +116,26 @@ impl Session {
     /// calling thread participates in every reach phase too, so total
     /// scan parallelism is `num_workers + 1`.
     pub fn new(num_workers: usize) -> Session {
+        Session::from_pool(ThreadPool::new(num_workers))
+    }
+
+    /// Like [`Session::new`] but with a bounded worker-respawn budget
+    /// (see [`ThreadPool::with_respawn_limit`]): once the budget is
+    /// exhausted and the pool drops below quorum, recognitions degrade to
+    /// an explicit serial path and record
+    /// [`Degraded::PoolBelowQuorum`] in [`Session::last_degraded`].
+    pub fn with_respawn_limit(num_workers: usize, respawn_limit: u64) -> Session {
+        Session::from_pool(ThreadPool::with_respawn_limit(num_workers, respawn_limit))
+    }
+
+    fn from_pool(pool: ThreadPool) -> Session {
         Session {
-            pool: ThreadPool::new(num_workers),
+            pool,
             spans: Vec::new(),
             batch: Vec::new(),
             offsets: Vec::new(),
             cache: None,
+            last_degraded: None,
         }
     }
 
@@ -131,6 +149,43 @@ impl Session {
     /// Number of pool workers (excluding the participating caller).
     pub fn num_workers(&self) -> usize {
         self.pool.num_workers()
+    }
+
+    /// The session's worker pool, for health inspection (and for fault
+    /// injection in tests — [`ThreadPool::execute`] is the only path
+    /// through which an untrappable panic can kill a worker).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Worker-pool health after the most recent heal pass.
+    pub fn health(&self) -> PoolHealth {
+        self.pool.health()
+    }
+
+    /// Why the most recent recognition ran degraded, or `None` if it ran
+    /// at full shape. Cleared at the start of every recognition, so a
+    /// healed pool reads `None` again on the next call.
+    pub fn last_degraded(&self) -> Option<Degraded> {
+        self.last_degraded
+    }
+
+    /// Heals the pool and decides whether this recognition must degrade:
+    /// returns the reason when the pool is below quorum after healing.
+    fn check_quorum(&mut self) -> Option<Degraded> {
+        self.pool.heal();
+        self.last_degraded = None;
+        let health = self.pool.health();
+        if health.below_quorum() {
+            let reason = Degraded::PoolBelowQuorum {
+                live: health.live,
+                configured: health.configured,
+            };
+            self.last_degraded = Some(reason);
+            Some(reason)
+        } else {
+            None
+        }
     }
 
     /// Pre-warms every per-worker scratch (and the join buffers) against
@@ -156,12 +211,55 @@ impl Session {
     /// Recognizes `text` on the session pool — the warm counterpart of
     /// the free [`recognize`](super::recognize) with
     /// [`Executor::Pooled`]. Allocation-free once the session is warm.
+    ///
+    /// Availability: dead pool workers are respawned first
+    /// ([`ThreadPool::heal`]); if the pool is still below quorum (more
+    /// than half the configured workers dead with the respawn budget
+    /// spent), the text is recognized on an explicit serial path, the
+    /// outcome records [`Executor::Serial`], and
+    /// [`Session::last_degraded`] records why.
     pub fn recognize<CA: ChunkAutomaton>(
         &mut self,
         ca: &CA,
         text: &[u8],
         num_chunks: usize,
     ) -> Outcome {
+        self.recognize_inner(ca, text, num_chunks, None)
+            .expect("unbudgeted recognition cannot be interrupted")
+    }
+
+    /// Like [`Session::recognize`] but bounded by `budget` (deadline
+    /// and/or cancellation): the probe is checked at chunk-claim
+    /// boundaries and once per classification block inside kernel scans.
+    /// Any panic escaping the chunk automaton is trapped and surfaced as
+    /// [`RecognizeError::Panicked`]; the session stays usable afterwards
+    /// (warm buffers may be rebuilt on the next call).
+    pub fn recognize_budgeted<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        num_chunks: usize,
+        budget: &Budget,
+    ) -> Result<Outcome, RecognizeError> {
+        let probe = budget.probe();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.recognize_inner(ca, text, num_chunks, probe.as_ref())
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(RecognizeError::Panicked(panic_message(payload))),
+        }
+    }
+
+    /// Shared body of the timed single-text entry points: heal + quorum
+    /// policy, then the pooled (or degraded-serial) reach and join.
+    fn recognize_inner<CA: ChunkAutomaton>(
+        &mut self,
+        ca: &CA,
+        text: &[u8],
+        num_chunks: usize,
+        probe: Option<&InterruptProbe>,
+    ) -> Result<Outcome, RecognizeError> {
+        let degraded = self.check_quorum().is_some();
         let mut cache = self.take_cache::<CA>();
         chunk_spans_into(text.len(), num_chunks, &mut self.spans);
         let n = self.spans.len();
@@ -170,27 +268,61 @@ impl Session {
             cache_mut.mappings.resize_with(n, CA::Mapping::default);
         }
         let reach_start = Instant::now();
-        pooled_reach(
-            &self.pool,
-            ca,
-            text,
-            &self.spans,
-            &mut cache_mut.scratches,
-            &mut cache_mut.mappings[..n],
-            None,
-        );
+        if degraded {
+            let TypedCache {
+                scratches,
+                mappings,
+                ..
+            } = cache_mut;
+            let scratch = scratches.last_mut().expect("session keeps a caller slot");
+            ca.arm_interrupt(scratch, probe);
+            for (i, span) in self.spans.iter().enumerate() {
+                if probe.is_some_and(|p| p.should_stop()) {
+                    break;
+                }
+                let chunk = &text[span.clone()];
+                if i == 0 {
+                    ca.scan_first_into(chunk, &mut NoCount, &mut mappings[i]);
+                } else {
+                    ca.scan_into(chunk, scratch, &mut NoCount, &mut mappings[i]);
+                }
+            }
+        } else {
+            pooled_reach(
+                &self.pool,
+                ca,
+                text,
+                &self.spans,
+                &mut cache_mut.scratches,
+                &mut cache_mut.mappings[..n],
+                None,
+                probe,
+            );
+        }
         let reach = reach_start.elapsed();
+        if let Some(err) = probe.and_then(|p| p.status()) {
+            self.cache = Some(cache);
+            return Err(err);
+        }
         let join_start = Instant::now();
-        let accepted = Self::join_mappings(&self.pool, ca, cache_mut, n);
+        let accepted = if degraded {
+            ca.join_with(&cache_mut.mappings[..n], &mut cache_mut.join)
+        } else {
+            Self::join_mappings(&self.pool, ca, cache_mut, n)
+        };
         let join = join_start.elapsed();
         self.cache = Some(cache);
-        Outcome {
+        Ok(Outcome {
             accepted,
             num_chunks: n,
             reach,
             join,
-            executor: Executor::Pooled,
-        }
+            executor: if degraded {
+                Executor::Serial
+            } else {
+                Executor::Pooled
+            },
+        })
     }
 
     /// Like [`Session::recognize`] but tallying executed transitions per
@@ -203,6 +335,7 @@ impl Session {
         text: &[u8],
         num_chunks: usize,
     ) -> CountedOutcome {
+        self.pool.heal();
         let mut cache = self.take_cache::<CA>();
         chunk_spans_into(text.len(), num_chunks, &mut self.spans);
         let n = self.spans.len();
@@ -227,6 +360,7 @@ impl Session {
             &mut cache_mut.scratches,
             &mut cache_mut.mappings[..n],
             Some(&mut per_chunk[..]),
+            None,
         );
         let reach = reach_start.elapsed();
         let join_start = Instant::now();
@@ -277,7 +411,48 @@ impl Session {
         CA: ChunkAutomaton,
         T: AsRef<[u8]> + Sync,
     {
+        self.recognize_many_inner(ca, texts, num_chunks, None)
+            .expect("unbudgeted recognition cannot be interrupted")
+    }
+
+    /// Like [`Session::recognize_many`] but bounded by `budget`: on
+    /// deadline expiry or cancellation the whole batch fails with one
+    /// typed error (no partial verdicts — a half-scanned batch has no
+    /// meaningful prefix). Panics escaping the chunk automaton are
+    /// trapped and surfaced as [`RecognizeError::Panicked`].
+    pub fn recognize_many_budgeted<CA, T>(
+        &mut self,
+        ca: &CA,
+        texts: &[T],
+        num_chunks: usize,
+        budget: &Budget,
+    ) -> Result<Vec<bool>, RecognizeError>
+    where
+        CA: ChunkAutomaton,
+        T: AsRef<[u8]> + Sync,
+    {
+        let probe = budget.probe();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.recognize_many_inner(ca, texts, num_chunks, probe.as_ref())
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(RecognizeError::Panicked(panic_message(payload))),
+        }
+    }
+
+    fn recognize_many_inner<CA, T>(
+        &mut self,
+        ca: &CA,
+        texts: &[T],
+        num_chunks: usize,
+        probe: Option<&InterruptProbe>,
+    ) -> Result<Vec<bool>, RecognizeError>
+    where
+        CA: ChunkAutomaton,
+        T: AsRef<[u8]> + Sync,
+    {
         assert!(u32::try_from(texts.len()).is_ok(), "batch too large");
+        let degraded = self.check_quorum().is_some();
         let mut cache = self.take_cache::<CA>();
         self.batch.clear();
         self.offsets.clear();
@@ -299,11 +474,34 @@ impl Session {
         if cache_mut.mappings.len() < total {
             cache_mut.mappings.resize_with(total, CA::Mapping::default);
         }
-        {
+        if degraded {
+            let TypedCache {
+                scratches,
+                mappings,
+                ..
+            } = cache_mut;
+            let scratch = scratches.last_mut().expect("session keeps a caller slot");
+            ca.arm_interrupt(scratch, probe);
+            for (i, task) in self.batch.iter().enumerate() {
+                if probe.is_some_and(|p| p.should_stop()) {
+                    break;
+                }
+                let chunk = &texts[task.text as usize].as_ref()[task.start..task.end];
+                if task.first {
+                    ca.scan_first_into(chunk, &mut NoCount, &mut mappings[i]);
+                } else {
+                    ca.scan_into(chunk, scratch, &mut NoCount, &mut mappings[i]);
+                }
+            }
+        } else {
             let batch = &self.batch;
             let slots = DisjointSlots::new(&mut cache_mut.mappings[..total]);
             self.pool
                 .invoke_all_scoped(total, &mut cache_mut.scratches, |scratch, i| {
+                    ca.arm_interrupt(scratch, probe);
+                    if probe.is_some_and(|p| p.should_stop()) {
+                        return; // abandoned: the error return below skips the join
+                    }
                     // SAFETY: the pool claims each task index exactly once.
                     let out = unsafe { slots.get(i) };
                     let task = &batch[i];
@@ -315,6 +513,10 @@ impl Session {
                     }
                 });
         }
+        if let Some(err) = probe.and_then(|p| p.status()) {
+            self.cache = Some(cache);
+            return Err(err);
+        }
         let verdicts = (0..texts.len())
             .map(|t| {
                 let mappings = &cache_mut.mappings[self.offsets[t]..self.offsets[t + 1]];
@@ -322,7 +524,7 @@ impl Session {
             })
             .collect();
         self.cache = Some(cache);
-        verdicts
+        Ok(verdicts)
     }
 
     /// The warm buffer set for `CA`'s scratch/mapping/join types, taken
@@ -417,7 +619,11 @@ fn tree_join<CA: ChunkAutomaton>(
 /// The single-text pooled reach phase, shared by the timed and the
 /// counted entry points: every chunk is a claimable pool task scanned
 /// into its own mapping slot. With `stats` the scan is instrumented
-/// (per-chunk transition counts and scan wall time).
+/// (per-chunk transition counts and scan wall time). With `probe` the
+/// scan is interruptible: each claimant arms its scratch and abandons
+/// unclaimed chunks once the budget trips (the caller never joins
+/// abandoned mappings — it returns the probe's error instead).
+#[allow(clippy::too_many_arguments)] // internal seam of the three Session entry points; all args are hot borrows
 fn pooled_reach<CA: ChunkAutomaton>(
     pool: &ThreadPool,
     ca: &CA,
@@ -426,11 +632,16 @@ fn pooled_reach<CA: ChunkAutomaton>(
     scratches: &mut [CA::Scratch],
     mappings: &mut [CA::Mapping],
     stats: Option<&mut [ChunkStats]>,
+    probe: Option<&InterruptProbe>,
 ) {
     debug_assert_eq!(spans.len(), mappings.len());
     let slots = DisjointSlots::new(mappings);
     let stat_slots = stats.map(DisjointSlots::new);
     pool.invoke_all_scoped(spans.len(), scratches, |scratch, i| {
+        ca.arm_interrupt(scratch, probe);
+        if probe.is_some_and(|p| p.should_stop()) {
+            return; // abandoned: the error return upstream skips the join
+        }
         // SAFETY: the pool claims each task index exactly once.
         let out = unsafe { slots.get(i) };
         let chunk = &text[spans[i].clone()];
@@ -601,6 +812,47 @@ mod tests {
             assert!(session.recognize(&nfa_ca, b"aabcab", 2).accepted);
             assert!(!session.recognize(&nfa_ca, b"caa", 2).accepted);
         }
+    }
+
+    #[test]
+    fn budgeted_session_paths_fail_typed_and_recover() {
+        use super::super::budget::CancelToken;
+        use std::time::Duration;
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut session = Session::new(2);
+        let text = sample_text(true);
+        let texts: [&[u8]; 3] = [b"aabcab", b"c", b"aabcabaabcab"];
+
+        let expired = Budget::with_timeout(Duration::ZERO);
+        assert_eq!(
+            session
+                .recognize_budgeted(&ca, &text, 4, &expired)
+                .unwrap_err(),
+            RecognizeError::DeadlineExceeded
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = Budget::with_cancel(&token);
+        assert_eq!(
+            session
+                .recognize_many_budgeted(&ca, &texts, 2, &cancelled)
+                .unwrap_err(),
+            RecognizeError::Cancelled
+        );
+
+        // The session is fully reusable after both failures, with the
+        // unbudgeted paths unaffected.
+        assert!(session.recognize(&ca, &text, 4).accepted);
+        assert_eq!(session.recognize_many(&ca, &texts, 2), [true, false, true]);
+        assert!(session.last_degraded().is_none());
+        assert!(
+            session
+                .recognize_budgeted(&ca, &text, 4, &Budget::unlimited())
+                .unwrap()
+                .accepted
+        );
     }
 
     #[test]

@@ -46,8 +46,9 @@ use std::time::{Duration, Instant};
 
 use ridfa_automata::counter::{NoCount, TransitionCount};
 
-use crate::parallel::ThreadPool;
+use crate::parallel::{PoolHealth, ThreadPool};
 
+use super::budget::{panic_message, Budget, Degraded, InterruptProbe, StreamError};
 use super::session::DisjointSlots;
 use super::ChunkAutomaton;
 
@@ -142,6 +143,9 @@ pub struct StreamSession {
     blocks: Vec<Block>,
     /// The [`StreamCache`] of the most recent CA type.
     cache: Option<Box<dyn Any + Send>>,
+    /// Why the most recent stream ran degraded, if it did (cleared at the
+    /// start of every stream).
+    last_degraded: Option<Degraded>,
 }
 
 impl StreamSession {
@@ -151,8 +155,27 @@ impl StreamSession {
     /// `num_workers + 1` and the block ring holds
     /// `2 × (num_workers + 1)` buffers.
     pub fn new(num_workers: usize, block_size: usize) -> StreamSession {
+        StreamSession::from_pool(ThreadPool::new(num_workers), block_size)
+    }
+
+    /// Like [`StreamSession::new`] but with a bounded worker-respawn
+    /// budget (see [`ThreadPool::with_respawn_limit`]). A pool below
+    /// quorum does not stop a stream — the calling thread drives every
+    /// wave itself — but the loss of parallelism is recorded in
+    /// [`StreamSession::last_degraded`].
+    pub fn with_respawn_limit(
+        num_workers: usize,
+        block_size: usize,
+        respawn_limit: u64,
+    ) -> StreamSession {
+        StreamSession::from_pool(
+            ThreadPool::with_respawn_limit(num_workers, respawn_limit),
+            block_size,
+        )
+    }
+
+    fn from_pool(pool: ThreadPool, block_size: usize) -> StreamSession {
         let block_size = block_size.max(1);
-        let pool = ThreadPool::new(num_workers);
         let ring = 2 * (pool.num_workers() + 1);
         StreamSession {
             pool,
@@ -164,6 +187,7 @@ impl StreamSession {
                 })
                 .collect(),
             cache: None,
+            last_degraded: None,
         }
     }
 
@@ -177,6 +201,23 @@ impl StreamSession {
     /// Number of pool workers (excluding the participating caller).
     pub fn num_workers(&self) -> usize {
         self.pool.num_workers()
+    }
+
+    /// The session's worker pool, for health inspection and fault
+    /// injection in tests.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Worker-pool health after the most recent heal pass.
+    pub fn health(&self) -> PoolHealth {
+        self.pool.health()
+    }
+
+    /// Why the most recent stream ran degraded, or `None` if the pool was
+    /// at quorum. Cleared at the start of every stream.
+    pub fn last_degraded(&self) -> Option<Degraded> {
+        self.last_degraded
     }
 
     /// Block size in bytes.
@@ -251,6 +292,63 @@ impl StreamSession {
         CA: ChunkAutomaton,
         R: Read + Send,
     {
+        match self.run_stream(ca, reader, None) {
+            Ok(out) => Ok(out),
+            Err(StreamError::Io(e)) => Err(e),
+            Err(other) => unreachable!("unbudgeted stream cannot be interrupted: {other}"),
+        }
+    }
+
+    /// Like [`StreamSession::recognize_stream`] but bounded by `budget`:
+    /// the deadline/cancellation probe is checked after every wave (and
+    /// once per classification block inside kernel scans), so expiry is
+    /// noticed within one wave of I/O. On any error — typed interruption
+    /// or reader I/O failure — the session remains fully reusable and the
+    /// block ring does not grow ([`StreamSession::buffer_bytes`] is
+    /// unchanged). Panics escaping the chunk automaton are trapped and
+    /// surfaced as [`StreamError::Panicked`].
+    pub fn recognize_stream_budgeted<CA, R>(
+        &mut self,
+        ca: &CA,
+        reader: R,
+        budget: &Budget,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        CA: ChunkAutomaton,
+        R: Read + Send,
+    {
+        let probe = budget.probe();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_stream(ca, reader, probe.as_ref())
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(StreamError::Panicked(panic_message(payload))),
+        }
+    }
+
+    /// Shared body of the streaming entry points; `probe` is the only
+    /// difference between the plain and the budgeted path.
+    fn run_stream<CA, R>(
+        &mut self,
+        ca: &CA,
+        reader: R,
+        probe: Option<&InterruptProbe>,
+    ) -> Result<StreamOutcome, StreamError>
+    where
+        CA: ChunkAutomaton,
+        R: Read + Send,
+    {
+        self.pool.heal();
+        self.last_degraded = None;
+        let health = self.pool.health();
+        if health.below_quorum() {
+            // The caller drives every wave itself, so a depleted pool
+            // costs parallelism, not progress — record it and carry on.
+            self.last_degraded = Some(Degraded::PoolBelowQuorum {
+                live: health.live,
+                configured: health.configured,
+            });
+        }
         let mut reader = reader;
         let mut cache = self.take_cache::<CA>();
         let StreamCache {
@@ -288,7 +386,7 @@ impl StreamSession {
         let mut cur_count = prologue.filled;
         if let Some(e) = prologue.error {
             self.cache = Some(cache);
-            return Err(e);
+            return Err(StreamError::Io(e));
         }
         let (mut cur_wave, mut next_wave) = (&mut *w0, &mut *w1);
 
@@ -317,6 +415,10 @@ impl StreamSession {
                 let is_first_wave = first_wave;
                 self.pool
                     .invoke_all_scoped(num_tasks, scratches, |scratch, t| {
+                        ca.arm_interrupt(scratch, probe);
+                        if probe.is_some_and(|p| p.should_stop()) {
+                            return; // abandoned: the post-wave check bails out
+                        }
                         if t < read_tasks {
                             // SAFETY: task 0 has exactly one claimant.
                             fill_wave(unsafe { read_cell.get(0) });
@@ -344,6 +446,17 @@ impl StreamSession {
                             }
                         }
                     });
+            }
+
+            // A budget trip mid-wave leaves partial slot data: discard
+            // the wave and surface the typed error. The ring and the
+            // cache are restored, so the session stays reusable.
+            if probe.is_some_and(|p| p.should_stop()) {
+                let err = probe
+                    .and_then(|p| p.status())
+                    .expect("tripped probe reports a status");
+                self.cache = Some(cache);
+                return Err(err.into());
             }
 
             // Eager in-order composition of the finished wave: the only
@@ -381,7 +494,7 @@ impl StreamSession {
 
             if let Some(e) = read_ahead.error {
                 self.cache = Some(cache);
-                return Err(e);
+                return Err(StreamError::Io(e));
             }
             eof |= read_ahead.eof;
             let next_count = if read_tasks == 1 {

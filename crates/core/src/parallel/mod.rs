@@ -20,5 +20,5 @@
 pub mod pool;
 pub mod scoped;
 
-pub use pool::ThreadPool;
+pub use pool::{PoolHealth, ThreadPool};
 pub use scoped::{run_indexed, run_indexed_with};

@@ -24,6 +24,19 @@
 //! manual [`execute`](ThreadPool::execute)/[`WaitGroup`] users via
 //! [`WaitGroup::done_guard`].
 //!
+//! Self-healing (the availability contract): `catch_unwind` cannot trap
+//! everything — a panic payload whose own `Drop` panics, or a panic from
+//! the worker's bookkeeping, unwinds the worker thread itself. Each
+//! worker's top frame records such a death in the shared defunct list;
+//! [`heal`](ThreadPool::heal) (called automatically at the head of every
+//! submission) joins the corpse and respawns a fresh worker under the
+//! same slot index, up to a configurable respawn budget.
+//! [`health`](ThreadPool::health) reports live workers, trapped panics,
+//! and respawns so callers can degrade (e.g. to a serial executor) when
+//! the pool falls [below quorum](PoolHealth::below_quorum). Correctness
+//! never depends on worker liveness: the scoped caller is itself a
+//! claimant and drains every task even with zero live workers.
+//!
 //! Built entirely on `std::sync`; no external runtime dependency.
 
 // The scoped path shares caller-stack data with workers through raw
@@ -34,17 +47,26 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn Any + Send + 'static>;
 
 /// A fixed-size pool of worker threads executing boxed jobs and scoped
-/// borrowed-data batches.
+/// borrowed-data batches. Workers that die abnormally are respawned by
+/// [`heal`](ThreadPool::heal); see [`health`](ThreadPool::health).
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Worker handles by slot index; `None` while a dead slot awaits
+    /// respawn (or permanently, once the respawn budget is spent).
+    workers: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
+    /// The worker count the pool was built with (stable across deaths).
+    configured: usize,
+    /// Maximum number of respawns over the pool's lifetime.
+    respawn_limit: u64,
+    /// Respawns performed so far.
+    respawns: AtomicU64,
 }
 
 struct PoolShared {
@@ -52,6 +74,37 @@ struct PoolShared {
     /// Signaled on every state change: new job, new scope, scope slot
     /// freed, shutdown. Workers and scope-slot waiters both park here.
     signal: Condvar,
+    /// Panics contained by the pool: queued jobs trapped in the worker
+    /// loop plus scoped-task panics re-raised on their caller.
+    panics_trapped: AtomicU64,
+    /// Number of worker slots currently without a live thread.
+    dead: AtomicUsize,
+    /// Slot indices of workers that died abnormally, awaiting `heal`.
+    defunct: Mutex<Vec<usize>>,
+}
+
+/// A point-in-time snapshot of pool liveness, from
+/// [`ThreadPool::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Worker count the pool was configured with.
+    pub configured: usize,
+    /// Workers currently alive (configured minus unhealed deaths).
+    pub live: usize,
+    /// Panics the pool has contained so far (queued-job panics trapped in
+    /// the worker loop and scoped-task panics re-raised on the caller).
+    pub panics_trapped: u64,
+    /// Workers respawned after an abnormal death.
+    pub respawns: u64,
+}
+
+impl PoolHealth {
+    /// True when fewer than half of the configured workers are alive —
+    /// the point at which sessions degrade to serial execution rather
+    /// than run speculation on a gutted pool.
+    pub fn below_quorum(&self) -> bool {
+        self.live * 2 < self.configured
+    }
 }
 
 struct PoolState {
@@ -208,8 +261,17 @@ impl Latch {
 }
 
 impl ThreadPool {
-    /// Spawns `num_workers` (≥ 1) parked worker threads.
+    /// Spawns `num_workers` (≥ 1) parked worker threads with an unlimited
+    /// respawn budget.
     pub fn new(num_workers: usize) -> ThreadPool {
+        ThreadPool::with_respawn_limit(num_workers, u64::MAX)
+    }
+
+    /// Spawns `num_workers` (≥ 1) parked worker threads, respawning at
+    /// most `respawn_limit` dead workers over the pool's lifetime. A
+    /// limit of 0 makes every worker death permanent — useful to test
+    /// the degraded (below-quorum) path deterministically.
+    pub fn with_respawn_limit(num_workers: usize, respawn_limit: u64) -> ThreadPool {
         let num_workers = num_workers.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -219,6 +281,9 @@ impl ThreadPool {
                 shutdown: false,
             }),
             signal: Condvar::new(),
+            panics_trapped: AtomicU64::new(0),
+            dead: AtomicUsize::new(0),
+            defunct: Mutex::new(Vec::new()),
         });
         // Block until every worker has bootstrapped and entered its
         // loop: OS thread start-up allocates on the child thread, and a
@@ -226,25 +291,73 @@ impl ThreadPool {
         // later (supposedly allocation-free) batch.
         let started = WaitGroup::new(num_workers);
         let workers = (0..num_workers)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                let started = started.clone();
-                std::thread::Builder::new()
-                    .name(format!("ridfa-worker-{index}"))
-                    .spawn(move || {
-                        started.done();
-                        worker_loop(&shared, index)
-                    })
-                    .expect("failed to spawn pool worker")
-            })
+            .map(|index| Some(spawn_worker(&shared, index, Some(started.clone()))))
             .collect();
         started.wait();
-        ThreadPool { shared, workers }
+        ThreadPool {
+            shared,
+            workers: Mutex::new(workers),
+            configured: num_workers,
+            respawn_limit,
+            respawns: AtomicU64::new(0),
+        }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool was configured with (including
+    /// any currently dead; see [`health`](ThreadPool::health) for
+    /// liveness).
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.configured
+    }
+
+    /// A snapshot of pool liveness: live workers, trapped panics, and
+    /// respawns performed.
+    pub fn health(&self) -> PoolHealth {
+        let dead = self
+            .shared
+            .dead
+            .load(Ordering::Acquire)
+            .min(self.configured);
+        PoolHealth {
+            configured: self.configured,
+            live: self.configured - dead,
+            panics_trapped: self.shared.panics_trapped.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Joins workers that died abnormally and respawns replacements under
+    /// the same slot indices, up to the respawn budget. Returns the
+    /// number of workers respawned. Called automatically at the head of
+    /// [`execute`](ThreadPool::execute) and
+    /// [`invoke_all_scoped`](ThreadPool::invoke_all_scoped); the fast
+    /// path (no deaths) is a single relaxed atomic load.
+    pub fn heal(&self) -> usize {
+        if self.shared.dead.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut handles = self.workers.lock().expect("pool worker list poisoned");
+        let defunct: Vec<usize> = {
+            let mut list = self.shared.defunct.lock().expect("defunct list poisoned");
+            list.drain(..).collect()
+        };
+        let mut respawned = 0;
+        for index in defunct {
+            // Reap the corpse so the OS thread is not leaked.
+            if let Some(handle) = handles[index].take() {
+                let _ = handle.join();
+            }
+            if self.respawns.load(Ordering::Relaxed) >= self.respawn_limit {
+                // Budget spent: the slot stays dead and `health()` keeps
+                // reporting it, letting sessions degrade.
+                continue;
+            }
+            handles[index] = Some(spawn_worker(&self.shared, index, None));
+            self.respawns.fetch_add(1, Ordering::Relaxed);
+            self.shared.dead.fetch_sub(1, Ordering::Release);
+            respawned += 1;
+        }
+        respawned
     }
 
     /// Submits a fire-and-forget job (runs as soon as a worker is free).
@@ -252,6 +365,7 @@ impl ThreadPool {
     /// [`WaitGroup`] and [`WaitGroup::done_guard`] to observe completion
     /// robustly.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.heal();
         let mut state = self.shared.state.lock().expect("pool lock poisoned");
         assert!(!state.shutdown, "pool is shutting down");
         state.queue.push_back(Box::new(job));
@@ -290,6 +404,7 @@ impl ThreadPool {
         S: Send,
         F: Fn(&mut S, usize) + Sync,
     {
+        self.heal();
         let num_workers = self.num_workers();
         assert!(
             locals.len() > num_workers,
@@ -360,9 +475,41 @@ impl ThreadPool {
             .expect("scope panic slot poisoned")
             .take();
         if let Some(payload) = panic {
+            self.shared.panics_trapped.fetch_add(1, Ordering::Relaxed);
             resume_unwind(payload);
         }
     }
+}
+
+/// Spawns the worker thread for slot `index`. The top frame traps any
+/// unwind escaping `worker_loop` (e.g. a panic payload whose own `Drop`
+/// panics) and records the death for [`ThreadPool::heal`] to repair.
+fn spawn_worker(
+    shared: &Arc<PoolShared>,
+    index: usize,
+    started: Option<WaitGroup>,
+) -> std::thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("ridfa-worker-{index}"))
+        .spawn(move || {
+            if let Some(started) = &started {
+                started.done();
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, index)));
+            if let Err(payload) = outcome {
+                // Record the death before touching the payload: dropping
+                // it may panic *again*, and by then the bookkeeping must
+                // already be visible to `heal`. Leak the payload instead
+                // of risking that second unwind.
+                std::mem::forget(payload);
+                if let Ok(mut defunct) = shared.defunct.lock() {
+                    defunct.push(index);
+                }
+                shared.dead.fetch_add(1, Ordering::Release);
+            }
+        })
+        .expect("failed to spawn pool worker")
 }
 
 fn worker_loop(shared: &PoolShared, index: usize) {
@@ -392,8 +539,16 @@ fn worker_loop(shared: &PoolShared, index: usize) {
         }
         if let Some(job) = state.queue.pop_front() {
             drop(state);
-            // Contain panics so one bad job cannot kill the worker.
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            // Contain panics so one bad job cannot kill the worker. Count
+            // the trap *before* dropping the payload: if the payload's
+            // own `Drop` panics, that unwind escapes this loop (no lock
+            // held here) and is recorded as a worker death by
+            // `spawn_worker`'s top frame.
+            let trapped = catch_unwind(AssertUnwindSafe(job));
+            if trapped.is_err() {
+                shared.panics_trapped.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(trapped);
             state = shared.state.lock().expect("pool lock poisoned");
             continue;
         }
@@ -412,7 +567,11 @@ impl Drop for ThreadPool {
             state.shutdown = true;
         }
         self.shared.signal.notify_all();
-        for handle in self.workers.drain(..) {
+        let mut handles = self
+            .workers
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for handle in handles.drain(..).flatten() {
             let _ = handle.join();
         }
     }
@@ -689,6 +848,116 @@ mod tests {
                 count.fetch_add(1, Ordering::Relaxed);
             });
             assert_eq!(count.load(Ordering::Relaxed), n);
+        }
+    }
+
+    /// A panic payload whose own `Drop` panics: the one thing
+    /// `catch_unwind` in the worker loop cannot contain, so it kills the
+    /// worker thread (deterministically — the payload is dropped right
+    /// after the trap).
+    struct DropBomb;
+
+    impl Drop for DropBomb {
+        fn drop(&mut self) {
+            if !std::thread::panicking() {
+                panic!("drop bomb detonated");
+            }
+        }
+    }
+
+    /// Waits (bounded) until `pool.health().live` drops to `expect`.
+    fn wait_for_live(pool: &ThreadPool, expect: usize) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.health().live != expect {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker death never recorded: {:?}",
+                pool.health()
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn fresh_pool_health_is_all_live() {
+        let pool = ThreadPool::new(3);
+        let h = pool.health();
+        assert_eq!(h.configured, 3);
+        assert_eq!(h.live, 3);
+        assert_eq!(h.panics_trapped, 0);
+        assert_eq!(h.respawns, 0);
+        assert!(!h.below_quorum());
+        assert_eq!(pool.heal(), 0);
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_pool_keeps_working() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| std::panic::panic_any(DropBomb));
+        wait_for_live(&pool, 1);
+
+        assert_eq!(pool.heal(), 1);
+        let h = pool.health();
+        assert_eq!(h.live, 2, "{h:?}");
+        assert_eq!(h.respawns, 1);
+        assert!(h.panics_trapped >= 1, "the original panic was trapped");
+
+        let sum = AtomicUsize::new(0);
+        pool.invoke_all(16, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 120);
+    }
+
+    #[test]
+    fn submission_paths_heal_implicitly() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| std::panic::panic_any(DropBomb));
+        wait_for_live(&pool, 1);
+        // No explicit heal(): invoke_all's entry heals before running.
+        let count = AtomicUsize::new(0);
+        pool.invoke_all(8, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        assert_eq!(pool.health().live, 2);
+        assert_eq!(pool.health().respawns, 1);
+    }
+
+    #[test]
+    fn respawn_limit_zero_leaves_pool_degraded_but_functional() {
+        let pool = ThreadPool::with_respawn_limit(1, 0);
+        pool.execute(|| std::panic::panic_any(DropBomb));
+        wait_for_live(&pool, 0);
+
+        assert_eq!(pool.heal(), 0, "respawn budget of 0 must not respawn");
+        let h = pool.health();
+        assert_eq!(h.live, 0);
+        assert_eq!(h.respawns, 0);
+        assert!(h.below_quorum());
+
+        // Scoped batches still complete: the caller is a claimant and
+        // drains every task itself.
+        let sum = AtomicUsize::new(0);
+        pool.invoke_all(8, |i| {
+            sum.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 36);
+    }
+
+    #[test]
+    fn repeated_deaths_all_respawn_under_budget() {
+        let pool = ThreadPool::new(1);
+        for round in 1..=3u64 {
+            pool.execute(|| std::panic::panic_any(DropBomb));
+            wait_for_live(&pool, 0);
+            assert_eq!(pool.heal(), 1);
+            assert_eq!(pool.health().respawns, round);
+            let count = AtomicUsize::new(0);
+            pool.invoke_all(4, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 4);
         }
     }
 }

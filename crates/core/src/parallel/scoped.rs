@@ -58,14 +58,26 @@ where
             *slot = Some(work(&mut state, i));
         }
     } else if num_workers >= num_tasks {
-        // One thread per task, each owning exactly one result slot.
+        // One thread per task, each owning exactly one result slot. Joining
+        // explicitly (instead of letting the scope reap the threads) keeps
+        // the original panic payload: a task panic re-raises verbatim on the
+        // caller rather than as the scope's generic replacement message.
         std::thread::scope(|scope| {
-            for (i, slot) in results.iter_mut().enumerate() {
-                let work = &work;
-                let init = &init;
-                scope.spawn(move || {
-                    *slot = Some(work(&mut init(), i));
-                });
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let work = &work;
+                    let init = &init;
+                    scope.spawn(move || {
+                        *slot = Some(work(&mut init(), i));
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
             }
         });
     } else {
@@ -97,7 +109,10 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(buffer) => buffer,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         for buffer in buffers {

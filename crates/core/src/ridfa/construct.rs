@@ -19,18 +19,31 @@
 use std::collections::HashMap;
 
 use ridfa_automata::nfa::Nfa;
-use ridfa_automata::{BitSet, Error, Result, StateId, DEAD};
+use ridfa_automata::{BitSet, ConstructionBudget, Result, StateId, DEAD};
 
 use super::RiDfa;
+
+/// Budget axis labels for RI-DFA construction.
+const WHAT_STATES: &str = "RI-DFA states";
+const WHAT_BYTES: &str = "RI-DFA table bytes";
 
 /// Builds the RI-DFA of `nfa` (unbounded).
 pub fn construct(nfa: &Nfa) -> RiDfa {
     construct_limited(nfa, usize::MAX).expect("unbounded construction cannot hit the limit")
 }
 
-/// Builds the RI-DFA of `nfa`, failing with [`Error::LimitExceeded`] when
+/// Builds the RI-DFA of `nfa`, failing with
+/// [`Error::LimitExceeded`](ridfa_automata::Error::LimitExceeded) when
 /// more than `max_states` live states would be created.
 pub fn construct_limited(nfa: &Nfa, max_states: usize) -> Result<RiDfa> {
+    construct_budgeted(nfa, &ConstructionBudget::with_max_states(max_states))
+}
+
+/// Builds the RI-DFA of `nfa` under a full [`ConstructionBudget`] (state
+/// count *and* table bytes), failing with a typed
+/// [`Error::LimitExceeded`](ridfa_automata::Error::LimitExceeded) before
+/// any allocation beyond the budget happens.
+pub fn construct_budgeted(nfa: &Nfa, budget: &ConstructionBudget) -> Result<RiDfa> {
     let classes = nfa.byte_classes();
     let stride = classes.num_classes();
     let reps = classes.representatives();
@@ -40,7 +53,8 @@ pub fn construct_limited(nfa: &Nfa, max_states: usize) -> Result<RiDfa> {
     // table, and the per-state contents. Dead state occupies id 0.
     let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
     let mut contents: Vec<Vec<StateId>> = vec![Vec::new()];
-    let mut table: Vec<StateId> = vec![DEAD; stride];
+    let mut table: Vec<StateId> = Vec::new();
+    budget.grow_table(&mut table, stride, DEAD, WHAT_BYTES)?;
 
     let mut worklist: Vec<StateId> = Vec::new();
     let mut entry = vec![DEAD; num_nfa_states];
@@ -59,7 +73,7 @@ pub fn construct_limited(nfa: &Nfa, max_states: usize) -> Result<RiDfa> {
                     &mut contents,
                     &mut table,
                     stride,
-                    max_states,
+                    budget,
                 )?;
                 worklist.push(id);
                 id
@@ -90,7 +104,7 @@ pub fn construct_limited(nfa: &Nfa, max_states: usize) -> Result<RiDfa> {
                             &mut contents,
                             &mut table,
                             stride,
-                            max_states,
+                            budget,
                         )?;
                         worklist.push(id);
                         id
@@ -143,25 +157,21 @@ pub fn construct_limited(nfa: &Nfa, max_states: usize) -> Result<RiDfa> {
     Ok(rid)
 }
 
-/// Allocates a fresh RI-DFA state for `subset`, growing the table.
+/// Allocates a fresh RI-DFA state for `subset`, growing the table under
+/// the construction budget.
 fn alloc_state(
     subset: Vec<StateId>,
     ids: &mut HashMap<Vec<StateId>, StateId>,
     contents: &mut Vec<Vec<StateId>>,
     table: &mut Vec<StateId>,
     stride: usize,
-    max_states: usize,
+    budget: &ConstructionBudget,
 ) -> Result<StateId> {
-    if contents.len() > max_states {
-        return Err(Error::LimitExceeded {
-            what: "RI-DFA states",
-            limit: max_states,
-        });
-    }
+    budget.charge_state(contents.len(), WHAT_STATES)?;
+    budget.grow_table(table, stride, DEAD, WHAT_BYTES)?;
     let id = contents.len() as StateId;
     ids.insert(subset.clone(), id);
     contents.push(subset);
-    table.resize(table.len() + stride, DEAD);
     Ok(id)
 }
 
@@ -172,6 +182,7 @@ pub(crate) mod tests {
     use ridfa_automata::dfa::powerset::determinize;
     use ridfa_automata::nfa::{glushkov, Builder};
     use ridfa_automata::regex::parse;
+    use ridfa_automata::Error;
 
     pub(crate) fn figure1_nfa() -> Nfa {
         // Paper Fig. 1: 0 -a,c→ 1 ; 1 -a→ 1 ; 1 -Σ→ 0 ; 1 -b→ 2 ;
@@ -261,6 +272,23 @@ pub(crate) mod tests {
         let nfa = glushkov::build(&parse("[ab]*a[ab]{12}").unwrap()).unwrap();
         let err = construct_limited(&nfa, 50).unwrap_err();
         assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let nfa = glushkov::build(&parse("[ab]*a[ab]{12}").unwrap()).unwrap();
+        let budget = ConstructionBudget::with_max_table_bytes(8 << 10);
+        let err = construct_budgeted(&nfa, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::LimitExceeded {
+                what: "RI-DFA table bytes",
+                ..
+            }
+        ));
+        // A small machine fits under the same budget.
+        let small = glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap();
+        assert!(construct_budgeted(&small, &budget).is_ok());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub(crate) mod construct;
 mod interface;
 mod minimize;
 
-pub use construct::{construct, construct_limited};
+pub use construct::{construct, construct_budgeted, construct_limited};
 pub use minimize::minimize_interface;
 
 use ridfa_automata::alphabet::ByteClasses;
@@ -69,6 +69,18 @@ impl RiDfa {
     /// [`minimized`](RiDfa::minimized) for the Sect. 3.4 reduction).
     pub fn from_nfa(nfa: &Nfa) -> RiDfa {
         construct(nfa)
+    }
+
+    /// Builds the RI-DFA of `nfa` under a
+    /// [`ConstructionBudget`](ridfa_automata::ConstructionBudget)
+    /// (state count and table bytes), failing with a typed
+    /// [`Error::LimitExceeded`](ridfa_automata::Error::LimitExceeded)
+    /// instead of allocating without bound on adversarial patterns.
+    pub fn from_nfa_budgeted(
+        nfa: &Nfa,
+        budget: &ridfa_automata::ConstructionBudget,
+    ) -> ridfa_automata::Result<RiDfa> {
+        construct_budgeted(nfa, budget)
     }
 
     /// Returns a copy with the interface minimized by delegation

@@ -15,9 +15,13 @@ use std::collections::HashMap;
 
 use ridfa_automata::counter::Counter;
 use ridfa_automata::dfa::Dfa;
-use ridfa_automata::{Error, Result, StateId, DEAD};
+use ridfa_automata::{ConstructionBudget, Result, StateId, DEAD};
 
 use crate::csdpa::ChunkAutomaton;
+
+/// Budget axis labels for SFA construction.
+const WHAT_STATES: &str = "SFA states";
+const WHAT_BYTES: &str = "SFA table bytes";
 
 /// A Simultaneous Finite Automaton derived from a DFA.
 #[derive(Debug, Clone)]
@@ -40,9 +44,24 @@ pub struct Sfa {
 }
 
 impl Sfa {
-    /// Builds the SFA of `dfa`, failing with [`Error::LimitExceeded`] once
+    /// Builds the SFA of `dfa`, failing with
+    /// [`Error::LimitExceeded`](ridfa_automata::Error::LimitExceeded) once
     /// more than `max_states` function states have been discovered.
     pub fn build_limited(dfa: &Dfa, max_states: usize) -> Result<Sfa> {
+        // Historical convention: `max_states` is a cap on the total state
+        // count (error once `functions.len() >= max_states`), which maps
+        // onto the shared `charge_state` by charging the post-insert count.
+        Sfa::build_budgeted(
+            dfa,
+            &ConstructionBudget::with_max_states(max_states.saturating_sub(1)),
+        )
+    }
+
+    /// Builds the SFA of `dfa` under a full [`ConstructionBudget`] (state
+    /// count *and* table bytes) — the explosion-prone construction this
+    /// module exists to study, now aborting with a typed error before any
+    /// allocation beyond the budget happens.
+    pub fn build_budgeted(dfa: &Dfa, budget: &ConstructionBudget) -> Result<Sfa> {
         let stride = dfa.stride();
         let n = dfa.num_states();
         let identity: Vec<StateId> = (0..n as StateId).collect();
@@ -52,7 +71,7 @@ impl Sfa {
         let mut table: Vec<StateId> = Vec::new();
         ids.insert(identity.clone(), 0);
         functions.push(identity);
-        table.resize(table.len() + stride, u32::MAX);
+        budget.grow_table(&mut table, stride, u32::MAX, WHAT_BYTES)?;
 
         let mut worklist: Vec<StateId> = vec![0];
         while let Some(s) = worklist.pop() {
@@ -62,16 +81,11 @@ impl Sfa {
                 let id = match ids.get(&g) {
                     Some(&id) => id,
                     None => {
-                        if functions.len() >= max_states {
-                            return Err(Error::LimitExceeded {
-                                what: "SFA states",
-                                limit: max_states,
-                            });
-                        }
+                        budget.charge_state(functions.len(), WHAT_STATES)?;
+                        budget.grow_table(&mut table, stride, u32::MAX, WHAT_BYTES)?;
                         let id = functions.len() as StateId;
                         ids.insert(g.clone(), id);
                         functions.push(g);
-                        table.resize(table.len() + stride, u32::MAX);
                         worklist.push(id);
                         id
                     }
@@ -218,7 +232,7 @@ mod tests {
     use ridfa_automata::dfa::powerset::determinize;
     use ridfa_automata::nfa::glushkov;
     use ridfa_automata::regex::parse;
-    use ridfa_automata::NoCount;
+    use ridfa_automata::{Error, NoCount};
 
     fn sfa_for(pattern: &str) -> (Sfa, Dfa) {
         let dfa = determinize(&glushkov::build(&parse(pattern).unwrap()).unwrap());
@@ -260,6 +274,20 @@ mod tests {
         let dfa = determinize(&glushkov::build(&parse("[ab]*a[ab]{8}").unwrap()).unwrap());
         let err = Sfa::build_limited(&dfa, 64).unwrap_err();
         assert!(matches!(err, Error::LimitExceeded { .. }));
+    }
+
+    #[test]
+    fn sfa_byte_budget_enforced() {
+        let dfa = determinize(&glushkov::build(&parse("[ab]*a[ab]{8}").unwrap()).unwrap());
+        let err = Sfa::build_budgeted(&dfa, &ConstructionBudget::with_max_table_bytes(1 << 10))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::LimitExceeded {
+                what: "SFA table bytes",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!
 //! See `README.md` for a guided tour and `examples/` for runnable programs.
 
+pub mod faults;
+
 pub use ridfa_automata as automata;
 pub use ridfa_core as core;
 pub use ridfa_workloads as workloads;

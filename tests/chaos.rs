@@ -1,0 +1,309 @@
+//! Deterministic chaos suite: every fault the library claims to contain
+//! is injected here — worker-killing panics, depleted respawn budgets,
+//! expired deadlines, cancellations, mid-stream I/O errors, panicking
+//! chunk automata, and state-exploding constructions — and every test
+//! asserts the documented containment: typed errors (never an unwinding
+//! panic across a public budgeted API), sessions that stay reusable, and
+//! buffer accounting that does not drift.
+//!
+//! All schedules are seeded ([`XorShift64`]) or byte-exact, so a failure
+//! reproduces deterministically. `CHAOS_ITERS` scales the perturbation
+//! loops (CI runs elevated iterations; the default keeps tier-1 fast).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use ridfa::automata::nfa::glushkov;
+use ridfa::automata::{regex, ConstructionBudget, Error};
+use ridfa::core::csdpa::{
+    recognize_budgeted, Budget, CancelToken, ConvergentRidCa, Degraded, Executor, RecognizeError,
+    RidCa, Session, StreamError, StreamSession,
+};
+use ridfa::core::ridfa::RiDfa;
+use ridfa::core::sfa::Sfa;
+use ridfa::faults::{kill_workers, state_explosion_pattern, FailingReader, PanicCa, XorShift64};
+
+/// Tracks current and peak heap usage so the construction-budget test can
+/// prove the cap bounded the blow-up, not just produced an error late.
+struct PeakAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let live = self.current.fetch_add(layout.size(), Ordering::SeqCst) + layout.size();
+            self.peak.fetch_max(live, Ordering::SeqCst);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.current.fetch_sub(layout.size(), Ordering::SeqCst);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc {
+    current: AtomicUsize::new(0),
+    peak: AtomicUsize::new(0),
+};
+
+/// Iteration scale: `CHAOS_ITERS` (CI sets an elevated count) or a small
+/// default that keeps the tier-1 suite fast.
+fn chaos_iters(default: usize) -> usize {
+    std::env::var("CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn machine() -> RiDfa {
+    let ast = regex::parse("[ab]*a[ab]{4}").unwrap();
+    RiDfa::from_nfa(&glushkov::build(&ast).unwrap()).minimized()
+}
+
+/// Accepted/rejected text mix with verdicts known by construction.
+fn text_mix() -> (Vec<Vec<u8>>, Vec<bool>) {
+    let accepted = b"abbaabbbaabab".repeat(40);
+    let rejected = b"bbbb".repeat(100);
+    let texts = vec![
+        accepted.clone(),
+        rejected.clone(),
+        accepted[..26].to_vec(),
+        b"a".to_vec(),
+        Vec::new(),
+    ];
+    let verdicts = vec![true, false, true, false, false];
+    (texts, verdicts)
+}
+
+#[test]
+fn killed_workers_respawn_and_the_next_request_is_served_correctly() {
+    let rid = machine();
+    let ca = RidCa::new(&rid);
+    let mut session = Session::new(4);
+    let (texts, expected) = text_mix();
+    let mut rng = XorShift64::new(0xC0FFEE);
+    let mut killed_total = 0;
+    for round in 0..chaos_iters(3) {
+        // Kill 1-2 workers with an untrappable (drop-panicking) payload,
+        // then hit the poisoned pool with the very next batch.
+        let kills = 1 + rng.below(2) as usize;
+        kill_workers(session.pool(), kills);
+        killed_total += kills as u64;
+        let chunks = 1 + rng.below(7) as usize;
+        assert_eq!(
+            session.recognize_many(&ca, &texts, chunks),
+            expected,
+            "round {round} chunks {chunks}"
+        );
+        // Dispatch healed the pool back to full strength — and the kill
+        // was trapped, not propagated.
+        let health = session.health();
+        assert_eq!(health.live, health.configured, "round {round}");
+        assert!(health.respawns >= killed_total, "round {round}");
+        assert!(session.last_degraded().is_none(), "round {round}");
+    }
+}
+
+#[test]
+fn depleted_pool_degrades_to_serial_with_a_recorded_reason() {
+    let rid = machine();
+    let ca = RidCa::new(&rid);
+    // Zero respawn budget: deaths are permanent, so killing 3 of 4
+    // workers leaves the pool below quorum (1 live × 2 < 4 configured).
+    let mut session = Session::with_respawn_limit(4, 0);
+    kill_workers(session.pool(), 3);
+    let (texts, expected) = text_mix();
+
+    let out = session.recognize(&ca, &texts[0], 8);
+    assert!(out.accepted);
+    assert_eq!(out.executor, Executor::Serial, "must degrade, not limp");
+    assert_eq!(
+        session.last_degraded(),
+        Some(Degraded::PoolBelowQuorum {
+            live: 1,
+            configured: 4
+        })
+    );
+
+    // The batch and budgeted paths degrade the same way and stay correct.
+    assert_eq!(session.recognize_many(&ca, &texts, 4), expected);
+    assert!(session.last_degraded().is_some());
+    let roomy = Budget::with_timeout(Duration::from_secs(3600));
+    let out = session
+        .recognize_budgeted(&ca, &texts[0], 8, &roomy)
+        .unwrap();
+    assert!(out.accepted);
+    assert_eq!(out.executor, Executor::Serial);
+
+    // A degraded session still honors budgets with typed errors.
+    assert_eq!(
+        session
+            .recognize_budgeted(&ca, &texts[0], 8, &Budget::with_timeout(Duration::ZERO))
+            .unwrap_err(),
+        RecognizeError::DeadlineExceeded
+    );
+}
+
+#[test]
+fn expired_deadlines_and_cancellations_are_deterministic_and_leave_streams_reusable() {
+    let rid = machine();
+    let ca = ConvergentRidCa::new(&rid);
+    let text = b"abbaabbbaabab".repeat(200);
+    let mut stream = StreamSession::new(2, 64);
+    let ring = stream.buffer_bytes();
+
+    for _ in 0..chaos_iters(2) {
+        // Pre-expired deadline: fails before composing a single wave.
+        let err = stream
+            .recognize_stream_budgeted(
+                &ca,
+                Cursor::new(&text),
+                &Budget::with_timeout(Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StreamError::DeadlineExceeded), "{err}");
+        assert_eq!(stream.buffer_bytes(), ring, "ring grew on deadline");
+
+        // Pre-cancelled token: ditto, with the cancel reason.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = stream
+            .recognize_stream_budgeted(&ca, Cursor::new(&text), &Budget::with_cancel(&token))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Cancelled), "{err}");
+        assert_eq!(stream.buffer_bytes(), ring, "ring grew on cancel");
+
+        // Mid-stream I/O fault at an exact byte offset, through both the
+        // budgeted (typed) and the plain (io::Error) surface.
+        let broken = FailingReader::would_block(Cursor::new(&text), 200);
+        let err = stream
+            .recognize_stream_budgeted(&ca, broken, &Budget::unlimited())
+            .unwrap_err();
+        assert!(
+            matches!(err, StreamError::Io(ref e) if e.kind() == std::io::ErrorKind::WouldBlock)
+        );
+        let broken = FailingReader::would_block(Cursor::new(&text), 200);
+        let err = stream.recognize_stream(&ca, broken).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert_eq!(stream.buffer_bytes(), ring, "ring grew on I/O error");
+
+        // After every failure the session serves the next stream fully.
+        let out = stream.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+        assert!(out.accepted);
+        assert_eq!(out.bytes, text.len() as u64);
+        assert_eq!(stream.buffer_bytes(), ring);
+    }
+}
+
+#[test]
+fn a_panicking_chunk_automaton_cannot_cross_a_budgeted_api() {
+    let rid = machine();
+    let text = b"abbaabbbaabab".repeat(100);
+    let roomy = Budget::with_timeout(Duration::from_secs(3600));
+
+    // Through the free budgeted recognizer (scoped spawning executor).
+    let faulty = PanicCa::new(ConvergentRidCa::new(&rid), 2);
+    let err = recognize_budgeted(&faulty, &text, 8, Executor::PerChunk, &roomy).unwrap_err();
+    match err {
+        RecognizeError::Panicked(msg) => assert!(msg.contains("injected fault"), "{msg}"),
+        other => panic!("expected Panicked, got {other:?}"),
+    }
+    // The injected panic fired exactly once: the same automaton now works.
+    let out = recognize_budgeted(&faulty, &text, 8, Executor::PerChunk, &roomy).unwrap();
+    assert!(out.accepted);
+
+    // Through a session (pooled executor) — and the pool survives. An
+    // 8-chunk call makes 7 interior scans (the first chunk scans via
+    // `scan_first_into`), so the injected ordinal cycles through 2..=7
+    // to always fire inside the budgeted call under any CHAOS_ITERS.
+    for round in 1..=chaos_iters(3) {
+        let ordinal = 2 + (round % 6);
+        let faulty = PanicCa::new(ConvergentRidCa::new(&rid), ordinal);
+        let mut session = Session::new(2);
+        let err = session
+            .recognize_budgeted(&faulty, &text, 8, &roomy)
+            .unwrap_err();
+        assert!(
+            matches!(err, RecognizeError::Panicked(_)),
+            "ordinal {ordinal}: {err:?}"
+        );
+        let health = session.health();
+        assert_eq!(health.live, health.configured, "pool lost workers");
+        assert!(session.recognize(&faulty, &text, 8).accepted);
+    }
+
+    // Through the budgeted stream — reusable afterwards.
+    let faulty = PanicCa::new(ConvergentRidCa::new(&rid), 1);
+    let mut stream = StreamSession::new(1, 64);
+    let ring = stream.buffer_bytes();
+    let err = stream
+        .recognize_stream_budgeted(&faulty, Cursor::new(&text), &roomy)
+        .unwrap_err();
+    assert!(matches!(err, StreamError::Panicked(_)), "{err}");
+    assert_eq!(stream.buffer_bytes(), ring);
+    let out = stream
+        .recognize_stream(&faulty, Cursor::new(&text))
+        .unwrap();
+    assert!(out.accepted);
+}
+
+#[test]
+fn construction_budgets_turn_state_explosions_into_typed_errors() {
+    // [ab]*a[ab]{22} determinizes to millions of states (hundreds of MiB
+    // of table): the budget must fail it early and typed, with the peak
+    // heap growth bounded near the cap — proof the construction stopped
+    // *before* the blow-up rather than after.
+    let ast = regex::parse(&state_explosion_pattern(22)).unwrap();
+    let nfa = glushkov::build(&ast).unwrap();
+    const CAP_BYTES: usize = 64 << 10;
+    let peak_before = ALLOC.peak.load(Ordering::SeqCst);
+
+    let budget = ConstructionBudget::with_max_table_bytes(CAP_BYTES);
+    let err = ridfa::automata::dfa::powerset::determinize_budgeted(&nfa, &budget).unwrap_err();
+    assert!(matches!(err, Error::LimitExceeded { .. }), "{err}");
+    let err = RiDfa::from_nfa_budgeted(&nfa, &budget).unwrap_err();
+    assert!(matches!(err, Error::LimitExceeded { .. }), "{err}");
+
+    let peak_growth = ALLOC.peak.load(Ordering::SeqCst) - peak_before;
+    // Generous slack over the 64 KiB cap for subset bookkeeping and
+    // concurrent tests in this binary; an unbudgeted run would blow
+    // hundreds of MiB past it.
+    assert!(
+        peak_growth < 16 << 20,
+        "peak grew {peak_growth} bytes despite a {CAP_BYTES}-byte cap"
+    );
+
+    // State caps produce the same typed error across all constructions.
+    let small = ConstructionBudget::with_max_states(16);
+    assert!(matches!(
+        ridfa::automata::dfa::powerset::determinize_budgeted(&nfa, &small),
+        Err(Error::LimitExceeded { limit: 16, .. })
+    ));
+    assert!(RiDfa::from_nfa_budgeted(&nfa, &small).is_err());
+    let tame = regex::parse("[ab]*a[ab]{2}").unwrap();
+    let dfa = ridfa::automata::dfa::powerset::determinize(&glushkov::build(&tame).unwrap());
+    assert!(matches!(
+        Sfa::build_budgeted(&dfa, &ConstructionBudget::with_max_states(1)),
+        Err(Error::LimitExceeded { .. })
+    ));
+
+    // Within budget, construction succeeds and recognizes normally.
+    let ok_budget = ConstructionBudget::with_max_table_bytes(64 << 20);
+    let tame_nfa = glushkov::build(&tame).unwrap();
+    let rid = RiDfa::from_nfa_budgeted(&tame_nfa, &ok_budget).unwrap();
+    let ca = RidCa::new(&rid);
+    assert!(
+        recognize_budgeted(&ca, b"abbaab", 2, Executor::Serial, &Budget::unlimited())
+            .unwrap()
+            .accepted
+    );
+}

@@ -1,0 +1,82 @@
+//! Parser robustness audit: 10 000 seeded random metacharacter-heavy
+//! patterns, each of which must come back as `Ok(ast)` or a typed
+//! `ParseError` — never a panic. Parse-only on purpose: nested counted
+//! repetitions like `a{4096}{4096}` are legal to *parse* but blow up the
+//! position count if built into an NFA, and that is the builder's
+//! budget problem (see `ConstructionBudget`), not the parser's.
+
+use ridfa::automata::regex;
+use ridfa::faults::XorShift64;
+
+/// Alphabet skewed towards the parser's special characters, escape
+/// introducers, digits (counted repetitions), and a few literals.
+const ALPHABET: &[u8] = b"()[]{}|*+?\\-^.,$xXdDwWsSnrt0123456789abAB";
+
+#[test]
+fn ten_thousand_random_garbage_patterns_never_panic() {
+    let mut rng = XorShift64::new(0x0BAD_C0DE);
+    let (mut ok, mut err) = (0usize, 0usize);
+    for _ in 0..10_000 {
+        let len = rng.below(32) as usize;
+        let pattern: String = (0..len)
+            .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+            .collect();
+        match regex::parse(&pattern) {
+            Ok(_) => ok += 1,
+            Err(error) => {
+                // Errors must render (Display is part of the contract).
+                err += 1;
+                assert!(!error.to_string().is_empty(), "pattern {pattern:?}");
+            }
+        }
+    }
+    // The alphabet is hostile enough that both outcomes occur in bulk —
+    // a fuzz run that only ever errors (or only ever parses) would mean
+    // the generator stopped exercising the grammar.
+    assert!(ok > 100, "only {ok} patterns parsed");
+    assert!(err > 100, "only {err} patterns errored");
+}
+
+#[test]
+fn multibyte_input_is_rejected_or_parsed_but_never_splits_a_char() {
+    // Patterns are `&str`, so the parser sees well-formed UTF-8; classes
+    // and escapes over multibyte characters must error typed, not panic.
+    let mut rng = XorShift64::new(0x5EED);
+    let wide = ['λ', 'é', 'ß', '☃', '😀', 'a', '[', ']', '\\', '{', '}'];
+    for _ in 0..2_000 {
+        let len = rng.below(16) as usize;
+        let pattern: String = (0..len)
+            .map(|_| wide[rng.below(wide.len() as u64) as usize])
+            .collect();
+        let _ = regex::parse(&pattern);
+    }
+}
+
+#[test]
+fn known_hostile_patterns_return_typed_errors() {
+    for pattern in [
+        "(",
+        ")",
+        "(()",
+        "[",
+        "[^",
+        "[a-",
+        "[z-a]",
+        "a{",
+        "a{2,1}",
+        "a{99999999999999999999}",
+        "\\",
+        "\\x",
+        "\\xg",
+        "[\\",
+        "[\\x4",
+        "a**{3}{",
+        "{3}",
+        "|{2}",
+        "[]",
+    ] {
+        let error =
+            regex::parse(pattern).expect_err(&format!("pattern {pattern:?} should not parse"));
+        assert!(!error.to_string().is_empty(), "pattern {pattern:?}");
+    }
+}

@@ -129,6 +129,69 @@ fn stream_matches_one_shot_for_all_six_cas_on_random_cases() {
     }
 }
 
+/// The adversarial failure matrix: every chunk automaton, hit with
+/// retryable stalls (which must be absorbed), then with non-retryable
+/// mid-stream I/O faults at exact byte offsets (which must surface as
+/// typed `io::Error`s) — after every failure the same session must serve
+/// the next stream completely, with `buffer_bytes()` unchanged (no block
+/// leaked by the aborted run).
+#[test]
+fn mid_stream_io_faults_leave_sessions_reusable_for_all_six_cas() {
+    use ridfa::faults::{FailingReader, ShortReader, StallingReader};
+
+    let ast = ridfa::automata::regex::parse("[ab]*a[ab]{4}").unwrap();
+    let nfa = ridfa::automata::nfa::glushkov::build(&ast).unwrap();
+    let dfa = minimize::minimize(&powerset::determinize(&nfa));
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let sfa = Sfa::build_limited(&dfa, 1 << 14).expect("small machine fits");
+    let text = b"abbaabbbaabab".repeat(50);
+
+    macro_rules! check {
+        ($ca:expr, $label:literal) => {{
+            let ca = $ca;
+            let mut session = StreamSession::new(2, 64);
+            let clean = session.recognize_stream(ca, Cursor::new(&text)).unwrap();
+            assert!(clean.accepted, $label);
+            let ring = session.buffer_bytes();
+
+            // Retryable interrupts and 3-byte short reads are absorbed.
+            let out = session
+                .recognize_stream(
+                    ca,
+                    StallingReader::new(ShortReader::new(Cursor::new(&text), 3), 2),
+                )
+                .unwrap();
+            assert!(out.accepted, $label);
+            assert_eq!(out.bytes, text.len() as u64, $label);
+            assert_eq!(session.buffer_bytes(), ring, $label);
+
+            // Non-retryable faults surface typed, at exact offsets: before
+            // the first block, mid-stream, and on the very last byte.
+            for (deliver, kind) in [
+                (0usize, io::ErrorKind::WouldBlock),
+                (200, io::ErrorKind::WouldBlock),
+                (text.len() - 1, io::ErrorKind::ConnectionReset),
+            ] {
+                let err = session
+                    .recognize_stream(ca, FailingReader::new(Cursor::new(&text), deliver, kind))
+                    .unwrap_err();
+                assert_eq!(err.kind(), kind, "{} deliver {deliver}", $label);
+                assert_eq!(session.buffer_bytes(), ring, "{} deliver {deliver}", $label);
+                let again = session.recognize_stream(ca, Cursor::new(&text)).unwrap();
+                assert!(again.accepted, "{} deliver {deliver}", $label);
+                assert_eq!(again.bytes, text.len() as u64, $label);
+                assert_eq!(session.buffer_bytes(), ring, $label);
+            }
+        }};
+    }
+    check!(&DfaCa::new(&dfa), "dfa");
+    check!(&NfaCa::new(&nfa), "nfa");
+    check!(&RidCa::new(&rid), "rid");
+    check!(&ConvergentDfaCa::new(&dfa), "dfa+conv");
+    check!(&ConvergentRidCa::new(&rid), "rid+conv");
+    check!(&SfaCa::new(&sfa), "sfa");
+}
+
 #[test]
 fn stream_traffic_pipe_accepts_and_rejects() {
     let rid = RiDfa::from_nfa(&traffic::nfa()).minimized();
