@@ -1,0 +1,659 @@
+//! The binary artifact format: versioned, checksummed, typed-error.
+//!
+//! An artifact is a little-endian byte container:
+//!
+//! ```text
+//! offset  size  field
+//! 0       6     magic  "RIDFA\0"
+//! 6       2     format version (u16)
+//! 8       1     artifact kind tag (u8)
+//! 9       1     reserved (must be 0)
+//! 10      8     payload length (u64)
+//! 18      8     word-folded FNV-64 checksum of the payload
+//! 26      …     payload (kind-specific sections)
+//! ```
+//!
+//! The payload is written through [`Encoder`] and read back through
+//! [`Decoder`] — length-prefixed sections of fixed-width little-endian
+//! integers. Every decode failure is a typed [`DecodeError`]; hostile
+//! bytes can neither panic nor allocate more than the input itself
+//! implies (length prefixes are validated against the bytes actually
+//! present *before* any buffer is reserved).
+//!
+//! This module owns the container plus the [`ByteClasses`] and [`Dfa`]
+//! codecs. The RI-DFA codec lives in the core crate (its fields are
+//! private there) but is built from these same primitives, which is why
+//! [`Encoder`], [`Decoder`] and the container functions are public.
+
+use std::fmt;
+
+use crate::alphabet::ByteClasses;
+use crate::dfa::{premultiply, Dfa};
+use crate::error::Error;
+use crate::{BitSet, StateId};
+
+/// Leading magic of every artifact.
+pub const MAGIC: [u8; 6] = *b"RIDFA\0";
+
+/// Current format version. Decoders reject anything newer.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Size of the fixed container header preceding the payload.
+pub const HEADER_LEN: usize = 26;
+
+/// What an artifact contains (the kind tag in the container header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A minimized [`Dfa`] plus its premultiplied table.
+    Dfa,
+    /// An RI-DFA (interface + minimized core) plus its premultiplied
+    /// table; the codec lives in the core crate.
+    RiDfa,
+}
+
+impl ArtifactKind {
+    /// The on-wire tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Dfa => 1,
+            ArtifactKind::RiDfa => 2,
+        }
+    }
+
+    /// Parses a tag byte.
+    pub fn from_tag(tag: u8) -> Option<ArtifactKind> {
+        match tag {
+            1 => Some(ArtifactKind::Dfa),
+            2 => Some(ArtifactKind::RiDfa),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind name (used by `ridfa inspect-artifact`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Dfa => "dfa",
+            ArtifactKind::RiDfa => "ridfa",
+        }
+    }
+}
+
+/// Why a byte sequence failed to decode. Every variant is a property of
+/// the *input*, never of the decoder state — hostile bytes cannot panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The input declares a format version this decoder does not know.
+    UnsupportedVersion(u16),
+    /// The kind tag byte is not a known [`ArtifactKind`].
+    UnknownKind(u8),
+    /// The artifact holds a different kind than the caller asked for.
+    WrongKind {
+        /// Kind the caller expected.
+        expected: ArtifactKind,
+        /// Kind the container header declares.
+        found: ArtifactKind,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the payload actually present.
+        computed: u64,
+    },
+    /// The input ended before a field could be read in full.
+    Truncated {
+        /// Byte offset (within the region being decoded) of the read.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
+    /// Bytes remain after the structure was fully decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+    /// The bytes parsed but describe an invalid structure (failed the
+    /// same validation a freshly constructed automaton must pass).
+    Malformed(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a ridfa artifact (bad magic)"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported artifact version {v} (decoder knows {FORMAT_VERSION})"
+                )
+            }
+            DecodeError::UnknownKind(tag) => write!(f, "unknown artifact kind tag {tag}"),
+            DecodeError::WrongKind { expected, found } => write!(
+                f,
+                "artifact holds a {} but a {} was expected",
+                found.name(),
+                expected.name()
+            ),
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "payload checksum mismatch (header {stored:#018x}, computed {computed:#018x})"
+            ),
+            DecodeError::Truncated { offset, needed } => {
+                write!(
+                    f,
+                    "input truncated at offset {offset} (needed {needed} more bytes)"
+                )
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after the artifact")
+            }
+            DecodeError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Error {
+        Error::Deserialize(e.to_string())
+    }
+}
+
+/// Word-folded FNV-64 over `bytes` — the artifact checksum. FNV-1a's
+/// xor-multiply round applied to 8-byte little-endian words (with a
+/// byte-wise tail and a final length fold), so sealing and verifying
+/// cost one multiply per word instead of one per byte. Every round is a
+/// bijection of the running hash, so any change to an equal-length
+/// payload is guaranteed to change the digest. Not cryptographic; it
+/// detects truncation and bit rot, not adversaries (artifacts are fully
+/// re-validated structurally after the checksum gate anyway).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut words = bytes.chunks_exact(8);
+    for word in &mut words {
+        hash ^= u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        hash = hash.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash ^= bytes.len() as u64;
+    hash.wrapping_mul(PRIME)
+}
+
+/// Wraps `payload` in the artifact container (header + checksum).
+pub fn seal(kind: ArtifactKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(kind.tag());
+    out.push(0);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The container header of an artifact, as read by [`peek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactHeader {
+    /// Declared format version.
+    pub version: u16,
+    /// What the payload holds.
+    pub kind: ArtifactKind,
+    /// Declared payload length in bytes.
+    pub payload_len: u64,
+    /// Declared payload checksum (word-folded FNV-64).
+    pub checksum: u64,
+}
+
+/// Reads and validates the container header without touching the
+/// payload checksum (used by `ridfa inspect-artifact` to describe even
+/// artifacts whose payload is damaged).
+pub fn peek(bytes: &[u8]) -> Result<ArtifactHeader, DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            offset: bytes.len(),
+            needed: HEADER_LEN - bytes.len(),
+        });
+    }
+    if bytes[..6] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let kind = ArtifactKind::from_tag(bytes[8]).ok_or(DecodeError::UnknownKind(bytes[8]))?;
+    if bytes[9] != 0 {
+        return Err(DecodeError::Malformed(format!(
+            "reserved header byte is {:#04x}, must be 0",
+            bytes[9]
+        )));
+    }
+    let payload_len = u64::from_le_bytes(bytes[10..18].try_into().expect("8 bytes"));
+    let checksum = u64::from_le_bytes(bytes[18..26].try_into().expect("8 bytes"));
+    Ok(ArtifactHeader {
+        version,
+        kind,
+        payload_len,
+        checksum,
+    })
+}
+
+/// Validates the container (magic, version, kind, length, checksum) and
+/// returns the payload slice.
+pub fn open(bytes: &[u8], expected: ArtifactKind) -> Result<&[u8], DecodeError> {
+    let header = peek(bytes)?;
+    if header.kind != expected {
+        return Err(DecodeError::WrongKind {
+            expected,
+            found: header.kind,
+        });
+    }
+    let available = (bytes.len() - HEADER_LEN) as u64;
+    if header.payload_len > available {
+        return Err(DecodeError::Truncated {
+            offset: bytes.len(),
+            needed: (header.payload_len - available) as usize,
+        });
+    }
+    if header.payload_len < available {
+        return Err(DecodeError::TrailingBytes {
+            remaining: (available - header.payload_len) as usize,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let computed = fnv1a(payload);
+    if computed != header.checksum {
+        return Err(DecodeError::ChecksumMismatch {
+            stored: header.checksum,
+            computed,
+        });
+    }
+    Ok(payload)
+}
+
+/// Builds an artifact payload: fixed-width little-endian writes plus
+/// length-prefixed sections.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty payload encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed (`u64`) raw byte section.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed (`u64`) section of little-endian
+    /// `u32`s — the workhorse for state-id tables.
+    pub fn put_u32s(&mut self, values: &[u32]) {
+        self.put_u64(values.len() as u64);
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a bit set as capacity plus the list of set indices.
+    pub fn put_bitset(&mut self, set: &BitSet) {
+        self.put_u64(set.capacity() as u64);
+        let members: Vec<u32> = set.iter().collect();
+        self.put_u32s(&members);
+    }
+
+    /// Appends a byte-class map: 256 raw bytes plus the class count.
+    pub fn put_classes(&mut self, classes: &ByteClasses) {
+        for byte in 0..=255u8 {
+            self.buf.push(classes.get(byte));
+        }
+        self.put_u16(classes.num_classes() as u16);
+    }
+
+    /// The finished payload, ready for [`seal`].
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads an artifact payload produced by [`Encoder`]. All reads are
+/// bounds-checked and length prefixes are validated against the bytes
+/// actually remaining before any allocation.
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decodes `bytes` from the start.
+    pub fn new(bytes: &'a [u8]) -> Decoder<'a> {
+        Decoder { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                offset: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length prefix that must fit in the remaining bytes when
+    /// each element occupies `elem_size` bytes.
+    fn take_len(&mut self, elem_size: usize) -> Result<usize, DecodeError> {
+        let at = self.pos;
+        let len = self.take_u64()?;
+        let max = (self.remaining() / elem_size.max(1)) as u64;
+        if len > max {
+            return Err(DecodeError::Truncated {
+                offset: at,
+                needed: (len - max) as usize * elem_size,
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed raw byte section.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take_len(1)?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed section of little-endian `u32`s.
+    pub fn take_u32s(&mut self) -> Result<Vec<u32>, DecodeError> {
+        let len = self.take_len(4)?;
+        let raw = self.take(len * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads a bit set written by [`Encoder::put_bitset`].
+    pub fn take_bitset(&mut self) -> Result<BitSet, DecodeError> {
+        let at = self.pos;
+        let capacity = self.take_u64()?;
+        // A bit set allocates capacity/64 words up front; bound it by
+        // the bytes present (each member costs 4 payload bytes, but an
+        // empty set over a forged huge capacity costs nothing — cap by
+        // the artifact's own table sizes instead).
+        if capacity > MAX_DECODE_STATES as u64 {
+            return Err(DecodeError::Malformed(format!(
+                "bit set capacity {capacity} exceeds the cap of {MAX_DECODE_STATES} (at offset {at})"
+            )));
+        }
+        let mut set = BitSet::new(capacity as usize);
+        for id in self.take_u32s()? {
+            if id as u64 >= capacity {
+                return Err(DecodeError::Malformed(format!(
+                    "bit set member {id} out of capacity {capacity}"
+                )));
+            }
+            set.insert(id);
+        }
+        Ok(set)
+    }
+
+    /// Reads a byte-class map written by [`Encoder::put_classes`].
+    pub fn take_classes(&mut self) -> Result<ByteClasses, DecodeError> {
+        let map = self.take(256)?.to_vec();
+        let num = self.take_u16()? as usize;
+        ByteClasses::from_exact_map(map, num).map_err(|e| DecodeError::Malformed(e.to_string()))
+    }
+
+    /// Errors unless every byte was consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Upper bound on state counts accepted from an artifact — the same
+/// spirit as the text cap: a length field must never commit more memory
+/// than the artifact's own size implies.
+pub const MAX_DECODE_STATES: usize = 1 << 26;
+
+/// A decoded DFA artifact: the validated automaton plus its
+/// premultiplied table (verified against the automaton, so serving can
+/// use it without recomputation).
+#[derive(Debug, Clone)]
+pub struct DfaArtifact {
+    /// The validated automaton.
+    pub dfa: Dfa,
+    /// `premultiply(dfa.table(), dfa.stride())`, verified at decode.
+    pub premultiplied: Vec<StateId>,
+}
+
+/// Serializes a DFA (including its premultiplied table) to a sealed
+/// artifact.
+pub fn dfa_to_bytes(dfa: &Dfa) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    encode_dfa_body(&mut enc, dfa);
+    seal(ArtifactKind::Dfa, &enc.into_payload())
+}
+
+/// Writes the DFA payload sections (shared with the RI-DFA codec in the
+/// core crate, whose minimized core is exactly these sections).
+pub fn encode_dfa_body(enc: &mut Encoder, dfa: &Dfa) {
+    enc.put_classes(dfa.classes());
+    enc.put_u64(dfa.num_states() as u64);
+    enc.put_u32(dfa.start());
+    enc.put_bitset(dfa.finals());
+    enc.put_u32s(dfa.table());
+    enc.put_u32s(&premultiply(dfa.table(), dfa.stride()));
+}
+
+/// Reads back the sections written by [`encode_dfa_body`], re-validating
+/// everything a fresh construction would establish.
+pub fn decode_dfa_body(dec: &mut Decoder<'_>) -> Result<DfaArtifact, DecodeError> {
+    let classes = dec.take_classes()?;
+    let num_states = dec.take_u64()?;
+    if num_states == 0 || num_states > MAX_DECODE_STATES as u64 {
+        return Err(DecodeError::Malformed(format!(
+            "state count {num_states} outside 1..={MAX_DECODE_STATES}"
+        )));
+    }
+    let start = dec.take_u32()?;
+    let finals = dec.take_bitset()?;
+    let table = dec.take_u32s()?;
+    let premultiplied = dec.take_u32s()?;
+    let stride = classes.num_classes();
+    if table.len() != num_states as usize * stride {
+        return Err(DecodeError::Malformed(format!(
+            "table holds {} entries, header declares {num_states} states × stride {stride}",
+            table.len()
+        )));
+    }
+    let dfa = Dfa::from_parts(classes, table, start, finals)
+        .map_err(|e| DecodeError::Malformed(e.to_string()))?;
+    if premultiplied != premultiply(dfa.table(), dfa.stride()) {
+        return Err(DecodeError::Malformed(
+            "premultiplied table does not match the transition table".into(),
+        ));
+    }
+    Ok(DfaArtifact { dfa, premultiplied })
+}
+
+/// Decodes a sealed DFA artifact.
+pub fn dfa_from_bytes(bytes: &[u8]) -> Result<DfaArtifact, DecodeError> {
+    let payload = open(bytes, ArtifactKind::Dfa)?;
+    let mut dec = Decoder::new(payload);
+    let artifact = decode_dfa_body(&mut dec)?;
+    dec.finish()?;
+    Ok(artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::minimize::minimize;
+    use crate::dfa::powerset::determinize;
+    use crate::nfa::glushkov;
+    use crate::regex::parse;
+
+    fn sample_dfa() -> Dfa {
+        minimize(&determinize(
+            &glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn dfa_binary_roundtrip() {
+        let dfa = sample_dfa();
+        let bytes = dfa_to_bytes(&dfa);
+        let back = dfa_from_bytes(&bytes).unwrap();
+        assert_eq!(back.dfa.num_states(), dfa.num_states());
+        assert_eq!(back.premultiplied, premultiply(dfa.table(), dfa.stride()));
+        for input in [&b"abb"[..], b"aabb", b"ba", b""] {
+            assert_eq!(back.dfa.accepts(input), dfa.accepts(input));
+        }
+    }
+
+    #[test]
+    fn header_peek_reports_kind_and_version() {
+        let bytes = dfa_to_bytes(&sample_dfa());
+        let header = peek(&bytes).unwrap();
+        assert_eq!(header.version, FORMAT_VERSION);
+        assert_eq!(header.kind, ArtifactKind::Dfa);
+        assert_eq!(header.payload_len as usize, bytes.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn every_truncation_errors_typed() {
+        let bytes = dfa_to_bytes(&sample_dfa());
+        for len in 0..bytes.len() {
+            let err = dfa_from_bytes(&bytes[..len]).expect_err("truncated must fail");
+            // Any variant is fine; the point is no panic and no Ok.
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics_and_mostly_fails_checksum() {
+        let bytes = dfa_to_bytes(&sample_dfa());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            // Corrupting may hit magic, version, kind, length, checksum
+            // or payload — all must come back as typed errors.
+            assert!(dfa_from_bytes(&bad).is_err(), "offset {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_reported() {
+        let dfa = sample_dfa();
+        let mut enc = Encoder::new();
+        encode_dfa_body(&mut enc, &dfa);
+        let sealed = seal(ArtifactKind::RiDfa, &enc.into_payload());
+        match dfa_from_bytes(&sealed) {
+            Err(DecodeError::WrongKind { expected, found }) => {
+                assert_eq!(expected, ArtifactKind::Dfa);
+                assert_eq!(found, ArtifactKind::RiDfa);
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = dfa_to_bytes(&sample_dfa());
+        bytes.push(0);
+        assert!(matches!(
+            dfa_from_bytes(&bytes),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_premultiplied_table_is_rejected() {
+        let dfa = sample_dfa();
+        let mut enc = Encoder::new();
+        enc.put_classes(dfa.classes());
+        enc.put_u64(dfa.num_states() as u64);
+        enc.put_u32(dfa.start());
+        enc.put_bitset(dfa.finals());
+        enc.put_u32s(dfa.table());
+        let mut pm = premultiply(dfa.table(), dfa.stride());
+        if let Some(last) = pm.last_mut() {
+            *last = last.wrapping_add(dfa.stride() as u32);
+        }
+        enc.put_u32s(&pm);
+        let sealed = seal(ArtifactKind::Dfa, &enc.into_payload());
+        assert!(matches!(
+            dfa_from_bytes(&sealed),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,22 @@
+//! Import/export of automata: a human-readable text format and a
+//! versioned, checksummed binary artifact format.
+//!
+//! Two sub-formats with different jobs:
+//!
+//! * [`text`] — the line-oriented format (in the spirit of the
+//!   Timbuk/Ondrik collections) for saving, inspecting and hand-editing
+//!   benchmark machines. Slow, diffable, forgiving of whitespace.
+//! * [`binary`] — the serving artifact format: little-endian sections
+//!   behind a magic/version/checksum header, covering byte classes,
+//!   dense transition tables and their premultiplied forms, so that
+//!   cold start is a validated load instead of a powerset construction.
+//!   All decode failures are typed [`binary::DecodeError`]s; hostile
+//!   bytes can never panic or over-allocate.
+//!
+//! The text entry points are re-exported at this level for backward
+//! compatibility (`serialize::nfa_to_text` etc.).
+
+pub mod binary;
+pub mod text;
+
+pub use text::{dfa_from_text, dfa_to_text, nfa_from_text, nfa_to_text, roundtrip_nfa};

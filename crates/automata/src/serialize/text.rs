@@ -1,9 +1,8 @@
-//! Plain-text import/export of automata.
+//! The plain-text automaton format.
 //!
-//! A deliberately simple line format (in the spirit of the Timbuk/Ondrik
-//! automata collections) so benchmark machines can be saved, inspected and
-//! reloaded by the CLI without pulling a serialization framework into the
-//! hot crates:
+//! A deliberately simple line format so benchmark machines can be saved,
+//! inspected and reloaded by the CLI without pulling a serialization
+//! framework into the hot crates:
 //!
 //! ```text
 //! nfa 3            # header: kind + number of states
@@ -15,6 +14,12 @@
 //! ```
 //!
 //! DFAs serialize their byte-class map and dense table row by row.
+//!
+//! The parsers are *structurally total*: any byte sequence that is valid
+//! UTF-8 either parses to a validated automaton or returns a typed
+//! [`Error::Deserialize`] — never a panic, and never an allocation that
+//! is not bounded by the input size plus [`MAX_TEXT_STATES`] ·
+//! [`MAX_TABLE_ENTRIES`].
 
 use std::fmt::Write as _;
 
@@ -23,6 +28,16 @@ use crate::dfa::Dfa;
 use crate::error::{Error, Result};
 use crate::nfa::{Builder, Nfa};
 use crate::{BitSet, StateId};
+
+/// Upper bound on the declared state count of a text automaton. The
+/// header count is used to pre-size builders, so it must be capped
+/// *before* any allocation — a forged `nfa 99999999999999` header would
+/// otherwise commit gigabytes on a ten-byte input.
+pub const MAX_TEXT_STATES: usize = 1 << 20;
+
+/// Upper bound on dense-table entries (`states × stride`) accepted from
+/// a text DFA (256 MiB of `u32`s). Rows past the cap error typed.
+pub const MAX_TABLE_ENTRIES: usize = 1 << 26;
 
 /// Serializes an NFA to the text format.
 pub fn nfa_to_text(nfa: &Nfa) -> String {
@@ -45,6 +60,11 @@ pub fn nfa_to_text(nfa: &Nfa) -> String {
 pub fn nfa_from_text(text: &str) -> Result<Nfa> {
     let mut lines = Lines::new(text);
     let n = lines.header("nfa")?;
+    if n > MAX_TEXT_STATES {
+        return Err(Error::Deserialize(format!(
+            "declared {n} states exceeds the cap of {MAX_TEXT_STATES}"
+        )));
+    }
     let mut b = Builder::new();
     for _ in 0..n {
         b.add_state();
@@ -61,6 +81,14 @@ pub fn nfa_from_text(text: &str) -> Result<Nfa> {
                 let to: StateId = lines.field(parts.next())?;
                 if byte > 255 {
                     return Err(Error::Deserialize(format!("byte {byte} out of range")));
+                }
+                // The builder validates `to` at `build()`, but indexes
+                // the adjacency list by `from` immediately — an
+                // out-of-range source must be rejected here.
+                if from as usize >= n {
+                    return Err(Error::Deserialize(format!(
+                        "transition source {from} out of range (num states {n})"
+                    )));
                 }
                 b.add_transition(from, byte as u8, to);
             }
@@ -119,10 +147,31 @@ pub fn dfa_from_text(text: &str) -> Result<Dfa> {
             _ => return Err(Error::Deserialize("expected 'dfa <n> <stride>'".into())),
         }
     };
+    // Both header fields bound allocations below; validate before any
+    // `with_capacity`. A stride outside 1..=256 can never come from a
+    // byte-class map.
+    if n == 0 || n > MAX_TEXT_STATES {
+        return Err(Error::Deserialize(format!(
+            "declared {n} states outside 1..={MAX_TEXT_STATES}"
+        )));
+    }
+    if stride == 0 || stride > 256 {
+        return Err(Error::Deserialize(format!(
+            "stride {stride} outside 1..=256"
+        )));
+    }
+    let entries = n
+        .checked_mul(stride)
+        .filter(|&e| e <= MAX_TABLE_ENTRIES)
+        .ok_or_else(|| {
+            Error::Deserialize(format!(
+                "table of {n}×{stride} entries exceeds the cap of {MAX_TABLE_ENTRIES}"
+            ))
+        })?;
     let mut start: StateId = 0;
     let mut finals = BitSet::new(n);
     let mut class_map: Option<Vec<u8>> = None;
-    let mut table: Vec<StateId> = Vec::with_capacity(n * stride);
+    let mut table: Vec<StateId> = Vec::with_capacity(entries);
     let mut saw_end = false;
     while let Some(line) = lines.next_content() {
         let mut parts = line.split_ascii_whitespace();
@@ -151,6 +200,11 @@ pub fn dfa_from_text(text: &str) -> Result<Dfa> {
                 class_map = Some(map);
             }
             Some("row") => {
+                if table.len() >= entries {
+                    return Err(Error::Deserialize(format!(
+                        "more than the declared {n} rows"
+                    )));
+                }
                 let before = table.len();
                 for p in parts {
                     table.push(
@@ -288,8 +342,17 @@ mod tests {
     }
 
     #[test]
-    fn dfa_missing_classes_errors() {
-        let text = "dfa 1 1\nstart 0\nrow 0\nend\n";
-        assert!(dfa_from_text(text).is_err());
+    fn hostile_headers_and_sources_error_without_allocating() {
+        // Forged state counts must be rejected before pre-sizing.
+        assert!(nfa_from_text("nfa 99999999999999999\nend").is_err());
+        assert!(dfa_from_text("dfa 99999999999 99999999\nend").is_err());
+        assert!(dfa_from_text("dfa 0 1\nend").is_err());
+        assert!(dfa_from_text("dfa 1 0\nend").is_err());
+        assert!(dfa_from_text("dfa 1 257\nend").is_err());
+        // Out-of-range transition *source* used to index the adjacency
+        // list straight off the wire (panic); must be a typed error.
+        assert!(nfa_from_text("nfa 1\ntrans 5 97 0\nend").is_err());
+        // More rows than declared.
+        assert!(dfa_from_text("dfa 1 1\nrow 0\nrow 0\nend").is_err());
     }
 }

@@ -1,0 +1,72 @@
+//! Cold-start bench behind the pattern registry: how long until a
+//! pattern is *servable*?
+//!
+//! Three roads into a [`PatternRegistry`] are timed on the same
+//! pattern (`[ab]*a[ab]{13}`, a powerset-hostile mask with ~2^14
+//! subset states before minimization):
+//!
+//! * `construct_regex` — parse → Glushkov → powerset → minimize →
+//!   premultiply, the full from-source pipeline;
+//! * `construct_nfa` — the same minus parsing, starting from a built
+//!   NFA (what `insert_nfa` does);
+//! * `load_artifact` — decode a sealed `.rida` binary artifact with
+//!   its premultiplied table already inside (what a prod deploy ships);
+//! * `decode_only` — the raw `ridfa_from_bytes` decode, isolating the
+//!   codec from registry bookkeeping (warm sessions, eviction ledger).
+//!
+//! Every road ends with the registry entry warm and the id removed
+//! again, so each iteration is a true cold start. The acceptance bar
+//! (ROADMAP / baseline `registry_cold_start.json`): `load_artifact`
+//! at least 10× faster than `construct_nfa`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ridfa_automata::nfa::glushkov;
+use ridfa_automata::regex;
+use ridfa_core::csdpa::{PatternRegistry, RegistryConfig};
+use ridfa_core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, RiDfa};
+
+const PATTERN: &str = "[ab]*a[ab]{13}";
+
+fn bench_registry_cold_start(c: &mut Criterion) {
+    let ast = regex::parse(PATTERN).unwrap();
+    let nfa = glushkov::build(&ast).unwrap();
+    let rid = RiDfa::from_nfa(&nfa).minimized();
+    let artifact = ridfa_to_bytes(&rid);
+
+    let mut reg = PatternRegistry::new(RegistryConfig {
+        num_workers: 2,
+        ..RegistryConfig::default()
+    });
+
+    let mut group = c.benchmark_group("registry_cold_start");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+
+    group.bench_function("construct_regex", |b| {
+        b.iter(|| {
+            reg.insert_regex("p", PATTERN).unwrap();
+            reg.remove("p")
+        });
+    });
+    group.bench_function("construct_nfa", |b| {
+        b.iter(|| {
+            reg.insert_nfa("p", &nfa).unwrap();
+            reg.remove("p")
+        });
+    });
+    group.bench_function("load_artifact", |b| {
+        b.iter(|| {
+            reg.insert_artifact("p", &artifact).unwrap();
+            reg.remove("p")
+        });
+    });
+    group.bench_function("decode_only", |b| {
+        b.iter(|| ridfa_from_bytes(&artifact).unwrap().rid.num_states());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry_cold_start);
+criterion_main!(benches);

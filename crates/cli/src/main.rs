@@ -10,6 +10,9 @@
 //! ridfa recognize --regex '(a|b)*abb' --text input.txt --pool  # warm session
 //! ridfa drive --regex '(a|b)*abb' --text input.txt     # compare all variants
 //! ridfa serve --requests 1024 --len 2048               # batch/serving mode
+//! ridfa compile --regex '(a|b)*abb' --out p.rida       # RE → binary artifact
+//! ridfa serve --listen 127.0.0.1:0 --patterns pats.txt # network serving mode
+//! ridfa query --connect 127.0.0.1:4041 --pattern p --text input.txt
 //! ridfa help
 //! ```
 
@@ -19,13 +22,15 @@ use std::time::{Duration, Instant};
 
 use ridfa_automata::dfa::{minimize, powerset, Dfa};
 use ridfa_automata::nfa::{glushkov, Nfa};
+use ridfa_automata::serialize::binary;
 use ridfa_automata::{regex, serialize, ConstructionBudget};
 use ridfa_core::csdpa::{
     recognize_counted, Budget, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, CountedOutcome,
-    DfaCa, Executor, NfaCa, Outcome, RecognizeError, RidCa, Session, StreamError, StreamOutcome,
-    StreamSession,
+    DfaCa, Executor, NfaCa, Outcome, PatternRegistry, RecognizeError, RegistryConfig,
+    RegistryError, RidCa, Session, StreamError, StreamOutcome, StreamSession,
 };
-use ridfa_core::ridfa::RiDfa;
+use ridfa_core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, RiDfa};
+use ridfa_core::serve::{protocol, ServeConfig, Server};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +46,9 @@ fn main() -> ExitCode {
             "recognize" => cmd_recognize(&opts),
             "drive" => cmd_drive(&opts),
             "serve" => cmd_serve(&opts),
+            "compile" => cmd_compile(&opts),
+            "inspect-artifact" => cmd_inspect_artifact(&opts),
+            "query" => cmd_query(&opts),
             "help" | "--help" | "-h" => {
                 println!("{USAGE}");
                 Ok(())
@@ -148,7 +156,27 @@ USAGE:
                    [--block-size BYTES]                 N-byte generated
                                                         record pipe through
                                                         a StreamSession
+  ridfa serve      --listen ADDR --patterns FILE        network serving mode:
+                   [--max-requests N] [--deadline-ms MS] bind ADDR (port 0
+                   [--idle-ms MS] [--max-body BYTES]    picks a free port),
+                   [--threads N] [--block-size BYTES]   load the pattern
+                   [--max-states N] [--max-table-bytes N] file, serve until
+                                                        the request quota
+  ridfa compile    (--regex PATTERN | --nfa FILE | --workload NAME)
+                   --out FILE [--kind ridfa|dfa]        build the (minimized)
+                   [--max-states N]                     automaton once, seal
+                                                        it as a checksummed
+                                                        binary artifact
+  ridfa inspect-artifact --file FILE                    validate + describe
+                                                        an artifact
+  ridfa query      --connect ADDR --pattern ID          one request against
+                   --text FILE                          a running server;
+                                                        exit code = verdict
   ridfa help
+
+A `--patterns FILE` holds one pattern per line: `ID REGEX`, or
+`ID @FILE.rida` to load a compiled artifact (cold start without any
+powerset construction). Blank lines and `#` comments are skipped.
 
 `--pool` recognizes through a persistent Session (no thread spawn per
 text, warm per-worker scan state) instead of spawning threads per call.
@@ -745,6 +773,9 @@ fn cmd_drive(opts: &Opts) -> Result<(), CliError> {
 /// throughput and mean per-text latency. `--no-pool` recognizes each
 /// text with the spawning executor instead, for comparison.
 fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    if opts.get("listen").is_some() {
+        return cmd_serve_listen(opts);
+    }
     if opts.get_bool("stream") {
         return cmd_serve_stream(opts);
     }
@@ -917,4 +948,263 @@ fn serve<CA: ChunkAutomaton>(
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Maps a registry failure onto the CLI exit-code taxonomy.
+fn registry_error(error: RegistryError) -> CliError {
+    match error {
+        RegistryError::Construction(e) => match e {
+            ridfa_automata::Error::LimitExceeded { .. } => CliError::Budget(e.to_string()),
+            other => CliError::Usage(other.to_string()),
+        },
+        RegistryError::Decode(e) => CliError::Usage(format!("artifact rejected: {e}")),
+        RegistryError::Oversized { .. } => CliError::Budget(error.to_string()),
+        RegistryError::UnknownPattern(_) | RegistryError::DuplicatePattern(_) => {
+            CliError::Usage(error.to_string())
+        }
+        RegistryError::Recognize(e) => recognize_error(e),
+        RegistryError::Stream(e) => stream_error(e),
+    }
+}
+
+/// `ridfa compile`: build the automaton once, seal it as a checksummed
+/// binary artifact — cold starts become a validated load.
+fn cmd_compile(opts: &Opts) -> Result<(), CliError> {
+    let nfa = load_nfa(opts)?;
+    let Some(out) = opts.get_value("out")? else {
+        return Err(CliError::Usage("need --out FILE".into()));
+    };
+    let kind = opts.get_value("kind")?.unwrap_or("ridfa");
+    let bytes = match kind {
+        "ridfa" => {
+            let rid = build_rid(&nfa, opts)?;
+            println!(
+                "compile: RI-DFA, {} states, {} interface states",
+                rid.num_states(),
+                rid.interface().len()
+            );
+            ridfa_to_bytes(&rid)
+        }
+        "dfa" => {
+            let dfa = build_dfa(&nfa, opts)?;
+            println!(
+                "compile: minimal DFA, {} live states",
+                dfa.num_live_states()
+            );
+            binary::dfa_to_bytes(&dfa)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown artifact kind {other:?} (ridfa|dfa)"
+            )))
+        }
+    };
+    std::fs::write(out, &bytes).map_err(|e| CliError::Io(format!("{out}: {e}")))?;
+    println!(
+        "compile: wrote {} bytes ({kind} artifact) to {out}",
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `ridfa inspect-artifact`: header, checksum and payload validation,
+/// then a human summary. A corrupt or truncated file exits 2 with the
+/// typed decode error, never a panic.
+fn cmd_inspect_artifact(opts: &Opts) -> Result<(), CliError> {
+    let Some(path) = opts.get_value("file")? else {
+        return Err(CliError::Usage("need --file FILE".into()));
+    };
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let header = binary::peek(&bytes).map_err(|e| CliError::Usage(e.to_string()))?;
+    println!(
+        "artifact : {} format v{}, {} payload bytes, checksum {:#018x}",
+        header.kind.name(),
+        header.version,
+        header.payload_len,
+        header.checksum
+    );
+    match header.kind {
+        binary::ArtifactKind::Dfa => {
+            let loaded =
+                binary::dfa_from_bytes(&bytes).map_err(|e| CliError::Usage(e.to_string()))?;
+            println!(
+                "dfa      : {} states ({} live), {} byte classes, premultiplied table cached",
+                loaded.dfa.num_states(),
+                loaded.dfa.num_live_states(),
+                loaded.dfa.classes().num_classes()
+            );
+        }
+        binary::ArtifactKind::RiDfa => {
+            let loaded = ridfa_from_bytes(&bytes).map_err(|e| CliError::Usage(e.to_string()))?;
+            println!(
+                "ri-dfa   : {} states, {} interface states, {} byte classes, \
+                 premultiplied table cached",
+                loaded.rid.num_states(),
+                loaded.rid.interface().len(),
+                loaded.rid.classes().num_classes()
+            );
+        }
+    }
+    println!("verdict  : artifact OK");
+    Ok(())
+}
+
+/// Parses a `--patterns` file into a registry: one `ID REGEX` or
+/// `ID @ARTIFACT` per line, `#` comments and blank lines skipped.
+fn load_patterns(registry: &mut PatternRegistry, path: &str) -> Result<usize, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let mut loaded = 0;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((id, spec)) = line.split_once(char::is_whitespace) else {
+            return Err(CliError::Usage(format!(
+                "{path}:{}: expected `ID REGEX` or `ID @ARTIFACT`",
+                lineno + 1
+            )));
+        };
+        let spec = spec.trim();
+        let result = match spec.strip_prefix('@') {
+            Some(artifact_path) => {
+                let bytes = std::fs::read(artifact_path)
+                    .map_err(|e| CliError::Io(format!("{artifact_path}: {e}")))?;
+                registry.insert_artifact(id, &bytes)
+            }
+            None => registry.insert_regex(id, spec),
+        };
+        result.map_err(|e| match registry_error(e) {
+            CliError::Usage(m) => CliError::Usage(format!("{path}:{}: {m}", lineno + 1)),
+            other => other,
+        })?;
+        loaded += 1;
+    }
+    if loaded == 0 {
+        return Err(CliError::Usage(format!("{path}: no patterns defined")));
+    }
+    Ok(loaded)
+}
+
+/// `ridfa serve --listen`: the real network mode — a non-blocking
+/// loop multiplexing every connection onto one registry and one worker
+/// pool. Prints `listening on ADDR` (resolved port) before serving so a
+/// driver script can connect, and a counter report after.
+fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
+    let Some(addr) = opts.get_value("listen")? else {
+        return Err(CliError::Usage("need --listen ADDR".into()));
+    };
+    let Some(patterns) = opts.get_value("patterns")? else {
+        return Err(CliError::Usage("need --patterns FILE".into()));
+    };
+    let threads = opts.get_usize("threads", default_threads())?;
+    let mut registry = PatternRegistry::new(RegistryConfig {
+        num_workers: threads.saturating_sub(1).max(1),
+        block_size: opts.get_usize("block-size", 64 * 1024)?,
+        budget: construction_budget(opts)?.unwrap_or(ConstructionBudget::UNLIMITED),
+        max_table_bytes: opts.get_usize("max-table-bytes", usize::MAX)?,
+    });
+    let loaded = load_patterns(&mut registry, patterns)?;
+
+    let max_requests = match opts.get_value("max-requests")? {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("invalid value for --max-requests: {v:?}")))?,
+        ),
+    };
+    let deadline = match opts.get_value("deadline-ms")? {
+        None => None,
+        Some(v) => Some(Duration::from_millis(v.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("invalid value for --deadline-ms: {v:?}"))
+        })?)),
+    };
+    let idle = match opts.get_value("idle-ms")? {
+        None => Some(Duration::from_secs(30)),
+        Some(v) => Some(Duration::from_millis(v.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("invalid value for --idle-ms: {v:?}"))
+        })?)),
+    };
+    let config = ServeConfig {
+        max_requests,
+        request_deadline: deadline,
+        idle_timeout: idle,
+        max_body_bytes: opts.get_usize("max-body", usize::MAX)? as u64,
+        ..ServeConfig::default()
+    };
+
+    let server = Server::bind(addr, registry, config).map_err(|e| CliError::Io(e.to_string()))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    println!("listening on {bound} ({loaded} patterns)");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let report = server.run().map_err(|e| CliError::Io(e.to_string()))?;
+    let t = &report.tally;
+    println!(
+        "serve: {} requests ({} accepted / {} rejected / {} protocol / {} deadline / \
+         {} budget / {} fault) | {} bytes | {} connections ({} refused, {} io-dropped, \
+         {} idle-closed)",
+        t.requests,
+        t.accepted,
+        t.rejected,
+        t.protocol_errors,
+        t.deadline_errors,
+        t.budget_errors,
+        t.faults,
+        t.bytes,
+        t.connections,
+        t.refused,
+        t.io_errors,
+        t.idle_closed,
+    );
+    for pattern in &report.patterns {
+        let s = &pattern.stats;
+        println!(
+            "pattern {}: {} requests ({} accepted / {} rejected / {} errors), {} bytes",
+            pattern.id, s.requests, s.accepted, s.rejected, s.errors, s.bytes
+        );
+    }
+    for conn in &report.connections {
+        println!(
+            "conn {}: {} requests ({} accepted / {} rejected / {} errors), {} bytes",
+            conn.peer, conn.requests, conn.accepted, conn.rejected, conn.errors, conn.bytes
+        );
+    }
+    Ok(())
+}
+
+/// `ridfa query`: one blocking request against a running server; the
+/// exit code *is* the response status (the taxonomies coincide).
+fn cmd_query(opts: &Opts) -> Result<(), CliError> {
+    let Some(addr) = opts.get_value("connect")? else {
+        return Err(CliError::Usage("need --connect ADDR".into()));
+    };
+    let Some(id) = opts.get_value("pattern")? else {
+        return Err(CliError::Usage("need --pattern ID".into()));
+    };
+    let body = load_text(opts)?;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
+    let response =
+        protocol::query(&mut stream, id, &body).map_err(|e| CliError::Io(e.to_string()))?;
+    println!(
+        "query {id}: {:?} | {} of {} bytes scanned",
+        response.status,
+        response.scanned,
+        body.len()
+    );
+    match response.status {
+        protocol::Status::Accepted => Ok(()),
+        protocol::Status::Rejected => Err(CliError::Rejected),
+        protocol::Status::Protocol => Err(CliError::Usage("server: protocol error".into())),
+        protocol::Status::Io => Err(CliError::Io("server: I/O error".into())),
+        protocol::Status::Deadline => Err(CliError::Interrupted(
+            "server: request deadline exceeded".into(),
+        )),
+        protocol::Status::Budget => Err(CliError::Budget("server: body over byte budget".into())),
+        protocol::Status::Fault => Err(CliError::Internal("server: contained fault".into())),
+    }
 }

@@ -43,10 +43,13 @@ impl<'a> ConvergentDfaCa<'a> {
 
     /// Wraps `dfa`, pinning the scan strategy (for ablations and tests).
     pub fn with_kernel(dfa: &'a Dfa, kernel: Kernel) -> Self {
-        ConvergentDfaCa {
-            inner: DfaCa::new(dfa),
-            kernel,
-        }
+        Self::from_inner(DfaCa::new(dfa), kernel)
+    }
+
+    /// Wraps an already-built [`DfaCa`] (e.g. one borrowing registry
+    /// tables via [`DfaCa::with_table`]), pinning the scan strategy.
+    pub fn from_inner(inner: DfaCa<'a>, kernel: Kernel) -> Self {
+        ConvergentDfaCa { inner, kernel }
     }
 
     /// The configured scan strategy.
@@ -138,10 +141,13 @@ impl<'a> ConvergentRidCa<'a> {
 
     /// Wraps `rid`, pinning the scan strategy (for ablations and tests).
     pub fn with_kernel(rid: &'a RiDfa, kernel: Kernel) -> Self {
-        ConvergentRidCa {
-            inner: RidCa::new(rid),
-            kernel,
-        }
+        Self::from_inner(RidCa::new(rid), kernel)
+    }
+
+    /// Wraps an already-built [`RidCa`] (e.g. one borrowing registry
+    /// tables via [`RidCa::with_tables`]), pinning the scan strategy.
+    pub fn from_inner(inner: RidCa<'a>, kernel: Kernel) -> Self {
+        ConvergentRidCa { inner, kernel }
     }
 
     /// The configured scan strategy.

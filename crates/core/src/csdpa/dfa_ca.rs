@@ -20,8 +20,10 @@ use super::ChunkAutomaton;
 #[derive(Debug, Clone)]
 pub struct DfaCa<'a> {
     dfa: &'a Dfa,
-    /// Premultiplied transition table (entries are `target * stride`).
-    ptable: Vec<StateId>,
+    /// Premultiplied transition table (entries are `target * stride`) —
+    /// owned when built by [`new`](DfaCa::new), borrowed when a registry
+    /// or artifact already holds it.
+    ptable: std::borrow::Cow<'a, [StateId]>,
 }
 
 impl<'a> DfaCa<'a> {
@@ -29,7 +31,24 @@ impl<'a> DfaCa<'a> {
     pub fn new(dfa: &'a Dfa) -> Self {
         DfaCa {
             dfa,
-            ptable: dfa.premultiplied_table(),
+            ptable: std::borrow::Cow::Owned(dfa.premultiplied_table()),
+        }
+    }
+
+    /// Wraps `dfa` around an already-premultiplied table (e.g. loaded
+    /// from an artifact or cached by a pattern registry), making CA
+    /// construction allocation-free. `ptable` must equal
+    /// `dfa.premultiplied_table()`; length is checked, content is the
+    /// caller's contract.
+    pub fn with_table(dfa: &'a Dfa, ptable: &'a [StateId]) -> Self {
+        assert_eq!(
+            ptable.len(),
+            dfa.table().len(),
+            "premultiplied table length must match the transition table"
+        );
+        DfaCa {
+            dfa,
+            ptable: std::borrow::Cow::Borrowed(ptable),
         }
     }
 

@@ -38,6 +38,7 @@ mod dfa_ca;
 pub mod kernel;
 mod nfa_ca;
 mod recognizer;
+pub mod registry;
 mod rid_ca;
 mod session;
 pub mod stream;
@@ -52,6 +53,7 @@ pub use recognizer::{
     recognize, recognize_budgeted, recognize_counted, recognize_serial, ChunkStats, CountedOutcome,
     Executor, Outcome,
 };
+pub use registry::{PatternRegistry, PatternStats, RegistryConfig, RegistryError, StreamScan};
 pub use rid_ca::{RidCa, RidMapping};
 pub use session::Session;
 pub use stream::{StreamOutcome, StreamSession};

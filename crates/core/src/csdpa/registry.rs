@@ -1,0 +1,821 @@
+//! The multi-pattern registry: prebuilt automata plus pinned warm
+//! sessions, all sharing one worker pool.
+//!
+//! A [`PatternRegistry`] maps pattern ids to [`RiDfa`]s — built fresh
+//! (under a [`ConstructionBudget`]) or loaded from binary artifacts —
+//! together with the precomputed tables a chunk automaton needs
+//! (premultiplied rows, interface positions) and a pinned warm
+//! [`Session`]/[`StreamSession`] pair per pattern. Every session runs on
+//! the *same* [`ThreadPool`], so `n` resident patterns cost one set of
+//! worker threads, not `n`; concurrent recognitions serialize on the
+//! pool's single scope slot while each pattern's scratch/mapping caches
+//! stay warm and private.
+//!
+//! Residency is bounded: [`RegistryConfig::max_table_bytes`] caps the
+//! total bytes of resident automaton tables, and inserting past the cap
+//! evicts the least-recently-used patterns (their sessions drop with
+//! them; the shared pool survives).
+//!
+//! For the socket front-end, [`StreamScan`] + [`PatternRegistry::scan_block`]
+//! expose the λ-composition pipeline *incrementally*: a non-blocking
+//! event loop can feed whatever bytes have arrived on a connection and
+//! park the scan state until more show up, holding O(1) live mappings
+//! per connection.
+
+use std::fmt;
+use std::io::Read;
+use std::sync::Arc;
+
+use ridfa_automata::dfa::premultiply;
+use ridfa_automata::nfa::{glushkov, Nfa};
+use ridfa_automata::regex;
+use ridfa_automata::serialize::binary::DecodeError;
+use ridfa_automata::{ConstructionBudget, Error, StateId, TransitionCount};
+
+use crate::parallel::{PoolHealth, ThreadPool};
+use crate::ridfa::{artifact, RiDfa};
+
+use super::budget::{Budget, RecognizeError, StreamError};
+use super::kernel::{Kernel, Scratch};
+use super::{
+    ChunkAutomaton, ConvergentRidCa, Outcome, RidCa, RidMapping, Session, StreamOutcome,
+    StreamSession,
+};
+
+/// Sizing and bounding knobs of a [`PatternRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Workers of the one shared pool (≥ 1; the calling thread joins
+    /// every reach phase, so scan parallelism is `num_workers + 1`).
+    pub num_workers: usize,
+    /// Block size of each pattern's warm [`StreamSession`].
+    pub block_size: usize,
+    /// Construction budget applied to every fresh build
+    /// ([`PatternRegistry::insert_regex`] / [`insert_nfa`](PatternRegistry::insert_nfa)).
+    pub budget: ConstructionBudget,
+    /// Cap on total resident automaton-table bytes across patterns;
+    /// inserting past it evicts least-recently-used patterns.
+    pub max_table_bytes: usize,
+}
+
+impl Default for RegistryConfig {
+    /// One worker per available core minus the caller, 64 KiB blocks, no
+    /// construction budget, no residency cap.
+    fn default() -> RegistryConfig {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        RegistryConfig {
+            num_workers: cores.saturating_sub(1).max(1),
+            block_size: 64 * 1024,
+            budget: ConstructionBudget::UNLIMITED,
+            max_table_bytes: usize::MAX,
+        }
+    }
+}
+
+/// Why a registry operation failed. Every variant is typed and
+/// recoverable — the registry and its pool stay usable after any error.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No pattern under this id (never inserted, or evicted).
+    UnknownPattern(String),
+    /// The id is already resident (remove or evict first).
+    DuplicatePattern(String),
+    /// Fresh construction failed (regex syntax, construction budget).
+    Construction(Error),
+    /// An artifact failed to decode.
+    Decode(DecodeError),
+    /// The pattern alone exceeds the residency cap, so no amount of
+    /// eviction can make room.
+    Oversized {
+        /// Id of the rejected pattern.
+        id: String,
+        /// Resident bytes the pattern would occupy.
+        bytes: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A budgeted recognition tripped its deadline/cancellation (or a
+    /// contained panic).
+    Recognize(RecognizeError),
+    /// A budgeted stream tripped its budget or failed on I/O.
+    Stream(StreamError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownPattern(id) => write!(f, "unknown pattern {id:?}"),
+            RegistryError::DuplicatePattern(id) => write!(f, "pattern {id:?} already resident"),
+            RegistryError::Construction(e) => write!(f, "construction failed: {e}"),
+            RegistryError::Decode(e) => write!(f, "artifact rejected: {e}"),
+            RegistryError::Oversized { id, bytes, cap } => write!(
+                f,
+                "pattern {id:?} needs {bytes} resident bytes, above the cap of {cap}"
+            ),
+            RegistryError::Recognize(e) => write!(f, "{e}"),
+            RegistryError::Stream(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<Error> for RegistryError {
+    fn from(e: Error) -> RegistryError {
+        RegistryError::Construction(e)
+    }
+}
+
+impl From<DecodeError> for RegistryError {
+    fn from(e: DecodeError) -> RegistryError {
+        RegistryError::Decode(e)
+    }
+}
+
+impl From<RecognizeError> for RegistryError {
+    fn from(e: RecognizeError) -> RegistryError {
+        RegistryError::Recognize(e)
+    }
+}
+
+impl From<StreamError> for RegistryError {
+    fn from(e: StreamError) -> RegistryError {
+        RegistryError::Stream(e)
+    }
+}
+
+/// Per-pattern serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternStats {
+    /// Recognitions attempted (batch, stream, and incremental scans).
+    pub requests: u64,
+    /// Requests that ended accepted.
+    pub accepted: u64,
+    /// Requests that ended rejected.
+    pub rejected: u64,
+    /// Requests that ended in a typed error (budget, I/O, fault).
+    pub errors: u64,
+    /// Input bytes scanned for this pattern.
+    pub bytes: u64,
+}
+
+struct PatternEntry {
+    id: String,
+    rid: RiDfa,
+    /// `RidCa::interface_positions(&rid)`, precomputed at insert.
+    pos: Vec<u32>,
+    /// `premultiply(rid.table, rid.stride)`, precomputed at insert (or
+    /// taken verified from the artifact).
+    ptable: Vec<StateId>,
+    /// Pinned warm batch session (scratches/mappings stay allocated).
+    session: Session,
+    /// Pinned warm streaming session (block ring stays allocated).
+    stream: StreamSession,
+    /// Resident table bytes this entry accounts for.
+    resident_bytes: usize,
+    /// LRU clock stamp of the most recent use.
+    last_used: u64,
+    stats: PatternStats,
+}
+
+impl PatternEntry {
+    /// The chunk automaton over this entry's cached tables — constructed
+    /// per call (allocation-free borrows), while the associated-type
+    /// session caches keep the warm scratch state across calls.
+    fn ca(&self) -> ConvergentRidCa<'_> {
+        ConvergentRidCa::from_inner(
+            RidCa::with_tables(&self.rid, &self.pos, &self.ptable),
+            Kernel::Auto,
+        )
+    }
+}
+
+/// Incremental λ-composition state for one in-flight stream (one socket
+/// connection, typically). Feed blocks through
+/// [`PatternRegistry::scan_block`]; read the verdict with
+/// [`PatternRegistry::finish_scan`]. Buffers are reused across requests
+/// when the scan is reset, so a long-lived connection slot scans with
+/// zero steady-state allocations.
+#[derive(Default)]
+pub struct StreamScan {
+    mapping: RidMapping,
+    incoming: RidMapping,
+    composed: RidMapping,
+    scratch: Scratch,
+    compose: (Vec<StateId>, Vec<StateId>),
+    started: bool,
+    dead: bool,
+    bytes: u64,
+    transitions: u64,
+}
+
+impl StreamScan {
+    /// A fresh scan state.
+    pub fn new() -> StreamScan {
+        StreamScan::default()
+    }
+
+    /// Clears verdict-carrying state for the next request, keeping every
+    /// buffer's allocation.
+    pub fn reset(&mut self) {
+        self.started = false;
+        self.dead = false;
+        self.bytes = 0;
+        self.transitions = 0;
+    }
+
+    /// Bytes scanned since the last [`reset`](StreamScan::reset).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Transitions executed since the last [`reset`](StreamScan::reset).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// True once the composed prefix mapping has no live run left — the
+    /// verdict is already `rejected` and remaining input need not be
+    /// scanned (the caller may drain or close early).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+/// The multi-pattern registry: see the [module docs](self).
+pub struct PatternRegistry {
+    pool: Arc<ThreadPool>,
+    config: RegistryConfig,
+    entries: Vec<PatternEntry>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl PatternRegistry {
+    /// An empty registry with its own shared pool.
+    pub fn new(config: RegistryConfig) -> PatternRegistry {
+        let pool = Arc::new(ThreadPool::new(config.num_workers));
+        PatternRegistry {
+            pool,
+            config,
+            entries: Vec::new(),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Compiles `pattern` (regex) fresh — through the configured
+    /// [`ConstructionBudget`] — and pins it under `id`.
+    pub fn insert_regex(&mut self, id: &str, pattern: &str) -> Result<(), RegistryError> {
+        let ast = regex::parse(pattern)?;
+        let nfa = glushkov::build(&ast)?;
+        self.insert_nfa(id, &nfa)
+    }
+
+    /// Builds the minimized RI-DFA of `nfa` — through the configured
+    /// [`ConstructionBudget`] — and pins it under `id`.
+    pub fn insert_nfa(&mut self, id: &str, nfa: &Nfa) -> Result<(), RegistryError> {
+        let rid = RiDfa::from_nfa_budgeted(nfa, &self.config.budget)?.minimized();
+        let ptable = premultiply(&rid.table, rid.stride);
+        self.insert_prepared(id, rid, ptable)
+    }
+
+    /// Decodes a sealed RI-DFA artifact and pins it under `id` — the
+    /// cold-start path: a validated load instead of a powerset
+    /// construction (the premultiplied table comes verified from the
+    /// artifact).
+    pub fn insert_artifact(&mut self, id: &str, bytes: &[u8]) -> Result<(), RegistryError> {
+        let artifact::RiDfaArtifact { rid, premultiplied } = artifact::ridfa_from_bytes(bytes)?;
+        self.insert_prepared(id, rid, premultiplied)
+    }
+
+    fn insert_prepared(
+        &mut self,
+        id: &str,
+        rid: RiDfa,
+        ptable: Vec<StateId>,
+    ) -> Result<(), RegistryError> {
+        if self.index_of(id).is_some() {
+            return Err(RegistryError::DuplicatePattern(id.to_string()));
+        }
+        let pos = RidCa::interface_positions(&rid);
+        let resident_bytes = std::mem::size_of::<StateId>()
+            * (rid.table.len()
+                + ptable.len()
+                + pos.len()
+                + rid.content.len()
+                + rid.content_off.len()
+                + rid.entry.len()
+                + rid.delegate.len()
+                + rid.interface.len());
+        if resident_bytes > self.config.max_table_bytes {
+            return Err(RegistryError::Oversized {
+                id: id.to_string(),
+                bytes: resident_bytes,
+                cap: self.config.max_table_bytes,
+            });
+        }
+        // Evict least-recently-used patterns until the newcomer fits.
+        while self.resident_bytes() + resident_bytes > self.config.max_table_bytes {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("over cap implies at least one resident entry");
+            self.entries.remove(lru);
+            self.evictions += 1;
+        }
+        let mut session = Session::with_shared_pool(Arc::clone(&self.pool));
+        let mut stream =
+            StreamSession::with_shared_pool(Arc::clone(&self.pool), self.config.block_size);
+        // Pre-warm both sessions so the first request hits allocated
+        // scratch caches.
+        {
+            let ca =
+                ConvergentRidCa::from_inner(RidCa::with_tables(&rid, &pos, &ptable), Kernel::Auto);
+            session.warm(&ca, b"warm");
+            stream.warm(&ca, b"warm");
+        }
+        let last_used = self.next_stamp();
+        self.entries.push(PatternEntry {
+            id: id.to_string(),
+            rid,
+            pos,
+            ptable,
+            session,
+            stream,
+            resident_bytes,
+            last_used,
+            stats: PatternStats::default(),
+        });
+        Ok(())
+    }
+
+    /// Drops the pattern under `id`, freeing its resident bytes and warm
+    /// sessions (the shared pool is untouched). Returns whether it was
+    /// resident.
+    pub fn remove(&mut self, id: &str) -> bool {
+        match self.index_of(id) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Batch recognition of `text` against pattern `id` on the pattern's
+    /// warm session. `num_chunks == 0` picks one chunk per reach-phase
+    /// claimant (workers + 1).
+    pub fn recognize(
+        &mut self,
+        id: &str,
+        text: &[u8],
+        num_chunks: usize,
+    ) -> Result<Outcome, RegistryError> {
+        let chunks = self.effective_chunks(num_chunks);
+        let stamp = self.next_stamp();
+        let entry = self.entry_mut(id)?;
+        entry.last_used = stamp;
+        let PatternEntry {
+            rid,
+            pos,
+            ptable,
+            session,
+            stats,
+            ..
+        } = entry;
+        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
+        let outcome = session.recognize(&ca, text, chunks);
+        stats.requests += 1;
+        stats.bytes += text.len() as u64;
+        if outcome.accepted {
+            stats.accepted += 1;
+        } else {
+            stats.rejected += 1;
+        }
+        Ok(outcome)
+    }
+
+    /// Like [`recognize`](PatternRegistry::recognize) under a [`Budget`]:
+    /// deadline/cancellation trips surface as
+    /// [`RegistryError::Recognize`] and count into
+    /// [`PatternStats::errors`].
+    pub fn recognize_budgeted(
+        &mut self,
+        id: &str,
+        text: &[u8],
+        num_chunks: usize,
+        budget: &Budget,
+    ) -> Result<Outcome, RegistryError> {
+        let chunks = self.effective_chunks(num_chunks);
+        let stamp = self.next_stamp();
+        let entry = self.entry_mut(id)?;
+        entry.last_used = stamp;
+        let PatternEntry {
+            rid,
+            pos,
+            ptable,
+            session,
+            stats,
+            ..
+        } = entry;
+        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
+        let result = session.recognize_budgeted(&ca, text, chunks, budget);
+        stats.requests += 1;
+        stats.bytes += text.len() as u64;
+        match &result {
+            Ok(outcome) if outcome.accepted => stats.accepted += 1,
+            Ok(_) => stats.rejected += 1,
+            Err(_) => stats.errors += 1,
+        }
+        Ok(result?)
+    }
+
+    /// Streaming recognition of `reader` against pattern `id` on the
+    /// pattern's warm [`StreamSession`] (bounded memory, early rejection).
+    pub fn recognize_stream<R: Read + Send>(
+        &mut self,
+        id: &str,
+        reader: R,
+    ) -> Result<StreamOutcome, RegistryError> {
+        let stamp = self.next_stamp();
+        let entry = self.entry_mut(id)?;
+        entry.last_used = stamp;
+        let PatternEntry {
+            rid,
+            pos,
+            ptable,
+            stream,
+            stats,
+            ..
+        } = entry;
+        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
+        let result = stream
+            .recognize_stream(&ca, reader)
+            .map_err(|e| RegistryError::Stream(StreamError::Io(e)));
+        stats.requests += 1;
+        match &result {
+            Ok(out) => {
+                stats.bytes += out.bytes;
+                if out.accepted {
+                    stats.accepted += 1;
+                } else {
+                    stats.rejected += 1;
+                }
+            }
+            Err(_) => stats.errors += 1,
+        }
+        result
+    }
+
+    /// Like [`recognize_stream`](PatternRegistry::recognize_stream) under
+    /// a [`Budget`].
+    pub fn recognize_stream_budgeted<R: Read + Send>(
+        &mut self,
+        id: &str,
+        reader: R,
+        budget: &Budget,
+    ) -> Result<StreamOutcome, RegistryError> {
+        let stamp = self.next_stamp();
+        let entry = self.entry_mut(id)?;
+        entry.last_used = stamp;
+        let PatternEntry {
+            rid,
+            pos,
+            ptable,
+            stream,
+            stats,
+            ..
+        } = entry;
+        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
+        let result = stream.recognize_stream_budgeted(&ca, reader, budget);
+        stats.requests += 1;
+        match &result {
+            Ok(out) => {
+                stats.bytes += out.bytes;
+                if out.accepted {
+                    stats.accepted += 1;
+                } else {
+                    stats.rejected += 1;
+                }
+            }
+            Err(_) => stats.errors += 1,
+        }
+        result.map_err(RegistryError::Stream)
+    }
+
+    /// Scans one more block of an in-flight stream (incremental
+    /// λ-composition; see [`StreamScan`]). Returns
+    /// [`StreamScan::is_dead`] after the block — once dead, further
+    /// blocks only count bytes, and the caller may answer `rejected`
+    /// early. Dead-cheap per call: the chunk automaton borrows cached
+    /// tables and the scan reuses the state's buffers.
+    pub fn scan_block(
+        &mut self,
+        id: &str,
+        scan: &mut StreamScan,
+        block: &[u8],
+    ) -> Result<bool, RegistryError> {
+        let stamp = self.next_stamp();
+        let entry = self.entry_mut(id)?;
+        entry.last_used = stamp;
+        scan.bytes += block.len() as u64;
+        if scan.dead {
+            return Ok(true);
+        }
+        let ca = entry.ca();
+        let mut counter = TransitionCount::default();
+        if !scan.started {
+            scan.started = true;
+            ca.scan_first_into(block, &mut counter, &mut scan.mapping);
+        } else {
+            ca.scan_into(block, &mut scan.scratch, &mut counter, &mut scan.incoming);
+            ca.compose_into(
+                &scan.mapping,
+                &scan.incoming,
+                &mut scan.compose,
+                &mut scan.composed,
+            );
+            std::mem::swap(&mut scan.mapping, &mut scan.composed);
+        }
+        scan.transitions += counter.get();
+        scan.dead = ca.mapping_is_dead(&scan.mapping);
+        Ok(scan.dead)
+    }
+
+    /// Ends an in-flight stream: the verdict of everything fed through
+    /// [`scan_block`](PatternRegistry::scan_block) since the last reset.
+    /// Updates the pattern's counters and resets `scan` for reuse.
+    pub fn finish_scan(&mut self, id: &str, scan: &mut StreamScan) -> Result<bool, RegistryError> {
+        let entry = self.entry_mut(id)?;
+        let ca = entry.ca();
+        if !scan.started {
+            // Zero-length stream: the verdict of the empty text.
+            let mut counter = TransitionCount::default();
+            ca.scan_first_into(b"", &mut counter, &mut scan.mapping);
+        }
+        let accepted = !scan.dead && ca.accepts_mapping(&scan.mapping);
+        entry.stats.requests += 1;
+        entry.stats.bytes += scan.bytes;
+        if accepted {
+            entry.stats.accepted += 1;
+        } else {
+            entry.stats.rejected += 1;
+        }
+        scan.reset();
+        Ok(accepted)
+    }
+
+    /// Records one failed request (deadline, protocol fault, I/O) against
+    /// a pattern's counters — used by serving layers whose errors happen
+    /// outside the registry's own calls.
+    pub fn record_error(&mut self, id: &str) {
+        if let Ok(entry) = self.entry_mut(id) {
+            entry.stats.errors += 1;
+            entry.stats.requests += 1;
+        }
+    }
+
+    /// The ids of the resident patterns, in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.id.as_str())
+    }
+
+    /// Whether `id` is resident.
+    pub fn contains(&self, id: &str) -> bool {
+        self.index_of(id).is_some()
+    }
+
+    /// Number of resident patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no pattern is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total resident automaton-table bytes across patterns.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.resident_bytes).sum()
+    }
+
+    /// Patterns evicted under byte pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Serving counters of pattern `id`.
+    pub fn stats(&self, id: &str) -> Option<PatternStats> {
+        self.index_of(id).map(|i| self.entries[i].stats)
+    }
+
+    /// The one shared worker pool (for health inspection and fault
+    /// injection in tests).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// A handle to the shared pool, e.g. to attach further sessions.
+    pub fn shared_pool(&self) -> Arc<ThreadPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Health of the shared pool.
+    pub fn health(&self) -> PoolHealth {
+        self.pool.health()
+    }
+
+    /// Number of states of pattern `id`'s RI-DFA, for inspection.
+    pub fn num_states(&self, id: &str) -> Option<usize> {
+        self.index_of(id).map(|i| self.entries[i].rid.num_states())
+    }
+
+    fn effective_chunks(&self, num_chunks: usize) -> usize {
+        if num_chunks == 0 {
+            self.pool.num_workers() + 1
+        } else {
+            num_chunks
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn index_of(&self, id: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id)
+    }
+
+    fn entry_mut(&mut self, id: &str) -> Result<&mut PatternEntry, RegistryError> {
+        match self.index_of(id) {
+            Some(i) => Ok(&mut self.entries[i]),
+            None => Err(RegistryError::UnknownPattern(id.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_registry() -> PatternRegistry {
+        let mut reg = PatternRegistry::new(RegistryConfig {
+            num_workers: 2,
+            block_size: 256,
+            ..RegistryConfig::default()
+        });
+        reg.insert_regex("abb", "(a|b)*abb").unwrap();
+        reg.insert_regex("digits", "[0-9]+").unwrap();
+        reg.insert_regex("word", "[a-z]+(-[a-z]+)*").unwrap();
+        reg
+    }
+
+    #[test]
+    fn recognizes_across_patterns_on_one_pool() {
+        let mut reg = small_registry();
+        assert!(reg.recognize("abb", b"bababb", 0).unwrap().accepted);
+        assert!(!reg.recognize("abb", b"ba", 0).unwrap().accepted);
+        assert!(reg.recognize("digits", b"123456", 4).unwrap().accepted);
+        assert!(!reg.recognize("digits", b"12a", 4).unwrap().accepted);
+        assert!(reg.recognize("word", b"foo-bar-baz", 3).unwrap().accepted);
+        assert_eq!(reg.health().configured, 2);
+        let stats = reg.stats("abb").unwrap();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_ids_error_typed() {
+        let mut reg = small_registry();
+        assert!(matches!(
+            reg.recognize("nope", b"x", 0),
+            Err(RegistryError::UnknownPattern(_))
+        ));
+        assert!(matches!(
+            reg.insert_regex("abb", "a"),
+            Err(RegistryError::DuplicatePattern(_))
+        ));
+        assert!(matches!(
+            reg.insert_regex("bad", "(("),
+            Err(RegistryError::Construction(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_scan_matches_batch() {
+        let mut reg = small_registry();
+        let mut scan = StreamScan::new();
+        for block in [&b"bab"[..], b"ab", b"b"] {
+            reg.scan_block("abb", &mut scan, block).unwrap();
+        }
+        assert!(reg.finish_scan("abb", &mut scan).unwrap());
+        // State resets for reuse.
+        reg.scan_block("abb", &mut scan, b"ba").unwrap();
+        assert!(!reg.finish_scan("abb", &mut scan).unwrap());
+        // Zero-length stream = verdict of the empty text.
+        assert!(!reg.finish_scan("abb", &mut scan).unwrap());
+    }
+
+    #[test]
+    fn dead_prefix_is_detected_early() {
+        let mut reg = small_registry();
+        let mut scan = StreamScan::new();
+        let dead = reg.scan_block("digits", &mut scan, b"abc").unwrap();
+        assert!(dead, "non-digit prefix kills every run");
+        assert!(scan.is_dead());
+        // Further blocks only count bytes.
+        reg.scan_block("digits", &mut scan, b"123").unwrap();
+        assert_eq!(scan.bytes(), 6);
+        assert!(!reg.finish_scan("digits", &mut scan).unwrap());
+    }
+
+    #[test]
+    fn eviction_under_byte_pressure_is_lru() {
+        let mut reg = PatternRegistry::new(RegistryConfig {
+            num_workers: 1,
+            max_table_bytes: 64 * 1024,
+            ..RegistryConfig::default()
+        });
+        reg.insert_regex("a", "(a|b)*abb").unwrap();
+        reg.insert_regex("b", "[0-9]+").unwrap();
+        // Touch "a" so "b" is the LRU entry.
+        reg.recognize("a", b"abb", 0).unwrap();
+        let before = reg.resident_bytes();
+        assert!(before <= 64 * 1024);
+        // Insert patterns until something must go.
+        let mut k = 0;
+        while reg.evictions() == 0 {
+            reg.insert_regex(&format!("fill{k}"), "[ab]*a[ab]{6}")
+                .unwrap();
+            k += 1;
+            assert!(k < 64, "eviction never triggered");
+        }
+        assert!(reg.resident_bytes() <= 64 * 1024);
+        // The cold pattern went first.
+        assert!(!reg.contains("b"));
+        assert!(
+            reg.contains("a") || k > 1,
+            "the touched pattern outlives the cold one"
+        );
+    }
+
+    #[test]
+    fn oversized_pattern_is_rejected_not_thrashed() {
+        let mut reg = PatternRegistry::new(RegistryConfig {
+            num_workers: 1,
+            max_table_bytes: 64,
+            ..RegistryConfig::default()
+        });
+        assert!(matches!(
+            reg.insert_regex("big", "(a|b)*abb"),
+            Err(RegistryError::Oversized { .. })
+        ));
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn artifact_load_equals_fresh_construction() {
+        use ridfa_automata::nfa::glushkov;
+        use ridfa_automata::regex::parse;
+        let nfa = glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let bytes = artifact::ridfa_to_bytes(&rid);
+
+        let mut fresh = PatternRegistry::new(RegistryConfig {
+            num_workers: 1,
+            ..RegistryConfig::default()
+        });
+        fresh.insert_nfa("p", &nfa).unwrap();
+        let mut loaded = PatternRegistry::new(RegistryConfig {
+            num_workers: 1,
+            ..RegistryConfig::default()
+        });
+        loaded.insert_artifact("p", &bytes).unwrap();
+
+        for text in [&b"abb"[..], b"bababb", b"", b"ba", b"abab"] {
+            assert_eq!(
+                fresh.recognize("p", text, 0).unwrap().accepted,
+                loaded.recognize("p", text, 0).unwrap().accepted,
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_through_registry_works() {
+        use std::io::Cursor;
+        let mut reg = small_registry();
+        let out = reg
+            .recognize_stream("abb", Cursor::new(b"bababb".to_vec()))
+            .unwrap();
+        assert!(out.accepted);
+        assert_eq!(out.bytes, 6);
+    }
+}

@@ -22,9 +22,11 @@ pub struct RidCa<'a> {
     rid: &'a RiDfa,
     /// `pos[p]` = index of interface state `p` inside
     /// [`RiDfa::interface`], or `u32::MAX` for non-interface states.
-    pos: Vec<u32>,
+    /// Owned when built by [`new`](RidCa::new), borrowed when a registry
+    /// already holds it.
+    pos: std::borrow::Cow<'a, [u32]>,
     /// Premultiplied transition table (entries are `target * stride`).
-    ptable: Vec<StateId>,
+    ptable: std::borrow::Cow<'a, [StateId]>,
 }
 
 /// The λ mapping a RID chunk scan (or composition) produces.
@@ -141,15 +143,43 @@ impl<'a> RidCa<'a> {
     /// Wraps `rid`, precomputing the interface-position index used by the
     /// join phase.
     pub fn new(rid: &'a RiDfa) -> Self {
+        RidCa {
+            rid,
+            pos: std::borrow::Cow::Owned(Self::interface_positions(rid)),
+            ptable: std::borrow::Cow::Owned(rid.premultiplied_table()),
+        }
+    }
+
+    /// Wraps `rid` around precomputed tables (e.g. cached by a pattern
+    /// registry or loaded from an artifact), making CA construction
+    /// allocation-free. `pos` must equal
+    /// [`interface_positions`](RidCa::interface_positions)`(rid)` and
+    /// `ptable` must equal `rid.premultiplied_table()`; lengths are
+    /// checked, content is the caller's contract.
+    pub fn with_tables(rid: &'a RiDfa, pos: &'a [u32], ptable: &'a [StateId]) -> Self {
+        assert_eq!(pos.len(), rid.num_states(), "position index length");
+        assert_eq!(
+            ptable.len(),
+            rid.num_states() * rid.stride(),
+            "premultiplied table length"
+        );
+        RidCa {
+            rid,
+            pos: std::borrow::Cow::Borrowed(pos),
+            ptable: std::borrow::Cow::Borrowed(ptable),
+        }
+    }
+
+    /// The interface-position index of `rid`: `pos[p]` = index of
+    /// interface state `p` inside [`RiDfa::interface`], `u32::MAX`
+    /// elsewhere. Precompute once and feed to
+    /// [`with_tables`](RidCa::with_tables).
+    pub fn interface_positions(rid: &RiDfa) -> Vec<u32> {
         let mut pos = vec![u32::MAX; rid.num_states()];
         for (i, &p) in rid.interface().iter().enumerate() {
             pos[p as usize] = i as u32;
         }
-        RidCa {
-            rid,
-            pos,
-            ptable: rid.premultiplied_table(),
-        }
+        pos
     }
 
     /// The wrapped automaton.

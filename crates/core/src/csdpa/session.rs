@@ -97,7 +97,7 @@ struct TypedCache<S, M, C> {
 /// assert_eq!(verdicts, [true, false]);
 /// ```
 pub struct Session {
-    pool: ThreadPool,
+    pool: std::sync::Arc<ThreadPool>,
     /// Reusable chunk spans of the current text.
     spans: Vec<std::ops::Range<usize>>,
     /// Reusable flattened task table of a batch.
@@ -129,6 +129,14 @@ impl Session {
     }
 
     fn from_pool(pool: ThreadPool) -> Session {
+        Session::with_shared_pool(std::sync::Arc::new(pool))
+    }
+
+    /// Creates a session on a pool shared with other sessions (the
+    /// multi-pattern registry shape: one pool, many warm sessions).
+    /// Concurrent recognitions from different sessions serialize on the
+    /// pool's single scope slot; per-session caches stay private.
+    pub fn with_shared_pool(pool: std::sync::Arc<ThreadPool>) -> Session {
         Session {
             pool,
             spans: Vec::new(),

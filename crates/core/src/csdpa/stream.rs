@@ -136,7 +136,7 @@ struct ReadAhead<'a, R> {
 /// assert_eq!(out.bytes, text.len() as u64);
 /// ```
 pub struct StreamSession {
-    pool: ThreadPool,
+    pool: std::sync::Arc<ThreadPool>,
     block_size: usize,
     /// `2 × (workers + 1)` fixed-size buffers: two waves of one block per
     /// reach-phase claimant.
@@ -175,6 +175,14 @@ impl StreamSession {
     }
 
     fn from_pool(pool: ThreadPool, block_size: usize) -> StreamSession {
+        StreamSession::with_shared_pool(std::sync::Arc::new(pool), block_size)
+    }
+
+    /// Creates a stream session on a pool shared with other sessions
+    /// (the multi-pattern registry shape: one pool, many warm sessions).
+    /// Waves from different sessions serialize on the pool's single
+    /// scope slot; each session keeps its own block ring and caches.
+    pub fn with_shared_pool(pool: std::sync::Arc<ThreadPool>, block_size: usize) -> StreamSession {
         let block_size = block_size.max(1);
         let ring = 2 * (pool.num_workers() + 1);
         StreamSession {

@@ -49,6 +49,7 @@
 pub mod csdpa;
 pub mod parallel;
 pub mod ridfa;
+pub mod serve;
 pub mod sfa;
 
 pub use ridfa_automata as automata;

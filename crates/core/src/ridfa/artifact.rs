@@ -1,0 +1,165 @@
+//! Binary artifact codec for [`RiDfa`] — the serving cold-start path.
+//!
+//! Built on the container and section primitives of
+//! [`ridfa_automata::serialize::binary`]: the payload is the minimized
+//! core (byte classes, dense table, premultiplied table, finals, start)
+//! followed by the interface sections (content CSR, entry/delegate maps,
+//! the interface itself). Decoding re-validates everything a fresh
+//! construction establishes — [`RiDfa::validate`] plus a premultiplied
+//! table check — so a loaded artifact is indistinguishable from a built
+//! automaton, at a small fraction of the powerset cost.
+
+use ridfa_automata::dfa::premultiply;
+use ridfa_automata::serialize::binary::{
+    open, seal, ArtifactKind, DecodeError, Decoder, Encoder, MAX_DECODE_STATES,
+};
+use ridfa_automata::StateId;
+
+use super::RiDfa;
+
+/// A decoded RI-DFA artifact: the validated automaton plus its
+/// premultiplied table (verified at decode, so serving skips even that
+/// pass).
+#[derive(Debug, Clone)]
+pub struct RiDfaArtifact {
+    /// The validated automaton.
+    pub rid: RiDfa,
+    /// `premultiply(table, stride)`, verified at decode.
+    pub premultiplied: Vec<StateId>,
+}
+
+/// Serializes an RI-DFA (including its premultiplied table) to a sealed
+/// artifact.
+pub fn ridfa_to_bytes(rid: &RiDfa) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_classes(&rid.classes);
+    enc.put_u64(rid.num_states() as u64);
+    enc.put_u32(rid.start);
+    enc.put_bitset(&rid.finals);
+    enc.put_u32s(&rid.table);
+    enc.put_u32s(&premultiply(&rid.table, rid.stride));
+    enc.put_u64(rid.num_nfa_states as u64);
+    enc.put_u32s(&rid.content_off);
+    enc.put_u32s(&rid.content);
+    enc.put_u32s(&rid.entry);
+    enc.put_u32s(&rid.delegate);
+    enc.put_u32s(&rid.interface);
+    seal(ArtifactKind::RiDfa, &enc.into_payload())
+}
+
+/// Decodes a sealed RI-DFA artifact, re-validating the full structural
+/// contract (dead row, target ranges, CSR shape, interface invariants,
+/// premultiplied table).
+pub fn ridfa_from_bytes(bytes: &[u8]) -> Result<RiDfaArtifact, DecodeError> {
+    let payload = open(bytes, ArtifactKind::RiDfa)?;
+    let mut dec = Decoder::new(payload);
+    let classes = dec.take_classes()?;
+    let num_states = dec.take_u64()?;
+    if num_states == 0 || num_states > MAX_DECODE_STATES as u64 {
+        return Err(DecodeError::Malformed(format!(
+            "state count {num_states} outside 1..={MAX_DECODE_STATES}"
+        )));
+    }
+    let start = dec.take_u32()?;
+    let finals = dec.take_bitset()?;
+    let table = dec.take_u32s()?;
+    let premultiplied = dec.take_u32s()?;
+    let num_nfa_states = dec.take_u64()?;
+    let content_off = dec.take_u32s()?;
+    let content = dec.take_u32s()?;
+    let entry = dec.take_u32s()?;
+    let delegate = dec.take_u32s()?;
+    let interface = dec.take_u32s()?;
+    dec.finish()?;
+
+    let stride = classes.num_classes();
+    if table.len() != num_states as usize * stride {
+        return Err(DecodeError::Malformed(format!(
+            "table holds {} entries, header declares {num_states} states × stride {stride}",
+            table.len()
+        )));
+    }
+    if num_nfa_states > num_states {
+        return Err(DecodeError::Malformed(format!(
+            "{num_nfa_states} NFA states exceed the {num_states} RI-DFA states"
+        )));
+    }
+    if finals.capacity() != num_states as usize {
+        return Err(DecodeError::Malformed(format!(
+            "finals capacity {} does not match {num_states} states",
+            finals.capacity()
+        )));
+    }
+    let rid = RiDfa {
+        classes,
+        stride,
+        table,
+        finals,
+        start,
+        num_nfa_states: num_nfa_states as usize,
+        content_off,
+        content,
+        entry,
+        delegate,
+        interface,
+    };
+    rid.validate().map_err(DecodeError::Malformed)?;
+    if premultiplied != premultiply(&rid.table, rid.stride) {
+        return Err(DecodeError::Malformed(
+            "premultiplied table does not match the transition table".into(),
+        ));
+    }
+    Ok(RiDfaArtifact { rid, premultiplied })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ridfa_automata::nfa::glushkov;
+    use ridfa_automata::regex::parse;
+
+    fn sample_rid() -> RiDfa {
+        RiDfa::from_nfa(&glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap()).minimized()
+    }
+
+    #[test]
+    fn ridfa_binary_roundtrip_is_identical() {
+        let rid = sample_rid();
+        let bytes = ridfa_to_bytes(&rid);
+        let back = ridfa_from_bytes(&bytes).unwrap();
+        assert_eq!(back.rid, rid);
+        assert_eq!(back.premultiplied, premultiply(&rid.table, rid.stride));
+    }
+
+    #[test]
+    fn every_truncation_errors_typed() {
+        let bytes = ridfa_to_bytes(&sample_rid());
+        for len in 0..bytes.len() {
+            assert!(ridfa_from_bytes(&bytes[..len]).is_err(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes_invalid() {
+        let rid = sample_rid();
+        let bytes = ridfa_to_bytes(&rid);
+        for i in (0..bytes.len()).step_by(3) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            // Typed error — or, only if the checksum collided (it cannot
+            // for a single flipped bit), an automaton passing validation.
+            assert!(ridfa_from_bytes(&bad).is_err(), "offset {i}");
+        }
+    }
+
+    #[test]
+    fn dfa_artifact_is_rejected_as_wrong_kind() {
+        use ridfa_automata::dfa::powerset::determinize;
+        let nfa = glushkov::build(&parse("ab*").unwrap()).unwrap();
+        let bytes = ridfa_automata::serialize::binary::dfa_to_bytes(&determinize(&nfa));
+        assert!(matches!(
+            ridfa_from_bytes(&bytes),
+            Err(DecodeError::WrongKind { .. })
+        ));
+    }
+}

@@ -20,10 +20,12 @@
 //! [Interface minimization](minimize_interface) (Sect. 3.4) further
 //! downgrades language-equivalent interface states via *delegation*.
 
+pub mod artifact;
 pub(crate) mod construct;
 mod interface;
 mod minimize;
 
+pub use artifact::{ridfa_from_bytes, ridfa_to_bytes, RiDfaArtifact};
 pub use construct::{construct, construct_budgeted, construct_limited};
 pub use minimize::minimize_interface;
 

@@ -1,0 +1,686 @@
+//! The socket front-end: many connections, one registry, no blocking.
+//!
+//! [`Server`] multiplexes any number of TCP connections onto a
+//! [`PatternRegistry`] with a *single-threaded, non-blocking* readiness
+//! loop over `std::net` (`set_nonblocking` + a small poll tick — no
+//! external event-loop dependency). Parallelism lives where the paper
+//! puts it: inside the recognizer (the registry's shared worker pool),
+//! not in the connection plumbing.
+//!
+//! Each connection feeds whatever bytes have arrived into an
+//! incremental λ-composition scan ([`StreamScan`]) and parks — a
+//! stalling, trickling or resetting client costs one parked scan state,
+//! never a blocked thread. Verdicts leave as one-byte statuses mirroring
+//! the CLI exit-code taxonomy ([`protocol::Status`]), so the PR-4 fault
+//! taxonomy (deadline, budget, contained fault) maps 1:1 onto
+//! connection outcomes.
+//!
+//! # Backpressure
+//!
+//! Two bounds keep a flood of fast writers or slow readers from
+//! starving the loop or the heap:
+//!
+//! * **read budget** — each tick reads at most
+//!   [`ServeConfig::tick_read_budget`] bytes *across all connections*;
+//!   sockets left unread stay queued in their kernel buffers (TCP flow
+//!   control propagates the pressure to the sender);
+//! * **write high-water mark** — a connection with more than
+//!   [`ServeConfig::max_pending_response_bytes`] of unflushed responses
+//!   is not read from until the client drains its responses, so
+//!   pipelined requests from a never-reading client cannot grow the
+//!   response buffer without bound.
+//!
+//! # Lifecycle
+//!
+//! [`Server::run`] loops until an optional request quota
+//! ([`ServeConfig::max_requests`]) is met or an optional
+//! [`CancelToken`] trips, then flushes and reports: global, per-pattern
+//! and per-connection counters in a [`ServerReport`].
+
+pub mod protocol;
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::csdpa::budget::CancelToken;
+use crate::csdpa::registry::{PatternRegistry, PatternStats, StreamScan};
+
+use protocol::{Status, MAGIC};
+
+/// Sizing, bounding and termination knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Stop after this many completed requests (any status). `None`
+    /// runs until cancelled.
+    pub max_requests: Option<u64>,
+    /// Per-request wall-clock deadline, measured from the first header
+    /// byte; expiry answers [`Status::Deadline`] and closes the
+    /// connection.
+    pub request_deadline: Option<Duration>,
+    /// Close connections silent for this long (stalled mid-request or
+    /// idle between requests alike).
+    pub idle_timeout: Option<Duration>,
+    /// Accepted-connection cap; connections beyond it are accepted and
+    /// immediately dropped so the client sees EOF, not a hang.
+    pub max_connections: usize,
+    /// Per-connection read size per tick.
+    pub read_buf_bytes: usize,
+    /// Total bytes read per tick across all connections (backpressure;
+    /// see the [module docs](self)).
+    pub tick_read_budget: usize,
+    /// Largest declared request body; larger ones are drained and
+    /// answered [`Status::Budget`].
+    pub max_body_bytes: u64,
+    /// Unflushed-response high-water mark above which a connection is
+    /// not read from.
+    pub max_pending_response_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_requests: None,
+            request_deadline: None,
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            read_buf_bytes: 16 * 1024,
+            tick_read_budget: 1 << 20,
+            max_body_bytes: u64::MAX,
+            max_pending_response_bytes: 4096,
+        }
+    }
+}
+
+/// Global serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeTally {
+    /// Completed requests, any status.
+    pub requests: u64,
+    /// Requests answered [`Status::Accepted`].
+    pub accepted: u64,
+    /// Requests answered [`Status::Rejected`].
+    pub rejected: u64,
+    /// Requests answered [`Status::Protocol`] (bad frame, unknown id).
+    pub protocol_errors: u64,
+    /// Requests answered [`Status::Deadline`].
+    pub deadline_errors: u64,
+    /// Requests answered [`Status::Budget`] (body over the byte cap).
+    pub budget_errors: u64,
+    /// Requests answered [`Status::Fault`] (contained recognizer fault).
+    pub faults: u64,
+    /// Connections dropped on a read/write error or mid-request EOF.
+    pub io_errors: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
+    /// Connections accepted over the cap and immediately dropped.
+    pub refused: u64,
+    /// Connections accepted (including later-refused ones).
+    pub connections: u64,
+    /// Request-body bytes consumed (scanned or drained).
+    pub bytes: u64,
+}
+
+/// Counters of one (closed or still-open) connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionReport {
+    /// Peer address, or `"?"` when the socket could not tell.
+    pub peer: String,
+    /// Completed requests on this connection.
+    pub requests: u64,
+    /// Requests answered accepted.
+    pub accepted: u64,
+    /// Requests answered rejected.
+    pub rejected: u64,
+    /// Requests answered with any error status.
+    pub errors: u64,
+    /// Body bytes consumed on this connection.
+    pub bytes: u64,
+}
+
+/// Per-pattern counters, lifted out of the registry at shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternReport {
+    /// The pattern id.
+    pub id: String,
+    /// The registry's counters for it.
+    pub stats: PatternStats,
+}
+
+/// Everything a finished [`Server::run`] observed.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Global counters.
+    pub tally: ServeTally,
+    /// Per-pattern counters, in registry insertion order.
+    pub patterns: Vec<PatternReport>,
+    /// Per-connection counters, in close order (still-open connections
+    /// are appended at shutdown).
+    pub connections: Vec<ConnectionReport>,
+}
+
+/// What a request is currently doing on a connection.
+enum Phase {
+    /// Accumulating the variable-length header into `Conn::hdr`.
+    Header,
+    /// Consuming `remaining` body bytes. `pending` carries the error
+    /// status of a request whose body is drained unscanned (unknown
+    /// pattern, oversized body) so frame sync survives the error.
+    Body {
+        remaining: u64,
+        pending: Option<Status>,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    hdr: Vec<u8>,
+    phase: Phase,
+    pattern: String,
+    scan: StreamScan,
+    /// Body bytes consumed for the current request (scanned or drained).
+    consumed: u64,
+    outbuf: Vec<u8>,
+    out_written: usize,
+    close_after_flush: bool,
+    req_started: Option<Instant>,
+    last_activity: Instant,
+    requests: u64,
+    accepted: u64,
+    rejected: u64,
+    errors: u64,
+    bytes: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, peer: String, now: Instant) -> Conn {
+        Conn {
+            stream,
+            peer,
+            hdr: Vec::with_capacity(16),
+            phase: Phase::Header,
+            pattern: String::new(),
+            scan: StreamScan::new(),
+            consumed: 0,
+            outbuf: Vec::new(),
+            out_written: 0,
+            close_after_flush: false,
+            req_started: None,
+            last_activity: now,
+            requests: 0,
+            accepted: 0,
+            rejected: 0,
+            errors: 0,
+            bytes: 0,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.out_written
+    }
+
+    fn mid_request(&self) -> bool {
+        !self.hdr.is_empty() || matches!(self.phase, Phase::Body { .. })
+    }
+
+    fn report(&self) -> ConnectionReport {
+        ConnectionReport {
+            peer: self.peer.clone(),
+            requests: self.requests,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            errors: self.errors,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Queues a response and books it into both counter sets.
+    fn respond(&mut self, status: Status, scanned: u64, tally: &mut ServeTally) {
+        self.outbuf
+            .extend_from_slice(&protocol::encode_response(status, scanned));
+        self.requests += 1;
+        tally.requests += 1;
+        match status {
+            Status::Accepted => {
+                self.accepted += 1;
+                tally.accepted += 1;
+            }
+            Status::Rejected => {
+                self.rejected += 1;
+                tally.rejected += 1;
+            }
+            Status::Protocol | Status::Io => {
+                self.errors += 1;
+                tally.protocol_errors += 1;
+            }
+            Status::Deadline => {
+                self.errors += 1;
+                tally.deadline_errors += 1;
+            }
+            Status::Budget => {
+                self.errors += 1;
+                tally.budget_errors += 1;
+            }
+            Status::Fault => {
+                self.errors += 1;
+                tally.faults += 1;
+            }
+        }
+        self.req_started = None;
+    }
+}
+
+/// Feeds freshly read bytes through a connection's request state
+/// machine. Returns `false` when the connection must close after its
+/// responses flush (frame sync lost).
+fn ingest(
+    conn: &mut Conn,
+    registry: &mut PatternRegistry,
+    config: &ServeConfig,
+    tally: &mut ServeTally,
+    mut data: &[u8],
+) -> bool {
+    while !data.is_empty() {
+        match conn.phase {
+            Phase::Header => {
+                if conn.hdr.is_empty() && conn.req_started.is_none() {
+                    conn.req_started = Some(Instant::now());
+                }
+                // Accumulate the smallest prefix that lets us decide.
+                let need = match conn.hdr.len() {
+                    0 | 1 => 2,
+                    n => {
+                        let id_len = conn.hdr[1] as usize;
+                        if id_len == 0 {
+                            conn.respond(Status::Protocol, 0, tally);
+                            return false;
+                        }
+                        let total = 2 + id_len + 8;
+                        if n >= total {
+                            total
+                        } else {
+                            total.min(n + data.len())
+                        }
+                    }
+                };
+                let take = (need - conn.hdr.len()).min(data.len());
+                conn.hdr.extend_from_slice(&data[..take]);
+                data = &data[take..];
+                if conn.hdr.len() < 2 {
+                    continue;
+                }
+                if conn.hdr[0] != MAGIC {
+                    conn.respond(Status::Protocol, 0, tally);
+                    return false;
+                }
+                let id_len = conn.hdr[1] as usize;
+                if id_len == 0 {
+                    conn.respond(Status::Protocol, 0, tally);
+                    return false;
+                }
+                if conn.hdr.len() < 2 + id_len + 8 {
+                    continue;
+                }
+                // Full header: parse id and body length, pick the lane.
+                let id_ok = std::str::from_utf8(&conn.hdr[2..2 + id_len]).ok();
+                let mut body_len = [0u8; 8];
+                body_len.copy_from_slice(&conn.hdr[2 + id_len..2 + id_len + 8]);
+                let remaining = u64::from_le_bytes(body_len);
+                let pending = match id_ok {
+                    Some(id) if registry.contains(id) => {
+                        conn.pattern.clear();
+                        conn.pattern.push_str(id);
+                        if remaining > config.max_body_bytes {
+                            registry.record_error(&conn.pattern);
+                            Some(Status::Budget)
+                        } else {
+                            conn.scan.reset();
+                            None
+                        }
+                    }
+                    _ => {
+                        conn.pattern.clear();
+                        Some(Status::Protocol)
+                    }
+                };
+                conn.hdr.clear();
+                conn.consumed = 0;
+                conn.phase = Phase::Body { remaining, pending };
+            }
+            Phase::Body {
+                ref mut remaining,
+                pending,
+            } => {
+                let take = (*remaining).min(data.len() as u64) as usize;
+                let (chunk, rest) = data.split_at(take);
+                data = rest;
+                *remaining -= take as u64;
+                conn.consumed += take as u64;
+                conn.bytes += take as u64;
+                tally.bytes += take as u64;
+                let mut fault = None;
+                if pending.is_none() && !chunk.is_empty() {
+                    if let Err(e) = registry.scan_block(&conn.pattern, &mut conn.scan, chunk) {
+                        // The registry stays usable; the request does not.
+                        fault = Some(e);
+                    }
+                }
+                if let Some(_e) = fault {
+                    conn.respond(Status::Fault, conn.consumed, tally);
+                    registry.record_error(&conn.pattern);
+                    return false;
+                }
+                if *remaining == 0 {
+                    let consumed = conn.consumed;
+                    match pending {
+                        Some(status) => conn.respond(status, consumed, tally),
+                        None => match registry.finish_scan(&conn.pattern, &mut conn.scan) {
+                            Ok(true) => conn.respond(Status::Accepted, consumed, tally),
+                            Ok(false) => conn.respond(Status::Rejected, consumed, tally),
+                            Err(_) => {
+                                conn.respond(Status::Fault, consumed, tally);
+                                registry.record_error(&conn.pattern);
+                                return false;
+                            }
+                        },
+                    }
+                    conn.phase = Phase::Header;
+                }
+            }
+        }
+    }
+    // A request whose body is complete but arrived with `data` ending
+    // exactly at the frame boundary has already responded above.
+    if let Phase::Body {
+        remaining: 0,
+        pending,
+    } = conn.phase
+    {
+        let consumed = conn.consumed;
+        match pending {
+            Some(status) => conn.respond(status, consumed, tally),
+            None => match registry.finish_scan(&conn.pattern, &mut conn.scan) {
+                Ok(true) => conn.respond(Status::Accepted, consumed, tally),
+                Ok(false) => conn.respond(Status::Rejected, consumed, tally),
+                Err(_) => {
+                    conn.respond(Status::Fault, consumed, tally);
+                    registry.record_error(&conn.pattern);
+                    return false;
+                }
+            },
+        }
+        conn.phase = Phase::Header;
+    }
+    true
+}
+
+/// The non-blocking multi-pattern recognition server. See the
+/// [module docs](self).
+pub struct Server {
+    listener: TcpListener,
+    registry: PatternRegistry,
+    config: ServeConfig,
+    cancel: Option<CancelToken>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks a free port — read it back with
+    /// [`local_addr`](Server::local_addr)) and prepares to serve
+    /// `registry`'s patterns.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        registry: PatternRegistry,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            registry,
+            config,
+            cancel: None,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Installs a cancellation token: tripping it ends
+    /// [`run`](Server::run) at the next tick.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The registry being served (e.g. to inspect pattern stats).
+    pub fn registry(&self) -> &PatternRegistry {
+        &self.registry
+    }
+
+    /// Runs the readiness loop until the request quota is met or the
+    /// cancel token trips, then flushes pending responses and returns
+    /// the counters. The loop itself never blocks on any one
+    /// connection; only `Err` values of the *listener* abort the run.
+    pub fn run(mut self) -> io::Result<ServerReport> {
+        let mut tally = ServeTally::default();
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut closed: Vec<ConnectionReport> = Vec::new();
+        let mut buf = vec![0u8; self.config.read_buf_bytes.max(1)];
+        let mut rotate: usize = 0;
+
+        'serve: loop {
+            if let Some(cancel) = &self.cancel {
+                if cancel.is_cancelled() {
+                    break;
+                }
+            }
+            if let Some(quota) = self.config.max_requests {
+                if tally.requests >= quota {
+                    break;
+                }
+            }
+            let mut progressed = false;
+
+            // Accept whatever is queued, up to the connection cap.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, peer)) => {
+                        tally.connections += 1;
+                        progressed = true;
+                        if conns.len() >= self.config.max_connections {
+                            tally.refused += 1;
+                            drop(stream);
+                            continue;
+                        }
+                        if stream.set_nonblocking(true).is_err() {
+                            tally.io_errors += 1;
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream, peer.to_string(), Instant::now()));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // One read/write pass over every connection, rotating the
+            // start so a tick-budget shortfall is not always paid by the
+            // same sockets.
+            let now = Instant::now();
+            let mut read_budget = self.config.tick_read_budget;
+            let n = conns.len();
+            let mut drop_list: Vec<usize> = Vec::new();
+            for k in 0..n {
+                let i = (rotate + k) % n;
+                let conn = &mut conns[i];
+
+                // Flush pending responses first.
+                while conn.pending_out() > 0 {
+                    match conn.stream.write(&conn.outbuf[conn.out_written..]) {
+                        Ok(0) => {
+                            tally.io_errors += 1;
+                            drop_list.push(i);
+                            break;
+                        }
+                        Ok(written) => {
+                            conn.out_written += written;
+                            conn.last_activity = now;
+                            progressed = true;
+                            if conn.pending_out() == 0 {
+                                conn.outbuf.clear();
+                                conn.out_written = 0;
+                                if conn.close_after_flush {
+                                    drop_list.push(i);
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
+                        Err(_) => {
+                            tally.io_errors += 1;
+                            drop_list.push(i);
+                            break;
+                        }
+                    }
+                }
+                if drop_list.last() == Some(&i) {
+                    continue;
+                }
+
+                // Deadline and idle policing.
+                if let (Some(deadline), Some(started)) =
+                    (self.config.request_deadline, conn.req_started)
+                {
+                    if now.duration_since(started) > deadline {
+                        let consumed = conn.consumed;
+                        conn.respond(Status::Deadline, consumed, &mut tally);
+                        if !conn.pattern.is_empty() {
+                            self.registry.record_error(&conn.pattern);
+                        }
+                        conn.close_after_flush = true;
+                        progressed = true;
+                        continue;
+                    }
+                }
+                if let Some(idle) = self.config.idle_timeout {
+                    if now.duration_since(conn.last_activity) > idle {
+                        if conn.mid_request() {
+                            tally.io_errors += 1;
+                        }
+                        tally.idle_closed += 1;
+                        drop_list.push(i);
+                        continue;
+                    }
+                }
+
+                // Read under the tick budget and the write high-water
+                // mark (backpressure).
+                if conn.close_after_flush
+                    || conn.pending_out() > self.config.max_pending_response_bytes
+                    || read_budget == 0
+                {
+                    continue;
+                }
+                let want = buf.len().min(read_budget);
+                match conn.stream.read(&mut buf[..want]) {
+                    Ok(0) => {
+                        if conn.mid_request() {
+                            tally.io_errors += 1;
+                        }
+                        drop_list.push(i);
+                    }
+                    Ok(got) => {
+                        read_budget -= got;
+                        conn.last_activity = now;
+                        progressed = true;
+                        if !ingest(
+                            conn,
+                            &mut self.registry,
+                            &self.config,
+                            &mut tally,
+                            &buf[..got],
+                        ) {
+                            conn.close_after_flush = true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        tally.io_errors += 1;
+                        drop_list.push(i);
+                    }
+                }
+
+                if let Some(quota) = self.config.max_requests {
+                    if tally.requests >= quota {
+                        // Stop reading; the flush loop below answers
+                        // what is already queued.
+                        break;
+                    }
+                }
+            }
+            if n > 0 {
+                rotate = (rotate + 1) % n;
+            }
+
+            // Reap (highest index first so the indices stay valid).
+            drop_list.sort_unstable();
+            drop_list.dedup();
+            for &i in drop_list.iter().rev() {
+                let conn = conns.swap_remove(i);
+                closed.push(conn.report());
+                progressed = true;
+            }
+
+            if !progressed {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+
+            // Graceful quota shutdown: flush every queued response
+            // (bounded by a short grace period), then stop.
+            if let Some(quota) = self.config.max_requests {
+                if tally.requests >= quota {
+                    let grace = Instant::now() + Duration::from_secs(2);
+                    while conns.iter().any(|c| c.pending_out() > 0) && Instant::now() < grace {
+                        for conn in conns.iter_mut() {
+                            while conn.pending_out() > 0 {
+                                match conn.stream.write(&conn.outbuf[conn.out_written..]) {
+                                    Ok(0) => break,
+                                    Ok(written) => conn.out_written += written,
+                                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                    Err(_) => break,
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    break 'serve;
+                }
+            }
+        }
+
+        for conn in conns {
+            closed.push(conn.report());
+        }
+        let patterns = self
+            .registry
+            .ids()
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| {
+                let stats = self.registry.stats(&id).unwrap_or_default();
+                PatternReport { id, stats }
+            })
+            .collect();
+        Ok(ServerReport {
+            tally,
+            patterns,
+            connections: closed,
+        })
+    }
+}

@@ -1,0 +1,239 @@
+//! Artifact-format trust boundary: binary and text decoders are
+//! structurally total on hostile input (typed errors, never a panic,
+//! never an unbounded allocation), and an artifact round trip is
+//! *behaviorally* identical to a fresh construction.
+
+use ridfa::automata::dfa::{minimize, powerset};
+use ridfa::automata::nfa::glushkov;
+use ridfa::automata::regex;
+use ridfa::automata::serialize::binary::{dfa_from_bytes, dfa_to_bytes, peek, DecodeError};
+use ridfa::automata::serialize::{dfa_from_text, dfa_to_text, nfa_from_text, nfa_to_text};
+use ridfa::core::csdpa::{recognize, Executor, RidCa};
+use ridfa::core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, RiDfa};
+use ridfa::faults::XorShift64;
+
+const PATTERNS: &[&str] = &[
+    "(a|b)*abb",
+    "[ab]*a[ab]{4}",
+    "[0-9]+",
+    "[a-z]+(-[a-z]+)*",
+    "(ab|ba)*(a|b)?",
+];
+
+fn rid_for(pattern: &str) -> RiDfa {
+    let ast = regex::parse(pattern).unwrap();
+    RiDfa::from_nfa(&glushkov::build(&ast).unwrap()).minimized()
+}
+
+/// A text for pattern `idx`: a guaranteed member when `member` (so the
+/// accepted path is always exercised), alphabet noise otherwise.
+fn sample_text(idx: usize, member: bool, rng: &mut XorShift64) -> Vec<u8> {
+    let n = (rng.next_u64() % 24) as usize;
+    if !member {
+        return (0..n)
+            .map(|_| b"ab0-xyz9"[(rng.next_u64() % 8) as usize])
+            .collect();
+    }
+    let mut text = Vec::new();
+    match idx {
+        0 => {
+            // (a|b)*abb
+            text.extend((0..n).map(|_| b"ab"[(rng.next_u64() % 2) as usize]));
+            text.extend_from_slice(b"abb");
+        }
+        1 => {
+            // [ab]*a[ab]{4}
+            text.extend((0..n).map(|_| b"ab"[(rng.next_u64() % 2) as usize]));
+            text.push(b'a');
+            text.extend((0..4).map(|_| b"ab"[(rng.next_u64() % 2) as usize]));
+        }
+        2 => {
+            // [0-9]+
+            text.extend((0..n + 1).map(|_| b'0' + (rng.next_u64() % 10) as u8));
+        }
+        3 => {
+            // [a-z]+(-[a-z]+)*
+            text.extend_from_slice(b"foo");
+            for _ in 0..n % 4 {
+                text.extend_from_slice(b"-bar");
+            }
+        }
+        _ => {
+            // (ab|ba)*(a|b)?
+            for _ in 0..n {
+                text.extend_from_slice([&b"ab"[..], b"ba"][(rng.next_u64() % 2) as usize]);
+            }
+            if rng.next_u64().is_multiple_of(2) {
+                text.push(b'a');
+            }
+        }
+    }
+    text
+}
+
+/// Loaded artifacts recognize exactly like the automata they froze,
+/// across random texts (both verdicts exercised).
+#[test]
+fn artifact_roundtrip_is_behaviorally_identical() {
+    let mut rng = XorShift64::new(0xa71f_ac75);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for (idx, pattern) in PATTERNS.iter().enumerate() {
+        let rid = rid_for(pattern);
+        let loaded = ridfa_from_bytes(&ridfa_to_bytes(&rid)).unwrap().rid;
+        assert_eq!(rid, loaded, "{pattern}: loaded RI-DFA differs");
+        for round in 0..40 {
+            let text = sample_text(idx, round % 2 == 0, &mut rng);
+            let fresh = recognize(&RidCa::new(&rid), &text, 3, Executor::Serial).accepted;
+            let cold = recognize(&RidCa::new(&loaded), &text, 3, Executor::Serial).accepted;
+            assert_eq!(fresh, cold, "{pattern} on {text:?}");
+            if fresh {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+    }
+    assert!(
+        accepted >= 20,
+        "only {accepted} accepted texts — mix too thin"
+    );
+    assert!(
+        rejected >= 20,
+        "only {rejected} rejected texts — mix too thin"
+    );
+}
+
+/// Every single-byte corruption of a sealed artifact is detected: the
+/// checksum (or a structural validator behind it) turns silent damage
+/// into a typed error, for both artifact kinds.
+#[test]
+fn corrupted_artifacts_error_and_never_panic() {
+    let rid = rid_for("[ab]*a[ab]{4}");
+    let rid_bytes = ridfa_to_bytes(&rid);
+    let dfa = minimize::minimize(&powerset::determinize(
+        &glushkov::build(&regex::parse("[ab]*a[ab]{4}").unwrap()).unwrap(),
+    ));
+    let dfa_bytes = dfa_to_bytes(&dfa);
+
+    let mut rng = XorShift64::new(0x00dd_ba11);
+    let mut detections = 0usize;
+    for (bytes, kind) in [(&rid_bytes, "ridfa"), (&dfa_bytes, "dfa")] {
+        for _ in 0..400 {
+            let mut mutant = bytes.clone();
+            let at = (rng.next_u64() % mutant.len() as u64) as usize;
+            let bit = 1u8 << (rng.next_u64() % 8);
+            mutant[at] ^= bit;
+            let damaged = match kind {
+                "ridfa" => ridfa_from_bytes(&mutant).is_err(),
+                _ => dfa_from_bytes(&mutant).is_err(),
+            };
+            assert!(
+                damaged,
+                "{kind}: flip of bit {bit:#x} at {at} went undetected"
+            );
+            detections += 1;
+        }
+    }
+    assert_eq!(detections, 800);
+}
+
+/// Pure noise, truncations, and forged headers decode to typed errors —
+/// the decoder allocates nothing it has not validated first.
+#[test]
+fn hostile_binary_input_is_total() {
+    let mut rng = XorShift64::new(0xfeed_beef);
+    let mut errors = 0usize;
+    for _ in 0..500 {
+        let len = (rng.next_u64() % 200) as usize;
+        let noise: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        if ridfa_from_bytes(&noise).is_err() {
+            errors += 1;
+        }
+        if dfa_from_bytes(&noise).is_err() {
+            errors += 1;
+        }
+    }
+    assert_eq!(errors, 1000, "random noise must never decode");
+
+    // A forged header declaring a huge payload must fail on length
+    // validation, not attempt the allocation.
+    let rid_bytes = ridfa_to_bytes(&rid_for("(a|b)*abb"));
+    for cut in 0..rid_bytes.len() {
+        assert!(
+            ridfa_from_bytes(&rid_bytes[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
+    }
+    let mut forged = rid_bytes.clone();
+    forged[10..18].copy_from_slice(&u64::MAX.to_le_bytes());
+    match ridfa_from_bytes(&forged) {
+        Err(DecodeError::Truncated { .. }) | Err(DecodeError::Malformed(_)) => {}
+        other => panic!("forged payload length: {other:?}"),
+    }
+    assert!(peek(&rid_bytes).is_ok());
+}
+
+/// The text decoders survive seeded random line mutations of valid
+/// machine files: every outcome is `Ok` or a typed error, never a panic
+/// or an over-allocation.
+#[test]
+fn mutated_text_machines_are_total() {
+    let nfa = glushkov::build(&regex::parse("(a|b)*abb").unwrap()).unwrap();
+    let nfa_text = nfa_to_text(&nfa);
+    let dfa = minimize::minimize(&powerset::determinize(&nfa));
+    let dfa_text = dfa_to_text(&dfa);
+
+    let mut rng = XorShift64::new(0x7e57_7e57);
+    let mut ok = 0usize;
+    let mut err = 0usize;
+    let hostile_tokens = [
+        "99999999999999999999",
+        "-1",
+        "18446744073709551615",
+        "trans",
+        "nfa 1048577",
+        "dfa 2 999",
+        "\u{0}",
+        "4294967295",
+    ];
+    for source in [&nfa_text, &dfa_text] {
+        for _ in 0..300 {
+            let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+            let n = lines.len() as u64;
+            match rng.next_u64() % 4 {
+                0 => {
+                    // Replace a token on a random line with a hostile one.
+                    let i = (rng.next_u64() % n) as usize;
+                    let token = hostile_tokens[(rng.next_u64() % 8) as usize];
+                    let mut parts: Vec<&str> = lines[i].split(' ').collect();
+                    let j = (rng.next_u64() % parts.len().max(1) as u64) as usize;
+                    parts[j] = token;
+                    lines[i] = parts.join(" ");
+                }
+                1 => {
+                    let i = (rng.next_u64() % n) as usize;
+                    lines.remove(i);
+                }
+                2 => {
+                    let i = (rng.next_u64() % n) as usize;
+                    let line = lines[i].clone();
+                    lines.insert(i, line);
+                }
+                _ => {
+                    let i = (rng.next_u64() % n) as usize;
+                    lines.truncate(i);
+                }
+            }
+            let mutated = lines.join("\n");
+            let outcome_nfa = nfa_from_text(&mutated);
+            let outcome_dfa = dfa_from_text(&mutated);
+            match (outcome_nfa.is_ok(), outcome_dfa.is_ok()) {
+                (false, false) => err += 1,
+                _ => ok += 1,
+            }
+        }
+    }
+    assert!(ok + err == 600);
+    assert!(err >= 100, "only {err} rejections — mutations too gentle");
+}

@@ -21,7 +21,10 @@ use ridfa::core::csdpa::{
     recognize_budgeted, Budget, CancelToken, ConvergentRidCa, Degraded, Executor, RecognizeError,
     RidCa, Session, StreamError, StreamSession,
 };
+use ridfa::core::csdpa::{PatternRegistry, RegistryConfig};
 use ridfa::core::ridfa::RiDfa;
+use ridfa::core::serve::protocol::{self, Status};
+use ridfa::core::serve::{ServeConfig, Server};
 use ridfa::core::sfa::Sfa;
 use ridfa::faults::{kill_workers, state_explosion_pattern, FailingReader, PanicCa, XorShift64};
 
@@ -306,4 +309,183 @@ fn construction_budgets_turn_state_explosions_into_typed_errors() {
             .unwrap()
             .accepted
     );
+}
+
+/// Hostile loopback clients — stalling mid-request, writing garbage,
+/// resetting mid-frame — must never wedge the serve loop or starve a
+/// well-behaved client, and every casualty must land in a typed counter.
+#[test]
+fn hostile_clients_never_wedge_the_serve_loop() {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    let mut registry = PatternRegistry::new(RegistryConfig {
+        num_workers: 2,
+        block_size: 128,
+        ..RegistryConfig::default()
+    });
+    registry.insert_regex("abb", "(a|b)*abb").unwrap();
+    registry.insert_regex("digits", "[0-9]+").unwrap();
+
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            request_deadline: Some(Duration::from_millis(150)),
+            idle_timeout: Some(Duration::from_millis(400)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let cancel = CancelToken::new();
+    server.set_cancel(cancel.clone());
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Stalling client: one header byte, then silence. The per-request
+    // deadline must answer Status::Deadline — the loop does not wait.
+    let staller = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&[protocol::MAGIC]).unwrap();
+        let response = protocol::read_response(&mut stream).unwrap();
+        assert_eq!(response.status, Status::Deadline);
+    });
+
+    // Garbage client: wrong magic. Typed protocol error, then close.
+    let garbage = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"\xffnot-a-frame").unwrap();
+        let response = protocol::read_response(&mut stream).unwrap();
+        assert_eq!(response.status, Status::Protocol);
+    });
+
+    // Resetting client: half a frame, then a dropped socket. Must count
+    // as an I/O casualty, nothing more.
+    let resetter = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let frame = protocol::encode_request("abb", b"abababab").unwrap();
+        stream.write_all(&frame[..frame.len() / 2]).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        drop(stream);
+    });
+
+    // Idle client: connects and says nothing; the idle timeout reaps it.
+    let idler = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(700));
+        drop(stream);
+    });
+
+    // Trickle client: a valid request dribbled a few bytes at a time —
+    // slow but inside the deadline, so the verdict must be exact.
+    let trickler = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let frame = protocol::encode_request("digits", b"0123456789").unwrap();
+        for piece in frame.chunks(3) {
+            stream.write_all(piece).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let response = protocol::read_response(&mut stream).unwrap();
+        assert_eq!(response.status, Status::Accepted);
+        assert_eq!(response.scanned, 10);
+    });
+
+    // The well-behaved client runs throughout the chaos; every verdict
+    // must stay correct and prompt.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for round in 0..20 {
+        let (body, want): (&[u8], Status) = if round % 2 == 0 {
+            (b"bababb", Status::Accepted)
+        } else {
+            (b"bab", Status::Rejected)
+        };
+        let response = protocol::query(&mut stream, "abb", body).unwrap();
+        assert_eq!(response.status, want, "round {round}");
+    }
+    drop(stream);
+
+    staller.join().unwrap();
+    garbage.join().unwrap();
+    resetter.join().unwrap();
+    idler.join().unwrap();
+    trickler.join().unwrap();
+    cancel.cancel();
+    let report = server_thread.join().unwrap();
+
+    assert_eq!(report.tally.deadline_errors, 1, "{:?}", report.tally);
+    assert_eq!(report.tally.protocol_errors, 1, "{:?}", report.tally);
+    assert!(report.tally.io_errors >= 1, "{:?}", report.tally);
+    assert!(report.tally.idle_closed >= 1, "{:?}", report.tally);
+    assert_eq!(report.tally.accepted, 11, "{:?}", report.tally);
+    assert_eq!(report.tally.rejected, 10, "{:?}", report.tally);
+    assert_eq!(report.tally.connections, 6, "{:?}", report.tally);
+    // Every connection is accounted for — none leaked past shutdown.
+    assert_eq!(report.connections.len(), 6);
+}
+
+/// A client that sends pipelined requests but never reads responses hits
+/// the write high-water mark: the server parks the connection instead of
+/// buffering without bound, and other clients keep being served.
+#[test]
+fn never_reading_client_is_parked_not_buffered() {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    let mut registry = PatternRegistry::new(RegistryConfig {
+        num_workers: 1,
+        ..RegistryConfig::default()
+    });
+    registry.insert_regex("digits", "[0-9]+").unwrap();
+
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            idle_timeout: Some(Duration::from_secs(5)),
+            max_pending_response_bytes: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let cancel = CancelToken::new();
+    server.set_cancel(cancel.clone());
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Flood requests without ever reading a response.
+    let mut flood = TcpStream::connect(addr).unwrap();
+    let frame = protocol::encode_request("digits", b"123").unwrap();
+    for _ in 0..200 {
+        if flood.write_all(&frame).is_err() {
+            break; // kernel buffers filled — exactly the point
+        }
+    }
+
+    // A polite client on another connection is unaffected.
+    let mut polite = TcpStream::connect(addr).unwrap();
+    polite
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for _ in 0..5 {
+        let response = protocol::query(&mut polite, "digits", b"42").unwrap();
+        assert_eq!(response.status, Status::Accepted);
+    }
+    drop(polite);
+    drop(flood);
+    cancel.cancel();
+    let report = server_thread.join().unwrap();
+    assert!(report.tally.accepted >= 5, "{:?}", report.tally);
 }

@@ -1,0 +1,174 @@
+//! Loopback serving: one process, one registry, one worker pool — many
+//! concurrent TCP connections with mixed verdicts, all multiplexed by
+//! the non-blocking event loop.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ridfa::core::csdpa::{CancelToken, PatternRegistry, RegistryConfig};
+use ridfa::core::ridfa::ridfa_to_bytes;
+use ridfa::core::serve::protocol::{self, Status};
+use ridfa::core::serve::{ServeConfig, Server};
+use ridfa::faults::XorShift64;
+
+fn test_registry() -> PatternRegistry {
+    let mut reg = PatternRegistry::new(RegistryConfig {
+        num_workers: 2,
+        block_size: 256,
+        ..RegistryConfig::default()
+    });
+    reg.insert_regex("abb", "(a|b)*abb").unwrap();
+    reg.insert_regex("digits", "[0-9]+").unwrap();
+    reg.insert_regex("word", "[a-z]+(-[a-z]+)*").unwrap();
+    // The fourth pattern arrives as a binary artifact, like a prod
+    // deploy would ship it.
+    let ast = ridfa::automata::regex::parse("[ab]*a[ab]{4}").unwrap();
+    let nfa = ridfa::automata::nfa::glushkov::build(&ast).unwrap();
+    let rid = ridfa::core::ridfa::RiDfa::from_nfa(&nfa).minimized();
+    reg.insert_artifact("mask", &ridfa_to_bytes(&rid)).unwrap();
+    reg
+}
+
+/// 32 concurrent client threads × 4 requests each, across 4 patterns
+/// (one artifact-loaded), mixed accept/reject plus unknown-pattern
+/// probes: every verdict correct, every counter adds up.
+#[test]
+fn thirty_two_concurrent_connections_mixed_verdicts() {
+    const CLIENTS: usize = 32;
+    const PER_CLIENT: usize = 4;
+
+    let cases: &[(&str, &[u8], Status)] = &[
+        ("abb", b"bababb", Status::Accepted),
+        ("abb", b"baba", Status::Rejected),
+        ("digits", b"0123456789012345", Status::Accepted),
+        ("digits", b"123x", Status::Rejected),
+        ("word", b"alpha-beta-gamma-delta", Status::Accepted),
+        ("word", b"Alpha", Status::Rejected),
+        ("mask", b"bbbbbaabab", Status::Accepted),
+        ("mask", b"bb", Status::Rejected),
+        ("no-such-pattern", b"whatever", Status::Protocol),
+    ];
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        test_registry(),
+        ServeConfig {
+            max_requests: Some((CLIENTS * PER_CLIENT) as u64),
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let expected = Arc::new(std::sync::Mutex::new(std::collections::HashMap::<
+        &'static str,
+        [u64; 3],
+    >::new()));
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let expected = Arc::clone(&expected);
+            scope.spawn(move || {
+                let mut rng = XorShift64::new(0x9e37 + client as u64);
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(20)))
+                    .unwrap();
+                for _ in 0..PER_CLIENT {
+                    let (id, body, want) = cases[(rng.next_u64() % cases.len() as u64) as usize];
+                    let response = protocol::query(&mut stream, id, body).expect("query");
+                    assert_eq!(response.status, want, "pattern {id} body {body:?}");
+                    assert_eq!(response.scanned, body.len() as u64);
+                    let mut tally = expected.lock().unwrap();
+                    let slot = tally.entry(id).or_default();
+                    match want {
+                        Status::Accepted => slot[0] += 1,
+                        Status::Rejected => slot[1] += 1,
+                        _ => slot[2] += 1,
+                    }
+                }
+            });
+        }
+    });
+
+    let report = server_thread.join().unwrap();
+    let total = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(report.tally.requests, total);
+    assert_eq!(report.tally.connections, CLIENTS as u64);
+    assert_eq!(report.connections.len(), CLIENTS);
+
+    let expected = expected.lock().unwrap();
+    let sum = |i: usize| -> u64 { expected.values().map(|v| v[i]).sum() };
+    assert_eq!(report.tally.accepted, sum(0));
+    assert_eq!(report.tally.rejected, sum(1));
+    assert_eq!(report.tally.protocol_errors, sum(2));
+
+    // Per-pattern counters agree with what the clients sent.
+    for pattern in &report.patterns {
+        let [accepted, rejected, _] = expected
+            .get(pattern.id.as_str())
+            .copied()
+            .unwrap_or_default();
+        assert_eq!(pattern.stats.accepted, accepted, "{}", pattern.id);
+        assert_eq!(pattern.stats.rejected, rejected, "{}", pattern.id);
+    }
+    // Per-connection counters sum to the global ones.
+    let conn_requests: u64 = report.connections.iter().map(|c| c.requests).sum();
+    assert_eq!(conn_requests, total);
+}
+
+/// A request body larger than the configured budget is drained and
+/// answered `Budget` without breaking the connection; a pipelined
+/// follow-up on the same socket still gets its verdict.
+#[test]
+fn oversized_body_answers_budget_and_keeps_the_connection() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        test_registry(),
+        ServeConfig {
+            max_requests: Some(3),
+            max_body_bytes: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let big = vec![b'7'; 200];
+    let response = protocol::query(&mut stream, "digits", &big).unwrap();
+    assert_eq!(response.status, Status::Budget);
+    assert_eq!(
+        response.scanned, 200,
+        "oversized body must still be drained"
+    );
+    let response = protocol::query(&mut stream, "digits", b"12345").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+    let response = protocol::query(&mut stream, "abb", b"abb").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+    drop(stream);
+
+    let report = server_thread.join().unwrap();
+    assert_eq!(report.tally.budget_errors, 1);
+    assert_eq!(report.tally.accepted, 2);
+}
+
+/// The cancel token stops an idle server promptly — the shutdown path a
+/// supervisor would use.
+#[test]
+fn cancel_token_stops_the_loop() {
+    let mut server = Server::bind("127.0.0.1:0", test_registry(), ServeConfig::default()).unwrap();
+    let cancel = CancelToken::new();
+    server.set_cancel(cancel.clone());
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+    std::thread::sleep(Duration::from_millis(50));
+    cancel.cancel();
+    let report = server_thread.join().unwrap();
+    assert_eq!(report.tally.requests, 0);
+}
