@@ -25,9 +25,9 @@ use ridfa_automata::nfa::{glushkov, Nfa};
 use ridfa_automata::serialize::binary;
 use ridfa_automata::{regex, serialize, ConstructionBudget};
 use ridfa_core::csdpa::{
-    recognize_counted, Budget, ChunkAutomaton, ConvergentDfaCa, ConvergentRidCa, CountedOutcome,
-    DfaCa, Executor, NfaCa, Outcome, PatternRegistry, RecognizeError, RegistryConfig,
-    RegistryError, RidCa, Session, StreamError, StreamOutcome, StreamSession,
+    recognize_counted, resident_footprint, Budget, ChunkAutomaton, ConvergentDfaCa,
+    ConvergentRidCa, CountedOutcome, DfaCa, Executor, NfaCa, Outcome, RecognizeError,
+    RegistryConfig, RidCa, Session, StreamError, StreamOutcome, StreamSession,
 };
 use ridfa_core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, RiDfa};
 use ridfa_core::serve::{protocol, ServeConfig, Server};
@@ -161,7 +161,19 @@ USAGE:
                    [--idle-ms MS] [--max-body BYTES]    picks a free port),
                    [--threads N] [--block-size BYTES]   load the pattern
                    [--max-states N] [--max-table-bytes N] file, serve until
-                                                        the request quota
+                   [--shards N]                         the request quota;
+                                                        N loop threads, each
+                                                        with its own registry
+                                                        replica
+                   [--reload-ms MS]                     watch the pattern
+                                                        file, hot-reload
+                                                        edits into running
+                                                        shards
+                   [--offload-bytes BYTES]              bodies above BYTES
+                                                        scan in bounded
+                                                        slices off the tick
+                                                        (big bodies never
+                                                        stall small ones)
   ridfa compile    (--regex PATTERN | --nfa FILE | --workload NAME)
                    --out FILE [--kind ridfa|dfa]        build the (minimized)
                    [--max-states N]                     automaton once, seal
@@ -169,9 +181,12 @@ USAGE:
                                                         binary artifact
   ridfa inspect-artifact --file FILE                    validate + describe
                                                         an artifact
-  ridfa query      --connect ADDR --pattern ID          one request against
-                   --text FILE                          a running server;
-                                                        exit code = verdict
+  ridfa query      --connect ADDR --pattern ID          request(s) against a
+                   --text FILE [--repeat N]             running server; C
+                   [--concurrency C]                    connections × N
+                                                        pipelined requests;
+                                                        exit code = worst
+                                                        verdict seen
   ridfa help
 
 A `--patterns FILE` holds one pattern per line: `ID REGEX`, or
@@ -950,23 +965,6 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
-/// Maps a registry failure onto the CLI exit-code taxonomy.
-fn registry_error(error: RegistryError) -> CliError {
-    match error {
-        RegistryError::Construction(e) => match e {
-            ridfa_automata::Error::LimitExceeded { .. } => CliError::Budget(e.to_string()),
-            other => CliError::Usage(other.to_string()),
-        },
-        RegistryError::Decode(e) => CliError::Usage(format!("artifact rejected: {e}")),
-        RegistryError::Oversized { .. } => CliError::Budget(error.to_string()),
-        RegistryError::UnknownPattern(_) | RegistryError::DuplicatePattern(_) => {
-            CliError::Usage(error.to_string())
-        }
-        RegistryError::Recognize(e) => recognize_error(e),
-        RegistryError::Stream(e) => stream_error(e),
-    }
-}
-
 /// `ridfa compile`: build the automaton once, seal it as a checksummed
 /// binary artifact — cold starts become a validated load.
 fn cmd_compile(opts: &Opts) -> Result<(), CliError> {
@@ -1033,6 +1031,11 @@ fn cmd_inspect_artifact(opts: &Opts) -> Result<(), CliError> {
                 loaded.dfa.num_live_states(),
                 loaded.dfa.classes().num_classes()
             );
+            println!(
+                "tables   : {} dense bytes + {} premultiplied bytes",
+                std::mem::size_of_val(loaded.dfa.table()),
+                std::mem::size_of_val(loaded.premultiplied.as_slice()),
+            );
         }
         binary::ArtifactKind::RiDfa => {
             let loaded = ridfa_from_bytes(&bytes).map_err(|e| CliError::Usage(e.to_string()))?;
@@ -1043,53 +1046,23 @@ fn cmd_inspect_artifact(opts: &Opts) -> Result<(), CliError> {
                 loaded.rid.interface().len(),
                 loaded.rid.classes().num_classes()
             );
+            // The same number the serving registry books against its
+            // residency cap when this artifact is inserted.
+            println!(
+                "resident : {} bytes as served (registry ledger)",
+                resident_footprint(&loaded.rid, loaded.premultiplied.len()),
+            );
         }
     }
     println!("verdict  : artifact OK");
     Ok(())
 }
 
-/// Parses a `--patterns` file into a registry: one `ID REGEX` or
-/// `ID @ARTIFACT` per line, `#` comments and blank lines skipped.
-fn load_patterns(registry: &mut PatternRegistry, path: &str) -> Result<usize, CliError> {
-    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
-    let mut loaded = 0;
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Some((id, spec)) = line.split_once(char::is_whitespace) else {
-            return Err(CliError::Usage(format!(
-                "{path}:{}: expected `ID REGEX` or `ID @ARTIFACT`",
-                lineno + 1
-            )));
-        };
-        let spec = spec.trim();
-        let result = match spec.strip_prefix('@') {
-            Some(artifact_path) => {
-                let bytes = std::fs::read(artifact_path)
-                    .map_err(|e| CliError::Io(format!("{artifact_path}: {e}")))?;
-                registry.insert_artifact(id, &bytes)
-            }
-            None => registry.insert_regex(id, spec),
-        };
-        result.map_err(|e| match registry_error(e) {
-            CliError::Usage(m) => CliError::Usage(format!("{path}:{}: {m}", lineno + 1)),
-            other => other,
-        })?;
-        loaded += 1;
-    }
-    if loaded == 0 {
-        return Err(CliError::Usage(format!("{path}: no patterns defined")));
-    }
-    Ok(loaded)
-}
-
-/// `ridfa serve --listen`: the real network mode — a non-blocking
-/// loop multiplexing every connection onto one registry and one worker
-/// pool. Prints `listening on ADDR` (resolved port) before serving so a
-/// driver script can connect, and a counter report after.
+/// `ridfa serve --listen`: the real network mode — an acceptor dealing
+/// connections to `--shards` non-blocking loops, each serving its own
+/// registry replica built from the `--patterns` file. Prints
+/// `listening on ADDR` (resolved port) before serving so a driver
+/// script can connect, and a reconciled counter report after.
 fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
     let Some(addr) = opts.get_value("listen")? else {
         return Err(CliError::Usage("need --listen ADDR".into()));
@@ -1098,13 +1071,22 @@ fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
         return Err(CliError::Usage("need --patterns FILE".into()));
     };
     let threads = opts.get_usize("threads", default_threads())?;
-    let mut registry = PatternRegistry::new(RegistryConfig {
-        num_workers: threads.saturating_sub(1).max(1),
+    let shards = opts.get_usize("shards", 1)?;
+    if !(1..=64).contains(&shards) {
+        return Err(CliError::Usage(format!(
+            "--shards must be 1..=64, got {shards}"
+        )));
+    }
+    // Split the thread budget across the shard replicas: each shard's
+    // pool gets its share minus the shard thread itself (which joins
+    // every pooled reach phase).
+    let per_shard_threads = (threads / shards).max(1);
+    let registry_config = RegistryConfig {
+        num_workers: per_shard_threads.saturating_sub(1).max(1),
         block_size: opts.get_usize("block-size", 64 * 1024)?,
         budget: construction_budget(opts)?.unwrap_or(ConstructionBudget::UNLIMITED),
         max_table_bytes: opts.get_usize("max-table-bytes", usize::MAX)?,
-    });
-    let loaded = load_patterns(&mut registry, patterns)?;
+    };
 
     let max_requests = match opts.get_value("max-requests")? {
         None => None,
@@ -1125,15 +1107,40 @@ fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
             CliError::Usage(format!("invalid value for --idle-ms: {v:?}"))
         })?)),
     };
+    let reload_interval = match opts.get_value("reload-ms")? {
+        None => None,
+        Some(v) => Some(Duration::from_millis(v.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("invalid value for --reload-ms: {v:?}"))
+        })?)),
+    };
+    let offload_bytes = match opts.get_value("offload-bytes")? {
+        None => u64::MAX,
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage(format!("invalid value for --offload-bytes: {v:?}")))?,
+    };
     let config = ServeConfig {
         max_requests,
         request_deadline: deadline,
         idle_timeout: idle,
         max_body_bytes: opts.get_usize("max-body", usize::MAX)? as u64,
+        shards,
+        offload_bytes,
+        reload_interval,
         ..ServeConfig::default()
     };
 
-    let server = Server::bind(addr, registry, config).map_err(|e| CliError::Io(e.to_string()))?;
+    let server = Server::bind_spec_file(
+        addr,
+        std::path::PathBuf::from(patterns),
+        registry_config,
+        config,
+    )
+    .map_err(|e| match e.kind() {
+        std::io::ErrorKind::InvalidInput => CliError::Usage(format!("{patterns}: {e}")),
+        _ => CliError::Io(e.to_string()),
+    })?;
+    let loaded = server.pattern_count();
     let bound = server
         .local_addr()
         .map_err(|e| CliError::Io(e.to_string()))?;
@@ -1160,6 +1167,27 @@ fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
         t.io_errors,
         t.idle_closed,
     );
+    for shard in &report.shards {
+        let s = &shard.tally;
+        let errors = s.protocol_errors + s.deadline_errors + s.budget_errors + s.faults;
+        println!(
+            "shard {}: {} requests ({} accepted / {} rejected / {} errors), {} bytes | \
+             reload: {} generations (+{} / -{} / {} failed)",
+            shard.shard,
+            s.requests,
+            s.accepted,
+            s.rejected,
+            errors,
+            s.bytes,
+            shard.reload.generations,
+            shard.reload.inserted,
+            shard.reload.evicted,
+            shard.reload.failed,
+        );
+    }
+    if report.reload_errors > 0 {
+        println!("reload errors: {}", report.reload_errors);
+    }
     for pattern in &report.patterns {
         let s = &pattern.stats;
         println!(
@@ -1173,11 +1201,22 @@ fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
             conn.peer, conn.requests, conn.accepted, conn.rejected, conn.errors, conn.bytes
         );
     }
+    match report.verify() {
+        Ok(()) => println!(
+            "reconcile: ok ({} shards, {} requests)",
+            report.shards.len(),
+            t.requests
+        ),
+        Err(msg) => return Err(CliError::Internal(format!("reconcile failed: {msg}"))),
+    }
     Ok(())
 }
 
-/// `ridfa query`: one blocking request against a running server; the
-/// exit code *is* the response status (the taxonomies coincide).
+/// `ridfa query`: requests against a running server; the exit code *is*
+/// the worst response status seen (the taxonomies coincide). `--repeat`
+/// pipelines N requests per connection, `--concurrency` opens C
+/// connections in parallel — `C × N` requests total, a one-command load
+/// generator for the sharded server.
 fn cmd_query(opts: &Opts) -> Result<(), CliError> {
     let Some(addr) = opts.get_value("connect")? else {
         return Err(CliError::Usage("need --connect ADDR".into()));
@@ -1185,18 +1224,81 @@ fn cmd_query(opts: &Opts) -> Result<(), CliError> {
     let Some(id) = opts.get_value("pattern")? else {
         return Err(CliError::Usage("need --pattern ID".into()));
     };
+    let repeat = opts.get_usize("repeat", 1)?;
+    let concurrency = opts.get_usize("concurrency", 1)?;
+    if repeat == 0 || concurrency == 0 {
+        return Err(CliError::Usage(
+            "--repeat and --concurrency must be at least 1".into(),
+        ));
+    }
     let body = load_text(opts)?;
-    let mut stream =
-        std::net::TcpStream::connect(addr).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
-    let response =
-        protocol::query(&mut stream, id, &body).map_err(|e| CliError::Io(e.to_string()))?;
-    println!(
-        "query {id}: {:?} | {} of {} bytes scanned",
-        response.status,
-        response.scanned,
-        body.len()
-    );
-    match response.status {
+
+    let worst = if repeat == 1 && concurrency == 1 {
+        let mut stream =
+            std::net::TcpStream::connect(addr).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
+        let response =
+            protocol::query(&mut stream, id, &body).map_err(|e| CliError::Io(e.to_string()))?;
+        println!(
+            "query {id}: {:?} | {} of {} bytes scanned",
+            response.status,
+            response.scanned,
+            body.len()
+        );
+        response.status
+    } else {
+        // One thread per connection, `repeat` pipelined requests each;
+        // every thread reports its per-status counts.
+        let results: Vec<Result<[u64; 7], String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|_| {
+                    let body = &body;
+                    scope.spawn(move || -> Result<[u64; 7], String> {
+                        let mut stream = std::net::TcpStream::connect(addr)
+                            .map_err(|e| format!("{addr}: {e}"))?;
+                        let mut counts = [0u64; 7];
+                        for _ in 0..repeat {
+                            let response = protocol::query(&mut stream, id, body)
+                                .map_err(|e| e.to_string())?;
+                            counts[response.status as usize] += 1;
+                        }
+                        Ok(counts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+                .collect()
+        });
+        let mut counts = [0u64; 7];
+        for result in results {
+            let conn_counts = result.map_err(CliError::Io)?;
+            for (total, n) in counts.iter_mut().zip(conn_counts) {
+                *total += n;
+            }
+        }
+        println!(
+            "query {id}: {} requests over {} connections ({} accepted / {} rejected / \
+             {} protocol / {} io / {} deadline / {} budget / {} fault)",
+            (repeat * concurrency) as u64,
+            concurrency,
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4],
+            counts[5],
+            counts[6],
+        );
+        // Worst = highest status byte seen, mirroring exit-code severity.
+        let worst_byte = (0..7u8)
+            .rev()
+            .find(|&b| counts[b as usize] > 0)
+            .unwrap_or(0);
+        protocol::Status::from_byte(worst_byte).unwrap_or(protocol::Status::Fault)
+    };
+
+    match worst {
         protocol::Status::Accepted => Ok(()),
         protocol::Status::Rejected => Err(CliError::Rejected),
         protocol::Status::Protocol => Err(CliError::Usage("server: protocol error".into())),

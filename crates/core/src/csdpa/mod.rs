@@ -41,6 +41,7 @@ mod recognizer;
 pub mod registry;
 mod rid_ca;
 mod session;
+pub mod spec;
 pub mod stream;
 
 pub use budget::{Budget, CancelToken, Degraded, RecognizeError, StreamError};
@@ -53,9 +54,12 @@ pub use recognizer::{
     recognize, recognize_budgeted, recognize_counted, recognize_serial, ChunkStats, CountedOutcome,
     Executor, Outcome,
 };
-pub use registry::{PatternRegistry, PatternStats, RegistryConfig, RegistryError, StreamScan};
+pub use registry::{
+    resident_footprint, PatternRegistry, PatternStats, RegistryConfig, RegistryError, StreamScan,
+};
 pub use rid_ca::{RidCa, RidMapping};
 pub use session::Session;
+pub use spec::{PatternSpec, RegistrySnapshot, ReloadDelta, SpecEntry, SpecError};
 pub use stream::{StreamOutcome, StreamSession};
 
 use ridfa_automata::counter::{Counter, NoCount};

@@ -24,6 +24,7 @@
 
 use std::fmt;
 use std::io::Read;
+use std::ops::Range;
 use std::sync::Arc;
 
 use ridfa_automata::dfa::premultiply;
@@ -36,7 +37,9 @@ use crate::parallel::{PoolHealth, ThreadPool};
 use crate::ridfa::{artifact, RiDfa};
 
 use super::budget::{Budget, RecognizeError, StreamError};
+use super::chunking::chunk_spans_into;
 use super::kernel::{Kernel, Scratch};
+use super::session::DisjointSlots;
 use super::{
     ChunkAutomaton, ConvergentRidCa, Outcome, RidCa, RidMapping, Session, StreamOutcome,
     StreamSession,
@@ -99,6 +102,15 @@ pub enum RegistryError {
     Recognize(RecognizeError),
     /// A budgeted stream tripped its budget or failed on I/O.
     Stream(StreamError),
+    /// The pattern was evicted and re-inserted (hot reload) while an
+    /// incremental scan was in flight: the scan's composed prefix came
+    /// from an automaton that is no longer the one resident under this
+    /// id, so no sound verdict exists. The scan must be reset and the
+    /// request retried against the new automaton.
+    PatternReloaded {
+        /// Id whose resident automaton changed mid-scan.
+        id: String,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -114,6 +126,9 @@ impl fmt::Display for RegistryError {
             ),
             RegistryError::Recognize(e) => write!(f, "{e}"),
             RegistryError::Stream(e) => write!(f, "{e}"),
+            RegistryError::PatternReloaded { id } => {
+                write!(f, "pattern {id:?} was reloaded mid-scan")
+            }
         }
     }
 }
@@ -175,6 +190,11 @@ struct PatternEntry {
     resident_bytes: usize,
     /// LRU clock stamp of the most recent use.
     last_used: u64,
+    /// Insertion stamp: a re-inserted id gets a fresh epoch, so in-flight
+    /// [`StreamScan`]s bound to the old automaton fail typed
+    /// ([`RegistryError::PatternReloaded`]) instead of composing
+    /// mappings across two different automata.
+    epoch: u64,
     stats: PatternStats,
 }
 
@@ -190,6 +210,35 @@ impl PatternEntry {
     }
 }
 
+/// Resident-byte footprint of an RI-DFA plus its premultiplied table —
+/// the ledger entry [`PatternRegistry`] charges against
+/// [`RegistryConfig::max_table_bytes`] when the pattern is inserted.
+/// Exposed so tooling (`ridfa inspect-artifact`) can report exactly what
+/// a pattern will cost before it is loaded.
+pub fn resident_footprint(rid: &RiDfa, premultiplied_len: usize) -> usize {
+    let pos = RidCa::interface_positions(rid);
+    std::mem::size_of::<StateId>()
+        * (rid.table.len()
+            + premultiplied_len
+            + pos.len()
+            + rid.content.len()
+            + rid.content_off.len()
+            + rid.entry.len()
+            + rid.delegate.len()
+            + rid.interface.len())
+}
+
+/// Reusable buffers of [`PatternRegistry::scan_block_pooled`]: one span
+/// table, one scan scratch per reach-phase claimant, and one
+/// mapping/transition-count slot per chunk. Allocated lazily on the
+/// first pooled scan of a [`StreamScan`] and reused afterwards.
+#[derive(Default)]
+struct PooledScanBufs {
+    spans: Vec<Range<usize>>,
+    scratches: Vec<Scratch>,
+    slots: Vec<(RidMapping, u64)>,
+}
+
 /// Incremental λ-composition state for one in-flight stream (one socket
 /// connection, typically). Feed blocks through
 /// [`PatternRegistry::scan_block`]; read the verdict with
@@ -203,8 +252,12 @@ pub struct StreamScan {
     composed: RidMapping,
     scratch: Scratch,
     compose: (Vec<StateId>, Vec<StateId>),
+    pooled: Option<Box<PooledScanBufs>>,
     started: bool,
     dead: bool,
+    /// Epoch of the pattern entry this scan is bound to (set on the
+    /// first block; see [`RegistryError::PatternReloaded`]).
+    epoch: u64,
     bytes: u64,
     transitions: u64,
 }
@@ -299,15 +352,7 @@ impl PatternRegistry {
             return Err(RegistryError::DuplicatePattern(id.to_string()));
         }
         let pos = RidCa::interface_positions(&rid);
-        let resident_bytes = std::mem::size_of::<StateId>()
-            * (rid.table.len()
-                + ptable.len()
-                + pos.len()
-                + rid.content.len()
-                + rid.content_off.len()
-                + rid.entry.len()
-                + rid.delegate.len()
-                + rid.interface.len());
+        let resident_bytes = resident_footprint(&rid, ptable.len());
         if resident_bytes > self.config.max_table_bytes {
             return Err(RegistryError::Oversized {
                 id: id.to_string(),
@@ -348,6 +393,7 @@ impl PatternRegistry {
             stream,
             resident_bytes,
             last_used,
+            epoch: last_used,
             stats: PatternStats::default(),
         });
         Ok(())
@@ -522,6 +568,9 @@ impl PatternRegistry {
         let stamp = self.next_stamp();
         let entry = self.entry_mut(id)?;
         entry.last_used = stamp;
+        if scan.started && scan.epoch != entry.epoch {
+            return Err(RegistryError::PatternReloaded { id: id.to_string() });
+        }
         scan.bytes += block.len() as u64;
         if scan.dead {
             return Ok(true);
@@ -530,6 +579,7 @@ impl PatternRegistry {
         let mut counter = TransitionCount::default();
         if !scan.started {
             scan.started = true;
+            scan.epoch = entry.epoch;
             ca.scan_first_into(block, &mut counter, &mut scan.mapping);
         } else {
             ca.scan_into(block, &mut scan.scratch, &mut counter, &mut scan.incoming);
@@ -546,11 +596,105 @@ impl PatternRegistry {
         Ok(scan.dead)
     }
 
+    /// Like [`scan_block`](PatternRegistry::scan_block), but the block is
+    /// split into one span per reach-phase claimant (workers + 1) and
+    /// scanned *in parallel* on the shared pool, then the per-span
+    /// mappings are composed in order onto the scan's prefix. This is
+    /// the big-body lane of the serve layer: a block large enough to be
+    /// worth a parallel reach phase goes through here; small blocks
+    /// should keep using the serial `scan_block` (the fork-join barrier
+    /// costs more than it saves below roughly a worker's L2).
+    ///
+    /// Verdict-equivalent to feeding the same bytes through
+    /// `scan_block` (λ-composition is associative).
+    #[allow(unsafe_code)]
+    pub fn scan_block_pooled(
+        &mut self,
+        id: &str,
+        scan: &mut StreamScan,
+        block: &[u8],
+    ) -> Result<bool, RegistryError> {
+        let stamp = self.next_stamp();
+        let claimants = self.pool.num_workers() + 1;
+        let pool = Arc::clone(&self.pool);
+        let entry = self.entry_mut(id)?;
+        entry.last_used = stamp;
+        if scan.started && scan.epoch != entry.epoch {
+            return Err(RegistryError::PatternReloaded { id: id.to_string() });
+        }
+        scan.bytes += block.len() as u64;
+        if scan.dead {
+            return Ok(true);
+        }
+        if block.is_empty() {
+            return Ok(false);
+        }
+        let first = !scan.started;
+        if first {
+            scan.started = true;
+            scan.epoch = entry.epoch;
+        }
+        let ca = entry.ca();
+        let bufs = scan.pooled.get_or_insert_with(Default::default);
+        if bufs.scratches.len() < claimants {
+            bufs.scratches.resize_with(claimants, Scratch::default);
+        }
+        chunk_spans_into(block.len(), claimants, &mut bufs.spans);
+        let num_tasks = bufs.spans.len();
+        if bufs.slots.len() < num_tasks {
+            bufs.slots.resize_with(num_tasks, Default::default);
+        }
+        {
+            let PooledScanBufs {
+                spans,
+                scratches,
+                slots,
+            } = &mut **bufs;
+            let spans = &*spans;
+            let slots = DisjointSlots::new(&mut slots[..num_tasks]);
+            pool.invoke_all_scoped(num_tasks, scratches, |scratch, t| {
+                let mut counter = TransitionCount::default();
+                // SAFETY: the pool claims each task index exactly once,
+                // so slot `t` has a single writer, and `t < num_tasks`.
+                let (mapping, transitions) = unsafe { slots.get(t) };
+                if t == 0 && first {
+                    ca.scan_first_into(&block[spans[t].clone()], &mut counter, mapping);
+                } else {
+                    ca.scan_into(&block[spans[t].clone()], scratch, &mut counter, mapping);
+                }
+                *transitions = counter.get();
+            });
+        }
+        // Serial join: fold the span mappings onto the composed prefix,
+        // left to right (the first-chunk mapping, if any, is leftmost).
+        for t in 0..num_tasks {
+            let (mapping, transitions) = &mut bufs.slots[t];
+            scan.transitions += *transitions;
+            if t == 0 && first {
+                std::mem::swap(&mut scan.mapping, mapping);
+            } else {
+                ca.compose_into(
+                    &scan.mapping,
+                    mapping,
+                    &mut scan.compose,
+                    &mut scan.composed,
+                );
+                std::mem::swap(&mut scan.mapping, &mut scan.composed);
+            }
+        }
+        scan.dead = ca.mapping_is_dead(&scan.mapping);
+        Ok(scan.dead)
+    }
+
     /// Ends an in-flight stream: the verdict of everything fed through
     /// [`scan_block`](PatternRegistry::scan_block) since the last reset.
     /// Updates the pattern's counters and resets `scan` for reuse.
     pub fn finish_scan(&mut self, id: &str, scan: &mut StreamScan) -> Result<bool, RegistryError> {
         let entry = self.entry_mut(id)?;
+        if scan.started && scan.epoch != entry.epoch {
+            scan.reset();
+            return Err(RegistryError::PatternReloaded { id: id.to_string() });
+        }
         let ca = entry.ca();
         if !scan.started {
             // Zero-length stream: the verdict of the empty text.

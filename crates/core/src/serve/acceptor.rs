@@ -1,0 +1,92 @@
+//! The acceptor: the only thread that touches the listener. It accepts
+//! sockets and deals them round-robin to the shard loops over their SPSC
+//! [`ring`](super::ring)s, so shards never contend on `accept(2)` and
+//! the acceptor never scans a byte.
+//!
+//! Placement is *static* (arrival order modulo shard count): with the
+//! wire protocol's identical-cost request framing there is nothing to
+//! learn from the socket at accept time, and static dealing keeps the
+//! handoff wait-free. A full ring fails over to the next shard; only
+//! when every ring is full is the connection refused (dropped, so the
+//! client sees EOF rather than a dead hang).
+
+use std::net::TcpListener;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::ring::SpscRing;
+use super::CancelToken;
+
+/// What the acceptor saw, folded into the server-level tally afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct AcceptorStats {
+    /// Connections accepted and handed to a shard.
+    pub(crate) connections: u64,
+    /// Connections dropped because every shard ring was full.
+    pub(crate) refused: u64,
+}
+
+/// Accepts until shutdown (cancel token, request quota, or listener
+/// failure) and deals connections to the shard rings.
+pub(crate) fn run(
+    listener: &TcpListener,
+    rings: &[Arc<SpscRing<(TcpStream, String)>>],
+    shutdown: &AtomicBool,
+    requests_done: &AtomicU64,
+    max_requests: Option<u64>,
+    cancel: Option<&CancelToken>,
+) -> std::io::Result<AcceptorStats> {
+    let mut stats = AcceptorStats::default();
+    let mut next = 0usize;
+    loop {
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                shutdown.store(true, Ordering::Release);
+                break;
+            }
+        }
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if max_requests.is_some_and(|quota| requests_done.load(Ordering::Relaxed) >= quota) {
+            // A shard flips `shutdown` after its grace flush; stop
+            // accepting newcomers right away regardless.
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let mut parcel = (stream, peer.to_string());
+                let mut placed = false;
+                // Deal round-robin, failing over past full rings.
+                for attempt in 0..rings.len() {
+                    let ring = &rings[(next + attempt) % rings.len()];
+                    match ring.push(parcel) {
+                        Ok(()) => {
+                            next = (next + attempt + 1) % rings.len();
+                            placed = true;
+                            break;
+                        }
+                        Err(back) => parcel = back,
+                    }
+                }
+                if placed {
+                    stats.connections += 1;
+                } else {
+                    stats.refused += 1;
+                    // Dropping the stream closes it: EOF, not a hang.
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shutdown.store(true, Ordering::Release);
+                return Err(e);
+            }
+        }
+    }
+    Ok(stats)
+}

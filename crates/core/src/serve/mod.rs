@@ -1,24 +1,43 @@
-//! The socket front-end: many connections, one registry, no blocking.
+//! The socket front-end, layered: an **acceptor** deals connections to
+//! N **shard** loops, each owning a private registry replica and an
+//! inline/offload **lane** split per connection.
 //!
-//! [`Server`] multiplexes any number of TCP connections onto a
-//! [`PatternRegistry`] with a *single-threaded, non-blocking* readiness
-//! loop over `std::net` (`set_nonblocking` + a small poll tick — no
-//! external event-loop dependency). Parallelism lives where the paper
-//! puts it: inside the recognizer (the registry's shared worker pool),
-//! not in the connection plumbing.
+//! [`Server`] serves a pattern set over TCP with *non-blocking*
+//! readiness loops over `std::net` (`set_nonblocking` + a small poll
+//! tick — no external event-loop dependency). The PR-5 single loop
+//! still exists — it is what one shard runs — but the plumbing around
+//! it is now three layers:
 //!
-//! Each connection feeds whatever bytes have arrived into an
-//! incremental λ-composition scan ([`StreamScan`]) and parks — a
-//! stalling, trickling or resetting client costs one parked scan state,
-//! never a blocked thread. Verdicts leave as one-byte statuses mirroring
-//! the CLI exit-code taxonomy ([`protocol::Status`]), so the PR-4 fault
-//! taxonomy (deadline, budget, contained fault) maps 1:1 onto
-//! connection outcomes.
+//! * [`acceptor`] — the only thread touching the listener; accepts and
+//!   deals sockets round-robin to the shards over wait-free SPSC
+//!   [`ring`]s;
+//! * [`shard`] — N loop threads ([`ServeConfig::shards`]), each with a
+//!   private [`PatternRegistry`] replica built by *loading* the same
+//!   compiled [`PatternSpec`] artifacts (never by re-running powerset
+//!   construction), so shards share no scan state and scale without a
+//!   registry lock;
+//! * [`lanes`]/[`conn`] — per connection, bodies at or below
+//!   [`ServeConfig::offload_bytes`] scan inline as they arrive, while
+//!   larger bodies are staged and scanned one bounded slice per tick
+//!   through the pooled reach phase, so one huge body never stalls the
+//!   tick for the small requests sharing the shard.
+//!
+//! # Hot reload
+//!
+//! A server bound from a pattern *file*
+//! ([`bind_spec_file`](Server::bind_spec_file)) with
+//! [`ServeConfig::reload_interval`] set runs a watcher thread that
+//! re-parses the file and publishes changed specs into a
+//! generation-stamped [`RegistrySnapshot`]. Each shard notices the
+//! generation change between ticks and applies the insert/evict delta
+//! without dropping a connection; an in-flight scan on a replaced
+//! pattern fails typed (wire status `Protocol`), never with a wrong
+//! verdict.
 //!
 //! # Backpressure
 //!
-//! Two bounds keep a flood of fast writers or slow readers from
-//! starving the loop or the heap:
+//! Per shard, two bounds keep a flood of fast writers or slow readers
+//! from starving the loop or the heap:
 //!
 //! * **read budget** — each tick reads at most
 //!   [`ServeConfig::tick_read_budget`] bytes *across all connections*;
@@ -26,55 +45,86 @@
 //!   control propagates the pressure to the sender);
 //! * **write high-water mark** — a connection with more than
 //!   [`ServeConfig::max_pending_response_bytes`] of unflushed responses
-//!   is not read from until the client drains its responses, so
-//!   pipelined requests from a never-reading client cannot grow the
-//!   response buffer without bound.
+//!   is not read from until the client drains its responses.
+//!
+//! The offload lane adds a third: a connection whose staged backlog
+//! exceeds a few scan slices is not read from either, so staging is
+//! O(slices), not O(body).
 //!
 //! # Lifecycle
 //!
-//! [`Server::run`] loops until an optional request quota
-//! ([`ServeConfig::max_requests`]) is met or an optional
-//! [`CancelToken`] trips, then flushes and reports: global, per-pattern
-//! and per-connection counters in a [`ServerReport`].
+//! [`Server::run`] spawns the shards (and the watcher, if any), runs
+//! the acceptor on the calling thread until an optional request quota
+//! ([`ServeConfig::max_requests`]) is met or an optional [`CancelToken`]
+//! trips, then joins everything and *reconciles*: per-shard reports are
+//! summed into the server-level tally and cross-checked
+//! ([`ServerReport::verify`]) so a lost or double-counted request is an
+//! invariant failure, not a silent skew.
 
 pub mod protocol;
 
-use std::io::{self, Read, Write};
+mod acceptor;
+mod conn;
+mod lanes;
+mod ring;
+mod shard;
+
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::csdpa::budget::CancelToken;
-use crate::csdpa::registry::{PatternRegistry, PatternStats, StreamScan};
+use crate::csdpa::registry::{PatternRegistry, PatternStats, RegistryConfig};
+use crate::csdpa::spec::{PatternSpec, RegistrySnapshot};
 
-use protocol::{Status, MAGIC};
+use ring::SpscRing;
 
 /// Sizing, bounding and termination knobs of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Stop after this many completed requests (any status). `None`
-    /// runs until cancelled.
+    /// Stop after this many completed requests (any status, summed
+    /// across shards). `None` runs until cancelled.
     pub max_requests: Option<u64>,
     /// Per-request wall-clock deadline, measured from the first header
-    /// byte; expiry answers [`Status::Deadline`] and closes the
-    /// connection.
+    /// byte; expiry answers [`Status`](protocol::Status)`::Deadline` and
+    /// closes the connection.
     pub request_deadline: Option<Duration>,
     /// Close connections silent for this long (stalled mid-request or
     /// idle between requests alike).
     pub idle_timeout: Option<Duration>,
-    /// Accepted-connection cap; connections beyond it are accepted and
-    /// immediately dropped so the client sees EOF, not a hang.
+    /// Accepted-connection cap, split evenly across shards; connections
+    /// beyond it are accepted and immediately dropped so the client sees
+    /// EOF, not a hang.
     pub max_connections: usize,
     /// Per-connection read size per tick.
     pub read_buf_bytes: usize,
-    /// Total bytes read per tick across all connections (backpressure;
-    /// see the [module docs](self)).
+    /// Total bytes read per tick across one shard's connections
+    /// (backpressure; see the [module docs](self)).
     pub tick_read_budget: usize,
     /// Largest declared request body; larger ones are drained and
-    /// answered [`Status::Budget`].
+    /// answered [`Status`](protocol::Status)`::Budget`.
     pub max_body_bytes: u64,
     /// Unflushed-response high-water mark above which a connection is
     /// not read from.
     pub max_pending_response_bytes: usize,
+    /// Shard (loop thread) count; clamped to at least 1. Counts above 1
+    /// need a spec-bound server ([`Server::bind_spec`] /
+    /// [`Server::bind_spec_file`]) so each shard can build its own
+    /// registry replica.
+    pub shards: usize,
+    /// Declared body size above which a request leaves the inline lane
+    /// and is scanned in bounded slices by the offload lane. The default
+    /// (`u64::MAX`) keeps every body inline.
+    pub offload_bytes: u64,
+    /// Slice size of one offload-lane pooled scan (per connection per
+    /// tick).
+    pub offload_tick_bytes: usize,
+    /// Poll interval of the spec watcher (hot reload). `None` — or a
+    /// server not bound from a spec *file* — disables reloading.
+    pub reload_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +138,10 @@ impl Default for ServeConfig {
             tick_read_budget: 1 << 20,
             max_body_bytes: u64::MAX,
             max_pending_response_bytes: 4096,
+            shards: 1,
+            offload_bytes: u64::MAX,
+            offload_tick_bytes: 256 * 1024,
+            reload_interval: None,
         }
     }
 }
@@ -97,17 +151,18 @@ impl Default for ServeConfig {
 pub struct ServeTally {
     /// Completed requests, any status.
     pub requests: u64,
-    /// Requests answered [`Status::Accepted`].
+    /// Requests answered accepted.
     pub accepted: u64,
-    /// Requests answered [`Status::Rejected`].
+    /// Requests answered rejected.
     pub rejected: u64,
-    /// Requests answered [`Status::Protocol`] (bad frame, unknown id).
+    /// Requests answered with a protocol error (bad frame, unknown or
+    /// reloaded pattern id).
     pub protocol_errors: u64,
-    /// Requests answered [`Status::Deadline`].
+    /// Requests answered with a deadline expiry.
     pub deadline_errors: u64,
-    /// Requests answered [`Status::Budget`] (body over the byte cap).
+    /// Requests answered over-budget (body over the byte cap).
     pub budget_errors: u64,
-    /// Requests answered [`Status::Fault`] (contained recognizer fault).
+    /// Requests answered with a contained recognizer fault.
     pub faults: u64,
     /// Connections dropped on a read/write error or mid-request EOF.
     pub io_errors: u64,
@@ -115,10 +170,29 @@ pub struct ServeTally {
     pub idle_closed: u64,
     /// Connections accepted over the cap and immediately dropped.
     pub refused: u64,
-    /// Connections accepted (including later-refused ones).
+    /// Connections accepted (including later-refused ones). Counted by
+    /// the acceptor: per-shard tallies leave it 0.
     pub connections: u64,
     /// Request-body bytes consumed (scanned or drained).
     pub bytes: u64,
+}
+
+impl ServeTally {
+    /// Adds `other` into `self`, field by field.
+    fn absorb(&mut self, other: &ServeTally) {
+        self.requests += other.requests;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.protocol_errors += other.protocol_errors;
+        self.deadline_errors += other.deadline_errors;
+        self.budget_errors += other.budget_errors;
+        self.faults += other.faults;
+        self.io_errors += other.io_errors;
+        self.idle_closed += other.idle_closed;
+        self.refused += other.refused;
+        self.connections += other.connections;
+        self.bytes += other.bytes;
+    }
 }
 
 /// Counters of one (closed or still-open) connection.
@@ -138,7 +212,7 @@ pub struct ConnectionReport {
     pub bytes: u64,
 }
 
-/// Per-pattern counters, lifted out of the registry at shutdown.
+/// Per-pattern counters, lifted out of a registry at shutdown.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternReport {
     /// The pattern id.
@@ -147,279 +221,151 @@ pub struct PatternReport {
     pub stats: PatternStats,
 }
 
-/// Everything a finished [`Server::run`] observed.
-#[derive(Debug, Clone, Default)]
-pub struct ServerReport {
-    /// Global counters.
-    pub tally: ServeTally,
-    /// Per-pattern counters, in registry insertion order.
-    pub patterns: Vec<PatternReport>,
-    /// Per-connection counters, in close order (still-open connections
-    /// are appended at shutdown).
-    pub connections: Vec<ConnectionReport>,
+/// What hot reload did to one shard's registry over the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReloadTally {
+    /// Spec generations this shard applied.
+    pub generations: u64,
+    /// Patterns inserted across all applied deltas.
+    pub inserted: u64,
+    /// Patterns evicted across all applied deltas.
+    pub evicted: u64,
+    /// Pattern inserts that failed (counted, not fatal).
+    pub failed: u64,
 }
 
-/// What a request is currently doing on a connection.
-enum Phase {
-    /// Accumulating the variable-length header into `Conn::hdr`.
-    Header,
-    /// Consuming `remaining` body bytes. `pending` carries the error
-    /// status of a request whose body is drained unscanned (unknown
-    /// pattern, oversized body) so frame sync survives the error.
-    Body {
-        remaining: u64,
-        pending: Option<Status>,
+/// Everything one shard loop observed.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// The shard's index.
+    pub shard: usize,
+    /// The shard's counters (`connections` stays 0 — accepts are counted
+    /// by the acceptor).
+    pub tally: ServeTally,
+    /// Per-pattern counters of the shard's registry replica.
+    pub patterns: Vec<PatternReport>,
+    /// Per-connection counters, in close order.
+    pub connections: Vec<ConnectionReport>,
+    /// Hot-reload activity.
+    pub reload: ReloadTally,
+}
+
+/// Everything a finished [`Server::run`] observed, reconciled across
+/// shards.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Global counters: the sum of every shard's tally plus the
+    /// acceptor's connection counts.
+    pub tally: ServeTally,
+    /// Per-pattern counters, summed across shard replicas by id (in
+    /// first-appearance order).
+    pub patterns: Vec<PatternReport>,
+    /// Per-connection counters from every shard, in close order within
+    /// each shard.
+    pub connections: Vec<ConnectionReport>,
+    /// The per-shard reports the totals were reconciled from (one entry,
+    /// index 0, for a single-shard server).
+    pub shards: Vec<ShardReport>,
+    /// Spec re-parse failures of the hot-reload watcher (the previous
+    /// spec stays published).
+    pub reload_errors: u64,
+}
+
+impl ServerReport {
+    /// Cross-checks the reconciliation invariants: the status breakdown
+    /// sums to the request total, and shard-level and connection-level
+    /// counters both re-sum to the same totals. Returns the first
+    /// violated invariant as text.
+    pub fn verify(&self) -> Result<(), String> {
+        let t = &self.tally;
+        let by_status = t.accepted
+            + t.rejected
+            + t.protocol_errors
+            + t.deadline_errors
+            + t.budget_errors
+            + t.faults;
+        if by_status != t.requests {
+            return Err(format!(
+                "status breakdown sums to {by_status}, tally says {} requests",
+                t.requests
+            ));
+        }
+        let by_shard: u64 = self.shards.iter().map(|s| s.tally.requests).sum();
+        if by_shard != t.requests {
+            return Err(format!(
+                "shard tallies sum to {by_shard} requests, tally says {}",
+                t.requests
+            ));
+        }
+        let by_conn: u64 = self.connections.iter().map(|c| c.requests).sum();
+        if by_conn != t.requests {
+            return Err(format!(
+                "connection reports sum to {by_conn} requests, tally says {}",
+                t.requests
+            ));
+        }
+        let bytes_by_conn: u64 = self.connections.iter().map(|c| c.bytes).sum();
+        if bytes_by_conn != t.bytes {
+            return Err(format!(
+                "connection reports sum to {bytes_by_conn} bytes, tally says {}",
+                t.bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the reconciled report from the per-shard reports plus the
+    /// acceptor's counts.
+    fn reconcile(shards: Vec<ShardReport>, stats: acceptor::AcceptorStats) -> ServerReport {
+        let mut tally = ServeTally::default();
+        let mut patterns: Vec<PatternReport> = Vec::new();
+        let mut connections: Vec<ConnectionReport> = Vec::new();
+        for report in &shards {
+            tally.absorb(&report.tally);
+            connections.extend(report.connections.iter().cloned());
+            for p in &report.patterns {
+                match patterns.iter_mut().find(|q| q.id == p.id) {
+                    Some(q) => {
+                        q.stats.requests += p.stats.requests;
+                        q.stats.accepted += p.stats.accepted;
+                        q.stats.rejected += p.stats.rejected;
+                        q.stats.errors += p.stats.errors;
+                        q.stats.bytes += p.stats.bytes;
+                    }
+                    None => patterns.push(p.clone()),
+                }
+            }
+        }
+        tally.connections += stats.connections;
+        tally.refused += stats.refused;
+        ServerReport {
+            tally,
+            patterns,
+            connections,
+            shards,
+            reload_errors: 0,
+        }
+    }
+}
+
+/// Where a server's patterns come from.
+enum Source {
+    /// A caller-built registry, served as-is by a single shard.
+    Prebuilt(Box<PatternRegistry>),
+    /// A compiled spec each shard builds its own replica from.
+    Spec {
+        spec: Arc<PatternSpec>,
+        registry: RegistryConfig,
+        /// The pattern file to watch for hot reload, when bound from one.
+        path: Option<PathBuf>,
     },
 }
 
-struct Conn {
-    stream: TcpStream,
-    peer: String,
-    hdr: Vec<u8>,
-    phase: Phase,
-    pattern: String,
-    scan: StreamScan,
-    /// Body bytes consumed for the current request (scanned or drained).
-    consumed: u64,
-    outbuf: Vec<u8>,
-    out_written: usize,
-    close_after_flush: bool,
-    req_started: Option<Instant>,
-    last_activity: Instant,
-    requests: u64,
-    accepted: u64,
-    rejected: u64,
-    errors: u64,
-    bytes: u64,
-}
-
-impl Conn {
-    fn new(stream: TcpStream, peer: String, now: Instant) -> Conn {
-        Conn {
-            stream,
-            peer,
-            hdr: Vec::with_capacity(16),
-            phase: Phase::Header,
-            pattern: String::new(),
-            scan: StreamScan::new(),
-            consumed: 0,
-            outbuf: Vec::new(),
-            out_written: 0,
-            close_after_flush: false,
-            req_started: None,
-            last_activity: now,
-            requests: 0,
-            accepted: 0,
-            rejected: 0,
-            errors: 0,
-            bytes: 0,
-        }
-    }
-
-    fn pending_out(&self) -> usize {
-        self.outbuf.len() - self.out_written
-    }
-
-    fn mid_request(&self) -> bool {
-        !self.hdr.is_empty() || matches!(self.phase, Phase::Body { .. })
-    }
-
-    fn report(&self) -> ConnectionReport {
-        ConnectionReport {
-            peer: self.peer.clone(),
-            requests: self.requests,
-            accepted: self.accepted,
-            rejected: self.rejected,
-            errors: self.errors,
-            bytes: self.bytes,
-        }
-    }
-
-    /// Queues a response and books it into both counter sets.
-    fn respond(&mut self, status: Status, scanned: u64, tally: &mut ServeTally) {
-        self.outbuf
-            .extend_from_slice(&protocol::encode_response(status, scanned));
-        self.requests += 1;
-        tally.requests += 1;
-        match status {
-            Status::Accepted => {
-                self.accepted += 1;
-                tally.accepted += 1;
-            }
-            Status::Rejected => {
-                self.rejected += 1;
-                tally.rejected += 1;
-            }
-            Status::Protocol | Status::Io => {
-                self.errors += 1;
-                tally.protocol_errors += 1;
-            }
-            Status::Deadline => {
-                self.errors += 1;
-                tally.deadline_errors += 1;
-            }
-            Status::Budget => {
-                self.errors += 1;
-                tally.budget_errors += 1;
-            }
-            Status::Fault => {
-                self.errors += 1;
-                tally.faults += 1;
-            }
-        }
-        self.req_started = None;
-    }
-}
-
-/// Feeds freshly read bytes through a connection's request state
-/// machine. Returns `false` when the connection must close after its
-/// responses flush (frame sync lost).
-fn ingest(
-    conn: &mut Conn,
-    registry: &mut PatternRegistry,
-    config: &ServeConfig,
-    tally: &mut ServeTally,
-    mut data: &[u8],
-) -> bool {
-    while !data.is_empty() {
-        match conn.phase {
-            Phase::Header => {
-                if conn.hdr.is_empty() && conn.req_started.is_none() {
-                    conn.req_started = Some(Instant::now());
-                }
-                // Accumulate the smallest prefix that lets us decide.
-                let need = match conn.hdr.len() {
-                    0 | 1 => 2,
-                    n => {
-                        let id_len = conn.hdr[1] as usize;
-                        if id_len == 0 {
-                            conn.respond(Status::Protocol, 0, tally);
-                            return false;
-                        }
-                        let total = 2 + id_len + 8;
-                        if n >= total {
-                            total
-                        } else {
-                            total.min(n + data.len())
-                        }
-                    }
-                };
-                let take = (need - conn.hdr.len()).min(data.len());
-                conn.hdr.extend_from_slice(&data[..take]);
-                data = &data[take..];
-                if conn.hdr.len() < 2 {
-                    continue;
-                }
-                if conn.hdr[0] != MAGIC {
-                    conn.respond(Status::Protocol, 0, tally);
-                    return false;
-                }
-                let id_len = conn.hdr[1] as usize;
-                if id_len == 0 {
-                    conn.respond(Status::Protocol, 0, tally);
-                    return false;
-                }
-                if conn.hdr.len() < 2 + id_len + 8 {
-                    continue;
-                }
-                // Full header: parse id and body length, pick the lane.
-                let id_ok = std::str::from_utf8(&conn.hdr[2..2 + id_len]).ok();
-                let mut body_len = [0u8; 8];
-                body_len.copy_from_slice(&conn.hdr[2 + id_len..2 + id_len + 8]);
-                let remaining = u64::from_le_bytes(body_len);
-                let pending = match id_ok {
-                    Some(id) if registry.contains(id) => {
-                        conn.pattern.clear();
-                        conn.pattern.push_str(id);
-                        if remaining > config.max_body_bytes {
-                            registry.record_error(&conn.pattern);
-                            Some(Status::Budget)
-                        } else {
-                            conn.scan.reset();
-                            None
-                        }
-                    }
-                    _ => {
-                        conn.pattern.clear();
-                        Some(Status::Protocol)
-                    }
-                };
-                conn.hdr.clear();
-                conn.consumed = 0;
-                conn.phase = Phase::Body { remaining, pending };
-            }
-            Phase::Body {
-                ref mut remaining,
-                pending,
-            } => {
-                let take = (*remaining).min(data.len() as u64) as usize;
-                let (chunk, rest) = data.split_at(take);
-                data = rest;
-                *remaining -= take as u64;
-                conn.consumed += take as u64;
-                conn.bytes += take as u64;
-                tally.bytes += take as u64;
-                let mut fault = None;
-                if pending.is_none() && !chunk.is_empty() {
-                    if let Err(e) = registry.scan_block(&conn.pattern, &mut conn.scan, chunk) {
-                        // The registry stays usable; the request does not.
-                        fault = Some(e);
-                    }
-                }
-                if let Some(_e) = fault {
-                    conn.respond(Status::Fault, conn.consumed, tally);
-                    registry.record_error(&conn.pattern);
-                    return false;
-                }
-                if *remaining == 0 {
-                    let consumed = conn.consumed;
-                    match pending {
-                        Some(status) => conn.respond(status, consumed, tally),
-                        None => match registry.finish_scan(&conn.pattern, &mut conn.scan) {
-                            Ok(true) => conn.respond(Status::Accepted, consumed, tally),
-                            Ok(false) => conn.respond(Status::Rejected, consumed, tally),
-                            Err(_) => {
-                                conn.respond(Status::Fault, consumed, tally);
-                                registry.record_error(&conn.pattern);
-                                return false;
-                            }
-                        },
-                    }
-                    conn.phase = Phase::Header;
-                }
-            }
-        }
-    }
-    // A request whose body is complete but arrived with `data` ending
-    // exactly at the frame boundary has already responded above.
-    if let Phase::Body {
-        remaining: 0,
-        pending,
-    } = conn.phase
-    {
-        let consumed = conn.consumed;
-        match pending {
-            Some(status) => conn.respond(status, consumed, tally),
-            None => match registry.finish_scan(&conn.pattern, &mut conn.scan) {
-                Ok(true) => conn.respond(Status::Accepted, consumed, tally),
-                Ok(false) => conn.respond(Status::Rejected, consumed, tally),
-                Err(_) => {
-                    conn.respond(Status::Fault, consumed, tally);
-                    registry.record_error(&conn.pattern);
-                    return false;
-                }
-            },
-        }
-        conn.phase = Phase::Header;
-    }
-    true
-}
-
-/// The non-blocking multi-pattern recognition server. See the
+/// The sharded, non-blocking multi-pattern recognition server. See the
 /// [module docs](self).
 pub struct Server {
     listener: TcpListener,
-    registry: PatternRegistry,
+    source: Source,
     config: ServeConfig,
     cancel: Option<CancelToken>,
 }
@@ -427,25 +373,90 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (port 0 picks a free port — read it back with
     /// [`local_addr`](Server::local_addr)) and prepares to serve
-    /// `registry`'s patterns.
+    /// `registry`'s patterns on a single shard. For multiple shards,
+    /// bind from a spec ([`bind_spec`](Server::bind_spec) /
+    /// [`bind_spec_file`](Server::bind_spec_file)) so each shard can
+    /// build its own replica.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         registry: PatternRegistry,
         config: ServeConfig,
     ) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
+        let listener = Self::listen(addr)?;
         Ok(Server {
             listener,
-            registry,
+            source: Source::Prebuilt(Box::new(registry)),
             config,
             cancel: None,
         })
     }
 
+    /// Binds `addr` and prepares to serve `spec`, building one registry
+    /// replica per shard from its compiled artifacts (with
+    /// `registry_config`'s workers, block size and residency cap each).
+    pub fn bind_spec<A: ToSocketAddrs>(
+        addr: A,
+        spec: PatternSpec,
+        registry_config: RegistryConfig,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = Self::listen(addr)?;
+        Ok(Server {
+            listener,
+            source: Source::Spec {
+                spec: Arc::new(spec),
+                registry: registry_config,
+                path: None,
+            },
+            config,
+            cancel: None,
+        })
+    }
+
+    /// Binds `addr` and serves the pattern file at `path` (parsed with
+    /// `registry_config.budget`). With [`ServeConfig::reload_interval`]
+    /// set, the file is watched and edits hot-reload into the running
+    /// shards.
+    pub fn bind_spec_file<A: ToSocketAddrs>(
+        addr: A,
+        path: PathBuf,
+        registry_config: RegistryConfig,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let text = std::fs::read_to_string(&path)?;
+        let spec = PatternSpec::parse(&text, &registry_config.budget, None)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = Self::listen(addr)?;
+        Ok(Server {
+            listener,
+            source: Source::Spec {
+                spec: Arc::new(spec),
+                registry: registry_config,
+                path: Some(path),
+            },
+            config,
+            cancel: None,
+        })
+    }
+
+    fn listen<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(listener)
+    }
+
     /// The bound address.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// Patterns the server starts out serving (hot reload can change
+    /// the set later).
+    pub fn pattern_count(&self) -> usize {
+        match &self.source {
+            Source::Prebuilt(registry) => registry.ids().count(),
+            Source::Spec { spec, .. } => spec.len(),
+        }
     }
 
     /// Installs a cancellation token: tripping it ends
@@ -454,233 +465,160 @@ impl Server {
         self.cancel = Some(token);
     }
 
-    /// The registry being served (e.g. to inspect pattern stats).
-    pub fn registry(&self) -> &PatternRegistry {
-        &self.registry
-    }
+    /// Runs acceptor, shards and (optionally) the spec watcher until the
+    /// request quota is met or the cancel token trips, then joins
+    /// everything, flushes pending responses and returns the reconciled
+    /// counters. No loop ever blocks on any one connection; only `Err`
+    /// values of the *listener* abort the run.
+    pub fn run(self) -> io::Result<ServerReport> {
+        let shards = self.config.shards.max(1);
 
-    /// Runs the readiness loop until the request quota is met or the
-    /// cancel token trips, then flushes pending responses and returns
-    /// the counters. The loop itself never blocks on any one
-    /// connection; only `Err` values of the *listener* abort the run.
-    pub fn run(mut self) -> io::Result<ServerReport> {
-        let mut tally = ServeTally::default();
-        let mut conns: Vec<Conn> = Vec::new();
-        let mut closed: Vec<ConnectionReport> = Vec::new();
-        let mut buf = vec![0u8; self.config.read_buf_bytes.max(1)];
-        let mut rotate: usize = 0;
-
-        'serve: loop {
-            if let Some(cancel) = &self.cancel {
-                if cancel.is_cancelled() {
-                    break;
+        // Build the per-shard registry replicas and the (optional)
+        // hot-reload snapshot cell up front, before any thread starts.
+        let mut snapshot: Option<Arc<RegistrySnapshot>> = None;
+        let mut watch: Option<(PathBuf, Duration, RegistryConfig)> = None;
+        let mut registries: Vec<(PatternRegistry, std::collections::HashMap<String, u64>)> =
+            Vec::with_capacity(shards);
+        match self.source {
+            Source::Prebuilt(registry) => {
+                if shards > 1 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "a multi-shard server needs a pattern spec (bind_spec / \
+                         bind_spec_file), not a prebuilt registry",
+                    ));
                 }
+                registries.push((*registry, std::collections::HashMap::new()));
             }
-            if let Some(quota) = self.config.max_requests {
-                if tally.requests >= quota {
-                    break;
+            Source::Spec {
+                spec,
+                registry,
+                path,
+            } => {
+                for _ in 0..shards {
+                    let replica = spec
+                        .build_registry(registry.clone())
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+                    registries.push((replica, spec.fingerprints()));
                 }
-            }
-            let mut progressed = false;
-
-            // Accept whatever is queued, up to the connection cap.
-            loop {
-                match self.listener.accept() {
-                    Ok((stream, peer)) => {
-                        tally.connections += 1;
-                        progressed = true;
-                        if conns.len() >= self.config.max_connections {
-                            tally.refused += 1;
-                            drop(stream);
-                            continue;
-                        }
-                        if stream.set_nonblocking(true).is_err() {
-                            tally.io_errors += 1;
-                            continue;
-                        }
-                        let _ = stream.set_nodelay(true);
-                        conns.push(Conn::new(stream, peer.to_string(), Instant::now()));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
-                    Err(e) => return Err(e),
-                }
-            }
-
-            // One read/write pass over every connection, rotating the
-            // start so a tick-budget shortfall is not always paid by the
-            // same sockets.
-            let now = Instant::now();
-            let mut read_budget = self.config.tick_read_budget;
-            let n = conns.len();
-            let mut drop_list: Vec<usize> = Vec::new();
-            for k in 0..n {
-                let i = (rotate + k) % n;
-                let conn = &mut conns[i];
-
-                // Flush pending responses first.
-                while conn.pending_out() > 0 {
-                    match conn.stream.write(&conn.outbuf[conn.out_written..]) {
-                        Ok(0) => {
-                            tally.io_errors += 1;
-                            drop_list.push(i);
-                            break;
-                        }
-                        Ok(written) => {
-                            conn.out_written += written;
-                            conn.last_activity = now;
-                            progressed = true;
-                            if conn.pending_out() == 0 {
-                                conn.outbuf.clear();
-                                conn.out_written = 0;
-                                if conn.close_after_flush {
-                                    drop_list.push(i);
-                                }
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => break,
-                        Err(_) => {
-                            tally.io_errors += 1;
-                            drop_list.push(i);
-                            break;
-                        }
-                    }
-                }
-                if drop_list.last() == Some(&i) {
-                    continue;
-                }
-
-                // Deadline and idle policing.
-                if let (Some(deadline), Some(started)) =
-                    (self.config.request_deadline, conn.req_started)
-                {
-                    if now.duration_since(started) > deadline {
-                        let consumed = conn.consumed;
-                        conn.respond(Status::Deadline, consumed, &mut tally);
-                        if !conn.pattern.is_empty() {
-                            self.registry.record_error(&conn.pattern);
-                        }
-                        conn.close_after_flush = true;
-                        progressed = true;
-                        continue;
-                    }
-                }
-                if let Some(idle) = self.config.idle_timeout {
-                    if now.duration_since(conn.last_activity) > idle {
-                        if conn.mid_request() {
-                            tally.io_errors += 1;
-                        }
-                        tally.idle_closed += 1;
-                        drop_list.push(i);
-                        continue;
-                    }
-                }
-
-                // Read under the tick budget and the write high-water
-                // mark (backpressure).
-                if conn.close_after_flush
-                    || conn.pending_out() > self.config.max_pending_response_bytes
-                    || read_budget == 0
-                {
-                    continue;
-                }
-                let want = buf.len().min(read_budget);
-                match conn.stream.read(&mut buf[..want]) {
-                    Ok(0) => {
-                        if conn.mid_request() {
-                            tally.io_errors += 1;
-                        }
-                        drop_list.push(i);
-                    }
-                    Ok(got) => {
-                        read_budget -= got;
-                        conn.last_activity = now;
-                        progressed = true;
-                        if !ingest(
-                            conn,
-                            &mut self.registry,
-                            &self.config,
-                            &mut tally,
-                            &buf[..got],
-                        ) {
-                            conn.close_after_flush = true;
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        tally.io_errors += 1;
-                        drop_list.push(i);
-                    }
-                }
-
-                if let Some(quota) = self.config.max_requests {
-                    if tally.requests >= quota {
-                        // Stop reading; the flush loop below answers
-                        // what is already queued.
-                        break;
-                    }
-                }
-            }
-            if n > 0 {
-                rotate = (rotate + 1) % n;
-            }
-
-            // Reap (highest index first so the indices stay valid).
-            drop_list.sort_unstable();
-            drop_list.dedup();
-            for &i in drop_list.iter().rev() {
-                let conn = conns.swap_remove(i);
-                closed.push(conn.report());
-                progressed = true;
-            }
-
-            if !progressed {
-                std::thread::sleep(Duration::from_micros(500));
-            }
-
-            // Graceful quota shutdown: flush every queued response
-            // (bounded by a short grace period), then stop.
-            if let Some(quota) = self.config.max_requests {
-                if tally.requests >= quota {
-                    let grace = Instant::now() + Duration::from_secs(2);
-                    while conns.iter().any(|c| c.pending_out() > 0) && Instant::now() < grace {
-                        for conn in conns.iter_mut() {
-                            while conn.pending_out() > 0 {
-                                match conn.stream.write(&conn.outbuf[conn.out_written..]) {
-                                    Ok(0) => break,
-                                    Ok(written) => conn.out_written += written,
-                                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                                    Err(_) => break,
-                                }
-                            }
-                        }
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    break 'serve;
+                if let (Some(path), Some(interval)) = (path, self.config.reload_interval) {
+                    snapshot = Some(Arc::new(RegistrySnapshot::new(Arc::clone(&spec))));
+                    watch = Some((path, interval, registry));
                 }
             }
         }
 
-        for conn in conns {
-            closed.push(conn.report());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_done = Arc::new(AtomicU64::new(0));
+        let per_shard_conns = self.config.max_connections.div_ceil(shards).max(1);
+        let ring_capacity = per_shard_conns.clamp(4, 1024);
+
+        let mut rings: Vec<Arc<SpscRing<(TcpStream, String)>>> = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (index, (registry, applied)) in registries.into_iter().enumerate() {
+            let ring = Arc::new(SpscRing::with_capacity(ring_capacity));
+            rings.push(Arc::clone(&ring));
+            let runtime = shard::ShardRuntime {
+                index,
+                registry,
+                config: self.config.clone(),
+                ring,
+                shutdown: Arc::clone(&shutdown),
+                requests_done: Arc::clone(&requests_done),
+                snapshot: snapshot.clone(),
+                applied,
+                max_conns: per_shard_conns,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("ridfa-shard-{index}"))
+                .spawn(move || shard::run(runtime))?;
+            handles.push(handle);
         }
-        let patterns = self
-            .registry
-            .ids()
-            .map(str::to_string)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|id| {
-                let stats = self.registry.stats(&id).unwrap_or_default();
-                PatternReport { id, stats }
+
+        let watcher = watch.map(|(path, interval, registry_config)| {
+            let snapshot = Arc::clone(snapshot.as_ref().expect("watch implies snapshot"));
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                watch_spec_file(&path, interval, &registry_config, &snapshot, &shutdown)
             })
-            .collect();
-        Ok(ServerReport {
-            tally,
-            patterns,
-            connections: closed,
-        })
+        });
+
+        let accepted = acceptor::run(
+            &self.listener,
+            &rings,
+            &shutdown,
+            &requests_done,
+            self.config.max_requests,
+            self.cancel.as_ref(),
+        );
+        // Whatever ended the acceptor (cancel, quota, listener error),
+        // every other thread must now wind down.
+        shutdown.store(true, Ordering::Release);
+        drop(rings);
+
+        let mut shard_reports: Vec<ShardReport> = Vec::with_capacity(shards);
+        for handle in handles {
+            match handle.join() {
+                Ok(report) => shard_reports.push(report),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        let reload_errors = match watcher {
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        };
+        shard_reports.sort_by_key(|r| r.shard);
+
+        let stats = accepted?;
+        let mut report = ServerReport::reconcile(shard_reports, stats);
+        report.reload_errors = reload_errors;
+        debug_assert!(
+            report.verify().is_ok(),
+            "reconciliation invariant violated: {:?}",
+            report.verify()
+        );
+        Ok(report)
     }
+}
+
+/// The spec watcher loop: re-parses `path` every `interval`, publishing
+/// specs whose fingerprint actually changed. Parse failures are counted
+/// and the previous spec stays live. Returns the failure count.
+fn watch_spec_file(
+    path: &PathBuf,
+    interval: Duration,
+    registry_config: &RegistryConfig,
+    snapshot: &RegistrySnapshot,
+    shutdown: &AtomicBool,
+) -> u64 {
+    let mut errors = 0u64;
+    let (_, mut current) = snapshot.load();
+    'watch: loop {
+        // Sleep in small slices so shutdown stays prompt even with a
+        // long reload interval.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shutdown.load(Ordering::Acquire) {
+                break 'watch;
+            }
+            let slice = Duration::from_millis(50).min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            // Mid-edit or replaced file; try again next interval.
+            errors += 1;
+            continue;
+        };
+        match PatternSpec::parse(&text, &registry_config.budget, Some(&current)) {
+            Ok(spec) if spec.fingerprint() != current.fingerprint() => {
+                let spec = Arc::new(spec);
+                current = Arc::clone(&spec);
+                snapshot.publish(spec);
+            }
+            Ok(_) => {}
+            Err(_) => errors += 1,
+        }
+    }
+    errors
 }

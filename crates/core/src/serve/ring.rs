@@ -1,0 +1,163 @@
+//! A fixed-capacity single-producer/single-consumer handoff ring — the
+//! wait-free channel the acceptor uses to pass accepted connections to a
+//! shard loop without locks and without blocking either side.
+//!
+//! This is the classic Lamport queue: monotonically increasing `head`
+//! (consumer) and `tail` (producer) cursors index a power-of-nothing
+//! slot array modulo its capacity. The producer publishes a slot with a
+//! release store of `tail`; the consumer acquires it before reading. A
+//! full ring rejects the push (the acceptor then tries the next shard's
+//! ring); an empty ring returns `None` (the shard goes on with its
+//! tick).
+//!
+//! # Discipline
+//!
+//! The memory-ordering argument assumes **one** pushing thread and
+//! **one** popping thread for the ring's lifetime. The type is
+//! `pub(crate)` and used only acceptor → shard, which satisfies that by
+//! construction.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The single-producer/single-consumer ring. See the [module docs](self).
+pub(crate) struct SpscRing<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
+    /// Consumer cursor: slots `[head, tail)` are occupied.
+    head: AtomicUsize,
+    /// Producer cursor, always `>= head`, at most `head + capacity`.
+    tail: AtomicUsize,
+}
+
+// SAFETY: the slot array is only touched under the head/tail protocol —
+// the producer writes slot `tail % cap` strictly before releasing it via
+// the `tail` store, the consumer reads it strictly after acquiring
+// `tail`, and symmetrically for `head` — so a `T: Send` value moves
+// cleanly between the two threads and no slot is ever aliased.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// A ring holding at most `capacity` items (`capacity >= 1`).
+    pub(crate) fn with_capacity(capacity: usize) -> SpscRing<T> {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(None))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscRing {
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer side: hands `item` to the consumer, or returns it when
+    /// the ring is full. Must only ever be called from one thread.
+    pub(crate) fn push(&self, item: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.head.load(Ordering::Acquire)) == self.slots.len() {
+            return Err(item);
+        }
+        // SAFETY: `[head, tail)` occupancy means this slot is free, and
+        // only this (single-producer) thread writes slots at `tail`.
+        unsafe { *self.slots[tail % self.slots.len()].get() = Some(item) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: takes the oldest item, if any. Must only ever be
+    /// called from one thread.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        if head == self.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: `head < tail` means this slot was published by the
+        // producer's release store; only this (single-consumer) thread
+        // reads slots at `head`.
+        let item = unsafe { (*self.slots[head % self.slots.len()].get()).take() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        debug_assert!(item.is_some(), "occupied slot always holds an item");
+        item
+    }
+
+    /// Items currently queued (racy across threads, exact within one).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let ring = SpscRing::with_capacity(2);
+        assert!(ring.pop().is_none());
+        ring.push(1).unwrap();
+        ring.push(2).unwrap();
+        assert_eq!(ring.push(3), Err(3), "full ring rejects");
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.pop(), Some(1));
+        ring.push(3).unwrap();
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn queued_items_drop_with_the_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ring = SpscRing::with_capacity(4);
+        ring.push(Probe).unwrap();
+        ring.push(Probe).unwrap();
+        drop(ring.pop());
+        drop(ring);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_handoff_preserves_every_item() {
+        const N: usize = 10_000;
+        let ring = SpscRing::with_capacity(8);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..N {
+                    let mut item = i;
+                    loop {
+                        match ring.push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut next = 0;
+            while next < N {
+                if let Some(got) = ring.pop() {
+                    assert_eq!(got, next, "FIFO order");
+                    next += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,345 @@
+//! The shard loop: one thread, one registry replica, one set of
+//! connections — the PR-5 readiness tick, re-homed so N of them can run
+//! side by side.
+//!
+//! Each shard owns a private [`PatternRegistry`] (built by loading the
+//! same compiled [`PatternSpec`](crate::csdpa::PatternSpec) artifacts,
+//! so replicas cost a validated load each, not a powerset construction)
+//! and a private connection table fed by the acceptor over an SPSC
+//! [`ring`](super::ring). Ticks interleave four passes:
+//!
+//! 1. **reload** — if the spec snapshot's generation moved, apply the
+//!    insert/evict delta between requests (connections stay open;
+//!    in-flight scans on replaced patterns fail typed);
+//! 2. **adopt** — drain newly accepted connections from the ring;
+//! 3. **serve** — flush, police deadlines/idle, read under the tick
+//!    budget, ingest (small bodies scan inline; large ones stage for
+//!    the offload lane);
+//! 4. **pump** — scan one bounded slice per offloading connection
+//!    ([`lanes`](super::lanes)), answer completed ones, and re-ingest
+//!    any pipelined carry-over.
+//!
+//! Request quotas are global: every completed request is pushed to a
+//! shared counter, and every shard (and the acceptor) watches it, so
+//! `max_requests` means the same thing at any shard count.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::csdpa::registry::PatternRegistry;
+use crate::csdpa::spec::RegistrySnapshot;
+
+use super::conn::{ingest, Conn, Phase};
+use super::lanes;
+use super::protocol::Status;
+use super::ring::SpscRing;
+use super::{ConnectionReport, PatternReport, ReloadTally, ServeConfig, ServeTally, ShardReport};
+
+/// Everything one shard loop needs to run; consumed by [`run`].
+pub(crate) struct ShardRuntime {
+    /// This shard's index (reporting only).
+    pub(crate) index: usize,
+    /// The shard-private registry replica.
+    pub(crate) registry: PatternRegistry,
+    pub(crate) config: ServeConfig,
+    /// Connection handoff from the acceptor (this shard is the only
+    /// consumer).
+    pub(crate) ring: Arc<SpscRing<(TcpStream, String)>>,
+    /// Set by the acceptor (cancel, listener failure) or by a shard
+    /// that met the request quota.
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Requests completed across *all* shards (the quota counter).
+    pub(crate) requests_done: Arc<AtomicU64>,
+    /// Hot-reload publication cell, when serving from a watched spec.
+    pub(crate) snapshot: Option<Arc<RegistrySnapshot>>,
+    /// id → fingerprint of what this shard's registry currently holds.
+    pub(crate) applied: HashMap<String, u64>,
+    /// This shard's connection cap (the server cap split across shards).
+    pub(crate) max_conns: usize,
+}
+
+pub(crate) fn run(runtime: ShardRuntime) -> ShardReport {
+    let ShardRuntime {
+        index,
+        mut registry,
+        config,
+        ring,
+        shutdown,
+        requests_done,
+        snapshot,
+        mut applied,
+        max_conns,
+    } = runtime;
+
+    let mut tally = ServeTally::default();
+    let mut reload = ReloadTally::default();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut closed: Vec<ConnectionReport> = Vec::new();
+    let mut buf = vec![0u8; config.read_buf_bytes.max(1)];
+    let mut rotate: usize = 0;
+    let mut applied_generation = snapshot.as_ref().map_or(0, |s| s.generation());
+    let mut pushed_requests: u64 = 0;
+
+    let quota_hit = |requests_done: &AtomicU64| {
+        config
+            .max_requests
+            .is_some_and(|quota| requests_done.load(Ordering::Relaxed) >= quota)
+    };
+
+    'serve: loop {
+        if shutdown.load(Ordering::Acquire) {
+            // Another loop (acceptor or a sibling shard) ended the run;
+            // flush what is already queued before leaving.
+            grace_flush(&mut conns);
+            break;
+        }
+        let mut progressed = false;
+
+        // Reload pass: apply the spec delta between ticks. Open
+        // connections are untouched; a scan in flight on a replaced
+        // pattern fails typed at its next block.
+        if let Some(cell) = &snapshot {
+            if cell.generation() != applied_generation {
+                let (generation, spec) = cell.load();
+                let delta = spec.apply_to(&mut registry, &mut applied);
+                applied_generation = generation;
+                reload.generations += 1;
+                reload.inserted += delta.inserted;
+                reload.evicted += delta.evicted;
+                reload.failed += delta.failed;
+                progressed = true;
+            }
+        }
+
+        // Adopt newly accepted connections, up to this shard's cap.
+        while let Some((stream, peer)) = ring.pop() {
+            progressed = true;
+            if conns.len() >= max_conns {
+                // Over the cap: drop so the client sees EOF, not a hang.
+                tally.refused += 1;
+                drop(stream);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                tally.io_errors += 1;
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn::new(stream, peer, Instant::now()));
+        }
+
+        // One read/write pass over every connection, rotating the start
+        // so a tick-budget shortfall is not always paid by the same
+        // sockets.
+        let now = Instant::now();
+        let mut read_budget = config.tick_read_budget;
+        let n = conns.len();
+        let mut drop_list: Vec<usize> = Vec::new();
+        for k in 0..n {
+            let i = (rotate + k) % n;
+            let conn = &mut conns[i];
+
+            // Flush pending responses first.
+            while conn.pending_out() > 0 {
+                match conn.stream.write(&conn.outbuf[conn.out_written..]) {
+                    Ok(0) => {
+                        tally.io_errors += 1;
+                        drop_list.push(i);
+                        break;
+                    }
+                    Ok(written) => {
+                        conn.out_written += written;
+                        conn.last_activity = now;
+                        progressed = true;
+                        if conn.pending_out() == 0 {
+                            conn.outbuf.clear();
+                            conn.out_written = 0;
+                            if conn.close_after_flush {
+                                drop_list.push(i);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => break,
+                    Err(_) => {
+                        tally.io_errors += 1;
+                        drop_list.push(i);
+                        break;
+                    }
+                }
+            }
+            if drop_list.last() == Some(&i) {
+                continue;
+            }
+
+            // Deadline and idle policing.
+            if let (Some(deadline), Some(started)) = (config.request_deadline, conn.req_started) {
+                if now.duration_since(started) > deadline {
+                    let consumed = conn.consumed;
+                    conn.respond(Status::Deadline, consumed, &mut tally);
+                    if !conn.pattern.is_empty() {
+                        registry.record_error(&conn.pattern);
+                    }
+                    // Abandon any staged offload work with the request.
+                    conn.offload_buf.clear();
+                    conn.carry.clear();
+                    conn.offload_status = None;
+                    conn.close_after_flush = true;
+                    progressed = true;
+                    continue;
+                }
+            }
+            if let Some(idle) = config.idle_timeout {
+                if now.duration_since(conn.last_activity) > idle {
+                    if conn.mid_request() {
+                        tally.io_errors += 1;
+                    }
+                    tally.idle_closed += 1;
+                    drop_list.push(i);
+                    continue;
+                }
+            }
+
+            // Read under the tick budget and the write high-water mark
+            // (backpressure). A connection whose offload lane is backed
+            // up, or whose verdict is pending in the lane, is not read
+            // from either — TCP flow control holds the sender.
+            if conn.close_after_flush
+                || conn.pending_out() > config.max_pending_response_bytes
+                || read_budget == 0
+                || conn.phase == Phase::Finishing
+                || lanes::offload_backlogged(conn, &config)
+            {
+                continue;
+            }
+            let want = buf.len().min(read_budget);
+            match conn.stream.read(&mut buf[..want]) {
+                Ok(0) => {
+                    if conn.mid_request() {
+                        tally.io_errors += 1;
+                    }
+                    drop_list.push(i);
+                }
+                Ok(got) => {
+                    read_budget -= got;
+                    conn.last_activity = now;
+                    progressed = true;
+                    if !ingest(conn, &mut registry, &config, &mut tally, &buf[..got]) {
+                        conn.close_after_flush = true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    tally.io_errors += 1;
+                    drop_list.push(i);
+                }
+            }
+
+            push_requests(&mut pushed_requests, &tally, &requests_done);
+            if quota_hit(&requests_done) {
+                // Stop reading; the flush loop below answers what is
+                // already queued.
+                break;
+            }
+        }
+        if n > 0 {
+            rotate = (rotate + 1) % n;
+        }
+
+        // Offload pump: at most one bounded pooled scan per staging
+        // connection per tick, so a huge body never owns the tick.
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.close_after_flush || drop_list.contains(&i) {
+                continue;
+            }
+            if lanes::pump_offload(conn, &mut registry, &config, &mut tally) {
+                conn.last_activity = now;
+                progressed = true;
+            }
+            // Re-ingest bytes the client pipelined behind an offloaded
+            // request once its verdict is out.
+            if conn.phase != Phase::Finishing && !conn.carry.is_empty() {
+                let carry = std::mem::take(&mut conn.carry);
+                if !ingest(conn, &mut registry, &config, &mut tally, &carry) {
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+        push_requests(&mut pushed_requests, &tally, &requests_done);
+
+        // Reap (highest index first so the indices stay valid).
+        drop_list.sort_unstable();
+        drop_list.dedup();
+        for &i in drop_list.iter().rev() {
+            let conn = conns.swap_remove(i);
+            closed.push(conn.report());
+            progressed = true;
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+
+        // Graceful quota shutdown: flush every queued response (bounded
+        // by a short grace period), then stop every other loop too.
+        if quota_hit(&requests_done) {
+            grace_flush(&mut conns);
+            shutdown.store(true, Ordering::Release);
+            break 'serve;
+        }
+    }
+
+    for conn in conns {
+        closed.push(conn.report());
+    }
+    let patterns = registry
+        .ids()
+        .map(str::to_string)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|id| {
+            let stats = registry.stats(&id).unwrap_or_default();
+            PatternReport { id, stats }
+        })
+        .collect();
+    ShardReport {
+        shard: index,
+        tally,
+        patterns,
+        connections: closed,
+        reload,
+    }
+}
+
+/// Best-effort flush of every connection's queued responses, bounded by
+/// a short grace period (instant when nothing is pending).
+fn grace_flush(conns: &mut [Conn]) {
+    let grace = Instant::now() + Duration::from_secs(2);
+    while conns.iter().any(|c| c.pending_out() > 0) && Instant::now() < grace {
+        for conn in conns.iter_mut() {
+            while conn.pending_out() > 0 {
+                match conn.stream.write(&conn.outbuf[conn.out_written..]) {
+                    Ok(0) => break,
+                    Ok(written) => conn.out_written += written,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Publishes this shard's newly completed requests to the global quota
+/// counter.
+fn push_requests(pushed: &mut u64, tally: &ServeTally, requests_done: &AtomicU64) {
+    if tally.requests > *pushed {
+        requests_done.fetch_add(tally.requests - *pushed, Ordering::Relaxed);
+        *pushed = tally.requests;
+    }
+}

@@ -194,3 +194,79 @@ fn artifact_and_fresh_entries_are_equivalent() {
         assert_eq!(fresh, incremental, "incremental divergence on {text:?}");
     }
 }
+
+/// The pooled big-body scan is verdict- and byte-count-equivalent to the
+/// serial incremental scan on the same block sequence — λ-composition is
+/// associative, so splitting a block across the pool must not change
+/// anything observable.
+#[test]
+fn pooled_scan_blocks_match_serial_scan_blocks() {
+    let mut reg = registry(3);
+    let mut rng = XorShift64::new(0xb10c);
+    for round in 0..40 {
+        let id = ["abb", "digits", "word", "mask"][round % 4];
+        let alphabet: &[u8] = match id {
+            "digits" => b"0123456789x",
+            "word" => b"abc-",
+            _ => b"ab",
+        };
+        let n = 200 + (rng.next_u64() % 4000) as usize;
+        let text: Vec<u8> = (0..n)
+            .map(|_| alphabet[(rng.next_u64() % alphabet.len() as u64) as usize])
+            .collect();
+
+        let mut serial = StreamScan::new();
+        for block in text.chunks(777) {
+            reg.scan_block(id, &mut serial, block).unwrap();
+        }
+        let serial_bytes = serial.bytes();
+        let serial_verdict = reg.finish_scan(id, &mut serial).unwrap();
+
+        let mut pooled = StreamScan::new();
+        for block in text.chunks(777) {
+            reg.scan_block_pooled(id, &mut pooled, block).unwrap();
+        }
+        assert_eq!(pooled.bytes(), serial_bytes, "{id} round {round}");
+        let pooled_verdict = reg.finish_scan(id, &mut pooled).unwrap();
+        assert_eq!(pooled_verdict, serial_verdict, "{id} round {round}");
+    }
+}
+
+/// Re-inserting a pattern bumps its epoch: scans started against the old
+/// automaton fail typed (`PatternReloaded`) instead of mixing verdicts
+/// across generations — on the serial path, the pooled path, and at
+/// finish. A reset scan binds to the new epoch and works.
+#[test]
+fn reload_mid_scan_is_a_typed_error_never_a_stale_verdict() {
+    let mut reg = registry(2);
+    let mut scan = StreamScan::new();
+    reg.scan_block("digits", &mut scan, b"123").unwrap();
+    let mut pooled = StreamScan::new();
+    reg.scan_block_pooled("digits", &mut pooled, b"456")
+        .unwrap();
+
+    // Hot reload: same id, different automaton, fresh epoch (a resident
+    // id must be removed first — re-insertion is what bumps the epoch).
+    assert!(reg.remove("digits"));
+    reg.insert_regex("digits", "[0-9]{5}").unwrap();
+
+    assert!(matches!(
+        reg.scan_block("digits", &mut scan, b"45"),
+        Err(RegistryError::PatternReloaded { ref id }) if id == "digits"
+    ));
+    assert!(matches!(
+        reg.scan_block_pooled("digits", &mut pooled, b"78"),
+        Err(RegistryError::PatternReloaded { ref id }) if id == "digits"
+    ));
+    assert!(matches!(
+        reg.finish_scan("digits", &mut scan),
+        Err(RegistryError::PatternReloaded { ref id }) if id == "digits"
+    ));
+
+    // finish_scan resets the stale scan; the next stream binds to the
+    // new epoch and gets the new pattern's verdict.
+    reg.scan_block("digits", &mut scan, b"123").unwrap();
+    assert!(!reg.finish_scan("digits", &mut scan).unwrap());
+    reg.scan_block("digits", &mut scan, b"12345").unwrap();
+    assert!(reg.finish_scan("digits", &mut scan).unwrap());
+}

@@ -1,40 +1,66 @@
-//! Loopback serving: one process, one registry, one worker pool — many
-//! concurrent TCP connections with mixed verdicts, all multiplexed by
-//! the non-blocking event loop.
+//! Loopback serving: one process, many concurrent TCP connections with
+//! mixed verdicts — multiplexed by the non-blocking loop, both on a
+//! single shard (a prebuilt registry) and across four shards (per-shard
+//! replicas built from a pattern spec), with identical observable
+//! behavior.
 
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ridfa::core::csdpa::{CancelToken, PatternRegistry, RegistryConfig};
+use ridfa::automata::ConstructionBudget;
+use ridfa::core::csdpa::{CancelToken, PatternRegistry, PatternSpec, RegistryConfig};
 use ridfa::core::ridfa::ridfa_to_bytes;
 use ridfa::core::serve::protocol::{self, Status};
 use ridfa::core::serve::{ServeConfig, Server};
 use ridfa::faults::XorShift64;
 
-fn test_registry() -> PatternRegistry {
-    let mut reg = PatternRegistry::new(RegistryConfig {
+fn mask_artifact() -> Vec<u8> {
+    let ast = ridfa::automata::regex::parse("[ab]*a[ab]{4}").unwrap();
+    let nfa = ridfa::automata::nfa::glushkov::build(&ast).unwrap();
+    let rid = ridfa::core::ridfa::RiDfa::from_nfa(&nfa).minimized();
+    ridfa_to_bytes(&rid)
+}
+
+fn registry_config() -> RegistryConfig {
+    RegistryConfig {
         num_workers: 2,
         block_size: 256,
         ..RegistryConfig::default()
-    });
+    }
+}
+
+fn test_registry() -> PatternRegistry {
+    let mut reg = PatternRegistry::new(registry_config());
     reg.insert_regex("abb", "(a|b)*abb").unwrap();
     reg.insert_regex("digits", "[0-9]+").unwrap();
     reg.insert_regex("word", "[a-z]+(-[a-z]+)*").unwrap();
     // The fourth pattern arrives as a binary artifact, like a prod
     // deploy would ship it.
-    let ast = ridfa::automata::regex::parse("[ab]*a[ab]{4}").unwrap();
-    let nfa = ridfa::automata::nfa::glushkov::build(&ast).unwrap();
-    let rid = ridfa::core::ridfa::RiDfa::from_nfa(&nfa).minimized();
-    reg.insert_artifact("mask", &ridfa_to_bytes(&rid)).unwrap();
+    reg.insert_artifact("mask", &mask_artifact()).unwrap();
     reg
+}
+
+/// The same pattern set as [`test_registry`], as a spec multi-shard
+/// servers can build replicas from (the artifact rides via a temp file,
+/// like a prod deploy would ship it).
+fn test_spec(tag: &str) -> PatternSpec {
+    let path = std::env::temp_dir().join(format!("ridfa-mask-{tag}-{}.rida", std::process::id()));
+    std::fs::write(&path, mask_artifact()).unwrap();
+    let text = format!(
+        "abb (a|b)*abb\ndigits [0-9]+\nword [a-z]+(-[a-z]+)*\nmask @{}\n",
+        path.display()
+    );
+    let spec = PatternSpec::parse(&text, &ConstructionBudget::UNLIMITED, None).unwrap();
+    let _ = std::fs::remove_file(&path);
+    spec
 }
 
 /// 32 concurrent client threads × 4 requests each, across 4 patterns
 /// (one artifact-loaded), mixed accept/reject plus unknown-pattern
-/// probes: every verdict correct, every counter adds up.
-#[test]
-fn thirty_two_concurrent_connections_mixed_verdicts() {
+/// probes: every verdict correct, every counter adds up — at any shard
+/// count.
+fn mixed_verdicts_scenario(server: Server, shards: usize) {
     const CLIENTS: usize = 32;
     const PER_CLIENT: usize = 4;
 
@@ -50,16 +76,6 @@ fn thirty_two_concurrent_connections_mixed_verdicts() {
         ("no-such-pattern", b"whatever", Status::Protocol),
     ];
 
-    let server = Server::bind(
-        "127.0.0.1:0",
-        test_registry(),
-        ServeConfig {
-            max_requests: Some((CLIENTS * PER_CLIENT) as u64),
-            idle_timeout: Some(Duration::from_secs(10)),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap();
     let addr = server.local_addr().unwrap();
     let server_thread = std::thread::spawn(move || server.run().unwrap());
 
@@ -98,6 +114,8 @@ fn thirty_two_concurrent_connections_mixed_verdicts() {
     assert_eq!(report.tally.requests, total);
     assert_eq!(report.tally.connections, CLIENTS as u64);
     assert_eq!(report.connections.len(), CLIENTS);
+    assert_eq!(report.shards.len(), shards);
+    report.verify().expect("reconciliation invariants");
 
     let expected = expected.lock().unwrap();
     let sum = |i: usize| -> u64 { expected.values().map(|v| v[i]).sum() };
@@ -105,7 +123,8 @@ fn thirty_two_concurrent_connections_mixed_verdicts() {
     assert_eq!(report.tally.rejected, sum(1));
     assert_eq!(report.tally.protocol_errors, sum(2));
 
-    // Per-pattern counters agree with what the clients sent.
+    // Per-pattern counters (summed across shard replicas) agree with
+    // what the clients sent.
     for pattern in &report.patterns {
         let [accepted, rejected, _] = expected
             .get(pattern.id.as_str())
@@ -117,6 +136,41 @@ fn thirty_two_concurrent_connections_mixed_verdicts() {
     // Per-connection counters sum to the global ones.
     let conn_requests: u64 = report.connections.iter().map(|c| c.requests).sum();
     assert_eq!(conn_requests, total);
+}
+
+#[test]
+fn thirty_two_concurrent_connections_mixed_verdicts() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        test_registry(),
+        ServeConfig {
+            max_requests: Some(32 * 4),
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    mixed_verdicts_scenario(server, 1);
+}
+
+/// The identical client workload against a 4-shard server: verdicts,
+/// totals and reconciliation must be indistinguishable from the
+/// single-shard run.
+#[test]
+fn thirty_two_concurrent_connections_mixed_verdicts_four_shards() {
+    let server = Server::bind_spec(
+        "127.0.0.1:0",
+        test_spec("mixed"),
+        registry_config(),
+        ServeConfig {
+            max_requests: Some(32 * 4),
+            idle_timeout: Some(Duration::from_secs(10)),
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    mixed_verdicts_scenario(server, 4);
 }
 
 /// A request body larger than the configured budget is drained and

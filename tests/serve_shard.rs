@@ -1,0 +1,293 @@
+//! Sharded-serving behaviors that have no single-shard equivalent: live
+//! spec reload without dropping connections, eviction landing under an
+//! in-flight scan (typed error, never a stale verdict), the offload lane
+//! keeping small requests responsive next to a multi-megabyte body, and
+//! the prebuilt-registry/multi-shard misconfiguration being rejected up
+//! front.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use ridfa::automata::ConstructionBudget;
+use ridfa::core::csdpa::{CancelToken, PatternRegistry, PatternSpec, RegistryConfig};
+use ridfa::core::serve::protocol::{self, Status};
+use ridfa::core::serve::{ServeConfig, Server};
+
+fn registry_config() -> RegistryConfig {
+    RegistryConfig {
+        num_workers: 2,
+        block_size: 256,
+        ..RegistryConfig::default()
+    }
+}
+
+/// A throwaway on-disk spec file the watcher can re-read; removed on drop.
+struct SpecFile {
+    path: PathBuf,
+}
+
+impl SpecFile {
+    fn new(tag: &str, text: &str) -> SpecFile {
+        let path =
+            std::env::temp_dir().join(format!("ridfa-spec-{tag}-{}.txt", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        SpecFile { path }
+    }
+
+    fn rewrite(&self, text: &str) {
+        std::fs::write(&self.path, text).unwrap();
+    }
+}
+
+impl Drop for SpecFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn spec(text: &str) -> PatternSpec {
+    PatternSpec::parse(text, &ConstructionBudget::UNLIMITED, None).unwrap()
+}
+
+/// Rewriting the spec file swaps a pattern and adds a new one on a live
+/// 2-shard server: the open connection sees the new verdicts without
+/// ever being dropped, and every shard reports the applied generation.
+#[test]
+fn hot_reload_swaps_patterns_without_dropping_connections() {
+    let file = SpecFile::new("reload", "digits [0-9]+\n");
+    let mut server = Server::bind_spec_file(
+        "127.0.0.1:0",
+        file.path.clone(),
+        registry_config(),
+        ServeConfig {
+            shards: 2,
+            reload_interval: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let cancel = CancelToken::new();
+    server.set_cancel(cancel.clone());
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let response = protocol::query(&mut stream, "digits", b"123").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+
+    // Swap digits to a stricter pattern and add a brand-new id.
+    file.rewrite("digits [0-9]{5}\nword [a-z]+\n");
+
+    // Poll the *same* connection until the new generation answers: "123"
+    // flips from Accepted to Rejected the moment the shard applies it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let response = protocol::query(&mut stream, "digits", b"123").unwrap();
+        if response.status == Status::Rejected {
+            break;
+        }
+        assert_eq!(response.status, Status::Accepted, "unexpected verdict");
+        assert!(Instant::now() < deadline, "reload never reached the shard");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let response = protocol::query(&mut stream, "word", b"hello").unwrap();
+    assert_eq!(response.status, Status::Accepted, "new pattern not served");
+    let response = protocol::query(&mut stream, "digits", b"12345").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+    drop(stream);
+
+    cancel.cancel();
+    let report = server_thread.join().unwrap();
+    assert_eq!(report.reload_errors, 0);
+    assert_eq!(report.shards.len(), 2);
+    for shard in &report.shards {
+        assert!(
+            shard.reload.generations >= 1,
+            "shard {} never applied the reload",
+            shard.shard
+        );
+        assert!(shard.reload.inserted >= 2, "shard {}", shard.shard);
+        assert!(shard.reload.evicted >= 1, "shard {}", shard.shard);
+        assert_eq!(shard.reload.failed, 0, "shard {}", shard.shard);
+    }
+    // One connection, held across the reload — never dropped.
+    assert_eq!(report.tally.connections, 1);
+    assert_eq!(report.connections.len(), 1);
+    report.verify().expect("reconciliation invariants");
+}
+
+/// Satellite: a reload that evicts the pattern *under an in-flight scan*
+/// answers a typed `Protocol` error for that request — never a panic,
+/// never a verdict mixing two generations — and the connection survives
+/// to serve the next request against the new automaton.
+#[test]
+fn eviction_under_in_flight_scan_is_typed_and_keeps_the_connection() {
+    const BODY: usize = 100_000;
+    const FIRST: usize = 10_000;
+
+    let file = SpecFile::new("evict", "digits [0-9]+\n");
+    let mut server = Server::bind_spec_file(
+        "127.0.0.1:0",
+        file.path.clone(),
+        registry_config(),
+        ServeConfig {
+            shards: 1,
+            reload_interval: Some(Duration::from_millis(20)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let cancel = CancelToken::new();
+    server.set_cancel(cancel.clone());
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let response = protocol::query(&mut stream, "digits", b"123").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+
+    // Send the header plus the first slice of a large inline body: the
+    // shard starts scanning and the scan binds to the current epoch.
+    let frame = protocol::encode_request("digits", &vec![b'7'; BODY]).unwrap();
+    let header = frame.len() - BODY;
+    stream.write_all(&frame[..header + FIRST]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Reload lands mid-scan: digits is evicted and re-inserted with a
+    // fresh epoch while the request above is still incomplete.
+    file.rewrite("digits [0-9]{5}\n");
+    std::thread::sleep(Duration::from_millis(400));
+
+    // The remainder drains; the verdict is the typed reload error with
+    // the full body accounted for, not a cross-generation answer.
+    stream.write_all(&frame[header + FIRST..]).unwrap();
+    let response = protocol::read_response(&mut stream).unwrap();
+    assert_eq!(response.status, Status::Protocol, "reload mid-scan");
+    assert_eq!(response.scanned, BODY as u64, "body fully drained");
+
+    // Same connection, next request: served by the new generation.
+    let response = protocol::query(&mut stream, "digits", b"12345").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+    let response = protocol::query(&mut stream, "digits", b"123").unwrap();
+    assert_eq!(response.status, Status::Rejected);
+    drop(stream);
+
+    cancel.cancel();
+    let report = server_thread.join().unwrap();
+    assert_eq!(report.tally.protocol_errors, 1, "{:?}", report.tally);
+    assert_eq!(report.tally.accepted, 2);
+    assert_eq!(report.tally.rejected, 1);
+    assert_eq!(report.tally.connections, 1, "connection was dropped");
+    assert!(report.shards[0].reload.generations >= 1);
+    report.verify().expect("reconciliation invariants");
+}
+
+/// A multi-megabyte body above `offload_bytes` goes through the offload
+/// lane in bounded slices: a small inline request on another connection
+/// gets its verdict while the big body is still being pumped, instead of
+/// waiting behind it.
+#[test]
+fn offloaded_big_body_does_not_stall_small_requests() {
+    const BIG: usize = 4 << 20;
+
+    let mut server = Server::bind_spec(
+        "127.0.0.1:0",
+        spec("digits [0-9]+\n"),
+        registry_config(),
+        ServeConfig {
+            shards: 1,
+            offload_bytes: 1024,
+            offload_tick_bytes: 4096,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let cancel = CancelToken::new();
+    server.set_cancel(cancel.clone());
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Establish the small-request connection first, so its acceptance
+    // cannot race the big body's lifetime.
+    let mut small = TcpStream::connect(addr).unwrap();
+    small
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let response = protocol::query(&mut small, "digits", b"1").unwrap();
+    assert_eq!(response.status, Status::Accepted);
+
+    let big_started = AtomicBool::new(false);
+    let big_done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .unwrap();
+            let frame = protocol::encode_request("digits", &vec![b'7'; BIG]).unwrap();
+            stream.write_all(&frame[..64 * 1024]).unwrap();
+            big_started.store(true, Ordering::SeqCst);
+            stream.write_all(&frame[64 * 1024..]).unwrap();
+            let response = protocol::read_response(&mut stream).unwrap();
+            assert_eq!(response.status, Status::Accepted);
+            assert_eq!(response.scanned, BIG as u64);
+            big_done.store(true, Ordering::SeqCst);
+        });
+
+        // Once the big body is in flight (the lane pumps it 4 KiB per
+        // tick, so it has ~1000 ticks to go), a small request must clear
+        // in a handful of ticks.
+        while !big_started.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut small_before_big = 0u64;
+        while !big_done.load(Ordering::SeqCst) {
+            let response = protocol::query(&mut small, "digits", b"42").unwrap();
+            assert_eq!(response.status, Status::Accepted);
+            if !big_done.load(Ordering::SeqCst) {
+                small_before_big += 1;
+            }
+        }
+        assert!(
+            small_before_big >= 1,
+            "no small request finished while the big body was pumping"
+        );
+    });
+    drop(small);
+
+    cancel.cancel();
+    let report = server_thread.join().unwrap();
+    assert!(report.tally.bytes >= BIG as u64);
+    report.verify().expect("reconciliation invariants");
+}
+
+/// A prebuilt registry cannot be replicated across shards (it is one
+/// mutable instance, not a spec to build replicas from): asking for
+/// `shards > 1` on `Server::bind` is rejected up front with
+/// `InvalidInput`, not discovered by a wedged shard later.
+#[test]
+fn prebuilt_registry_with_multiple_shards_is_rejected() {
+    let mut registry = PatternRegistry::new(registry_config());
+    registry.insert_regex("digits", "[0-9]+").unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let err = server.run().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
