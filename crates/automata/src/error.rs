@@ -115,6 +115,21 @@ impl ConstructionBudget {
         Ok(())
     }
 
+    /// Checks the byte axis directly: `bytes` is the total size of some
+    /// retained side structure (e.g. an inverse lookup map kept alongside
+    /// the dense table). Unlike [`grow_table`](ConstructionBudget::grow_table)
+    /// this performs no allocation — it only verifies that `bytes` fits
+    /// under `max_table_bytes`, so callers can charge *before* allocating.
+    pub fn charge_bytes(&self, bytes: usize, what: &'static str) -> Result<()> {
+        if bytes > self.max_table_bytes {
+            return Err(Error::LimitExceeded {
+                what,
+                limit: self.max_table_bytes,
+            });
+        }
+        Ok(())
+    }
+
     /// Appends one row of `stride` entries filled with `fill` to `table`,
     /// failing with [`Error::LimitExceeded`] if the resulting table would
     /// exceed `max_table_bytes`.
@@ -228,6 +243,20 @@ mod tests {
         let err = b.grow_table(&mut table, 1, 7, "table").unwrap_err();
         assert!(matches!(err, Error::LimitExceeded { limit: 16, .. }));
         assert_eq!(table.len(), 4, "failed growth must not change the table");
+    }
+
+    #[test]
+    fn budget_charge_bytes_enforces_byte_cap() {
+        let b = ConstructionBudget::with_max_table_bytes(64);
+        assert!(b.charge_bytes(64, "side bytes").is_ok());
+        let err = b.charge_bytes(65, "side bytes").unwrap_err();
+        assert_eq!(
+            err,
+            Error::LimitExceeded {
+                what: "side bytes",
+                limit: 64
+            }
+        );
     }
 
     #[test]

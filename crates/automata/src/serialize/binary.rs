@@ -35,8 +35,10 @@ use crate::{BitSet, StateId};
 /// Leading magic of every artifact.
 pub const MAGIC: [u8; 6] = *b"RIDFA\0";
 
-/// Current format version. Decoders reject anything newer.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current format version. Decoders reject anything newer, and still
+/// accept every older version (v1 artifacts predate the per-pattern
+/// engine section and decode with a synthesized `EnginePlan::Auto`).
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Size of the fixed container header preceding the payload.
 pub const HEADER_LEN: usize = 26;

@@ -15,9 +15,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use ridfa_automata::ConstructionBudget;
 use ridfa_bench::build_artifacts;
 use ridfa_core::csdpa::{
-    recognize, ConvergentDfaCa, ConvergentRidCa, DfaCa, Executor, Kernel, RidCa,
+    chunk_spans_snapped, plan, recognize, recognize_spans, ConvergentDfaCa, ConvergentRidCa, DfaCa,
+    Executor, FeasibleRidCa, FeasibleTable, Kernel, RidCa,
 };
 use ridfa_core::ridfa::RiDfa;
 use ridfa_core::sfa::{Sfa, SfaCa};
@@ -175,12 +177,76 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engines(c: &mut Criterion) {
+    // The EnginePlan ablation: throughput of each first-class engine on
+    // the workloads that pick it. `bigdata` is the convergent small
+    // pattern where the Auto plan resolves to SFA (zero speculation must
+    // beat the lockstep it replaces — CI asserts that floor); `bible`
+    // and `traffic` have wide interfaces (26 and 121) whose trial SFA
+    // builds trip the cap, so their Auto plan is feasible-start pruning,
+    // benched both with even chunking and with record-separator snapped
+    // spans (traffic texts are newline-framed syslog records).
+    // Serial executor over the same chunk decomposition: at 256 KiB a
+    // full thread team is memory-bound and every engine converges on the
+    // bandwidth ceiling, hiding exactly the per-byte speculation cost
+    // this ablation measures. Serial execution exposes the total reach
+    // work (k speculative runs vs one SFA run vs the pruned subset).
+    let chunks = 8;
+    let budget = ConstructionBudget::with_max_states(plan::SFA_AUTO_MAX_STATES);
+    let mut group = c.benchmark_group("ablation_engines");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for benchmark in standard_benchmarks() {
+        if !matches!(benchmark.name, "bigdata" | "fasta" | "bible" | "traffic") {
+            continue;
+        }
+        let a = build_artifacts(&benchmark);
+        let text = (a.accepted)(TEXT_LEN, 42);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        let lockstep = ConvergentRidCa::new(&a.rid);
+        group.bench_function(format!("{}_lockstep", a.name), |b| {
+            b.iter(|| recognize(&lockstep, &text, chunks, Executor::Serial).accepted);
+        });
+        match Sfa::build_rid_budgeted(&a.rid, &budget) {
+            Ok(sfa) => {
+                let ca = SfaCa::new(&sfa);
+                group.bench_function(format!("{}_sfa", a.name), |b| {
+                    b.iter(|| recognize(&ca, &text, chunks, Executor::Serial).accepted);
+                });
+            }
+            Err(_) => {
+                // Function-space explosion: exactly why Auto falls back
+                // to feasible-start on these workloads.
+                assert!(
+                    a.rid.interface().len() >= plan::FEASIBLE_MIN_INTERFACE,
+                    "{}: SFA exploded but the interface is narrow — Auto would \
+                     pick lockstep and this ablation loses its subject",
+                    a.name
+                );
+            }
+        }
+        let table = FeasibleTable::build(&a.rid);
+        let pruned = FeasibleRidCa::new(&a.rid, &table);
+        group.bench_function(format!("{}_feasible", a.name), |b| {
+            b.iter(|| recognize(&pruned, &text, chunks, Executor::Serial).accepted);
+        });
+        let mut spans = Vec::new();
+        chunk_spans_snapped(&text, chunks, b'\n', &mut spans);
+        group.bench_function(format!("{}_feasible_snapped", a.name), |b| {
+            b.iter(|| recognize_spans(&pruned, &text, &spans, Executor::Serial).accepted);
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_interface_minimization,
     bench_executor_shape,
     bench_sfa_comparator,
     bench_convergence,
-    bench_kernels
+    bench_kernels,
+    bench_engines
 );
 criterion_main!(benches);

@@ -25,12 +25,13 @@ use ridfa_automata::nfa::{glushkov, Nfa};
 use ridfa_automata::serialize::binary;
 use ridfa_automata::{regex, serialize, ConstructionBudget};
 use ridfa_core::csdpa::{
-    recognize_counted, resident_footprint, Budget, ChunkAutomaton, ConvergentDfaCa,
-    ConvergentRidCa, CountedOutcome, DfaCa, Executor, NfaCa, Outcome, RecognizeError,
-    RegistryConfig, RidCa, Session, StreamError, StreamOutcome, StreamSession,
+    plan, recognize_counted, resident_footprint, Budget, ChunkAutomaton, ConvergentDfaCa,
+    ConvergentRidCa, CountedOutcome, DfaCa, EnginePlan, Executor, FeasibleTable, NfaCa, Outcome,
+    RecognizeError, RegistryConfig, RidCa, Session, StreamError, StreamOutcome, StreamSession,
 };
-use ridfa_core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, RiDfa};
+use ridfa_core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, ridfa_to_bytes_with_engine, RiDfa};
 use ridfa_core::serve::{protocol, ServeConfig, Server};
+use ridfa_core::sfa::Sfa;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -179,6 +180,13 @@ USAGE:
                    [--max-states N]                     automaton once, seal
                                                         it as a checksummed
                                                         binary artifact
+                   [--engine auto|lockstep|sfa|feasible] resolve the engine
+                   [--separator BYTE]                   plan now and bake its
+                                                        tables (SFA /
+                                                        feasible-start) into
+                                                        the artifact; servers
+                                                        load them instead of
+                                                        re-deriving
   ridfa inspect-artifact --file FILE                    validate + describe
                                                         an artifact
   ridfa query      --connect ADDR --pattern ID          request(s) against a
@@ -973,6 +981,27 @@ fn cmd_compile(opts: &Opts) -> Result<(), CliError> {
         return Err(CliError::Usage("need --out FILE".into()));
     };
     let kind = opts.get_value("kind")?.unwrap_or("ridfa");
+    let engine = match opts.get_value("engine")? {
+        None => None,
+        Some(v) => Some(EnginePlan::parse_flag(v).ok_or_else(|| {
+            CliError::Usage(format!(
+                "invalid value for --engine: {v:?} (auto|lockstep|sfa|feasible)"
+            ))
+        })?),
+    };
+    let separator = match opts.get_value("separator")? {
+        None => None,
+        Some(v) => Some(v.parse::<u8>().map_err(|_| {
+            CliError::Usage(format!(
+                "invalid value for --separator: {v:?} (expected a byte 0-255)"
+            ))
+        })?),
+    };
+    if kind != "ridfa" && (engine.is_some() || separator.is_some()) {
+        return Err(CliError::Usage(
+            "--engine/--separator apply to --kind ridfa artifacts only".into(),
+        ));
+    }
     let bytes = match kind {
         "ridfa" => {
             let rid = build_rid(&nfa, opts)?;
@@ -981,7 +1010,39 @@ fn cmd_compile(opts: &Opts) -> Result<(), CliError> {
                 rid.num_states(),
                 rid.interface().len()
             );
-            ridfa_to_bytes(&rid)
+            match engine {
+                // No --engine: an Auto-tagged empty engine section; the
+                // loading registry resolves the plan at insert time.
+                None if separator.is_none() => ridfa_to_bytes(&rid),
+                None => ridfa_to_bytes_with_engine(&rid, EnginePlan::Auto, None, None, separator),
+                Some(requested) => {
+                    let (plan, sfa, feasible) = compile_engine(&rid, requested, opts)?;
+                    match (&sfa, &feasible) {
+                        (Some(sfa), _) => println!(
+                            "compile: engine {}, {} SFA function states ({} table bytes)",
+                            plan.name(),
+                            sfa.num_states(),
+                            sfa.resident_bytes()
+                        ),
+                        (_, Some(table)) => println!(
+                            "compile: engine {}, feasible table {} classes x {} interface \
+                             positions ({} bytes)",
+                            plan.name(),
+                            table.stride(),
+                            table.interface_len(),
+                            table.resident_bytes()
+                        ),
+                        _ => println!("compile: engine {}", plan.name()),
+                    }
+                    ridfa_to_bytes_with_engine(
+                        &rid,
+                        plan,
+                        feasible.as_ref(),
+                        sfa.as_ref(),
+                        separator,
+                    )
+                }
+            }
         }
         "dfa" => {
             let dfa = build_dfa(&nfa, opts)?;
@@ -1003,6 +1064,49 @@ fn cmd_compile(opts: &Opts) -> Result<(), CliError> {
         bytes.len()
     );
     Ok(())
+}
+
+/// Resolves `--engine` for `ridfa compile`: the same policy the serving
+/// registry applies at insert time ([`plan::select`] with a capped trial
+/// SFA build), run once here so the artifact carries the finished tables.
+/// An explicit `--engine sfa` builds under the full `--max-states` budget
+/// and surfaces the typed failure (exit 5) instead of falling back.
+fn compile_engine(
+    rid: &RiDfa,
+    requested: EnginePlan,
+    opts: &Opts,
+) -> Result<(EnginePlan, Option<Sfa>, Option<FeasibleTable>), CliError> {
+    let budget = construction_budget(opts)?.unwrap_or(ConstructionBudget::UNLIMITED);
+    match requested {
+        EnginePlan::Lockstep => Ok((EnginePlan::Lockstep, None, None)),
+        EnginePlan::Sfa => {
+            let sfa = Sfa::build_rid_budgeted(rid, &budget)
+                .map_err(|e| CliError::Budget(e.to_string()))?;
+            Ok((EnginePlan::Sfa, Some(sfa), None))
+        }
+        EnginePlan::FeasibleStart => Ok((
+            EnginePlan::FeasibleStart,
+            None,
+            Some(FeasibleTable::build(rid)),
+        )),
+        EnginePlan::Auto => {
+            let capped = ConstructionBudget {
+                max_states: budget.max_states.min(plan::SFA_AUTO_MAX_STATES),
+                max_table_bytes: budget.max_table_bytes.min(plan::SFA_AUTO_MAX_TABLE_BYTES),
+            };
+            if let Ok(sfa) = Sfa::build_rid_budgeted(rid, &capped) {
+                return Ok((EnginePlan::Sfa, Some(sfa), None));
+            }
+            match plan::select(None, rid.interface().len()) {
+                EnginePlan::FeasibleStart => Ok((
+                    EnginePlan::FeasibleStart,
+                    None,
+                    Some(FeasibleTable::build(rid)),
+                )),
+                _ => Ok((EnginePlan::Lockstep, None, None)),
+            }
+        }
+    }
 }
 
 /// `ridfa inspect-artifact`: header, checksum and payload validation,
@@ -1046,11 +1150,37 @@ fn cmd_inspect_artifact(opts: &Opts) -> Result<(), CliError> {
                 loaded.rid.interface().len(),
                 loaded.rid.classes().num_classes()
             );
+            match (&loaded.sfa, &loaded.feasible) {
+                (Some(sfa), _) => println!(
+                    "engine   : {} plan, {} SFA function states ({} table bytes)",
+                    loaded.plan.name(),
+                    sfa.num_states(),
+                    sfa.resident_bytes()
+                ),
+                (_, Some(table)) => println!(
+                    "engine   : {} plan, feasible table {} classes x {} interface positions \
+                     ({} bytes)",
+                    loaded.plan.name(),
+                    table.stride(),
+                    table.interface_len(),
+                    table.resident_bytes()
+                ),
+                _ => println!(
+                    "engine   : {} plan (no precomputed tables)",
+                    loaded.plan.name()
+                ),
+            }
+            if let Some(sep) = loaded.separator {
+                println!("separator: byte {sep:#04x} (boundary snapping)");
+            }
             // The same number the serving registry books against its
-            // residency cap when this artifact is inserted.
+            // residency cap when this artifact is inserted: the automaton
+            // footprint plus any engine tables it ships.
+            let engine_bytes = loaded.sfa.as_ref().map_or(0, |s| s.resident_bytes())
+                + loaded.feasible.as_ref().map_or(0, |f| f.resident_bytes());
             println!(
                 "resident : {} bytes as served (registry ledger)",
-                resident_footprint(&loaded.rid, loaded.premultiplied.len()),
+                resident_footprint(&loaded.rid, loaded.premultiplied.len()) + engine_bytes,
             );
         }
     }
@@ -1190,8 +1320,10 @@ fn cmd_serve_listen(opts: &Opts) -> Result<(), CliError> {
     }
     for pattern in &report.patterns {
         let s = &pattern.stats;
+        let engine = pattern.plan.map_or("retired", |p| p.name());
         println!(
-            "pattern {}: {} requests ({} accepted / {} rejected / {} errors), {} bytes",
+            "pattern {} [{engine}]: {} requests ({} accepted / {} rejected / {} errors), \
+             {} bytes",
             pattern.id, s.requests, s.accepted, s.rejected, s.errors, s.bytes
         );
     }

@@ -36,6 +36,55 @@ pub fn chunk_spans_into(len: usize, num_chunks: usize, out: &mut Vec<Range<usize
     debug_assert_eq!(offset, len);
 }
 
+/// Like [`chunk_spans`] but with record-separator-aware boundary
+/// snapping: each interior cut point is moved forward to just past the
+/// next `separator` byte, so every chunk (except possibly the first)
+/// starts at a record head. For record-structured workloads under a
+/// feasible-start plan this collapses the feasible set at each boundary
+/// to the handful of states reachable right after a separator — far
+/// fewer speculative runs than an arbitrary mid-record cut seeds.
+///
+/// Snapping is best-effort: a cut with no separator in its remaining
+/// suffix merges into the previous chunk (spans stay contiguous, cover
+/// the text exactly, and are never empty), and a separator-free text
+/// degrades to one span per surviving cut — i.e. plain [`chunk_spans`]
+/// semantics minus the merged cuts.
+pub fn chunk_spans_snapped(
+    text: &[u8],
+    num_chunks: usize,
+    separator: u8,
+    out: &mut Vec<Range<usize>>,
+) {
+    chunk_spans_into(text.len(), num_chunks, out);
+    if text.is_empty() || out.len() < 2 {
+        return;
+    }
+    let mut write = 0;
+    let mut start = 0;
+    for i in 1..out.len() {
+        let cut = out[i].start;
+        // Snap forward: the chunk boundary lands just after the first
+        // separator at or beyond the balanced cut point.
+        match text[cut..].iter().position(|&b| b == separator) {
+            Some(offset) if cut + offset + 1 < text.len() => {
+                let snapped = cut + offset + 1;
+                if snapped > start {
+                    out[write] = start..snapped;
+                    write += 1;
+                    start = snapped;
+                }
+            }
+            // No separator ahead (or it is the final byte): merge this
+            // cut into the running span.
+            _ => {}
+        }
+    }
+    out[write] = start..text.len();
+    out.truncate(write + 1);
+    debug_assert_eq!(out[0].start, 0);
+    debug_assert!(out.windows(2).all(|w| w[0].end == w[1].start));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +139,49 @@ mod tests {
     fn zero_chunks_clamps_to_one() {
         let spans = chunk_spans(5, 0);
         assert_eq!(spans, vec![0..5]);
+    }
+
+    #[test]
+    fn snapped_spans_start_at_record_heads() {
+        // Records of 10 bytes: "aaaaaaaaa\n" × 8.
+        let text: Vec<u8> = b"aaaaaaaaa\n".repeat(8);
+        let mut spans = Vec::new();
+        chunk_spans_snapped(&text, 4, b'\n', &mut spans);
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans.last().unwrap().end, text.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "contiguous");
+            assert_eq!(
+                text[w[1].start - 1],
+                b'\n',
+                "every interior boundary follows a separator"
+            );
+        }
+        assert!(spans.len() >= 2, "separators exist, cuts must survive");
+        assert!(spans.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn snapping_without_separators_degrades_to_one_span() {
+        let text = vec![b'x'; 100];
+        let mut spans = Vec::new();
+        chunk_spans_snapped(&text, 4, b'\n', &mut spans);
+        assert_eq!(spans, vec![0..100], "no separator: cuts all merge");
+    }
+
+    #[test]
+    fn snapping_never_produces_empty_spans() {
+        // Separators clustered at the front: several cuts snap to the
+        // same record head and must collapse, not produce empty spans.
+        let mut text = b"\n\n\n".to_vec();
+        text.extend_from_slice(&[b'y'; 50]);
+        let mut spans = Vec::new();
+        chunk_spans_snapped(&text, 8, b'\n', &mut spans);
+        assert!(spans.iter().all(|s| !s.is_empty()), "{spans:?}");
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans.last().unwrap().end, text.len());
+        for w in spans.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
     }
 }

@@ -37,6 +37,7 @@ mod convergent;
 mod dfa_ca;
 pub mod kernel;
 mod nfa_ca;
+pub mod plan;
 mod recognizer;
 pub mod registry;
 mod rid_ca;
@@ -45,14 +46,15 @@ pub mod spec;
 pub mod stream;
 
 pub use budget::{Budget, CancelToken, Degraded, RecognizeError, StreamError};
-pub use chunking::{chunk_spans, chunk_spans_into};
+pub use chunking::{chunk_spans, chunk_spans_into, chunk_spans_snapped};
 pub use convergent::{ConvergentDfaCa, ConvergentRidCa};
 pub use dfa_ca::DfaCa;
 pub use kernel::{Kernel, Scratch};
 pub use nfa_ca::NfaCa;
+pub use plan::{EnginePlan, FeasibleRidCa, FeasibleTable};
 pub use recognizer::{
-    recognize, recognize_budgeted, recognize_counted, recognize_serial, ChunkStats, CountedOutcome,
-    Executor, Outcome,
+    recognize, recognize_budgeted, recognize_counted, recognize_serial, recognize_spans,
+    ChunkStats, CountedOutcome, Executor, Outcome,
 };
 pub use registry::{
     resident_footprint, PatternRegistry, PatternStats, RegistryConfig, RegistryError, StreamScan,

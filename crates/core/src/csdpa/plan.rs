@@ -1,0 +1,464 @@
+//! First-class speculation policy: the per-pattern [`EnginePlan`].
+//!
+//! The paper's core trade-off — *minimize* speculation (RID lockstep)
+//! vs *eliminate* it (SFA) vs *shrink* it (feasible-start pruning à la
+//! PaREM) — used to be wired in: every pattern ran the speculative
+//! lockstep kernel, and `sfa.rs` was an ablation island no selection
+//! path could reach. This module makes the choice explicit and
+//! portable: an [`EnginePlan`] is computed once per pattern (at
+//! registration or compile time, see [`select`]), persisted in the
+//! binary artifact's engine section, and carried everywhere the pattern
+//! travels — registry entries, serve replicas, `inspect-artifact`.
+//!
+//! Three concrete engines exist:
+//!
+//! * **Lockstep** — the PR 1–3 speculative path: one run per interface
+//!   state through the convergence-merging kernel. Always available;
+//!   the fallback of every other plan.
+//! * **Sfa** — zero speculation: one deterministic run per chunk over
+//!   the (pre-built, budget-bounded) simultaneous automaton
+//!   ([`crate::sfa::Sfa`]). Only viable when the SFA function space
+//!   stayed small; [`select`] probes that with a capped trial build.
+//! * **FeasibleStart** — speculation shrunk at every chunk boundary: a
+//!   per-byte-class [`FeasibleTable`] (computed once per pattern) kills
+//!   the runs whose origin state cannot survive the chunk's first byte
+//!   *before* they are seeded, so the kernel starts `|feasible(c)|`
+//!   runs instead of `|interface|`. Sound because the kernel skips
+//!   [`DEAD`] seeds and a run whose first transition dies yields the
+//!   same `DEAD` entry — mappings are bit-identical, verified by the
+//!   engine differential suite.
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::{StateId, DEAD};
+
+use crate::ridfa::RiDfa;
+
+use super::kernel::{self, DenseTable, Kernel, Scratch};
+use super::{ChunkAutomaton, RidCa, RidMapping};
+
+/// SFA state-count cap for `Auto` plan resolution: a trial SFA build
+/// that exceeds this many function states fails fast and the plan
+/// falls back to a speculative engine. Small/medium DFAs (the regime
+/// where SFA wins) stay far under it; explosion-prone patterns trip it
+/// in milliseconds.
+pub const SFA_AUTO_MAX_STATES: usize = 1 << 12;
+
+/// SFA table-byte cap for `Auto` plan resolution (dense table plus the
+/// retained function/inverse structures, each bounded separately).
+pub const SFA_AUTO_MAX_TABLE_BYTES: usize = 8 << 20;
+
+/// Interface size at which feasible-start pruning can pay: below this,
+/// the lockstep kernel's convergence merging already collapses the few
+/// speculative runs faster than a boundary pre-pass can prune them.
+pub const FEASIBLE_MIN_INTERFACE: usize = 16;
+
+/// The per-pattern speculation policy. `Auto` only exists *before*
+/// resolution (in CLI flags and freshly parsed artifacts); a registry
+/// entry always carries one of the three concrete engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePlan {
+    /// Not yet decided: resolve via [`select`] at registration time.
+    #[default]
+    Auto,
+    /// Speculative lockstep kernel over the full interface (the PR 1–3
+    /// default path).
+    Lockstep,
+    /// Zero-speculation simultaneous automaton (requires prebuilt SFA
+    /// tables).
+    Sfa,
+    /// Lockstep kernel with feasible-start boundary pruning (requires a
+    /// prebuilt [`FeasibleTable`]).
+    FeasibleStart,
+}
+
+impl EnginePlan {
+    /// The artifact tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            EnginePlan::Auto => 0,
+            EnginePlan::Lockstep => 1,
+            EnginePlan::Sfa => 2,
+            EnginePlan::FeasibleStart => 3,
+        }
+    }
+
+    /// Parses an artifact tag byte.
+    pub fn from_tag(tag: u8) -> Option<EnginePlan> {
+        match tag {
+            0 => Some(EnginePlan::Auto),
+            1 => Some(EnginePlan::Lockstep),
+            2 => Some(EnginePlan::Sfa),
+            3 => Some(EnginePlan::FeasibleStart),
+            _ => None,
+        }
+    }
+
+    /// Short display name (CLI flag values and registry stats lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePlan::Auto => "auto",
+            EnginePlan::Lockstep => "lockstep",
+            EnginePlan::Sfa => "sfa",
+            EnginePlan::FeasibleStart => "feasible",
+        }
+    }
+
+    /// Parses a CLI flag value (`--engine auto|lockstep|sfa|feasible`).
+    pub fn parse_flag(s: &str) -> Option<EnginePlan> {
+        match s {
+            "auto" => Some(EnginePlan::Auto),
+            "lockstep" => Some(EnginePlan::Lockstep),
+            "sfa" => Some(EnginePlan::Sfa),
+            "feasible" => Some(EnginePlan::FeasibleStart),
+            _ => None,
+        }
+    }
+}
+
+/// Resolves `Auto` into a concrete engine. Pure and pinned (see the
+/// `engine_selection_matrix_is_pinned` test): callers pass the outcome
+/// of a capped trial SFA build (`Some(states)` if it completed under
+/// [`SFA_AUTO_MAX_STATES`] / [`SFA_AUTO_MAX_TABLE_BYTES`], `None` if it
+/// tripped the budget) plus the pattern's interface size.
+///
+/// * SFA viable → **Sfa**: with the function space small, one
+///   deterministic run per chunk beats any amount of speculation.
+/// * SFA exploded, wide interface → **FeasibleStart**: pruning at
+///   boundaries is the only lever left, and wide interfaces are where
+///   it pays.
+/// * SFA exploded, narrow interface → **Lockstep**: few runs to begin
+///   with; convergence merging already wins.
+pub fn select(sfa_states: Option<usize>, interface_len: usize) -> EnginePlan {
+    match sfa_states {
+        Some(states) if states <= SFA_AUTO_MAX_STATES => EnginePlan::Sfa,
+        _ if interface_len >= FEASIBLE_MIN_INTERFACE => EnginePlan::FeasibleStart,
+        _ => EnginePlan::Lockstep,
+    }
+}
+
+/// The feasible-start table of a pattern: for every byte class `c`, the
+/// set of interface positions whose origin state survives a `c`
+/// transition. Computed once per pattern (`O(|interface| × stride)`),
+/// consulted once per chunk/stream-block boundary; storage is
+/// `stride × ⌈|interface| / 64⌉` words — a few hundred bytes for
+/// typical patterns, accounted in the registry's resident ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeasibleTable {
+    /// Interface positions covered per class (bit `i` of class row `c` =
+    /// interface position `i` survives class `c`).
+    words: Vec<u64>,
+    /// Bitset words per class row.
+    words_per_class: usize,
+    /// Number of byte classes (rows).
+    stride: usize,
+    /// Number of interface positions (bits used per row).
+    interface_len: usize,
+}
+
+impl FeasibleTable {
+    /// Builds the table of `rid` by probing one transition per
+    /// (interface state, byte class) pair.
+    pub fn build(rid: &RiDfa) -> FeasibleTable {
+        let interface = rid.interface();
+        let stride = rid.stride();
+        let words_per_class = interface.len().div_ceil(64).max(1);
+        let mut words = vec![0u64; stride * words_per_class];
+        for (i, &p) in interface.iter().enumerate() {
+            for class in 0..stride {
+                if rid.next_class(p, class as u8) != DEAD {
+                    words[class * words_per_class + i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        FeasibleTable {
+            words,
+            words_per_class,
+            stride,
+            interface_len: interface.len(),
+        }
+    }
+
+    /// Rebuilds a table from its serialized parts, validating shape (the
+    /// artifact decoder re-verifies *content* against the decoded RI-DFA
+    /// by comparing with a fresh [`build`](FeasibleTable::build)).
+    pub fn from_parts(
+        stride: usize,
+        interface_len: usize,
+        words: Vec<u64>,
+    ) -> Result<FeasibleTable, String> {
+        let words_per_class = interface_len.div_ceil(64).max(1);
+        if stride == 0 {
+            return Err("feasible table with zero byte classes".into());
+        }
+        if words.len() != stride * words_per_class {
+            return Err(format!(
+                "feasible table holds {} words, expected {stride} classes × {words_per_class}",
+                words.len()
+            ));
+        }
+        Ok(FeasibleTable {
+            words,
+            words_per_class,
+            stride,
+            interface_len,
+        })
+    }
+
+    /// Does the run from interface position `i` survive a first byte of
+    /// class `class`?
+    #[inline]
+    pub fn is_feasible(&self, class: u8, i: usize) -> bool {
+        debug_assert!(i < self.interface_len);
+        let row = class as usize * self.words_per_class;
+        self.words[row + i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of feasible origins for a first byte of class `class`.
+    pub fn feasible_count(&self, class: u8) -> usize {
+        let row = class as usize * self.words_per_class;
+        self.words[row..row + self.words_per_class]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// The raw bitset words (serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of byte classes (rows).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of interface positions covered per row.
+    pub fn interface_len(&self) -> usize {
+        self.interface_len
+    }
+
+    /// Heap bytes this table keeps resident (registry ledger).
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// The RID chunk automaton with feasible-start boundary pruning: a
+/// [`ConvergentRidCa`](super::ConvergentRidCa) whose interior scans
+/// consult the [`FeasibleTable`] on the chunk's first byte and seed
+/// [`DEAD`] for every origin that cannot survive it. The kernel skips
+/// `DEAD` seeds, so the pruned runs cost nothing — and since an unpruned
+/// run with an infeasible origin dies on its first transition anyway
+/// (recording the same `DEAD`), the produced mapping is bit-identical
+/// to the unpruned one. Empty chunks are never pruned (there is no
+/// first byte to prune on).
+#[derive(Debug, Clone)]
+pub struct FeasibleRidCa<'a> {
+    inner: RidCa<'a>,
+    feasible: &'a FeasibleTable,
+    kernel: Kernel,
+}
+
+impl<'a> FeasibleRidCa<'a> {
+    /// Wraps `rid` and its feasible table with adaptive kernel selection.
+    pub fn new(rid: &'a RiDfa, feasible: &'a FeasibleTable) -> Self {
+        Self::from_inner(RidCa::new(rid), feasible, Kernel::Auto)
+    }
+
+    /// Wraps an already-built [`RidCa`] (e.g. one borrowing registry
+    /// tables via [`RidCa::with_tables`]), pinning the scan strategy.
+    pub fn from_inner(inner: RidCa<'a>, feasible: &'a FeasibleTable, kernel: Kernel) -> Self {
+        debug_assert_eq!(feasible.interface_len(), inner.rid().interface().len());
+        debug_assert_eq!(feasible.stride(), inner.rid().stride());
+        FeasibleRidCa {
+            inner,
+            feasible,
+            kernel,
+        }
+    }
+
+    /// The feasible-start table consulted at chunk boundaries.
+    pub fn feasible(&self) -> &FeasibleTable {
+        self.feasible
+    }
+}
+
+impl ChunkAutomaton for FeasibleRidCa<'_> {
+    type Mapping = RidMapping;
+    type Scratch = Scratch;
+    type ComposeScratch = (Vec<StateId>, Vec<StateId>);
+
+    fn scan_into(
+        &self,
+        chunk: &[u8],
+        scratch: &mut Scratch,
+        counter: &mut impl Counter,
+        out: &mut RidMapping,
+    ) {
+        let rid = self.inner.rid();
+        let interface = rid.interface();
+        let table = DenseTable {
+            ptable: self.inner.ptable(),
+            stride: rid.stride(),
+            classes: rid.classes(),
+        };
+        let first_class = chunk.first().map(|&b| rid.classes().get(b));
+        kernel::scan_into(
+            table,
+            interface.iter().enumerate().map(|(i, &p)| {
+                let origin = match first_class {
+                    // Pruned: seeded DEAD, skipped by the kernel — the
+                    // same entry an unpruned dead-on-first-byte run
+                    // would record.
+                    Some(c) if !self.feasible.is_feasible(c, i) => DEAD,
+                    _ => p,
+                };
+                (i as u32, origin)
+            }),
+            interface.len(),
+            chunk,
+            self.kernel,
+            scratch,
+            counter,
+            out.interior_buf(),
+        );
+    }
+
+    fn scan_first_into(&self, chunk: &[u8], counter: &mut impl Counter, out: &mut RidMapping) {
+        self.inner.scan_first_into(chunk, counter, out)
+    }
+
+    fn arm_interrupt(&self, scratch: &mut Scratch, probe: Option<&super::budget::InterruptProbe>) {
+        self.inner.arm_interrupt(scratch, probe)
+    }
+
+    fn compose_into(
+        &self,
+        left: &RidMapping,
+        right: &RidMapping,
+        scratch: &mut (Vec<StateId>, Vec<StateId>),
+        out: &mut RidMapping,
+    ) {
+        self.inner.compose_into(left, right, scratch, out)
+    }
+
+    fn accepts_mapping(&self, mapping: &RidMapping) -> bool {
+        self.inner.accepts_mapping(mapping)
+    }
+
+    fn mapping_is_dead(&self, mapping: &RidMapping) -> bool {
+        self.inner.mapping_is_dead(mapping)
+    }
+
+    fn accepts_serial(&self, text: &[u8], counter: &mut impl Counter) -> bool {
+        self.inner.accepts_serial(text, counter)
+    }
+
+    fn num_speculative_starts(&self) -> usize {
+        self.inner.num_speculative_starts()
+    }
+
+    fn name(&self) -> &'static str {
+        "rid+feasible"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csdpa::{recognize, ConvergentRidCa, Executor};
+    use crate::ridfa::construct::tests::figure1_nfa;
+    use ridfa_automata::NoCount;
+
+    #[test]
+    fn plan_tags_roundtrip() {
+        for plan in [
+            EnginePlan::Auto,
+            EnginePlan::Lockstep,
+            EnginePlan::Sfa,
+            EnginePlan::FeasibleStart,
+        ] {
+            assert_eq!(EnginePlan::from_tag(plan.tag()), Some(plan));
+            assert_eq!(EnginePlan::parse_flag(plan.name()), Some(plan));
+        }
+        assert_eq!(EnginePlan::from_tag(9), None);
+        assert_eq!(EnginePlan::parse_flag("turbo"), None);
+    }
+
+    #[test]
+    fn feasible_table_matches_direct_probing() {
+        let rid = RiDfa::from_nfa(&figure1_nfa()).minimized();
+        let table = FeasibleTable::build(&rid);
+        assert_eq!(table.interface_len(), rid.interface().len());
+        for (i, &p) in rid.interface().iter().enumerate() {
+            for class in 0..rid.stride() as u8 {
+                assert_eq!(
+                    table.is_feasible(class, i),
+                    rid.next_class(p, class) != DEAD,
+                    "origin {i} class {class}"
+                );
+            }
+        }
+        // Shape survives a serialization roundtrip.
+        let back = FeasibleTable::from_parts(
+            table.stride(),
+            table.interface_len(),
+            table.words().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn feasible_mappings_are_bit_identical_to_lockstep() {
+        let rid = RiDfa::from_nfa(&figure1_nfa()).minimized();
+        let table = FeasibleTable::build(&rid);
+        let pruned = FeasibleRidCa::new(&rid, &table);
+        let plain = ConvergentRidCa::new(&rid);
+        for chunk in [&b"cab"[..], b"aab", b"", b"bbbb", b"aabcabaabcab", b"zzz"] {
+            assert_eq!(
+                pruned.scan(chunk, &mut NoCount),
+                plain.scan(chunk, &mut NoCount),
+                "{chunk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_recognition_agrees_end_to_end() {
+        let rid = RiDfa::from_nfa(&figure1_nfa()).minimized();
+        let table = FeasibleTable::build(&rid);
+        let ca = FeasibleRidCa::new(&rid, &table);
+        let mut text = b"aabcab".repeat(100);
+        for chunks in [1usize, 2, 5, 16] {
+            assert!(recognize(&ca, &text, chunks, Executor::Auto).accepted);
+        }
+        text.push(b'c');
+        assert!(!recognize(&ca, &text, 4, Executor::Auto).accepted);
+    }
+
+    #[test]
+    fn engine_selection_matrix_is_pinned() {
+        // SFA viable → Sfa, whatever the interface width.
+        assert_eq!(select(Some(1), 1), EnginePlan::Sfa);
+        assert_eq!(select(Some(SFA_AUTO_MAX_STATES), 4096), EnginePlan::Sfa);
+        // Over the viability cap → treated as exploded.
+        assert_eq!(
+            select(Some(SFA_AUTO_MAX_STATES + 1), 4),
+            EnginePlan::Lockstep
+        );
+        // Exploded + wide interface → feasible-start pruning.
+        assert_eq!(
+            select(None, FEASIBLE_MIN_INTERFACE),
+            EnginePlan::FeasibleStart
+        );
+        assert_eq!(select(None, 4096), EnginePlan::FeasibleStart);
+        // Exploded + narrow interface → plain lockstep.
+        assert_eq!(
+            select(None, FEASIBLE_MIN_INTERFACE - 1),
+            EnginePlan::Lockstep
+        );
+        assert_eq!(select(None, 0), EnginePlan::Lockstep);
+        assert_eq!(select(None, 1), EnginePlan::Lockstep);
+    }
+}

@@ -155,6 +155,23 @@ pub fn recognize_budgeted<CA: ChunkAutomaton>(
     }
 }
 
+/// Like [`recognize`] but over caller-provided chunk spans — the entry
+/// point for separator-snapped chunking
+/// ([`chunk_spans_snapped`](super::chunk_spans_snapped)), where the cut
+/// points depend on the text's record structure rather than its length
+/// alone. `spans` must cover `text` contiguously from 0 (the
+/// [`chunk_spans`]/`chunk_spans_snapped` contract); the first span is
+/// scanned as the first chunk.
+pub fn recognize_spans<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    spans: &[std::ops::Range<usize>],
+    executor: Executor,
+) -> Outcome {
+    recognize_over(ca, text, spans, executor.effective_spawning(), None)
+        .expect("unbudgeted recognition cannot be interrupted")
+}
+
 /// Shared body of [`recognize`] and [`recognize_budgeted`]: the probe is
 /// the only difference, so the two entry points cannot drift apart.
 fn recognize_inner<CA: ChunkAutomaton>(
@@ -166,6 +183,18 @@ fn recognize_inner<CA: ChunkAutomaton>(
 ) -> Result<Outcome, RecognizeError> {
     let executor = executor.effective_spawning();
     let spans = chunk_spans(text.len(), num_chunks);
+    recognize_over(ca, text, &spans, executor, probe)
+}
+
+/// The reach + join body over explicit spans.
+fn recognize_over<CA: ChunkAutomaton>(
+    ca: &CA,
+    text: &[u8],
+    spans: &[std::ops::Range<usize>],
+    executor: Executor,
+    probe: Option<&InterruptProbe>,
+) -> Result<Outcome, RecognizeError> {
+    debug_assert!(!spans.is_empty());
     let workers = executor.workers(spans.len());
     let reach_start = Instant::now();
     let mappings = run_indexed_with(workers, spans.len(), CA::Scratch::default, |scratch, i| {
@@ -395,6 +424,24 @@ mod tests {
                 .unwrap()
                 .accepted
         );
+    }
+
+    #[test]
+    fn recognize_spans_matches_balanced_chunking() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        for accept in [true, false] {
+            let text = sample_text(accept);
+            let expected = recognize(&ca, &text, 4, Executor::Serial).accepted;
+            // Hand-rolled uneven spans: same verdict.
+            let cut1 = text.len() / 5;
+            let cut2 = text.len() / 2 + 3;
+            let spans = vec![0..cut1, cut1..cut2, cut2..text.len()];
+            let out = recognize_spans(&ca, &text, &spans, Executor::Team(2));
+            assert_eq!(out.accepted, expected);
+            assert_eq!(out.num_chunks, 3);
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! park the scan state until more show up, holding O(1) live mappings
 //! per connection.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::io::Read;
 use std::ops::Range;
@@ -35,10 +36,14 @@ use ridfa_automata::{ConstructionBudget, Error, StateId, TransitionCount};
 
 use crate::parallel::{PoolHealth, ThreadPool};
 use crate::ridfa::{artifact, RiDfa};
+use crate::sfa::{Sfa, SfaCa};
 
 use super::budget::{Budget, RecognizeError, StreamError};
 use super::chunking::chunk_spans_into;
 use super::kernel::{Kernel, Scratch};
+use super::plan::{
+    EnginePlan, FeasibleRidCa, FeasibleTable, SFA_AUTO_MAX_STATES, SFA_AUTO_MAX_TABLE_BYTES,
+};
 use super::session::DisjointSlots;
 use super::{
     ChunkAutomaton, ConvergentRidCa, Outcome, RidCa, RidMapping, Session, StreamOutcome,
@@ -174,6 +179,31 @@ pub struct PatternStats {
     pub bytes: u64,
 }
 
+impl PatternStats {
+    /// Accumulates `other` into `self` — used to carry counters across
+    /// hot reloads and to fold a registry's retired ledger into reports.
+    pub fn merge(&mut self, other: PatternStats) {
+        self.requests += other.requests;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.errors += other.errors;
+        self.bytes += other.bytes;
+    }
+
+    /// The counters accumulated *since* `baseline` (saturating, so a
+    /// reset-to-zero baseline mismatch never underflows) — what a serve
+    /// run reports when it received an already-warmed registry.
+    pub fn since(&self, baseline: &PatternStats) -> PatternStats {
+        PatternStats {
+            requests: self.requests.saturating_sub(baseline.requests),
+            accepted: self.accepted.saturating_sub(baseline.accepted),
+            rejected: self.rejected.saturating_sub(baseline.rejected),
+            errors: self.errors.saturating_sub(baseline.errors),
+            bytes: self.bytes.saturating_sub(baseline.bytes),
+        }
+    }
+}
+
 struct PatternEntry {
     id: String,
     rid: RiDfa,
@@ -182,6 +212,16 @@ struct PatternEntry {
     /// `premultiply(rid.table, rid.stride)`, precomputed at insert (or
     /// taken verified from the artifact).
     ptable: Vec<StateId>,
+    /// The resolved speculation policy (never `Auto` once resident).
+    plan: EnginePlan,
+    /// SFA tables, present iff `plan == EnginePlan::Sfa`.
+    sfa: Option<Sfa>,
+    /// Feasible-start boundary table, present iff
+    /// `plan == EnginePlan::FeasibleStart`.
+    feasible: Option<FeasibleTable>,
+    /// Record-separator byte carried from the artifact (chunk-boundary
+    /// snapping hint for record-structured workloads).
+    separator: Option<u8>,
     /// Pinned warm batch session (scratches/mappings stay allocated).
     session: Session,
     /// Pinned warm streaming session (block ring stays allocated).
@@ -199,14 +239,31 @@ struct PatternEntry {
 }
 
 impl PatternEntry {
-    /// The chunk automaton over this entry's cached tables — constructed
-    /// per call (allocation-free borrows), while the associated-type
-    /// session caches keep the warm scratch state across calls.
-    fn ca(&self) -> ConvergentRidCa<'_> {
+    /// The lockstep chunk automaton over this entry's cached tables —
+    /// constructed per call (allocation-free borrows), while the
+    /// associated-type session caches keep the warm scratch state across
+    /// calls.
+    fn lockstep_ca(&self) -> ConvergentRidCa<'_> {
         ConvergentRidCa::from_inner(
             RidCa::with_tables(&self.rid, &self.pos, &self.ptable),
             Kernel::Auto,
         )
+    }
+
+    /// The feasible-start chunk automaton (plan must be `FeasibleStart`).
+    fn feasible_ca(&self) -> FeasibleRidCa<'_> {
+        FeasibleRidCa::from_inner(
+            RidCa::with_tables(&self.rid, &self.pos, &self.ptable),
+            self.feasible
+                .as_ref()
+                .expect("FeasibleStart entries carry a feasible table"),
+            Kernel::Auto,
+        )
+    }
+
+    /// The SFA chunk automaton (plan must be `Sfa`).
+    fn sfa_ca(&self) -> SfaCa<'_> {
+        SfaCa::new(self.sfa.as_ref().expect("Sfa entries carry SFA tables"))
     }
 }
 
@@ -237,6 +294,10 @@ struct PooledScanBufs {
     spans: Vec<Range<usize>>,
     scratches: Vec<Scratch>,
     slots: Vec<(RidMapping, u64)>,
+    /// SFA engine counterparts: SFA scans need no scratch (unit) and the
+    /// per-chunk mapping is a single SFA state.
+    sfa_scratches: Vec<()>,
+    sfa_slots: Vec<(StateId, u64)>,
 }
 
 /// Incremental λ-composition state for one in-flight stream (one socket
@@ -252,6 +313,11 @@ pub struct StreamScan {
     composed: RidMapping,
     scratch: Scratch,
     compose: (Vec<StateId>, Vec<StateId>),
+    /// SFA engine counterparts of `mapping`/`compose` (an SFA prefix is
+    /// one SFA state; composition needs one function buffer).
+    sfa_mapping: StateId,
+    sfa_incoming: StateId,
+    sfa_compose: Vec<StateId>,
     pooled: Option<Box<PooledScanBufs>>,
     started: bool,
     dead: bool,
@@ -300,6 +366,12 @@ pub struct PatternRegistry {
     pool: Arc<ThreadPool>,
     config: RegistryConfig,
     entries: Vec<PatternEntry>,
+    /// Counters of patterns no longer resident (removed or evicted),
+    /// keyed by id. Pulled back into the live entry when the same id is
+    /// re-inserted, so a hot reload never resets a pattern's stats to
+    /// zero — [`ServerReport::verify`](crate::serve::ServerReport) can
+    /// reconcile per-pattern sums against the connection tally.
+    retired: HashMap<String, PatternStats>,
     clock: u64,
     evictions: u64,
 }
@@ -312,47 +384,154 @@ impl PatternRegistry {
             pool,
             config,
             entries: Vec::new(),
+            retired: HashMap::new(),
             clock: 0,
             evictions: 0,
         }
     }
 
     /// Compiles `pattern` (regex) fresh — through the configured
-    /// [`ConstructionBudget`] — and pins it under `id`.
+    /// [`ConstructionBudget`] — and pins it under `id`, resolving the
+    /// engine plan automatically.
     pub fn insert_regex(&mut self, id: &str, pattern: &str) -> Result<(), RegistryError> {
+        self.insert_regex_planned(id, pattern, EnginePlan::Auto)
+    }
+
+    /// Like [`insert_regex`](PatternRegistry::insert_regex) with an
+    /// explicit engine plan (`Auto` resolves at insert).
+    pub fn insert_regex_planned(
+        &mut self,
+        id: &str,
+        pattern: &str,
+        plan: EnginePlan,
+    ) -> Result<(), RegistryError> {
         let ast = regex::parse(pattern)?;
         let nfa = glushkov::build(&ast)?;
-        self.insert_nfa(id, &nfa)
+        self.insert_nfa_planned(id, &nfa, plan)
     }
 
     /// Builds the minimized RI-DFA of `nfa` — through the configured
-    /// [`ConstructionBudget`] — and pins it under `id`.
+    /// [`ConstructionBudget`] — and pins it under `id`, resolving the
+    /// engine plan automatically.
     pub fn insert_nfa(&mut self, id: &str, nfa: &Nfa) -> Result<(), RegistryError> {
+        self.insert_nfa_planned(id, nfa, EnginePlan::Auto)
+    }
+
+    /// Like [`insert_nfa`](PatternRegistry::insert_nfa) with an explicit
+    /// engine plan.
+    pub fn insert_nfa_planned(
+        &mut self,
+        id: &str,
+        nfa: &Nfa,
+        plan: EnginePlan,
+    ) -> Result<(), RegistryError> {
         let rid = RiDfa::from_nfa_budgeted(nfa, &self.config.budget)?.minimized();
         let ptable = premultiply(&rid.table, rid.stride);
-        self.insert_prepared(id, rid, ptable)
+        self.insert_prepared(id, rid, ptable, plan, None, None, None)
     }
 
     /// Decodes a sealed RI-DFA artifact and pins it under `id` — the
     /// cold-start path: a validated load instead of a powerset
-    /// construction (the premultiplied table comes verified from the
-    /// artifact).
+    /// construction. The premultiplied table, the engine plan, and any
+    /// precomputed engine tables come verified from the artifact, so
+    /// replicas load the compile-time decision instead of re-deriving it
+    /// (a v1 artifact carries no plan and resolves at insert).
     pub fn insert_artifact(&mut self, id: &str, bytes: &[u8]) -> Result<(), RegistryError> {
-        let artifact::RiDfaArtifact { rid, premultiplied } = artifact::ridfa_from_bytes(bytes)?;
-        self.insert_prepared(id, rid, premultiplied)
+        let artifact::RiDfaArtifact {
+            rid,
+            premultiplied,
+            plan,
+            feasible,
+            sfa,
+            separator,
+        } = artifact::ridfa_from_bytes(bytes)?;
+        self.insert_prepared(id, rid, premultiplied, plan, feasible, sfa, separator)
     }
 
+    /// Resolves `requested` to a concrete engine for `rid`, building
+    /// whatever tables the plan needs and is not already carrying.
+    ///
+    /// `Auto` runs a trial SFA construction on the shared pool under the
+    /// configured budget *capped* by the auto-selection ceilings — a
+    /// typed budget trip there is the expected "SFA not viable" signal,
+    /// not an error — then falls back to feasible-start pruning when the
+    /// interface is wide enough to make boundary seeding the bottleneck,
+    /// and to plain lockstep otherwise. An *explicit* `Sfa` request
+    /// builds under the full configured budget and surfaces failure.
+    fn resolve_plan(
+        &self,
+        rid: &RiDfa,
+        requested: EnginePlan,
+        sfa: Option<Sfa>,
+        feasible: Option<FeasibleTable>,
+        base_bytes: usize,
+    ) -> Result<(EnginePlan, Option<Sfa>, Option<FeasibleTable>), RegistryError> {
+        match requested {
+            EnginePlan::Lockstep => Ok((EnginePlan::Lockstep, None, None)),
+            EnginePlan::Sfa => {
+                let sfa = match sfa {
+                    Some(sfa) => sfa,
+                    None => Sfa::build_rid_parallel(rid, &self.config.budget, &self.pool)?,
+                };
+                Ok((EnginePlan::Sfa, Some(sfa), None))
+            }
+            EnginePlan::FeasibleStart => {
+                let feasible = feasible.unwrap_or_else(|| FeasibleTable::build(rid));
+                Ok((EnginePlan::FeasibleStart, None, Some(feasible)))
+            }
+            EnginePlan::Auto => {
+                let capped = ConstructionBudget {
+                    max_states: self.config.budget.max_states.min(SFA_AUTO_MAX_STATES),
+                    max_table_bytes: self
+                        .config
+                        .budget
+                        .max_table_bytes
+                        .min(SFA_AUTO_MAX_TABLE_BYTES),
+                };
+                // Auto never picks an engine the registry cannot hold:
+                // the SFA tables must fit the residency cap next to the
+                // pattern's base footprint.
+                let headroom = self.config.max_table_bytes.saturating_sub(base_bytes);
+                match Sfa::build_rid_parallel(rid, &capped, &self.pool) {
+                    Ok(sfa) if sfa.resident_bytes() <= headroom => {
+                        return Ok((EnginePlan::Sfa, Some(sfa), None));
+                    }
+                    _ => {}
+                }
+                match super::plan::select(None, rid.interface().len()) {
+                    EnginePlan::FeasibleStart => Ok((
+                        EnginePlan::FeasibleStart,
+                        None,
+                        Some(feasible.unwrap_or_else(|| FeasibleTable::build(rid))),
+                    )),
+                    _ => Ok((EnginePlan::Lockstep, None, None)),
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn insert_prepared(
         &mut self,
         id: &str,
         rid: RiDfa,
         ptable: Vec<StateId>,
+        requested: EnginePlan,
+        feasible: Option<FeasibleTable>,
+        sfa: Option<Sfa>,
+        separator: Option<u8>,
     ) -> Result<(), RegistryError> {
         if self.index_of(id).is_some() {
             return Err(RegistryError::DuplicatePattern(id.to_string()));
         }
+        let base_bytes = resident_footprint(&rid, ptable.len());
+        let (plan, sfa, feasible) =
+            self.resolve_plan(&rid, requested, sfa, feasible, base_bytes)?;
         let pos = RidCa::interface_positions(&rid);
-        let resident_bytes = resident_footprint(&rid, ptable.len());
+        // Engine tables are resident too: they ride the same LRU ledger.
+        let resident_bytes = base_bytes
+            + sfa.as_ref().map_or(0, Sfa::resident_bytes)
+            + feasible.as_ref().map_or(0, FeasibleTable::resident_bytes);
         if resident_bytes > self.config.max_table_bytes {
             return Err(RegistryError::Oversized {
                 id: id.to_string(),
@@ -369,43 +548,78 @@ impl PatternRegistry {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
                 .expect("over cap implies at least one resident entry");
-            self.entries.remove(lru);
+            self.retire(lru);
             self.evictions += 1;
         }
         let mut session = Session::with_shared_pool(Arc::clone(&self.pool));
         let mut stream =
             StreamSession::with_shared_pool(Arc::clone(&self.pool), self.config.block_size);
-        // Pre-warm both sessions so the first request hits allocated
-        // scratch caches.
-        {
-            let ca =
-                ConvergentRidCa::from_inner(RidCa::with_tables(&rid, &pos, &ptable), Kernel::Auto);
-            session.warm(&ca, b"warm");
-            stream.warm(&ca, b"warm");
+        // Pre-warm both sessions with the *chosen* engine's chunk
+        // automaton, so the first request hits matching warm caches (the
+        // session caches key on the automaton type).
+        match plan {
+            EnginePlan::Sfa => {
+                let ca = SfaCa::new(sfa.as_ref().expect("resolved Sfa plan carries tables"));
+                session.warm(&ca, b"warm");
+                stream.warm(&ca, b"warm");
+            }
+            EnginePlan::FeasibleStart => {
+                let ca = FeasibleRidCa::from_inner(
+                    RidCa::with_tables(&rid, &pos, &ptable),
+                    feasible
+                        .as_ref()
+                        .expect("resolved FeasibleStart plan carries a table"),
+                    Kernel::Auto,
+                );
+                session.warm(&ca, b"warm");
+                stream.warm(&ca, b"warm");
+            }
+            _ => {
+                let ca = ConvergentRidCa::from_inner(
+                    RidCa::with_tables(&rid, &pos, &ptable),
+                    Kernel::Auto,
+                );
+                session.warm(&ca, b"warm");
+                stream.warm(&ca, b"warm");
+            }
         }
         let last_used = self.next_stamp();
+        // A re-inserted id continues its retired counters (hot reload
+        // must not zero a pattern's stats).
+        let stats = self.retired.remove(id).unwrap_or_default();
         self.entries.push(PatternEntry {
             id: id.to_string(),
             rid,
             pos,
             ptable,
+            plan,
+            sfa,
+            feasible,
+            separator,
             session,
             stream,
             resident_bytes,
             last_used,
             epoch: last_used,
-            stats: PatternStats::default(),
+            stats,
         });
         Ok(())
     }
 
+    /// Drops entry `i`, folding its counters into the retired ledger.
+    fn retire(&mut self, i: usize) {
+        let entry = self.entries.remove(i);
+        self.retired.entry(entry.id).or_default().merge(entry.stats);
+    }
+
     /// Drops the pattern under `id`, freeing its resident bytes and warm
-    /// sessions (the shared pool is untouched). Returns whether it was
-    /// resident.
+    /// sessions (the shared pool is untouched; the pattern's counters
+    /// move to the retired ledger and survive a re-insert). Returns
+    /// whether it was resident.
     pub fn remove(&mut self, id: &str) -> bool {
         match self.index_of(id) {
             Some(i) => {
-                self.entries.remove(i);
+                self.retire(i);
                 true
             }
             None => false,
@@ -429,12 +643,36 @@ impl PatternRegistry {
             rid,
             pos,
             ptable,
+            plan,
+            sfa,
+            feasible,
             session,
             stats,
             ..
         } = entry;
-        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
-        let outcome = session.recognize(&ca, text, chunks);
+        let outcome = match plan {
+            EnginePlan::Sfa => session.recognize(
+                &SfaCa::new(sfa.as_ref().expect("Sfa entries carry SFA tables")),
+                text,
+                chunks,
+            ),
+            EnginePlan::FeasibleStart => session.recognize(
+                &FeasibleRidCa::from_inner(
+                    RidCa::with_tables(rid, pos, ptable),
+                    feasible
+                        .as_ref()
+                        .expect("FeasibleStart entries carry a table"),
+                    Kernel::Auto,
+                ),
+                text,
+                chunks,
+            ),
+            _ => session.recognize(
+                &ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto),
+                text,
+                chunks,
+            ),
+        };
         stats.requests += 1;
         stats.bytes += text.len() as u64;
         if outcome.accepted {
@@ -464,12 +702,39 @@ impl PatternRegistry {
             rid,
             pos,
             ptable,
+            plan,
+            sfa,
+            feasible,
             session,
             stats,
             ..
         } = entry;
-        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
-        let result = session.recognize_budgeted(&ca, text, chunks, budget);
+        let result = match plan {
+            EnginePlan::Sfa => session.recognize_budgeted(
+                &SfaCa::new(sfa.as_ref().expect("Sfa entries carry SFA tables")),
+                text,
+                chunks,
+                budget,
+            ),
+            EnginePlan::FeasibleStart => session.recognize_budgeted(
+                &FeasibleRidCa::from_inner(
+                    RidCa::with_tables(rid, pos, ptable),
+                    feasible
+                        .as_ref()
+                        .expect("FeasibleStart entries carry a table"),
+                    Kernel::Auto,
+                ),
+                text,
+                chunks,
+                budget,
+            ),
+            _ => session.recognize_budgeted(
+                &ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto),
+                text,
+                chunks,
+                budget,
+            ),
+        };
         stats.requests += 1;
         stats.bytes += text.len() as u64;
         match &result {
@@ -494,14 +759,34 @@ impl PatternRegistry {
             rid,
             pos,
             ptable,
+            plan,
+            sfa,
+            feasible,
             stream,
             stats,
             ..
         } = entry;
-        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
-        let result = stream
-            .recognize_stream(&ca, reader)
-            .map_err(|e| RegistryError::Stream(StreamError::Io(e)));
+        let result = match plan {
+            EnginePlan::Sfa => stream.recognize_stream(
+                &SfaCa::new(sfa.as_ref().expect("Sfa entries carry SFA tables")),
+                reader,
+            ),
+            EnginePlan::FeasibleStart => stream.recognize_stream(
+                &FeasibleRidCa::from_inner(
+                    RidCa::with_tables(rid, pos, ptable),
+                    feasible
+                        .as_ref()
+                        .expect("FeasibleStart entries carry a table"),
+                    Kernel::Auto,
+                ),
+                reader,
+            ),
+            _ => stream.recognize_stream(
+                &ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto),
+                reader,
+            ),
+        }
+        .map_err(|e| RegistryError::Stream(StreamError::Io(e)));
         stats.requests += 1;
         match &result {
             Ok(out) => {
@@ -532,12 +817,36 @@ impl PatternRegistry {
             rid,
             pos,
             ptable,
+            plan,
+            sfa,
+            feasible,
             stream,
             stats,
             ..
         } = entry;
-        let ca = ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto);
-        let result = stream.recognize_stream_budgeted(&ca, reader, budget);
+        let result = match plan {
+            EnginePlan::Sfa => stream.recognize_stream_budgeted(
+                &SfaCa::new(sfa.as_ref().expect("Sfa entries carry SFA tables")),
+                reader,
+                budget,
+            ),
+            EnginePlan::FeasibleStart => stream.recognize_stream_budgeted(
+                &FeasibleRidCa::from_inner(
+                    RidCa::with_tables(rid, pos, ptable),
+                    feasible
+                        .as_ref()
+                        .expect("FeasibleStart entries carry a table"),
+                    Kernel::Auto,
+                ),
+                reader,
+                budget,
+            ),
+            _ => stream.recognize_stream_budgeted(
+                &ConvergentRidCa::from_inner(RidCa::with_tables(rid, pos, ptable), Kernel::Auto),
+                reader,
+                budget,
+            ),
+        };
         stats.requests += 1;
         match &result {
             Ok(out) => {
@@ -575,24 +884,16 @@ impl PatternRegistry {
         if scan.dead {
             return Ok(true);
         }
-        let ca = entry.ca();
-        let mut counter = TransitionCount::default();
-        if !scan.started {
+        let first = !scan.started;
+        if first {
             scan.started = true;
             scan.epoch = entry.epoch;
-            ca.scan_first_into(block, &mut counter, &mut scan.mapping);
-        } else {
-            ca.scan_into(block, &mut scan.scratch, &mut counter, &mut scan.incoming);
-            ca.compose_into(
-                &scan.mapping,
-                &scan.incoming,
-                &mut scan.compose,
-                &mut scan.composed,
-            );
-            std::mem::swap(&mut scan.mapping, &mut scan.composed);
         }
-        scan.transitions += counter.get();
-        scan.dead = ca.mapping_is_dead(&scan.mapping);
+        match entry.plan {
+            EnginePlan::Sfa => scan_block_step_sfa(&entry.sfa_ca(), scan, block, first),
+            EnginePlan::FeasibleStart => scan_block_step(&entry.feasible_ca(), scan, block, first),
+            _ => scan_block_step(&entry.lockstep_ca(), scan, block, first),
+        }
         Ok(scan.dead)
     }
 
@@ -634,55 +935,15 @@ impl PatternRegistry {
             scan.started = true;
             scan.epoch = entry.epoch;
         }
-        let ca = entry.ca();
-        let bufs = scan.pooled.get_or_insert_with(Default::default);
-        if bufs.scratches.len() < claimants {
-            bufs.scratches.resize_with(claimants, Scratch::default);
-        }
-        chunk_spans_into(block.len(), claimants, &mut bufs.spans);
-        let num_tasks = bufs.spans.len();
-        if bufs.slots.len() < num_tasks {
-            bufs.slots.resize_with(num_tasks, Default::default);
-        }
-        {
-            let PooledScanBufs {
-                spans,
-                scratches,
-                slots,
-            } = &mut **bufs;
-            let spans = &*spans;
-            let slots = DisjointSlots::new(&mut slots[..num_tasks]);
-            pool.invoke_all_scoped(num_tasks, scratches, |scratch, t| {
-                let mut counter = TransitionCount::default();
-                // SAFETY: the pool claims each task index exactly once,
-                // so slot `t` has a single writer, and `t < num_tasks`.
-                let (mapping, transitions) = unsafe { slots.get(t) };
-                if t == 0 && first {
-                    ca.scan_first_into(&block[spans[t].clone()], &mut counter, mapping);
-                } else {
-                    ca.scan_into(&block[spans[t].clone()], scratch, &mut counter, mapping);
-                }
-                *transitions = counter.get();
-            });
-        }
-        // Serial join: fold the span mappings onto the composed prefix,
-        // left to right (the first-chunk mapping, if any, is leftmost).
-        for t in 0..num_tasks {
-            let (mapping, transitions) = &mut bufs.slots[t];
-            scan.transitions += *transitions;
-            if t == 0 && first {
-                std::mem::swap(&mut scan.mapping, mapping);
-            } else {
-                ca.compose_into(
-                    &scan.mapping,
-                    mapping,
-                    &mut scan.compose,
-                    &mut scan.composed,
-                );
-                std::mem::swap(&mut scan.mapping, &mut scan.composed);
+        match entry.plan {
+            EnginePlan::Sfa => {
+                scan_block_pooled_step_sfa(&entry.sfa_ca(), scan, block, first, &pool, claimants)
             }
+            EnginePlan::FeasibleStart => {
+                scan_block_pooled_step(&entry.feasible_ca(), scan, block, first, &pool, claimants)
+            }
+            _ => scan_block_pooled_step(&entry.lockstep_ca(), scan, block, first, &pool, claimants),
         }
-        scan.dead = ca.mapping_is_dead(&scan.mapping);
         Ok(scan.dead)
     }
 
@@ -695,13 +956,31 @@ impl PatternRegistry {
             scan.reset();
             return Err(RegistryError::PatternReloaded { id: id.to_string() });
         }
-        let ca = entry.ca();
         if !scan.started {
             // Zero-length stream: the verdict of the empty text.
             let mut counter = TransitionCount::default();
-            ca.scan_first_into(b"", &mut counter, &mut scan.mapping);
+            match entry.plan {
+                EnginePlan::Sfa => {
+                    entry
+                        .sfa_ca()
+                        .scan_first_into(b"", &mut counter, &mut scan.sfa_mapping)
+                }
+                EnginePlan::FeasibleStart => {
+                    entry
+                        .feasible_ca()
+                        .scan_first_into(b"", &mut counter, &mut scan.mapping)
+                }
+                _ => entry
+                    .lockstep_ca()
+                    .scan_first_into(b"", &mut counter, &mut scan.mapping),
+            }
         }
-        let accepted = !scan.dead && ca.accepts_mapping(&scan.mapping);
+        let accepted = !scan.dead
+            && match entry.plan {
+                EnginePlan::Sfa => entry.sfa_ca().accepts_mapping(&scan.sfa_mapping),
+                EnginePlan::FeasibleStart => entry.feasible_ca().accepts_mapping(&scan.mapping),
+                _ => entry.lockstep_ca().accepts_mapping(&scan.mapping),
+            };
         entry.stats.requests += 1;
         entry.stats.bytes += scan.bytes;
         if accepted {
@@ -758,6 +1037,32 @@ impl PatternRegistry {
         self.index_of(id).map(|i| self.entries[i].stats)
     }
 
+    /// The resolved engine plan of pattern `id` (never `Auto`).
+    pub fn plan(&self, id: &str) -> Option<EnginePlan> {
+        self.index_of(id).map(|i| self.entries[i].plan)
+    }
+
+    /// Record-separator hint of pattern `id`, if its artifact carried one.
+    pub fn separator(&self, id: &str) -> Option<u8> {
+        self.index_of(id).and_then(|i| self.entries[i].separator)
+    }
+
+    /// Counters of every pattern this registry has ever served: the
+    /// resident entries (whose stats already include any pre-reload
+    /// history) plus retired ids that were never re-inserted. Sorted by
+    /// id, so serve layers can reconcile per-pattern sums against their
+    /// connection tallies even across hot reloads and evictions.
+    pub fn all_stats(&self) -> Vec<(String, PatternStats)> {
+        let mut out: Vec<(String, PatternStats)> = self
+            .entries
+            .iter()
+            .map(|e| (e.id.clone(), e.stats))
+            .collect();
+        out.extend(self.retired.iter().map(|(id, s)| (id.clone(), *s)));
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// The one shared worker pool (for health inspection and fault
     /// injection in tests).
     pub fn pool(&self) -> &ThreadPool {
@@ -802,6 +1107,178 @@ impl PatternRegistry {
             None => Err(RegistryError::UnknownPattern(id.to_string())),
         }
     }
+}
+
+/// One serial block step of a rid-mapping-shaped engine (lockstep or
+/// feasible-start — they share mapping/scratch/compose types, so the
+/// scan's buffers serve both).
+fn scan_block_step<C>(ca: &C, scan: &mut StreamScan, block: &[u8], first: bool)
+where
+    C: ChunkAutomaton<
+        Mapping = RidMapping,
+        Scratch = Scratch,
+        ComposeScratch = (Vec<StateId>, Vec<StateId>),
+    >,
+{
+    let mut counter = TransitionCount::default();
+    if first {
+        ca.scan_first_into(block, &mut counter, &mut scan.mapping);
+    } else {
+        ca.scan_into(block, &mut scan.scratch, &mut counter, &mut scan.incoming);
+        ca.compose_into(
+            &scan.mapping,
+            &scan.incoming,
+            &mut scan.compose,
+            &mut scan.composed,
+        );
+        std::mem::swap(&mut scan.mapping, &mut scan.composed);
+    }
+    scan.transitions += counter.get();
+    scan.dead = ca.mapping_is_dead(&scan.mapping);
+}
+
+/// One serial block step of the SFA engine: the whole prefix is a single
+/// SFA state, composed by inverse table lookup.
+fn scan_block_step_sfa(ca: &SfaCa<'_>, scan: &mut StreamScan, block: &[u8], first: bool) {
+    let mut counter = TransitionCount::default();
+    if first {
+        ca.scan_first_into(block, &mut counter, &mut scan.sfa_mapping);
+    } else {
+        ca.scan_into(block, &mut (), &mut counter, &mut scan.sfa_incoming);
+        let mut out = scan.sfa_mapping;
+        ca.compose_into(
+            &scan.sfa_mapping,
+            &scan.sfa_incoming,
+            &mut scan.sfa_compose,
+            &mut out,
+        );
+        scan.sfa_mapping = out;
+    }
+    scan.transitions += counter.get();
+    scan.dead = ca.mapping_is_dead(&scan.sfa_mapping);
+}
+
+/// One pooled block step of a rid-mapping-shaped engine: span the block
+/// across the pool's claimants, scan in parallel, fold serially.
+#[allow(unsafe_code)]
+fn scan_block_pooled_step<C>(
+    ca: &C,
+    scan: &mut StreamScan,
+    block: &[u8],
+    first: bool,
+    pool: &ThreadPool,
+    claimants: usize,
+) where
+    C: ChunkAutomaton<
+            Mapping = RidMapping,
+            Scratch = Scratch,
+            ComposeScratch = (Vec<StateId>, Vec<StateId>),
+        > + Sync,
+{
+    let bufs = scan.pooled.get_or_insert_with(Default::default);
+    if bufs.scratches.len() < claimants {
+        bufs.scratches.resize_with(claimants, Scratch::default);
+    }
+    chunk_spans_into(block.len(), claimants, &mut bufs.spans);
+    let num_tasks = bufs.spans.len();
+    if bufs.slots.len() < num_tasks {
+        bufs.slots.resize_with(num_tasks, Default::default);
+    }
+    {
+        let PooledScanBufs {
+            spans,
+            scratches,
+            slots,
+            ..
+        } = &mut **bufs;
+        let spans = &*spans;
+        let slots = DisjointSlots::new(&mut slots[..num_tasks]);
+        pool.invoke_all_scoped(num_tasks, scratches, |scratch, t| {
+            let mut counter = TransitionCount::default();
+            // SAFETY: the pool claims each task index exactly once,
+            // so slot `t` has a single writer, and `t < num_tasks`.
+            let (mapping, transitions) = unsafe { slots.get(t) };
+            if t == 0 && first {
+                ca.scan_first_into(&block[spans[t].clone()], &mut counter, mapping);
+            } else {
+                ca.scan_into(&block[spans[t].clone()], scratch, &mut counter, mapping);
+            }
+            *transitions = counter.get();
+        });
+    }
+    // Serial join: fold the span mappings onto the composed prefix,
+    // left to right (the first-chunk mapping, if any, is leftmost).
+    for t in 0..num_tasks {
+        let (mapping, transitions) = &mut bufs.slots[t];
+        scan.transitions += *transitions;
+        if t == 0 && first {
+            std::mem::swap(&mut scan.mapping, mapping);
+        } else {
+            ca.compose_into(
+                &scan.mapping,
+                mapping,
+                &mut scan.compose,
+                &mut scan.composed,
+            );
+            std::mem::swap(&mut scan.mapping, &mut scan.composed);
+        }
+    }
+    scan.dead = ca.mapping_is_dead(&scan.mapping);
+}
+
+/// One pooled block step of the SFA engine.
+#[allow(unsafe_code)]
+fn scan_block_pooled_step_sfa(
+    ca: &SfaCa<'_>,
+    scan: &mut StreamScan,
+    block: &[u8],
+    first: bool,
+    pool: &ThreadPool,
+    claimants: usize,
+) {
+    let bufs = scan.pooled.get_or_insert_with(Default::default);
+    if bufs.sfa_scratches.len() < claimants {
+        bufs.sfa_scratches.resize_with(claimants, Default::default);
+    }
+    chunk_spans_into(block.len(), claimants, &mut bufs.spans);
+    let num_tasks = bufs.spans.len();
+    if bufs.sfa_slots.len() < num_tasks {
+        bufs.sfa_slots.resize_with(num_tasks, Default::default);
+    }
+    {
+        let PooledScanBufs {
+            spans,
+            sfa_scratches,
+            sfa_slots,
+            ..
+        } = &mut **bufs;
+        let spans = &*spans;
+        let slots = DisjointSlots::new(&mut sfa_slots[..num_tasks]);
+        pool.invoke_all_scoped(num_tasks, sfa_scratches, |scratch, t| {
+            let mut counter = TransitionCount::default();
+            // SAFETY: the pool claims each task index exactly once,
+            // so slot `t` has a single writer, and `t < num_tasks`.
+            let (mapping, transitions) = unsafe { slots.get(t) };
+            if t == 0 && first {
+                ca.scan_first_into(&block[spans[t].clone()], &mut counter, mapping);
+            } else {
+                ca.scan_into(&block[spans[t].clone()], scratch, &mut counter, mapping);
+            }
+            *transitions = counter.get();
+        });
+    }
+    for t in 0..num_tasks {
+        let (mapping, transitions) = &mut bufs.sfa_slots[t];
+        scan.transitions += *transitions;
+        if t == 0 && first {
+            scan.sfa_mapping = *mapping;
+        } else {
+            let mut out = scan.sfa_mapping;
+            ca.compose_into(&scan.sfa_mapping, mapping, &mut scan.sfa_compose, &mut out);
+            scan.sfa_mapping = out;
+        }
+    }
+    scan.dead = ca.mapping_is_dead(&scan.sfa_mapping);
 }
 
 #[cfg(test)]
@@ -950,6 +1427,160 @@ mod tests {
                 "{text:?}"
             );
         }
+    }
+
+    #[test]
+    fn auto_resolves_sfa_for_small_patterns_end_to_end() {
+        let mut reg = small_registry();
+        // Small DFAs: the trial SFA build fits the auto caps.
+        assert_eq!(reg.plan("abb"), Some(EnginePlan::Sfa));
+        // Every entry is resolved — Auto never survives insertion.
+        for id in ["abb", "digits", "word"] {
+            assert_ne!(reg.plan(id), Some(EnginePlan::Auto), "{id}");
+        }
+        // The SFA engine serves batch, budgeted, stream, and incremental
+        // paths with verdicts identical to the serial oracle.
+        use std::io::Cursor;
+        for (text, expected) in [
+            (&b"bababb"[..], true),
+            (b"abb", true),
+            (b"", false),
+            (b"abba", false),
+        ] {
+            assert_eq!(reg.recognize("abb", text, 0).unwrap().accepted, expected);
+            let out = reg
+                .recognize_stream("abb", Cursor::new(text.to_vec()))
+                .unwrap();
+            assert_eq!(out.accepted, expected, "{text:?}");
+            let mut scan = StreamScan::new();
+            for block in text.chunks(2) {
+                reg.scan_block("abb", &mut scan, block).unwrap();
+            }
+            assert_eq!(reg.finish_scan("abb", &mut scan).unwrap(), expected);
+            let mut scan = StreamScan::new();
+            reg.scan_block_pooled("abb", &mut scan, text).unwrap();
+            assert_eq!(reg.finish_scan("abb", &mut scan).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn explicit_plans_are_honored_and_agree() {
+        let mut reg = PatternRegistry::new(RegistryConfig {
+            num_workers: 2,
+            ..RegistryConfig::default()
+        });
+        reg.insert_regex_planned("lock", "(a|b)*abb", EnginePlan::Lockstep)
+            .unwrap();
+        reg.insert_regex_planned("feas", "(a|b)*abb", EnginePlan::FeasibleStart)
+            .unwrap();
+        reg.insert_regex_planned("sfa", "(a|b)*abb", EnginePlan::Sfa)
+            .unwrap();
+        assert_eq!(reg.plan("lock"), Some(EnginePlan::Lockstep));
+        assert_eq!(reg.plan("feas"), Some(EnginePlan::FeasibleStart));
+        assert_eq!(reg.plan("sfa"), Some(EnginePlan::Sfa));
+        for text in [&b"bababb"[..], b"abb", b"", b"ba", b"abab", b"zzz"] {
+            let l = reg.recognize("lock", text, 0).unwrap().accepted;
+            let f = reg.recognize("feas", text, 0).unwrap().accepted;
+            let s = reg.recognize("sfa", text, 0).unwrap().accepted;
+            assert_eq!(l, f, "{text:?}");
+            assert_eq!(l, s, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn stats_survive_hot_reload() {
+        let mut reg = small_registry();
+        reg.recognize("abb", b"bababb", 0).unwrap();
+        reg.recognize("abb", b"nope", 0).unwrap();
+        let before = reg.stats("abb").unwrap();
+        assert_eq!(before.requests, 2);
+        // Hot reload: remove + re-insert under the same id (what
+        // `--reload-ms` does on a pattern-file change).
+        assert!(reg.remove("abb"));
+        assert!(reg.stats("abb").is_none());
+        reg.insert_regex("abb", "(a|b)*abb").unwrap();
+        let after = reg.stats("abb").unwrap();
+        assert_eq!(after, before, "reload must not zero the counters");
+        reg.recognize("abb", b"abb", 0).unwrap();
+        assert_eq!(reg.stats("abb").unwrap().requests, 3);
+        // The retired ledger no longer double-counts the id.
+        let all = reg.all_stats();
+        assert_eq!(all.iter().filter(|(id, _)| id == "abb").count(), 1);
+    }
+
+    #[test]
+    fn all_stats_includes_retired_patterns() {
+        let mut reg = small_registry();
+        reg.recognize("digits", b"123", 0).unwrap();
+        reg.remove("digits");
+        let all = reg.all_stats();
+        let digits = all.iter().find(|(id, _)| id == "digits").unwrap();
+        assert_eq!(digits.1.requests, 1);
+        assert_eq!(digits.1.accepted, 1);
+    }
+
+    #[test]
+    fn stats_since_baseline_subtracts() {
+        let a = PatternStats {
+            requests: 10,
+            accepted: 4,
+            rejected: 5,
+            errors: 1,
+            bytes: 1000,
+        };
+        let b = PatternStats {
+            requests: 7,
+            accepted: 3,
+            rejected: 3,
+            errors: 1,
+            bytes: 800,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.requests, 3);
+        assert_eq!(d.accepted, 1);
+        assert_eq!(d.rejected, 2);
+        assert_eq!(d.errors, 0);
+        assert_eq!(d.bytes, 200);
+        // Saturating: a baseline from a *newer* state never underflows.
+        let z = b.since(&a);
+        assert_eq!(z.requests, 0);
+    }
+
+    #[test]
+    fn artifact_plan_is_loaded_not_rederived() {
+        use ridfa_automata::nfa::glushkov;
+        use ridfa_automata::regex::parse;
+        use ridfa_automata::ConstructionBudget;
+        let nfa = glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let feasible = crate::csdpa::FeasibleTable::build(&rid);
+        // Persist an explicit FeasibleStart decision; Auto here would
+        // have picked SFA (small DFA), so a matching loaded plan proves
+        // the artifact's decision won.
+        let bytes = artifact::ridfa_to_bytes_with_engine(
+            &rid,
+            EnginePlan::FeasibleStart,
+            Some(&feasible),
+            None,
+            Some(b'\n'),
+        );
+        let mut reg = PatternRegistry::new(RegistryConfig {
+            num_workers: 1,
+            ..RegistryConfig::default()
+        });
+        reg.insert_artifact("p", &bytes).unwrap();
+        assert_eq!(reg.plan("p"), Some(EnginePlan::FeasibleStart));
+        assert_eq!(reg.separator("p"), Some(b'\n'));
+        assert!(reg.recognize("p", b"bababb", 0).unwrap().accepted);
+        // An SFA artifact serves without any construction budget at all
+        // (the tables come from the file).
+        let sfa = Sfa::build_rid_budgeted(&rid, &ConstructionBudget::UNLIMITED).unwrap();
+        let bytes =
+            artifact::ridfa_to_bytes_with_engine(&rid, EnginePlan::Sfa, None, Some(&sfa), None);
+        reg.insert_artifact("q", &bytes).unwrap();
+        assert_eq!(reg.plan("q"), Some(EnginePlan::Sfa));
+        assert!(reg.recognize("q", b"abb", 0).unwrap().accepted);
+        assert!(!reg.recognize("q", b"ab", 0).unwrap().accepted);
     }
 
     #[test]

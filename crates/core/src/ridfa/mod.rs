@@ -25,7 +25,7 @@ pub(crate) mod construct;
 mod interface;
 mod minimize;
 
-pub use artifact::{ridfa_from_bytes, ridfa_to_bytes, RiDfaArtifact};
+pub use artifact::{ridfa_from_bytes, ridfa_to_bytes, ridfa_to_bytes_with_engine, RiDfaArtifact};
 pub use construct::{construct, construct_budgeted, construct_limited};
 pub use minimize::minimize_interface;
 

@@ -77,6 +77,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::csdpa::budget::CancelToken;
+use crate::csdpa::plan::EnginePlan;
 use crate::csdpa::registry::{PatternRegistry, PatternStats, RegistryConfig};
 use crate::csdpa::spec::{PatternSpec, RegistrySnapshot};
 
@@ -219,6 +220,9 @@ pub struct PatternReport {
     pub id: String,
     /// The registry's counters for it.
     pub stats: PatternStats,
+    /// The resolved engine plan (`None` for a pattern that was retired —
+    /// evicted or reloaded away — before shutdown).
+    pub plan: Option<EnginePlan>,
 }
 
 /// What hot reload did to one shard's registry over the run.
@@ -311,6 +315,37 @@ impl ServerReport {
                 t.bytes
             ));
         }
+        // Per-pattern reconciliation — possible since registries carry
+        // counters across hot reloads (a reload used to reset them to
+        // zero, which made these sums meaningless). Every accepted or
+        // rejected verdict pairs with exactly one registry bump, so those
+        // sums are exact; pattern errors only bound the error-ish
+        // statuses from above, because a request that dies before
+        // reaching a pattern (bad frame, unknown id, connection EOF
+        // mid-header) is counted by the tally but attributed to no
+        // pattern.
+        let accepted_by_pattern: u64 = self.patterns.iter().map(|p| p.stats.accepted).sum();
+        if accepted_by_pattern != t.accepted {
+            return Err(format!(
+                "pattern reports sum to {accepted_by_pattern} accepted, tally says {}",
+                t.accepted
+            ));
+        }
+        let rejected_by_pattern: u64 = self.patterns.iter().map(|p| p.stats.rejected).sum();
+        if rejected_by_pattern != t.rejected {
+            return Err(format!(
+                "pattern reports sum to {rejected_by_pattern} rejected, tally says {}",
+                t.rejected
+            ));
+        }
+        let errors_by_pattern: u64 = self.patterns.iter().map(|p| p.stats.errors).sum();
+        let errorish =
+            t.protocol_errors + t.deadline_errors + t.budget_errors + t.faults + t.io_errors;
+        if errors_by_pattern > errorish {
+            return Err(format!(
+                "pattern reports sum to {errors_by_pattern} errors, above the {errorish} error-ish responses"
+            ));
+        }
         Ok(())
     }
 
@@ -331,6 +366,12 @@ impl ServerReport {
                         q.stats.rejected += p.stats.rejected;
                         q.stats.errors += p.stats.errors;
                         q.stats.bytes += p.stats.bytes;
+                        // Shard replicas resolve the same spec the same
+                        // way; keep the first reported plan (a retired
+                        // pattern on one shard may report `None`).
+                        if q.plan.is_none() {
+                            q.plan = p.plan;
+                        }
                     }
                     None => patterns.push(p.clone()),
                 }

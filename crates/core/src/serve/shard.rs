@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::csdpa::registry::PatternRegistry;
+use crate::csdpa::registry::{PatternRegistry, PatternStats};
 use crate::csdpa::spec::RegistrySnapshot;
 
 use super::conn::{ingest, Conn, Phase};
@@ -77,6 +77,10 @@ pub(crate) fn run(runtime: ShardRuntime) -> ShardReport {
 
     let mut tally = ServeTally::default();
     let mut reload = ReloadTally::default();
+    // A prebuilt registry may arrive with history (warm-up traffic, a
+    // previous run): report only what *this* run adds, so the server's
+    // per-pattern sums reconcile against its connection tally.
+    let baseline: HashMap<String, PatternStats> = registry.all_stats().into_iter().collect();
     let mut conns: Vec<Conn> = Vec::new();
     let mut closed: Vec<ConnectionReport> = Vec::new();
     let mut buf = vec![0u8; config.read_buf_bytes.max(1)];
@@ -297,15 +301,21 @@ pub(crate) fn run(runtime: ShardRuntime) -> ShardReport {
     for conn in conns {
         closed.push(conn.report());
     }
+    // `all_stats` covers retired patterns too, so requests served by a
+    // pattern that was later evicted or hot-reloaded still show up (the
+    // registry carries counters across reload generations).
     let patterns = registry
-        .ids()
-        .map(str::to_string)
-        .collect::<Vec<_>>()
+        .all_stats()
         .into_iter()
-        .map(|id| {
-            let stats = registry.stats(&id).unwrap_or_default();
-            PatternReport { id, stats }
+        .map(|(id, stats)| {
+            let stats = match baseline.get(&id) {
+                Some(b) => stats.since(b),
+                None => stats,
+            };
+            let plan = registry.plan(&id);
+            PatternReport { id, stats, plan }
         })
+        .filter(|p| p.stats != PatternStats::default() || registry.contains(&p.id))
         .collect();
     ShardReport {
         shard: index,

@@ -1,36 +1,97 @@
 //! Simultaneous Finite Automata (SFA) — the paper's reference \[25\],
-//! built here as an ablation comparator.
+//! originally built here as an ablation comparator and now a first-class
+//! engine an [`EnginePlan`](crate::csdpa::EnginePlan) can select.
 //!
 //! An SFA state is the *transition function* `δ_w : Q → Q ∪ {dead}` of the
-//! underlying DFA for some word `w`: a chunk automaton run from the
-//! identity function tracks *all* speculative DFA runs simultaneously, so
+//! underlying automaton for some word `w`: a chunk automaton run from the
+//! identity function tracks *all* speculative runs simultaneously, so
 //! speculation disappears — one deterministic transition per byte,
-//! regardless of `|Q|`. The price (the reason the paper rejects SFA) is
-//! state explosion: the reachable function space can be astronomically
-//! larger than `|Q|`, making construction "a thousand times slower than
-//! for a DFA" and recognition cache-hostile. [`Sfa::build_limited`]
-//! therefore takes an explicit state budget.
+//! regardless of `|Q|`. The price (the reason the paper rejects SFA in
+//! general) is state explosion: the reachable function space can be
+//! astronomically larger than `|Q|`. Every construction here is therefore
+//! budget-bounded — both the dense table ([`ConstructionBudget::grow_table`])
+//! and the *retained* function/inverse structures (`charge_bytes`, the
+//! `"SFA ids bytes"` axis) fail typed before the blow-up allocates.
+//!
+//! Construction follows Jung & Burgstaller's multicore recipe: the
+//! function space is discovered in breadth-first **waves**; within a wave
+//! every frontier state's successors are computed in parallel on the
+//! shared [`ThreadPool`], deduplicated against a sharded 64-bit
+//! Rabin-fingerprint seen-table (exact comparison on fingerprint hits, so
+//! collisions cost a memcmp, never a wrong merge), and merged serially in
+//! `(frontier position, byte class)` order — state numbering is therefore
+//! **deterministic**: independent of worker count, scheduling, and of
+//! whether the build ran on a pool at all.
 
 use std::collections::HashMap;
 
+use ridfa_automata::alphabet::ByteClasses;
 use ridfa_automata::counter::Counter;
 use ridfa_automata::dfa::Dfa;
-use ridfa_automata::{ConstructionBudget, Result, StateId, DEAD};
+use ridfa_automata::{BitSet, ConstructionBudget, Result, StateId, DEAD};
 
 use crate::csdpa::ChunkAutomaton;
+use crate::parallel::ThreadPool;
+use crate::ridfa::RiDfa;
 
 /// Budget axis labels for SFA construction.
 const WHAT_STATES: &str = "SFA states";
 const WHAT_BYTES: &str = "SFA table bytes";
+/// The *retained* side structures: one function vector plus one inverse-map
+/// key clone per state. Charged against the budget's byte axis before each
+/// state is allocated, so a pathological pattern fails typed first.
+const WHAT_IDS_BYTES: &str = "SFA ids bytes";
 
-/// A Simultaneous Finite Automaton derived from a DFA.
+/// Shards of the fingerprint seen-table (reduces probe clustering; the
+/// table is read concurrently during a wave and mutated only serially).
+const SEEN_SHARDS: usize = 64;
+
+/// Cap on transient per-wave candidate memory: a frontier is expanded in
+/// slices small enough that undiscovered-function buffers stay bounded
+/// even when the budget is about to trip.
+const WAVE_CANDIDATE_BYTES: usize = 4 << 20;
+
+/// 64-bit Rabin-style rolling fingerprint over a function vector
+/// (iterative multiply-accumulate; the seen-table confirms hits with an
+/// exact comparison, so collisions are benign).
+fn fingerprint(f: &[StateId]) -> u64 {
+    const B: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &q in f {
+        h = h.wrapping_mul(B) ^ (q as u64).wrapping_add(0x100);
+    }
+    h
+}
+
+/// Resolves a function vector to its already-assigned state id, if any.
+fn resolve(
+    seen: &[HashMap<u64, Vec<StateId>>],
+    functions: &[Vec<StateId>],
+    fp: u64,
+    g: &[StateId],
+) -> Option<StateId> {
+    seen[fp as usize % SEEN_SHARDS]
+        .get(&fp)?
+        .iter()
+        .copied()
+        .find(|&id| functions[id as usize] == g)
+}
+
+/// A successor function computed during a wave: either already known
+/// (id resolved against the pre-wave seen-table) or a candidate new state.
+enum Cand {
+    Known(StateId),
+    New(u64, Vec<StateId>),
+}
+
+/// A Simultaneous Finite Automaton derived from a DFA or an RI-DFA.
 #[derive(Debug, Clone)]
 pub struct Sfa {
     /// Dense SFA transition table, `table[s * stride + class]`.
     table: Vec<StateId>,
     stride: usize,
-    byte_classes: ridfa_automata::alphabet::ByteClasses,
-    /// `functions[s]` = the DFA-state mapping this SFA state denotes
+    byte_classes: ByteClasses,
+    /// `functions[s]` = the base-state mapping this SFA state denotes
     /// (`functions[s][q]` = where a run started in `q` currently is).
     functions: Vec<Vec<StateId>>,
     /// Inverse of `functions`: resolves a composed function back to its
@@ -38,9 +99,9 @@ pub struct Sfa {
     /// `δ_v ∘ δ_w = δ_wv` and every word's function is discovered by the
     /// construction).
     ids: HashMap<Vec<StateId>, StateId>,
-    /// The underlying DFA's start/finals (needed at join time).
+    /// The underlying automaton's start/finals (needed at join time).
     dfa_start: StateId,
-    dfa_finals: ridfa_automata::BitSet,
+    dfa_finals: BitSet,
 }
 
 impl Sfa {
@@ -57,50 +118,159 @@ impl Sfa {
         )
     }
 
-    /// Builds the SFA of `dfa` under a full [`ConstructionBudget`] (state
-    /// count *and* table bytes) — the explosion-prone construction this
-    /// module exists to study, now aborting with a typed error before any
-    /// allocation beyond the budget happens.
+    /// Builds the SFA of `dfa` under a full [`ConstructionBudget`] on the
+    /// calling thread.
     pub fn build_budgeted(dfa: &Dfa, budget: &ConstructionBudget) -> Result<Sfa> {
-        let stride = dfa.stride();
-        let n = dfa.num_states();
-        let identity: Vec<StateId> = (0..n as StateId).collect();
+        Sfa::build_of_dfa(dfa, budget, None)
+    }
 
-        let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
-        let mut functions: Vec<Vec<StateId>> = Vec::new();
-        let mut table: Vec<StateId> = Vec::new();
-        ids.insert(identity.clone(), 0);
-        functions.push(identity);
-        budget.grow_table(&mut table, stride, u32::MAX, WHAT_BYTES)?;
+    /// Builds the SFA of `dfa` with wave-parallel state discovery on
+    /// `pool`. Produces the exact same automaton (same state numbering)
+    /// as [`build_budgeted`](Sfa::build_budgeted).
+    pub fn build_parallel(
+        dfa: &Dfa,
+        budget: &ConstructionBudget,
+        pool: &ThreadPool,
+    ) -> Result<Sfa> {
+        Sfa::build_of_dfa(dfa, budget, Some(pool))
+    }
 
-        let mut worklist: Vec<StateId> = vec![0];
-        while let Some(s) = worklist.pop() {
-            for class in 0..stride {
-                let f = &functions[s as usize];
-                let g: Vec<StateId> = f.iter().map(|&q| dfa.next_class(q, class as u8)).collect();
-                let id = match ids.get(&g) {
-                    Some(&id) => id,
-                    None => {
-                        budget.charge_state(functions.len(), WHAT_STATES)?;
-                        budget.grow_table(&mut table, stride, u32::MAX, WHAT_BYTES)?;
-                        let id = functions.len() as StateId;
-                        ids.insert(g.clone(), id);
-                        functions.push(g);
-                        worklist.push(id);
-                        id
-                    }
-                };
-                table[s as usize * stride + class] = id;
+    fn build_of_dfa(
+        dfa: &Dfa,
+        budget: &ConstructionBudget,
+        pool: Option<&ThreadPool>,
+    ) -> Result<Sfa> {
+        build_inner(
+            dfa.num_states(),
+            dfa.stride(),
+            dfa.classes(),
+            dfa.start(),
+            dfa.finals(),
+            |q, class| dfa.next_class(q, class),
+            budget,
+            pool,
+        )
+    }
+
+    /// Builds the SFA of an RI-DFA on the calling thread — the serving
+    /// registry's trial build for `EnginePlan::Auto` resolution (the
+    /// registry holds RI-DFA tables, never a DFA).
+    pub fn build_rid_budgeted(rid: &RiDfa, budget: &ConstructionBudget) -> Result<Sfa> {
+        Sfa::build_of_rid(rid, budget, None)
+    }
+
+    /// Builds the SFA of an RI-DFA with wave-parallel state discovery on
+    /// `pool`; same numbering as the serial build.
+    pub fn build_rid_parallel(
+        rid: &RiDfa,
+        budget: &ConstructionBudget,
+        pool: &ThreadPool,
+    ) -> Result<Sfa> {
+        Sfa::build_of_rid(rid, budget, Some(pool))
+    }
+
+    fn build_of_rid(
+        rid: &RiDfa,
+        budget: &ConstructionBudget,
+        pool: Option<&ThreadPool>,
+    ) -> Result<Sfa> {
+        build_inner(
+            rid.num_states(),
+            rid.stride(),
+            rid.classes(),
+            rid.start(),
+            rid.finals(),
+            |q, class| rid.next_class(q, class),
+            budget,
+            pool,
+        )
+    }
+
+    /// Reassembles an SFA from its serialized parts against the RI-DFA it
+    /// was built from, re-validating everything a fresh construction
+    /// establishes: `functions[0]` must be the identity, every function
+    /// value must be a base state, and every table entry must agree with
+    /// a direct application of the base automaton
+    /// (`functions[table[s·stride+c]] == δ_c ∘ functions[s]`). Together
+    /// these guarantee (by induction from the identity) that every state
+    /// denotes the function of some word and the space is closed under
+    /// composition — so [`compose`](Sfa::compose) on decoded tables can
+    /// never miss its inverse lookup, even on forged input.
+    pub fn from_rid_parts(
+        rid: &RiDfa,
+        table: Vec<StateId>,
+        functions_flat: Vec<StateId>,
+    ) -> std::result::Result<Sfa, String> {
+        let n = rid.num_states();
+        let stride = rid.stride();
+        if n == 0 || stride == 0 {
+            return Err("SFA over an empty base automaton".into());
+        }
+        if !table.len().is_multiple_of(stride) {
+            return Err(format!(
+                "SFA table of {} entries is not a multiple of stride {stride}",
+                table.len()
+            ));
+        }
+        let num_states = table.len() / stride;
+        if num_states == 0 {
+            return Err("SFA with zero states".into());
+        }
+        if functions_flat.len() != num_states * n {
+            return Err(format!(
+                "SFA function section holds {} entries, expected {num_states} states × {n}",
+                functions_flat.len()
+            ));
+        }
+        let functions: Vec<Vec<StateId>> = functions_flat.chunks(n).map(|f| f.to_vec()).collect();
+        if functions[0]
+            .iter()
+            .enumerate()
+            .any(|(q, &v)| v != q as StateId)
+        {
+            return Err("SFA state 0 is not the identity function".into());
+        }
+        for (s, f) in functions.iter().enumerate() {
+            for &q in f {
+                if q as usize >= n {
+                    return Err(format!("SFA state {s} maps to base state {q} ≥ {n}"));
+                }
             }
+        }
+        for (s, f) in functions.iter().enumerate() {
+            for class in 0..stride {
+                let target = table[s * stride + class];
+                if target as usize >= num_states {
+                    return Err(format!(
+                        "SFA transition ({s}, class {class}) targets state {target} ≥ {num_states}"
+                    ));
+                }
+                let expected = &functions[target as usize];
+                let consistent = f
+                    .iter()
+                    .zip(expected.iter())
+                    .all(|(&q, &e)| rid.next_class(q, class as u8) == e);
+                if !consistent {
+                    return Err(format!(
+                        "SFA transition ({s}, class {class}) disagrees with the base automaton"
+                    ));
+                }
+            }
+        }
+        let mut ids = HashMap::with_capacity(num_states);
+        for (s, f) in functions.iter().enumerate() {
+            // Duplicate function vectors keep the first id — behaviorally
+            // identical by the consistency check above.
+            ids.entry(f.clone()).or_insert(s as StateId);
         }
         Ok(Sfa {
             table,
             stride,
-            byte_classes: dfa.classes().clone(),
+            byte_classes: rid.classes().clone(),
             functions,
             ids,
-            dfa_start: dfa.start(),
-            dfa_finals: dfa.finals().clone(),
+            dfa_start: rid.start(),
+            dfa_finals: rid.finals().clone(),
         })
     }
 
@@ -129,15 +299,39 @@ impl Sfa {
         0
     }
 
-    /// The DFA-state function denoted by SFA state `s`.
+    /// The base-state function denoted by SFA state `s`.
     pub fn function(&self, s: StateId) -> &[StateId] {
         &self.functions[s as usize]
+    }
+
+    /// The dense transition table (serialization).
+    pub fn table(&self) -> &[StateId] {
+        &self.table
+    }
+
+    /// Byte classes per transition row (serialization).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// All function vectors flattened row-major (serialization).
+    pub fn flattened_functions(&self) -> Vec<StateId> {
+        self.functions.iter().flatten().copied().collect()
+    }
+
+    /// Heap bytes the SFA keeps resident: the dense table plus the
+    /// function vectors and their inverse-map key clones — the number a
+    /// serving registry books against its residency cap.
+    pub fn resident_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<StateId>();
+        let function_bytes: usize = self.functions.iter().map(|f| f.len() * entry).sum();
+        self.table.len() * entry + 2 * function_bytes
     }
 
     /// Runs from SFA state `s` over `chunk` (total function — SFA runs
     /// never die; death is absorbed into the function values).
     pub fn run_from(&self, s: StateId, chunk: &[u8], counter: &mut impl Counter) -> StateId {
-        // SFA shares the DFA's byte classes through the class method below.
+        // SFA shares the base automaton's byte classes.
         let mut cur = s;
         for &byte in chunk {
             cur = self.table[cur as usize * self.stride + self.class_of(byte) as usize];
@@ -149,6 +343,133 @@ impl Sfa {
     fn class_of(&self, byte: u8) -> u8 {
         self.byte_classes.get(byte)
     }
+}
+
+/// The shared construction engine: breadth-first waves over the function
+/// space, expanded serially or on `pool`, merged deterministically in
+/// `(frontier position, byte class)` order.
+#[allow(clippy::too_many_arguments)]
+fn build_inner<F>(
+    n: usize,
+    stride: usize,
+    classes: &ByteClasses,
+    start: StateId,
+    finals: &BitSet,
+    next: F,
+    budget: &ConstructionBudget,
+    pool: Option<&ThreadPool>,
+) -> Result<Sfa>
+where
+    F: Fn(StateId, u8) -> StateId + Sync,
+{
+    let entry = std::mem::size_of::<StateId>();
+    // Retained bytes per state: the function vector plus its inverse-map
+    // key clone. Charged BEFORE the state allocates, so a pathological
+    // pattern fails typed without the blow-up.
+    let per_state_bytes = 2 * n * entry;
+    let mut ids_bytes = per_state_bytes;
+    budget.charge_bytes(ids_bytes, WHAT_IDS_BYTES)?;
+
+    let identity: Vec<StateId> = (0..n as StateId).collect();
+    let mut seen: Vec<HashMap<u64, Vec<StateId>>> =
+        (0..SEEN_SHARDS).map(|_| HashMap::new()).collect();
+    let fp0 = fingerprint(&identity);
+    seen[fp0 as usize % SEEN_SHARDS]
+        .entry(fp0)
+        .or_default()
+        .push(0);
+    let mut ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+    ids.insert(identity.clone(), 0);
+    let mut functions: Vec<Vec<StateId>> = vec![identity];
+    let mut table: Vec<StateId> = Vec::new();
+    budget.grow_table(&mut table, stride, u32::MAX, WHAT_BYTES)?;
+
+    // Transient candidate buffers are bounded per slice; the slice size
+    // does NOT depend on the pool, so numbering never does either.
+    let slice_states = (WAVE_CANDIDATE_BYTES / (stride * n * entry).max(1)).max(1);
+    let mut frontier: Vec<StateId> = vec![0];
+    let mut locals: Vec<Vec<(u32, u8, Cand)>> = (0..pool.map_or(1, |p| p.num_workers() + 1))
+        .map(|_| Vec::new())
+        .collect();
+
+    while !frontier.is_empty() {
+        let mut next_frontier: Vec<StateId> = Vec::new();
+        for wave in frontier.chunks(slice_states) {
+            // Expand: compute every (frontier state, class) successor and
+            // resolve it against the frozen pre-wave seen-table. Workers
+            // only read shared state and write their private local.
+            {
+                let seen = &seen;
+                let functions = &functions;
+                let next = &next;
+                let expand = |local: &mut Vec<(u32, u8, Cand)>, t: usize| {
+                    let f = &functions[wave[t] as usize];
+                    for class in 0..stride {
+                        let g: Vec<StateId> = f.iter().map(|&q| next(q, class as u8)).collect();
+                        let fp = fingerprint(&g);
+                        let cand = match resolve(seen, functions, fp, &g) {
+                            Some(id) => Cand::Known(id),
+                            None => Cand::New(fp, g),
+                        };
+                        local.push((t as u32, class as u8, cand));
+                    }
+                };
+                match pool {
+                    Some(pool) => pool.invoke_all_scoped(wave.len(), &mut locals, expand),
+                    None => {
+                        for t in 0..wave.len() {
+                            expand(&mut locals[0], t);
+                        }
+                    }
+                }
+            }
+            // Merge serially in (frontier position, class) order — the
+            // single point of id assignment, so numbering is independent
+            // of worker count and interleaving.
+            let mut cands: Vec<(u32, u8, Cand)> =
+                locals.iter_mut().flat_map(|l| l.drain(..)).collect();
+            cands.sort_unstable_by_key(|&(t, c, _)| (t, c));
+            for (t, class, cand) in cands {
+                let s = wave[t as usize];
+                let id = match cand {
+                    Cand::Known(id) => id,
+                    Cand::New(fp, g) => {
+                        // A sibling candidate in this same wave may have
+                        // claimed the function already.
+                        match resolve(&seen, &functions, fp, &g) {
+                            Some(id) => id,
+                            None => {
+                                budget.charge_state(functions.len(), WHAT_STATES)?;
+                                ids_bytes += per_state_bytes;
+                                budget.charge_bytes(ids_bytes, WHAT_IDS_BYTES)?;
+                                budget.grow_table(&mut table, stride, u32::MAX, WHAT_BYTES)?;
+                                let id = functions.len() as StateId;
+                                seen[fp as usize % SEEN_SHARDS]
+                                    .entry(fp)
+                                    .or_default()
+                                    .push(id);
+                                ids.insert(g.clone(), id);
+                                functions.push(g);
+                                next_frontier.push(id);
+                                id
+                            }
+                        }
+                    }
+                };
+                table[s as usize * stride + class as usize] = id;
+            }
+        }
+        frontier = next_frontier;
+    }
+    Ok(Sfa {
+        table,
+        stride,
+        byte_classes: classes.clone(),
+        functions,
+        ids,
+        dfa_start: start,
+        dfa_finals: finals.clone(),
+    })
 }
 
 /// CSDPA chunk automaton wrapping an [`Sfa`]: zero speculation, one run per
@@ -278,16 +599,97 @@ mod tests {
 
     #[test]
     fn sfa_byte_budget_enforced() {
+        // The byte axis now covers the retained function/inverse
+        // structures too: a large base automaton under a tiny byte budget
+        // trips the "SFA ids bytes" ledger before the identity function
+        // is even retained; roomier budgets trip on the dense table.
         let dfa = determinize(&glushkov::build(&parse("[ab]*a[ab]{8}").unwrap()).unwrap());
         let err = Sfa::build_budgeted(&dfa, &ConstructionBudget::with_max_table_bytes(1 << 10))
             .unwrap_err();
         assert!(matches!(
             err,
             Error::LimitExceeded {
-                what: "SFA table bytes",
+                what: "SFA ids bytes" | "SFA table bytes",
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn sfa_ids_budget_fails_typed_before_allocating() {
+        // Regression (ISSUE 9 satellite): the retained `ids` inverse map
+        // was not budget-accounted — a pathological pattern could blow
+        // memory through the side structures while the table stayed under
+        // its cap. The charge must land before any function allocates:
+        // the very first (identity) retention already exceeds this budget.
+        let dfa = determinize(&glushkov::build(&parse("[ab]*a[ab]{8}").unwrap()).unwrap());
+        let budget = ConstructionBudget::with_max_table_bytes(
+            2 * dfa.num_states() * std::mem::size_of::<StateId>() - 1,
+        );
+        let err = Sfa::build_budgeted(&dfa, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::LimitExceeded {
+                what: "SFA ids bytes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parallel_build_equals_serial_build() {
+        let pool = ThreadPool::new(3);
+        for pattern in ["(a|b)*abb", "[ab]*a[ab]{3}", "abc", "(ab|ba)*c?"] {
+            let dfa = determinize(&glushkov::build(&parse(pattern).unwrap()).unwrap());
+            let serial = Sfa::build_budgeted(&dfa, &ConstructionBudget::UNLIMITED).unwrap();
+            let parallel =
+                Sfa::build_parallel(&dfa, &ConstructionBudget::UNLIMITED, &pool).unwrap();
+            // Deterministic numbering: byte-identical tables and functions.
+            assert_eq!(serial.table, parallel.table, "{pattern}");
+            assert_eq!(serial.functions, parallel.functions, "{pattern}");
+            assert_eq!(serial.num_states(), parallel.num_states(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn rid_build_agrees_with_language() {
+        let nfa = glushkov::build(&parse("(a|b)*abb").unwrap()).unwrap();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let sfa = Sfa::build_rid_budgeted(&rid, &ConstructionBudget::UNLIMITED).unwrap();
+        let ca = SfaCa::new(&sfa);
+        for text in [&b"aababb"[..], b"abb", b"ab", b"", b"bbbb", b"babb"] {
+            let mut nc = NoCount;
+            assert_eq!(
+                ca.accepts_serial(text, &mut nc),
+                nfa.accepts(text),
+                "{text:?}"
+            );
+            let out = recognize(&ca, text, 3, Executor::Serial);
+            assert_eq!(out.accepted, nfa.accepts(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn rid_parts_roundtrip_and_validate() {
+        let nfa = glushkov::build(&parse("[ab]*a[ab]{2}").unwrap()).unwrap();
+        let rid = RiDfa::from_nfa(&nfa).minimized();
+        let sfa = Sfa::build_rid_budgeted(&rid, &ConstructionBudget::UNLIMITED).unwrap();
+        let back =
+            Sfa::from_rid_parts(&rid, sfa.table().to_vec(), sfa.flattened_functions()).unwrap();
+        assert_eq!(back.table, sfa.table);
+        assert_eq!(back.functions, sfa.functions);
+        // A forged table entry that disagrees with the base automaton is
+        // rejected (this is what makes decoded compose() panic-free).
+        let mut bad_table = sfa.table().to_vec();
+        bad_table[0] = (sfa.num_states() as StateId).saturating_sub(1);
+        if Sfa::from_rid_parts(&rid, bad_table.clone(), sfa.flattened_functions()).is_ok() {
+            // Only acceptable if the forgery happened to be a no-op.
+            assert_eq!(bad_table, sfa.table);
+        }
+        // A non-identity state 0 is rejected outright.
+        let mut bad_fns = sfa.flattened_functions();
+        bad_fns[0] = bad_fns[0].wrapping_add(1) % rid.num_states() as StateId;
+        assert!(Sfa::from_rid_parts(&rid, sfa.table().to_vec(), bad_fns).is_err());
     }
 
     #[test]

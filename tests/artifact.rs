@@ -6,10 +6,14 @@
 use ridfa::automata::dfa::{minimize, powerset};
 use ridfa::automata::nfa::glushkov;
 use ridfa::automata::regex;
-use ridfa::automata::serialize::binary::{dfa_from_bytes, dfa_to_bytes, peek, DecodeError};
+use ridfa::automata::serialize::binary::{
+    dfa_from_bytes, dfa_to_bytes, peek, seal, ArtifactKind, DecodeError,
+};
 use ridfa::automata::serialize::{dfa_from_text, dfa_to_text, nfa_from_text, nfa_to_text};
-use ridfa::core::csdpa::{recognize, Executor, RidCa};
-use ridfa::core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, RiDfa};
+use ridfa::automata::ConstructionBudget;
+use ridfa::core::csdpa::{recognize, EnginePlan, Executor, FeasibleTable, RidCa};
+use ridfa::core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, ridfa_to_bytes_with_engine, RiDfa};
+use ridfa::core::sfa::{Sfa, SfaCa};
 use ridfa::faults::XorShift64;
 
 const PATTERNS: &[&str] = &[
@@ -172,6 +176,117 @@ fn hostile_binary_input_is_total() {
         other => panic!("forged payload length: {other:?}"),
     }
     assert!(peek(&rid_bytes).is_ok());
+}
+
+/// An artifact carrying the full v2 engine section: a resolved SFA plan
+/// with its tables and a record separator.
+fn engine_bearing_artifact(rid: &RiDfa) -> Vec<u8> {
+    let sfa = Sfa::build_rid_budgeted(rid, &ConstructionBudget::UNLIMITED).unwrap();
+    ridfa_to_bytes_with_engine(rid, EnginePlan::Sfa, None, Some(&sfa), Some(b'\n'))
+}
+
+/// Re-seals the v1 payload of a freshly encoded artifact: the default
+/// encoder appends an Auto/no-tables engine section of exactly two bytes,
+/// so dropping them and patching the (checksum-exempt) version field
+/// yields a byte-exact pre-engine-section artifact.
+fn forge_v1(rid: &RiDfa) -> Vec<u8> {
+    let v2 = ridfa_to_bytes(rid);
+    let header_len = v2.len() - peek(&v2).unwrap().payload_len as usize;
+    let mut v1 = seal(ArtifactKind::RiDfa, &v2[header_len..v2.len() - 2]);
+    v1[6..8].copy_from_slice(&1u16.to_le_bytes());
+    v1
+}
+
+/// The engine section is inside the trust boundary: every single-bit
+/// corruption and every truncation of an engine-bearing artifact is a
+/// typed error (checksum, or the plan/flag/table validators behind it) —
+/// forged SFA tables can never reach the zero-speculation kernel.
+#[test]
+fn engine_section_corruption_is_detected() {
+    let rid = rid_for("(a|b)*abb");
+    let bytes = engine_bearing_artifact(&rid);
+
+    // Sanity: intact, it decodes with the plan and tables attached, and
+    // the frozen SFA recognizes exactly like the fresh lockstep engine.
+    let loaded = ridfa_from_bytes(&bytes).unwrap();
+    assert_eq!(loaded.plan, EnginePlan::Sfa);
+    assert_eq!(loaded.separator, Some(b'\n'));
+    let sfa = loaded.sfa.as_ref().expect("SFA tables survive the trip");
+    let mut rng = XorShift64::new(0x5fa0_5fa0);
+    for round in 0..40 {
+        let text = sample_text(0, round % 2 == 0, &mut rng);
+        let fresh = recognize(&RidCa::new(&rid), &text, 3, Executor::Serial).accepted;
+        let frozen = recognize(&SfaCa::new(sfa), &text, 3, Executor::Serial).accepted;
+        assert_eq!(fresh, frozen, "frozen SFA differs on {text:?}");
+    }
+
+    for _ in 0..400 {
+        let mut mutant = bytes.clone();
+        let at = (rng.next_u64() % mutant.len() as u64) as usize;
+        mutant[at] ^= 1u8 << (rng.next_u64() % 8);
+        assert!(
+            ridfa_from_bytes(&mutant).is_err(),
+            "engine-section artifact: flip at {at} went undetected"
+        );
+    }
+    for cut in 0..bytes.len() {
+        assert!(
+            ridfa_from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut} decoded"
+        );
+    }
+}
+
+/// A pre-engine-section (v1) artifact still decodes: the plan comes back
+/// as [`EnginePlan::Auto`] with no precomputed tables, and the automaton
+/// is byte-identical — old artifact fleets keep serving across the format
+/// bump, re-resolving their engines at registration time.
+#[test]
+fn v1_artifact_decodes_with_synthesized_auto_plan() {
+    for pattern in PATTERNS {
+        let rid = rid_for(pattern);
+        let v1 = forge_v1(&rid);
+        assert_eq!(peek(&v1).unwrap().version, 1);
+        let loaded = ridfa_from_bytes(&v1).unwrap();
+        assert_eq!(loaded.plan, EnginePlan::Auto, "{pattern}");
+        assert!(loaded.sfa.is_none() && loaded.feasible.is_none());
+        assert_eq!(loaded.separator, None);
+        assert_eq!(loaded.rid, rid, "{pattern}: v1 automaton differs");
+    }
+    // The v1 payload is checksummed like any other: corruption stays a
+    // typed error on the old version too.
+    let v1 = forge_v1(&rid_for("(a|b)*abb"));
+    let mut rng = XorShift64::new(0x1bee_f001);
+    for _ in 0..200 {
+        let mut mutant = v1.clone();
+        let at = (rng.next_u64() % mutant.len() as u64) as usize;
+        mutant[at] ^= 1u8 << (rng.next_u64() % 8);
+        assert!(ridfa_from_bytes(&mutant).is_err());
+    }
+}
+
+/// A feasible-start artifact round-trips its table and the decoder
+/// cross-checks it against a fresh build — a stale or hand-edited table
+/// (wrong shape *or* wrong bits) is malformed, not silently trusted.
+#[test]
+fn feasible_tables_are_verified_at_decode() {
+    let rid = rid_for("[a-z]+(-[a-z]+)*");
+    let table = FeasibleTable::build(&rid);
+    let bytes =
+        ridfa_to_bytes_with_engine(&rid, EnginePlan::FeasibleStart, Some(&table), None, None);
+    let loaded = ridfa_from_bytes(&bytes).unwrap();
+    assert_eq!(loaded.plan, EnginePlan::FeasibleStart);
+    assert_eq!(loaded.feasible.as_ref(), Some(&table));
+
+    // Pair the table with a *different* pattern's automaton: same encoder,
+    // honest checksum, wrong content — must be rejected at decode.
+    let other = rid_for("(a|b)*abb");
+    let mismatched =
+        ridfa_to_bytes_with_engine(&other, EnginePlan::FeasibleStart, Some(&table), None, None);
+    assert!(
+        ridfa_from_bytes(&mismatched).is_err(),
+        "a feasible table for another automaton decoded"
+    );
 }
 
 /// The text decoders survive seeded random line mutations of valid
