@@ -95,14 +95,35 @@ impl ByteClasses {
     ///
     /// This is the shared byte→class translation of the lockstep scan
     /// kernel: a chunk is classified block-wise *once*, instead of every
-    /// speculative run paying one [`get`](ByteClasses::get) per byte. The
-    /// loop is a pure gather over a 256-byte table, which the compiler
-    /// unrolls and the hardware prefetches perfectly.
+    /// speculative run paying one [`get`](ByteClasses::get) per byte.
+    /// Where the CPU has AVX2 (detected at runtime, see
+    /// [`simd::enabled`](crate::simd::enabled)) the translation runs as a
+    /// nibble-shuffle vector kernel; otherwise — and always on the
+    /// explicitly callable [`classify_into_scalar`](ByteClasses::classify_into_scalar)
+    /// oracle — it is a plain gather over the 256-byte table. Both
+    /// produce identical output for any input and alignment.
     ///
     /// # Panics
     /// When `out` is shorter than `bytes`.
     #[inline]
     pub fn classify_into(&self, bytes: &[u8], out: &mut [u8]) {
+        let out = &mut out[..bytes.len()];
+        if crate::simd::classify(&self.map, bytes, out) {
+            return;
+        }
+        self.classify_into_scalar(bytes, out);
+    }
+
+    /// The scalar byte→class translation — the differential oracle for
+    /// the SIMD path of [`classify_into`](ByteClasses::classify_into),
+    /// and the fallback where the vector kernel is unavailable. A pure
+    /// gather over the 256-byte map, which the compiler unrolls and the
+    /// hardware prefetches perfectly.
+    ///
+    /// # Panics
+    /// When `out` is shorter than `bytes`.
+    #[inline]
+    pub fn classify_into_scalar(&self, bytes: &[u8], out: &mut [u8]) {
         let out = &mut out[..bytes.len()];
         for (slot, &byte) in out.iter_mut().zip(bytes) {
             *slot = self.map[byte as usize];

@@ -49,6 +49,7 @@ mod error;
 pub mod nfa;
 pub mod regex;
 pub mod serialize;
+pub mod simd;
 mod sparse;
 
 pub use bitset::BitSet;

@@ -1,0 +1,199 @@
+//! Runtime-gated SIMD acceleration for the byte→class translation.
+//!
+//! The scan kernels classify every input byte through a 256-entry map
+//! ([`ByteClasses`](crate::alphabet::ByteClasses)); at streaming rates
+//! that scalar gather is a measurable slice of the per-byte budget. This
+//! module vectorizes it with the classic AVX2 *nibble-shuffle* scheme:
+//! the 256-byte map is viewed as 16 rows of 16 bytes (`map[b] =
+//! row[b >> 4][b & 0xF]`), each row is broadcast into a register once
+//! per call, and a 32-byte block of input is translated with one
+//! `pshufb` per row selected by a high-nibble compare — ~1.5 simple ops
+//! per byte, no memory gathers in the loop.
+//!
+//! Gating policy:
+//!
+//! * **Runtime detection, not compile-time cfg.** [`enabled`] consults
+//!   `is_x86_feature_detected!("avx2")` once (cached), so a binary built
+//!   for a generic x86-64 target still uses AVX2 where the machine has
+//!   it, and a `-Ctarget-cpu=native` build still runs correctly on
+//!   feature-poor hardware.
+//! * **Force-off switch.** Setting the `RIDFA_NO_SIMD` environment
+//!   variable (to anything but `0`/empty) disables every SIMD path in
+//!   the workspace — CI runs the whole test suite once per setting, and
+//!   the scalar implementations stay the differential oracle.
+//! * **Scalar fallback everywhere.** Every entry point returns to the
+//!   scalar loop when the feature is missing; results are byte-identical
+//!   either way (asserted by the unit tests below on random inputs at
+//!   every alignment).
+//!
+//! The implementation handles unaligned input (`loadu`/`storeu`), so
+//! callers owe no alignment contract — blocks, mid-chunk offsets, and
+//! scalar tails all work.
+
+// The crate denies unsafe code; this module is the audited exception
+// (raw SIMD intrinsics behind runtime feature detection).
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Is SIMD acceleration active in this process? True iff the CPU
+/// reports AVX2 at runtime and `RIDFA_NO_SIMD` is not set. Computed
+/// once and cached — hot paths may call it per block.
+#[inline]
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(detect)
+}
+
+fn detect() -> bool {
+    if std::env::var_os("RIDFA_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0") {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Minimum input length worth the 16-row register setup; shorter blocks
+/// classify faster through the plain scalar loop.
+const MIN_LEN: usize = 64;
+
+/// Translates `bytes` through the 256-entry `map` into `out` with the
+/// AVX2 nibble-shuffle kernel. Returns `false` (without touching `out`)
+/// when SIMD is disabled, the architecture lacks it, or the input is too
+/// short to pay for setup — the caller then runs its scalar loop.
+///
+/// # Panics
+/// When `map` is not exactly 256 bytes or `out` is shorter than `bytes`.
+#[inline]
+pub fn classify(map: &[u8], bytes: &[u8], out: &mut [u8]) -> bool {
+    assert_eq!(map.len(), 256, "class map must cover every byte");
+    assert!(out.len() >= bytes.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if bytes.len() >= MIN_LEN && enabled() {
+            // SAFETY: AVX2 presence was verified at runtime by `enabled`.
+            unsafe { classify_avx2(map, bytes, out) };
+            return true;
+        }
+    }
+    let _ = (map, bytes, out);
+    false
+}
+
+/// The AVX2 nibble-shuffle translation. 16 `vpshufb` table rows are set
+/// up once; each 32-byte block costs one shuffle + compare + blend per
+/// row. Trailing bytes (< 32) fall back to the scalar gather.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2. `map` must be exactly
+/// 256 bytes and `out` at least as long as `bytes` (checked by the safe
+/// wrapper [`classify`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn classify_avx2(map: &[u8], bytes: &[u8], out: &mut [u8]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(map.len(), 256);
+    debug_assert!(out.len() >= bytes.len());
+    // One register per 16-byte map row, the row duplicated into both
+    // 128-bit lanes so `vpshufb` (which shuffles per lane) sees it from
+    // either half of the input vector.
+    let mut rows = [_mm256_setzero_si256(); 16];
+    for (r, row) in rows.iter_mut().enumerate() {
+        let half = _mm_loadu_si128(map.as_ptr().add(r * 16) as *const __m128i);
+        *row = _mm256_broadcastsi128_si256(half);
+    }
+    let nibble = _mm256_set1_epi8(0x0F);
+    let mut i = 0;
+    while i + 32 <= bytes.len() {
+        let v = _mm256_loadu_si256(bytes.as_ptr().add(i) as *const __m256i);
+        let lo = _mm256_and_si256(v, nibble);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), nibble);
+        let mut acc = _mm256_setzero_si256();
+        for (r, row) in rows.iter().enumerate() {
+            // Lanes whose high nibble selects row `r` take their shuffle
+            // result; all other lanes contribute zero to the OR.
+            let sel = _mm256_cmpeq_epi8(hi, _mm256_set1_epi8(r as i8));
+            let picked = _mm256_and_si256(sel, _mm256_shuffle_epi8(*row, lo));
+            acc = _mm256_or_si256(acc, picked);
+        }
+        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, acc);
+        i += 32;
+    }
+    for j in i..bytes.len() {
+        out[j] = map[bytes[j] as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::ByteClasses;
+
+    /// Deterministic xorshift byte stream (no RNG dependency).
+    fn pseudo_random_bytes(len: usize, mut seed: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                (seed >> 24) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn enabled_is_stable() {
+        assert_eq!(enabled(), enabled());
+    }
+
+    #[test]
+    fn classify_matches_scalar_on_random_input() {
+        let maps = [
+            ByteClasses::identity(),
+            ByteClasses::from_key_fn(|b| b.is_ascii_digit()),
+            ByteClasses::from_key_fn(|b| b % 7),
+            ByteClasses::from_key_fn(|b| b.is_ascii_alphabetic() as u8 + (b > 128) as u8),
+        ];
+        for (m, classes) in maps.iter().enumerate() {
+            for len in [0, 1, 31, 32, 33, 63, 64, 65, 255, 4096, 4099] {
+                let bytes = pseudo_random_bytes(len, 0x9E3779B97F4A7C15 ^ m as u64);
+                let mut scalar = vec![0u8; len];
+                classes.classify_into_scalar(&bytes, &mut scalar);
+                let mut fused = vec![0xAAu8; len];
+                classes.classify_into(&bytes, &mut fused);
+                assert_eq!(fused, scalar, "map {m} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_matches_scalar_at_every_alignment() {
+        let classes = ByteClasses::from_key_fn(|b| b % 5);
+        let bytes = pseudo_random_bytes(1024, 42);
+        for offset in 0..33 {
+            let slice = &bytes[offset..];
+            let mut scalar = vec![0u8; slice.len()];
+            classes.classify_into_scalar(slice, &mut scalar);
+            let mut fused = vec![0u8; slice.len()];
+            classes.classify_into(slice, &mut fused);
+            assert_eq!(fused, scalar, "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn classify_covers_every_byte_value() {
+        let classes = ByteClasses::from_key_fn(|b| b.count_ones() as u8);
+        let bytes: Vec<u8> = (0..=255u8).cycle().take(512).collect();
+        let mut out = vec![0u8; bytes.len()];
+        classes.classify_into(&bytes, &mut out);
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!(out[i], classes.get(b), "byte {b:#04x}");
+        }
+    }
+}

@@ -7,16 +7,20 @@
 //!    bounded dynamic team.
 //! 3. **SFA comparator** — zero speculation, huge table (reference \[25\]).
 //! 4. **Scan kernel** — per-run vs lockstep vs lockstep with shared
-//!    block classification, on the longest-interface workload
-//!    (`traffic`, 101 interface states), where fusing the `k` passes
-//!    matters most. The harness writes the group's results to
+//!    block classification vs the SIMD kernel, on the longest-interface
+//!    workload (`traffic`, 101 interface states), where fusing the `k`
+//!    passes matters most; plus micro-ablations of the two SIMD
+//!    building blocks (shuffle classification and the strided
+//!    single-run walk) against their scalar twins. The harness writes
+//!    the group's results to
 //!    `target/criterion-shim/ablation_kernels.json`; the checked-in
 //!    baseline lives at `crates/bench/baselines/ablation_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use ridfa_automata::ConstructionBudget;
+use ridfa_automata::{ConstructionBudget, NoCount};
 use ridfa_bench::build_artifacts;
+use ridfa_core::csdpa::kernel::{self, DenseTable, Scratch};
 use ridfa_core::csdpa::{
     chunk_spans_snapped, plan, recognize, recognize_spans, ConvergentDfaCa, ConvergentRidCa, DfaCa,
     Executor, FeasibleRidCa, FeasibleTable, Kernel, RidCa,
@@ -167,11 +171,60 @@ fn bench_kernels(c: &mut Criterion) {
         ("per_run", Kernel::PerRun),
         ("lockstep", Kernel::Lockstep),
         ("lockstep_shared", Kernel::LockstepShared),
+        ("simd", Kernel::Simd),
         ("auto", Kernel::Auto),
     ] {
         let ca = ConvergentRidCa::with_kernel(&a.rid, kernel);
         group.bench_function(label, |b| {
             b.iter(|| recognize(&ca, &text, chunks, Executor::Team(threads)).accepted);
+        });
+    }
+
+    // Micro-ablations of the two SIMD building blocks against their
+    // scalar twins, in the same group so the CI smoke can assert the
+    // simd ≥ scalar floor from a single JSON. `bible` converges to one
+    // live run almost immediately, so the single-run pair measures the
+    // strided walk against the plain serial loop over the whole text.
+    let bible = standard_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "bible")
+        .unwrap();
+    let ab = build_artifacts(&bible);
+    let btext = (ab.accepted)(TEXT_LEN, 42);
+    let classes = ab.dfa.classes();
+    let mut class_out = vec![0u8; btext.len()];
+    group.bench_function("classify_scalar", |b| {
+        b.iter(|| classes.classify_into_scalar(&btext, &mut class_out));
+    });
+    group.bench_function("classify_simd", |b| {
+        b.iter(|| classes.classify_into(&btext, &mut class_out));
+    });
+    let ptable = ab.dfa.premultiplied_table();
+    let table = DenseTable {
+        ptable: &ptable,
+        stride: ab.dfa.stride(),
+        classes: ab.dfa.classes(),
+    };
+    let start = ab.dfa.start();
+    let mut scratch = Scratch::default();
+    let mut out = Vec::new();
+    for (label, kernel) in [
+        ("single_run_scalar", Kernel::PerRun),
+        ("single_run_simd", Kernel::Simd),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                kernel::scan_into(
+                    table,
+                    std::iter::once((start, start)),
+                    ab.dfa.num_states(),
+                    &btext,
+                    kernel,
+                    &mut scratch,
+                    &mut NoCount,
+                    &mut out,
+                )
+            });
         });
     }
     group.finish();

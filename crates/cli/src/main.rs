@@ -26,8 +26,9 @@ use ridfa_automata::serialize::binary;
 use ridfa_automata::{regex, serialize, ConstructionBudget};
 use ridfa_core::csdpa::{
     plan, recognize_counted, resident_footprint, Budget, ChunkAutomaton, ConvergentDfaCa,
-    ConvergentRidCa, CountedOutcome, DfaCa, EnginePlan, Executor, FeasibleTable, NfaCa, Outcome,
-    RecognizeError, RegistryConfig, RidCa, Session, StreamError, StreamOutcome, StreamSession,
+    ConvergentRidCa, CountedOutcome, DfaCa, EnginePlan, Executor, FeasibleTable, Kernel, NfaCa,
+    Outcome, RecognizeError, RegistryConfig, RidCa, Session, StreamError, StreamOutcome,
+    StreamSession,
 };
 use ridfa_core::ridfa::{ridfa_from_bytes, ridfa_to_bytes, ridfa_to_bytes_with_engine, RiDfa};
 use ridfa_core::serve::{protocol, ServeConfig, Server};
@@ -145,6 +146,12 @@ USAGE:
                                                         memory stream (the
                                                         file/stdin is never
                                                         loaded whole)
+                   [--separator BYTE]                   snap stream blocks
+                                                        back to the last
+                                                        record separator
+                                                        so speculative runs
+                                                        start on record
+                                                        boundaries
   ridfa drive      (--regex PATTERN | --nfa FILE | --workload NAME)
                    --text FILE [--chunks N] [--pool]    compare all variants
   ridfa serve      [--requests N] [--len BYTES] [--chunks N] [--threads N]
@@ -617,14 +624,22 @@ fn run<CA: ChunkAutomaton>(
         .recognize_budgeted(ca, text, chunks, budget)
         .map_err(recognize_error)?;
     println!(
-        "{}: {} | {} bytes, {} chunks, via {:?}",
+        "{}: {} | {} bytes, {} chunks, via {:?}{}",
         ca.name(),
         if out.accepted { "ACCEPTED" } else { "REJECTED" },
         text.len(),
         out.num_chunks,
         out.executor,
+        kernel_suffix(out.kernel),
     );
     Ok(out.accepted)
+}
+
+/// `", kernel <name>"` when the outcome records the scan strategy its
+/// speculative chunk scans actually executed; empty otherwise. The name
+/// is the *resolved* kernel — `auto` never appears here.
+fn kernel_suffix(kernel: Option<Kernel>) -> String {
+    kernel.map_or_else(String::new, |k| format!(", kernel {}", k.name()))
 }
 
 fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut Runner) -> bool {
@@ -633,7 +648,7 @@ fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut 
     // for — Executor::Pooled without a session degrades to Auto and says
     // so here.
     println!(
-        "{}: {} | {} bytes, {} chunks, {} transitions, reach {:.3} ms, join {:.3} ms, via {:?}",
+        "{}: {} | {} bytes, {} chunks, {} transitions, reach {:.3} ms, join {:.3} ms, via {:?}{}",
         ca.name(),
         if out.accepted { "ACCEPTED" } else { "REJECTED" },
         text.len(),
@@ -642,6 +657,7 @@ fn report<CA: ChunkAutomaton>(ca: &CA, text: &[u8], chunks: usize, runner: &mut 
         out.reach.as_secs_f64() * 1e3,
         out.join.as_secs_f64() * 1e3,
         out.executor,
+        kernel_suffix(out.kernel),
     );
     out.accepted
 }
@@ -663,6 +679,14 @@ fn cmd_recognize_stream(opts: &Opts, nfa: &Nfa, variant: &str) -> Result<(), Cli
     let threads = opts.get_usize("threads", default_threads())?;
     let budget = timeout_budget(opts)?;
     let mut session = StreamSession::new(threads.saturating_sub(1).max(1), block_size);
+    if let Some(v) = opts.get_value("separator")? {
+        let sep = v.parse::<u8>().map_err(|_| {
+            CliError::Usage(format!(
+                "invalid value for --separator: {v:?} (expected a byte 0-255)"
+            ))
+        })?;
+        session.set_separator(Some(sep));
+    }
 
     let rid;
     let dfa;
@@ -749,7 +773,7 @@ fn print_stream_outcome(name: &str, session: &StreamSession, out: &StreamOutcome
     let secs = out.elapsed.as_secs_f64().max(1e-9);
     println!(
         "{}: {} | streamed {} bytes in {} blocks of ≤{} KiB, {} transitions, \
-         {:.1} MiB/s, compose {:.3} ms, ring {} KiB{}",
+         {:.1} MiB/s, compose {:.3} ms, ring {} KiB{}{}",
         name,
         if out.accepted { "ACCEPTED" } else { "REJECTED" },
         out.bytes,
@@ -759,6 +783,7 @@ fn print_stream_outcome(name: &str, session: &StreamSession, out: &StreamOutcome
         out.bytes as f64 / secs / (1024.0 * 1024.0),
         out.compose.as_secs_f64() * 1e3,
         session.buffer_bytes() / 1024,
+        kernel_suffix(out.kernel),
         if out.rejected_early {
             " (rejected early, rest of stream skipped)"
         } else {

@@ -121,6 +121,15 @@ impl ChunkAutomaton for ConvergentDfaCa<'_> {
         self.inner.num_speculative_starts()
     }
 
+    fn effective_kernel(&self, chunk_len: usize) -> Option<Kernel> {
+        Some(resolve_kernel(
+            self.kernel,
+            self.num_speculative_starts(),
+            chunk_len,
+            self.inner.ptable().len(),
+        ))
+    }
+
     fn name(&self) -> &'static str {
         "dfa+conv"
     }
@@ -220,8 +229,38 @@ impl ChunkAutomaton for ConvergentRidCa<'_> {
         self.inner.num_speculative_starts()
     }
 
+    fn effective_kernel(&self, chunk_len: usize) -> Option<Kernel> {
+        Some(resolve_kernel(
+            self.kernel,
+            self.num_speculative_starts(),
+            chunk_len,
+            self.inner.ptable().len(),
+        ))
+    }
+
     fn name(&self) -> &'static str {
         "rid+conv"
+    }
+}
+
+/// Resolves a configured kernel to the strategy the scan dispatch will
+/// actually run for a chunk of `chunk_len` bytes: [`Kernel::Auto`] goes
+/// through the runtime selection matrix, and a pinned [`Kernel::Simd`]
+/// is demoted to its documented scalar fallback when the CPU feature or
+/// the table shape rules gathers out.
+pub(super) fn resolve_kernel(
+    configured: Kernel,
+    num_runs: usize,
+    chunk_len: usize,
+    table_entries: usize,
+) -> Kernel {
+    let resolved = match configured {
+        Kernel::Auto => kernel::select(num_runs, chunk_len, table_entries),
+        pinned => pinned,
+    };
+    match resolved {
+        Kernel::Simd if !kernel::simd_supported(table_entries) => Kernel::LockstepShared,
+        k => k,
     }
 }
 
@@ -249,6 +288,7 @@ mod tests {
             Kernel::PerRun,
             Kernel::Lockstep,
             Kernel::LockstepShared,
+            Kernel::Simd,
             Kernel::Auto,
         ] {
             let conv_dfa = ConvergentDfaCa::with_kernel(&dfa, kernel);

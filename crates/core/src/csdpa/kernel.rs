@@ -45,6 +45,8 @@ use ridfa_automata::{StateId, DEAD};
 
 use super::budget::InterruptProbe;
 
+mod simd;
+
 /// Size of the stack-resident byte→class translation buffer. 4 KiB keeps
 /// the buffer comfortably inside L1 alongside the group arrays.
 const CLASS_BLOCK: usize = 4096;
@@ -69,14 +71,72 @@ pub enum Kernel {
     /// no merge and no death, the surviving groups finish with lean
     /// serial loops instead of paying per-byte dedup bookkeeping.
     LockstepShared,
+    /// The data-parallel kernel (AVX2, runtime-detected): vectorized
+    /// byte classification, a gather-based lockstep step advancing eight
+    /// speculative runs per instruction (Ko et al.'s speculative SIMD
+    /// membership test), and — once the scan converges to few runs — an
+    /// interleaved multi-chain / checkpoint-and-repair strided walk that
+    /// breaks the per-byte load-to-load dependency chain. Falls back to
+    /// [`Kernel::LockstepShared`] (bit-identical mappings) when the CPU
+    /// feature is missing, `RIDFA_NO_SIMD` is set, or the table shape
+    /// does not allow gathers.
+    Simd,
     /// Pick per chunk via [`select`], from the number of runs, the chunk
-    /// length, and the table size.
+    /// length, the table size, and the runtime CPU features.
     Auto,
 }
 
-/// Resolves [`Kernel::Auto`] for one chunk scan.
+impl Kernel {
+    /// Short display name for `via …` reporting lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::PerRun => "per-run",
+            Kernel::Lockstep => "lockstep",
+            Kernel::LockstepShared => "lockstep-shared",
+            Kernel::Simd => "simd",
+            Kernel::Auto => "auto",
+        }
+    }
+}
+
+/// Can [`Kernel::Simd`] actually execute on this machine and table? True
+/// iff the CPU reports AVX2 at runtime (`RIDFA_NO_SIMD` unset — see
+/// [`ridfa_automata::simd::enabled`]) and the premultiplied table is
+/// addressable by the 32-bit gather indices the kernel uses. [`select`]
+/// consults this, so `Auto` never resolves to a kernel that would only
+/// fall back.
+pub fn simd_supported(table_entries: usize) -> bool {
+    simd::supported(table_entries)
+}
+
+/// Minimum chunk length for which [`select`] picks [`Kernel::Simd`]:
+/// below this the vector setup (row broadcasts, stride bookkeeping)
+/// cannot amortize and the scalar matrix applies unchanged.
+pub const SIMD_MIN_CHUNK: usize = 4096;
+
+/// Resolves [`Kernel::Auto`] for one chunk scan, consulting the actual
+/// runtime CPU features (AVX2 detection + the `RIDFA_NO_SIMD` kill
+/// switch) — not compile-time `cfg` — so the same binary adapts to the
+/// machine it lands on. Delegates to [`select_with`].
+pub fn select(num_runs: usize, chunk_len: usize, table_entries: usize) -> Kernel {
+    select_with(
+        num_runs,
+        chunk_len,
+        table_entries,
+        simd::supported(table_entries),
+    )
+}
+
+/// The selection matrix with the SIMD capability made explicit (tests
+/// pin both halves; [`select`] passes the detected capability).
 ///
-/// The heuristic keeps small problems on the bookkeeping-free path:
+/// With `simd` available, any chunk of at least [`SIMD_MIN_CHUNK`] bytes
+/// takes [`Kernel::Simd`]: vectorized classification pays at every run
+/// count, the gather step beats per-byte dedup bookkeeping at high run
+/// counts, and the interleaved/strided walks beat the serial
+/// load-to-load chain at low ones.
+///
+/// The scalar half keeps small problems on the bookkeeping-free path:
 ///
 /// * `k ≤ 2` — merging at most two runs can never pay for group
 ///   tracking, *no matter how large the table*: the lockstep pass would
@@ -91,8 +151,11 @@ pub enum Kernel {
 ///   converge, so the lockstep pass would do `k` transitions per byte
 ///   *plus* dedup work; scan per run.
 /// * otherwise — the fused lockstep kernel with shared classification.
-pub fn select(num_runs: usize, chunk_len: usize, table_entries: usize) -> Kernel {
+pub fn select_with(num_runs: usize, chunk_len: usize, table_entries: usize, simd: bool) -> Kernel {
     const LARGE_TABLE_ENTRIES: usize = (1 << 20) / std::mem::size_of::<StateId>();
+    if simd && chunk_len >= SIMD_MIN_CHUNK && num_runs >= 1 {
+        return Kernel::Simd;
+    }
     if num_runs <= 2 {
         return Kernel::PerRun;
     }
@@ -147,6 +210,12 @@ pub struct Scratch {
     /// Stack-sized class translation buffer, heap-allocated once so
     /// `Scratch` stays `Default` + cheap to construct.
     class_buf: Vec<u8>,
+    /// Per-stride class buffers of the SIMD strided walks
+    /// (`simd::NUM_CHAINS × CLASS_BLOCK`), grown on first SIMD scan.
+    simd_class_buf: Vec<u8>,
+    /// Checkpoint rows of the SIMD speculative strided walk, grown to
+    /// the chunk-length high-water mark on first use.
+    simd_ckpt: Vec<StateId>,
     /// Interrupt probe of the budgeted call currently driving this
     /// scratch, checked once per classification block. `None` (the
     /// default and the unbudgeted state) keeps the hot loops untouched.
@@ -223,6 +292,15 @@ pub fn scan_into(
         ),
         Kernel::Lockstep => lockstep_scan(table, starts, chunk, false, scratch, counter, out),
         Kernel::LockstepShared => lockstep_scan(table, starts, chunk, true, scratch, counter, out),
+        Kernel::Simd => {
+            if simd::supported(table.ptable.len()) {
+                simd::scan(table, starts, chunk, scratch, counter, out)
+            } else {
+                // Feature or table shape unavailable: the fused scalar
+                // kernel is the drop-in oracle (identical mappings).
+                lockstep_scan(table, starts, chunk, true, scratch, counter, out)
+            }
+        }
         Kernel::Auto => {
             // `starts` is not re-iterable, so bound k by `num_origins`
             // (equal for every caller in this crate: one start per origin).
@@ -329,31 +407,7 @@ fn lockstep_scan(
 ) {
     scratch.warm_up(table.ptable.len(), out.len());
     let stride = table.stride;
-
-    // Initial grouping: distinct starts may already coincide (delegated
-    // interface states, for instance) — dedup them through the slots.
-    scratch.generation += 1;
-    let generation = scratch.generation;
-    for (origin, start) in starts {
-        if start == DEAD {
-            continue; // defensive: a dead start maps to DEAD, run nothing
-        }
-        scratch.next_origin[origin as usize] = NONE;
-        let row = start as usize * stride;
-        if scratch.slot_gen[row] == generation {
-            let g = scratch.slot_idx[row] as usize;
-            scratch.next_origin[scratch.tails[g] as usize] = origin;
-            scratch.tails[g] = origin;
-        } else {
-            scratch.slot_gen[row] = generation;
-            scratch.slot_idx[row] = scratch.rows.len() as u32;
-            scratch.rows.push(row as StateId);
-            scratch.heads.push(origin);
-            scratch.tails.push(origin);
-        }
-    }
-
-    let mut len = scratch.rows.len();
+    let mut len = seed_groups(scratch, starts, stride);
     let mut consumed = 0;
     if shared_classes {
         // Split borrows: the class buffer must be readable while the
@@ -417,8 +471,46 @@ fn lockstep_scan(
         }
     }
 
-    // Write the mapping: walk each surviving group's origin list. Dead
-    // origins keep the DEAD the caller pre-filled.
+    write_mapping(scratch, len, stride, out);
+}
+
+/// Builds the initial origin groups from the `(origin, start)` pairs:
+/// distinct starts may already coincide (delegated interface states, for
+/// instance), so they are deduplicated through the generation slots.
+/// Returns the live-group count. Shared by the scalar lockstep scan and
+/// the SIMD scan so seeding semantics can never diverge.
+fn seed_groups(
+    scratch: &mut Scratch,
+    starts: impl Iterator<Item = (u32, StateId)>,
+    stride: usize,
+) -> usize {
+    scratch.generation += 1;
+    let generation = scratch.generation;
+    for (origin, start) in starts {
+        if start == DEAD {
+            continue; // defensive: a dead start maps to DEAD, run nothing
+        }
+        scratch.next_origin[origin as usize] = NONE;
+        let row = start as usize * stride;
+        if scratch.slot_gen[row] == generation {
+            let g = scratch.slot_idx[row] as usize;
+            scratch.next_origin[scratch.tails[g] as usize] = origin;
+            scratch.tails[g] = origin;
+        } else {
+            scratch.slot_gen[row] = generation;
+            scratch.slot_idx[row] = scratch.rows.len() as u32;
+            scratch.rows.push(row as StateId);
+            scratch.heads.push(origin);
+            scratch.tails.push(origin);
+        }
+    }
+    scratch.rows.len()
+}
+
+/// Writes the final mapping: walks each surviving group's origin list
+/// and records the group's state. Dead origins keep the DEAD the caller
+/// pre-filled. Shared epilogue of the scalar and SIMD scans.
+fn write_mapping(scratch: &Scratch, len: usize, stride: usize, out: &mut [StateId]) {
     for g in 0..len {
         let state = (scratch.rows[g] as usize / stride) as StateId;
         let mut origin = scratch.heads[g];
@@ -427,6 +519,36 @@ fn lockstep_scan(
             origin = scratch.next_origin[origin as usize];
         }
     }
+}
+
+/// Deduplicates and compacts the live groups *in place* after a merge
+/// period of the SIMD gather step (which advances groups without per-byte
+/// bookkeeping): groups that landed on the same row are spliced together,
+/// groups that died (row 0) are dropped. Returns the new live count.
+fn merge_compact(scratch: &mut Scratch, len: usize) -> usize {
+    scratch.generation += 1;
+    let generation = scratch.generation;
+    let mut write = 0;
+    for read in 0..len {
+        let row = scratch.rows[read];
+        if row == 0 {
+            continue; // the group died during the period: origins stay DEAD
+        }
+        let slot = row as usize;
+        if scratch.slot_gen[slot] == generation {
+            let idx = scratch.slot_idx[slot] as usize;
+            scratch.next_origin[scratch.tails[idx] as usize] = scratch.heads[read];
+            scratch.tails[idx] = scratch.tails[read];
+        } else {
+            scratch.slot_gen[slot] = generation;
+            scratch.slot_idx[slot] = write as u32;
+            scratch.rows[write] = row;
+            scratch.heads[write] = scratch.heads[read];
+            scratch.tails[write] = scratch.tails[read];
+            write += 1;
+        }
+    }
+    write
 }
 
 /// Advances all `len` live groups by one byte class, merging groups that
@@ -525,12 +647,16 @@ mod tests {
                 b"zzz",
                 b"abbabbabbabb",
                 &b"ab".repeat(3000),
+                // Long enough to reach the SIMD strided single-run walk
+                // (> STRIDE_MIN bytes past convergence).
+                &b"ab".repeat(20_000),
             ] {
                 let expected = oracle(&dfa, chunk);
                 for kernel in [
                     Kernel::PerRun,
                     Kernel::Lockstep,
                     Kernel::LockstepShared,
+                    Kernel::Simd,
                     Kernel::Auto,
                 ] {
                     let (got, _) = scan(&dfa, chunk, kernel);
@@ -571,16 +697,26 @@ mod tests {
 
     #[test]
     fn auto_picks_per_run_for_tiny_problems_and_lockstep_for_large() {
-        assert_eq!(select(2, 1 << 20, 1024), Kernel::PerRun);
-        assert_eq!(select(8, 16, 1024), Kernel::PerRun);
-        assert_eq!(select(8, 1 << 20, 1024), Kernel::LockstepShared);
-        assert_eq!(select(3, 4, 1 << 20), Kernel::LockstepShared);
+        // Scalar half (SIMD capability off).
+        assert_eq!(select_with(2, 1 << 20, 1024, false), Kernel::PerRun);
+        assert_eq!(select_with(8, 16, 1024, false), Kernel::PerRun);
+        assert_eq!(select_with(8, 1 << 20, 1024, false), Kernel::LockstepShared);
+        assert_eq!(select_with(3, 4, 1 << 20, false), Kernel::LockstepShared);
+        // `select` must agree with `select_with` under the detected
+        // capability — the runtime wiring is exactly this delegation.
+        for (k, len, table) in [(2, 1 << 20, 1024), (8, 16, 1024), (8, 1 << 20, 1024)] {
+            assert_eq!(
+                select(k, len, table),
+                select_with(k, len, table, simd_supported(table)),
+            );
+        }
     }
 
     #[test]
     fn selection_matrix_is_pinned() {
         const BIG: usize = 1 << 20; // entries ≥ the large-table threshold
         const SMALL: usize = 1024;
+        let select = |k, len, table| select_with(k, len, table, false);
         // k ≤ 2 always scans per run — group bookkeeping cannot pay with
         // at most one possible merge, regardless of the table size (the
         // regression: big tables used to win this tie).
@@ -600,6 +736,33 @@ mod tests {
         assert_eq!(select(8, 64, SMALL), Kernel::LockstepShared);
         assert_eq!(select(100, 256, SMALL), Kernel::PerRun, "len < 4k");
         assert_eq!(select(100, 400, SMALL), Kernel::LockstepShared);
+    }
+
+    #[test]
+    fn simd_selection_is_pinned() {
+        // With the capability available, chunk length alone gates SIMD:
+        // any run count benefits (vector classification at least).
+        for k in [1, 2, 8, 100] {
+            assert_eq!(
+                select_with(k, SIMD_MIN_CHUNK, 1024, true),
+                Kernel::Simd,
+                "k={k}"
+            );
+            assert_eq!(
+                select_with(k, 1 << 20, 1 << 21, true),
+                Kernel::Simd,
+                "k={k} big table"
+            );
+        }
+        // Below the SIMD floor the scalar matrix applies unchanged.
+        assert_eq!(
+            select_with(2, SIMD_MIN_CHUNK - 1, 1024, true),
+            Kernel::PerRun
+        );
+        assert_eq!(
+            select_with(8, SIMD_MIN_CHUNK - 1, 1024, true),
+            Kernel::LockstepShared
+        );
     }
 
     #[test]

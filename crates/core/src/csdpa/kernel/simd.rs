@@ -1,0 +1,383 @@
+//! The data-parallel scan kernel ([`Kernel::Simd`](super::Kernel::Simd)).
+//!
+//! Three techniques, composed per phase of one chunk scan and gated on
+//! *runtime* AVX2 detection (see [`ridfa_automata::simd::enabled`]):
+//!
+//! 1. **Vectorized classification.** Every phase pulls byte classes
+//!    through [`ByteClasses::classify_into`], whose AVX2 nibble-shuffle
+//!    path translates 32 bytes per iteration.
+//! 2. **Gather-based lockstep stepping** (Ko et al.'s speculative SIMD
+//!    membership test, arXiv:1210.5093). While many speculative runs are
+//!    live, their premultiplied rows are advanced eight per
+//!    `vpgatherdd` against one shared class vector. The per-byte dedup
+//!    bookkeeping of the scalar lockstep kernel is *amortized* instead
+//!    of paid per byte: groups advance freely for a short period, then a
+//!    merge/compact pass splices converged groups and drops dead ones
+//!    (sound because the dead row 0 is absorbing — `ptable[0 + c] = 0` —
+//!    so an unmerged duplicate or dead lane just keeps gathering zeros).
+//! 3. **Dependency-breaking finishes.** Once few runs survive, the scan
+//!    is latency-bound on the `load → index → load` chain (~5 cycles per
+//!    byte however fast the ALUs are). For 2–4 survivors the chains are
+//!    *interleaved* in one pass — independent loads overlap, so four
+//!    chains cost the wall time of one. For a single survivor the
+//!    remainder is split into [`NUM_CHAINS`] strides walked in the same
+//!    interleaved fashion: stride 0 continues deterministically from the
+//!    known row, every later stride *speculates* from the entry row and
+//!    records periodic row checkpoints. A serial repair pass then
+//!    rescans each stride from its true entry only until it meets a
+//!    matching checkpoint — by DFA determinism, agreement at one
+//!    position implies identical rows ever after, so the stride's
+//!    precomputed end row is adopted and the rest skipped. On convergent
+//!    texts (the common case the paper measures) repairs cost a few
+//!    hundred bytes per stride; the worst case degrades to the plain
+//!    serial walk plus the wasted speculation, never to a wrong answer.
+//!
+//! Counting semantics are **per executed transition per lane/chain** —
+//! work actually performed, including speculation that repair later
+//! discards. This is honest but *not* comparable to the scalar lockstep
+//! per-group counts (which merge eagerly); differential tests compare
+//! mappings and verdicts, never tallies.
+
+// The crate denies unsafe code; this module is the audited exception
+// (AVX2 gathers behind runtime feature detection).
+#![allow(unsafe_code)]
+
+use ridfa_automata::counter::Counter;
+use ridfa_automata::StateId;
+
+use super::{
+    merge_compact, run_row_serial, seed_groups, write_mapping, DenseTable, Scratch, CLASS_BLOCK,
+};
+
+/// Chains interleaved by the low-run finishes (multi-chain and strided).
+/// Four ~5-cycle dependent load chains saturate the L1 load ports without
+/// spilling the row state out of registers.
+pub(super) const NUM_CHAINS: usize = 4;
+
+/// Bytes between merge/compact passes of the gather phase. Short enough
+/// to catch the early convergence burst, long enough to amortize the
+/// compaction over the period.
+const MERGE_PERIOD: usize = 256;
+
+/// Below this many live groups the gather step stops paying (most lanes
+/// idle) and the interleaved scalar finishes take over.
+const GATHER_EXIT: usize = 4;
+
+/// Checkpoint spacing of the speculative strided walk (power of two).
+/// Repair scans at most this many bytes past the true convergence point.
+const CKPT_INTERVAL: usize = 256;
+
+/// Remainders shorter than this are not worth splitting into strides:
+/// the repair floor (one checkpoint interval per stride) would eat the
+/// latency win.
+const STRIDE_MIN: usize = 8 * 1024;
+
+/// Can the SIMD kernel execute here? Runtime AVX2 (plus the
+/// `RIDFA_NO_SIMD` kill switch) and a premultiplied table addressable by
+/// the signed 32-bit indices `vpgatherdd` consumes.
+pub(super) fn supported(table_entries: usize) -> bool {
+    cfg!(target_arch = "x86_64")
+        && table_entries <= i32::MAX as usize
+        && ridfa_automata::simd::enabled()
+}
+
+/// The SIMD chunk scan. Same contract as the scalar
+/// [`lockstep_scan`](super::lockstep_scan): `out` is pre-filled with
+/// [`DEAD`](ridfa_automata::DEAD) by the dispatcher and sized to the
+/// origin count.
+pub(super) fn scan(
+    table: DenseTable<'_>,
+    starts: impl Iterator<Item = (u32, StateId)>,
+    chunk: &[u8],
+    scratch: &mut Scratch,
+    counter: &mut impl Counter,
+    out: &mut [StateId],
+) {
+    debug_assert!(supported(table.ptable.len()));
+    scratch.warm_up(table.ptable.len(), out.len());
+    let stride = table.stride;
+    let mut len = seed_groups(scratch, starts, stride);
+    let mut consumed = 0;
+
+    // Phase 1: many live runs — gather-based lockstep with periodic
+    // merge/compact passes.
+    if len > GATHER_EXIT {
+        let mut class_buf = std::mem::take(&mut scratch.class_buf);
+        'gather: while consumed < chunk.len() && len > GATHER_EXIT {
+            if scratch.interrupt.as_ref().is_some_and(|p| p.should_stop()) {
+                break 'gather; // abandoned: the budgeted caller discards
+            }
+            let block = &chunk[consumed..(consumed + CLASS_BLOCK).min(chunk.len())];
+            table.classes.classify_into(block, &mut class_buf);
+            for period in class_buf[..block.len()].chunks(MERGE_PERIOD) {
+                advance_gathered(table.ptable, &mut scratch.rows[..len], period, counter);
+                consumed += period.len();
+                len = merge_compact(scratch, len);
+                if len <= GATHER_EXIT {
+                    break 'gather;
+                }
+            }
+        }
+        scratch.class_buf = class_buf;
+    }
+
+    // Phase 2: few live runs — dependency-breaking interleaved finishes.
+    if consumed < chunk.len() && (1..=GATHER_EXIT).contains(&len) {
+        let rest = &chunk[consumed..];
+        if len == 1 {
+            let entry = scratch.rows[0] as usize;
+            let final_row = strided_single_run(table, entry, rest, scratch, counter);
+            scratch.rows[0] = final_row as StateId;
+        } else {
+            multi_chain_finish(table, scratch, len, rest, counter);
+        }
+    }
+
+    write_mapping(scratch, len, stride, out);
+}
+
+/// Advances all live groups over one period of pre-classified bytes,
+/// eight premultiplied rows per gather, without merge bookkeeping. Dead
+/// groups (and the row-0 pad lanes of the last vector) are absorbed by
+/// the all-zero dead row, so no masking is needed; live transitions are
+/// counted per lane from the not-dead movemask.
+#[cfg(target_arch = "x86_64")]
+fn advance_gathered(
+    ptable: &[StateId],
+    rows: &mut [StateId],
+    classes: &[u8],
+    counter: &mut impl Counter,
+) {
+    // SAFETY: `supported` (asserted by the caller) verified AVX2.
+    unsafe { advance_gathered_avx2(ptable, rows, classes, counter) }
+}
+
+/// # Safety
+/// Requires AVX2. Every row in `rows` must be a valid premultiplied row
+/// offset of `ptable` (hence `row + class < ptable.len()` for any class
+/// the table was built with), and `ptable.len() ≤ i32::MAX`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn advance_gathered_avx2(
+    ptable: &[StateId],
+    rows: &mut [StateId],
+    classes: &[u8],
+    counter: &mut impl Counter,
+) {
+    use std::arch::x86_64::*;
+    let base = ptable.as_ptr() as *const i32;
+    let zero = _mm256_setzero_si256();
+    let mut g = 0;
+    while g < rows.len() {
+        let lanes = (rows.len() - g).min(8);
+        // Load up to eight group rows, padding the tail vector with the
+        // absorbing dead row 0 (gathers `ptable[0 + c] = 0`, never
+        // counted, never stored back).
+        let mut lane_buf = [0u32; 8];
+        lane_buf[..lanes].copy_from_slice(&rows[g..g + lanes]);
+        let mut v = _mm256_loadu_si256(lane_buf.as_ptr() as *const __m256i);
+        for &class in classes {
+            let idx = _mm256_add_epi32(v, _mm256_set1_epi32(class as i32));
+            // SAFETY: rows are premultiplied offsets and `class` is a
+            // valid class of the table, so every index is in bounds;
+            // pad lanes index row 0.
+            v = _mm256_i32gather_epi32::<4>(base, idx);
+            let dead = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, zero)));
+            counter.add(8 - (dead.count_ones() as u64));
+        }
+        _mm256_storeu_si256(lane_buf.as_mut_ptr() as *mut __m256i, v);
+        rows[g..g + lanes].copy_from_slice(&lane_buf[..lanes]);
+        g += lanes;
+    }
+}
+
+/// Fallback stub so non-x86 builds type-check; unreachable because
+/// [`supported`] is false there.
+#[cfg(not(target_arch = "x86_64"))]
+fn advance_gathered(
+    _ptable: &[StateId],
+    _rows: &mut [StateId],
+    _classes: &[u8],
+    _counter: &mut impl Counter,
+) {
+    unreachable!("SIMD scan dispatched without architecture support")
+}
+
+/// Runs the 2..=[`NUM_CHAINS`] surviving groups to the end of the chunk
+/// as *interleaved* independent chains: one shared classification pass,
+/// one loop, [`NUM_CHAINS`] in-flight loads per byte (unused chains are
+/// parked on the absorbing dead row and never counted). Replaces the
+/// scalar kernel's one-group-after-another serial finish, which walks
+/// the remainder `len` times with a bare dependency chain each.
+fn multi_chain_finish(
+    table: DenseTable<'_>,
+    scratch: &mut Scratch,
+    len: usize,
+    rest: &[u8],
+    counter: &mut impl Counter,
+) {
+    debug_assert!((2..=NUM_CHAINS).contains(&len));
+    let ptable = table.ptable;
+    let mut r = [0usize; NUM_CHAINS];
+    for (chain, &row) in r.iter_mut().zip(&scratch.rows[..len]) {
+        *chain = row as usize;
+    }
+    let mut class_buf = std::mem::take(&mut scratch.class_buf);
+    let probe = scratch.interrupt.clone();
+    for seg in rest.chunks(CLASS_BLOCK) {
+        if probe.as_ref().is_some_and(|p| p.should_stop()) {
+            break; // abandoned: the budgeted caller discards the mapping
+        }
+        table.classes.classify_into(seg, &mut class_buf);
+        for &class in &class_buf[..seg.len()] {
+            let c = class as usize;
+            let next = [
+                ptable[r[0] + c] as usize,
+                ptable[r[1] + c] as usize,
+                ptable[r[2] + c] as usize,
+                ptable[r[3] + c] as usize,
+            ];
+            counter.add(next.iter().map(|&n| (n != 0) as u64).sum());
+            r = next;
+        }
+    }
+    scratch.class_buf = class_buf;
+    for (row, &chain) in scratch.rows[..len].iter_mut().zip(&r) {
+        *row = chain as StateId;
+    }
+}
+
+/// The single-run remainder walk: checkpoint-and-repair strided
+/// speculation. Returns the final premultiplied row (0 = dead).
+///
+/// The remainder is cut into [`NUM_CHAINS`] equal strides. Stride 0 runs
+/// deterministically from `row` (the one surviving group); each later
+/// stride runs **one** speculative chain from `row` as a guessed entry,
+/// recording its row every [`CKPT_INTERVAL`] bytes. All chains advance
+/// interleaved in a single loop, so the ~5-cycle dependent-load latency
+/// of the DFA walk is overlapped [`NUM_CHAINS`]-fold. The repair pass
+/// then walks left to right: the true row entering stride `j` rescans
+/// serially, but only until it equals the speculative chain's checkpoint
+/// at the same position — determinism then guarantees both trajectories
+/// are identical forever after, so the chain's precomputed end row is
+/// adopted and the rest of the stride is skipped.
+fn strided_single_run(
+    table: DenseTable<'_>,
+    row: usize,
+    rest: &[u8],
+    scratch: &mut Scratch,
+    counter: &mut impl Counter,
+) -> usize {
+    let probe = scratch.interrupt.clone();
+    if rest.len() < STRIDE_MIN {
+        return match &probe {
+            None => run_row_serial(table, row, rest, counter),
+            Some(p) => super::run_row_interruptible(table, row, rest, counter, p),
+        };
+    }
+    let ptable = table.ptable;
+    let stride_len = rest.len() / NUM_CHAINS;
+    // Stride j covers rest[j*stride_len ..][..stride_len]; the division
+    // remainder (< NUM_CHAINS bytes) is appended to the last stride.
+    let tail_start = NUM_CHAINS * stride_len;
+
+    // Working buffers (capacity persists across scans: zero allocations
+    // once warmed to the chunk-size high-water mark).
+    let mut class_buf = std::mem::take(&mut scratch.simd_class_buf);
+    if class_buf.len() < NUM_CHAINS * CLASS_BLOCK {
+        class_buf.resize(NUM_CHAINS * CLASS_BLOCK, 0);
+    }
+    let mut ckpt = std::mem::take(&mut scratch.simd_ckpt);
+    let ckpt_cap = stride_len / CKPT_INTERVAL + 2;
+    if ckpt.len() < NUM_CHAINS * ckpt_cap {
+        ckpt.resize(NUM_CHAINS * ckpt_cap, 0);
+    }
+
+    // Interleaved main walk: chain 0 deterministic, chains 1.. from the
+    // guessed entry `row` (on convergent texts any live entry lands on
+    // the same trajectory within a few hundred bytes).
+    let mut r = [row; NUM_CHAINS];
+    let mut n_ck = 0usize;
+    let mut tripped = false;
+    let mut seg_start = 0;
+    while seg_start < stride_len {
+        if probe.as_ref().is_some_and(|p| p.should_stop()) {
+            tripped = true;
+            break; // abandoned: the budgeted caller discards the mapping
+        }
+        let seg_len = (stride_len - seg_start).min(CLASS_BLOCK);
+        for (j, buf) in class_buf.chunks_mut(CLASS_BLOCK).enumerate() {
+            let from = j * stride_len + seg_start;
+            table
+                .classes
+                .classify_into(&rest[from..from + seg_len], buf);
+        }
+        for k in 0..seg_len {
+            let next = [
+                ptable[r[0] + class_buf[k] as usize] as usize,
+                ptable[r[1] + class_buf[CLASS_BLOCK + k] as usize] as usize,
+                ptable[r[2] + class_buf[2 * CLASS_BLOCK + k] as usize] as usize,
+                ptable[r[3] + class_buf[3 * CLASS_BLOCK + k] as usize] as usize,
+            ];
+            counter.add(next.iter().map(|&n| (n != 0) as u64).sum());
+            r = next;
+            if (seg_start + k + 1) % CKPT_INTERVAL == 0 {
+                for j in 1..NUM_CHAINS {
+                    ckpt[j * ckpt_cap + n_ck] = r[j] as StateId;
+                }
+                n_ck += 1;
+            }
+        }
+        seg_start += seg_len;
+    }
+    // The last stride's division-remainder tail (< NUM_CHAINS bytes).
+    if !tripped {
+        for (i, &byte) in rest[tail_start..].iter().enumerate() {
+            let next = ptable[r[NUM_CHAINS - 1] + table.classes.get(byte) as usize] as usize;
+            counter.add((next != 0) as u64);
+            r[NUM_CHAINS - 1] = next;
+            if (stride_len + i + 1).is_multiple_of(CKPT_INTERVAL) {
+                ckpt[(NUM_CHAINS - 1) * ckpt_cap + n_ck] = r[NUM_CHAINS - 1] as StateId;
+                // Checkpoint indices of the shorter chains past their end
+                // are never compared; only the tail chain reads this slot.
+            }
+        }
+    }
+
+    // Repair pass: resolve the true trajectory left to right.
+    let mut cur = r[0]; // stride 0 ran from the true entry
+    if !tripped {
+        'strides: for j in 1..NUM_CHAINS {
+            if cur == 0 {
+                break; // the true run died: row 0 absorbs everything after
+            }
+            let from = j * stride_len;
+            let to = if j == NUM_CHAINS - 1 {
+                rest.len()
+            } else {
+                from + stride_len
+            };
+            let region = &rest[from..to];
+            for (t, seg) in region.chunks(CKPT_INTERVAL).enumerate() {
+                if probe.as_ref().is_some_and(|p| p.should_stop()) {
+                    break 'strides; // abandoned: the partial row is discarded
+                }
+                cur = run_row_serial(table, cur, seg, counter);
+                if cur == 0 {
+                    break 'strides; // dead is absorbing: the verdict is DEAD
+                }
+                // A full-interval boundary has a recorded speculative row;
+                // agreement there pins the whole remaining trajectory.
+                if seg.len() == CKPT_INTERVAL && cur == ckpt[j * ckpt_cap + t] as usize {
+                    cur = r[j];
+                    continue 'strides;
+                }
+            }
+            // No checkpoint matched: `cur` was rescanned to the stride's
+            // end and *is* the true row — the speculation is discarded.
+        }
+    }
+    scratch.simd_class_buf = class_buf;
+    scratch.simd_ckpt = ckpt;
+    cur
+}

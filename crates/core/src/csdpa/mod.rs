@@ -289,6 +289,17 @@ pub trait ChunkAutomaton: Sync {
     /// (`|I_A|`): the speculation-cost factor of the paper.
     fn num_speculative_starts(&self) -> usize;
 
+    /// The scan strategy this CA would *actually* execute on an interior
+    /// chunk of `chunk_len` bytes: [`Kernel::Auto`] resolved through the
+    /// runtime selection matrix, and a pinned [`Kernel::Simd`] demoted to
+    /// its scalar fallback when the CPU feature or the table shape rules
+    /// it out. `None` (the default) means the CA does not scan through
+    /// the lockstep kernel at all (set-based NFA simulation, SFA tables),
+    /// and reporting layers omit the kernel field.
+    fn effective_kernel(&self, _chunk_len: usize) -> Option<Kernel> {
+        None
+    }
+
     /// Short display name ("dfa", "nfa", "rid").
     fn name(&self) -> &'static str;
 }

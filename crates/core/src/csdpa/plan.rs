@@ -358,6 +358,15 @@ impl ChunkAutomaton for FeasibleRidCa<'_> {
         self.inner.num_speculative_starts()
     }
 
+    fn effective_kernel(&self, chunk_len: usize) -> Option<Kernel> {
+        Some(super::convergent::resolve_kernel(
+            self.kernel,
+            self.num_speculative_starts(),
+            chunk_len,
+            self.inner.ptable().len(),
+        ))
+    }
+
     fn name(&self) -> &'static str {
         "rid+feasible"
     }

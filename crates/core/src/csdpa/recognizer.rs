@@ -7,7 +7,7 @@ use ridfa_automata::counter::{NoCount, TransitionCount};
 use crate::parallel::run_indexed_with;
 
 use super::budget::{panic_message, Budget, InterruptProbe, RecognizeError};
-use super::{chunk_spans, ChunkAutomaton};
+use super::{chunk_spans, ChunkAutomaton, Kernel};
 
 /// How the reach phase distributes chunk scans over OS threads.
 ///
@@ -80,6 +80,12 @@ pub struct Outcome {
     /// requested through the free [`recognize`] degrades to
     /// [`Executor::Auto`] and is recorded as such.
     pub executor: Executor,
+    /// The scan strategy the interior (speculative) chunk scans actually
+    /// executed, resolved through
+    /// [`ChunkAutomaton::effective_kernel`] for the largest interior
+    /// chunk. `None` when the text ran as a single chunk (no speculative
+    /// scans) or the CA does not scan through the lockstep kernel.
+    pub kernel: Option<Kernel>,
 }
 
 /// Per-chunk measurements of an instrumented recognition.
@@ -110,6 +116,9 @@ pub struct CountedOutcome {
     pub join: Duration,
     /// The executor shape that actually ran (see [`Outcome::executor`]).
     pub executor: Executor,
+    /// The scan strategy of the interior chunk scans (see
+    /// [`Outcome::kernel`]).
+    pub kernel: Option<Kernel>,
 }
 
 /// Recognizes `text` with chunk automaton `ca`, split into `num_chunks`
@@ -223,7 +232,21 @@ fn recognize_over<CA: ChunkAutomaton>(
         reach,
         join: join_start.elapsed(),
         executor,
+        kernel: effective_kernel_for(ca, spans),
     })
+}
+
+/// The kernel recorded in outcomes: what the CA's speculative scan
+/// dispatch resolves to for the *largest* interior chunk (chunk sizes of
+/// one recognition differ by at most one byte, so the answer is uniform
+/// in practice). `None` for single-chunk runs — only the first chunk ran,
+/// deterministically, outside the speculative kernel.
+pub(super) fn effective_kernel_for<CA: ChunkAutomaton>(
+    ca: &CA,
+    spans: &[std::ops::Range<usize>],
+) -> Option<Kernel> {
+    let longest = spans.iter().skip(1).map(|s| s.len()).max()?;
+    ca.effective_kernel(longest)
 }
 
 /// Like [`recognize`] but tallying executed transitions per chunk — the
@@ -267,6 +290,7 @@ pub fn recognize_counted<CA: ChunkAutomaton>(
         reach,
         join: join_start.elapsed(),
         executor,
+        kernel: effective_kernel_for(ca, &spans),
     }
 }
 

@@ -554,6 +554,10 @@ impl PatternRegistry {
         let mut session = Session::with_shared_pool(Arc::clone(&self.pool));
         let mut stream =
             StreamSession::with_shared_pool(Arc::clone(&self.pool), self.config.block_size);
+        // The artifact's record separator drives separator-snapped block
+        // planning on the warm stream session: block boundaries land on
+        // record boundaries, so speculative starts converge immediately.
+        stream.set_separator(separator);
         // Pre-warm both sessions with the *chosen* engine's chunk
         // automaton, so the first request hits matching warm caches (the
         // session caches key on the automaton type).

@@ -330,6 +330,7 @@ impl Session {
             } else {
                 Executor::Pooled
             },
+            kernel: recognizer::effective_kernel_for(ca, &self.spans),
         })
     }
 
@@ -383,6 +384,7 @@ impl Session {
             reach,
             join,
             executor: Executor::Pooled,
+            kernel: recognizer::effective_kernel_for(ca, &self.spans),
         }
     }
 

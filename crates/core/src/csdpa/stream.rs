@@ -50,7 +50,7 @@ use crate::parallel::{PoolHealth, ThreadPool};
 
 use super::budget::{panic_message, Budget, Degraded, InterruptProbe, StreamError};
 use super::session::DisjointSlots;
-use super::ChunkAutomaton;
+use super::{ChunkAutomaton, Kernel};
 
 /// Result of a streaming recognition.
 #[derive(Debug, Clone)]
@@ -78,6 +78,12 @@ pub struct StreamOutcome {
     /// `true` when the composed prefix died before EOF and the session
     /// stopped reading — the verdict is a definite rejection.
     pub rejected_early: bool,
+    /// The scan strategy the interior block scans actually executed,
+    /// resolved through [`ChunkAutomaton::effective_kernel`] for the
+    /// session's nominal block size (separator-snapped blocks may run
+    /// slightly shorter). `None` when the CA does not scan through the
+    /// lockstep kernel.
+    pub kernel: Option<Kernel>,
 }
 
 /// A fixed-size reusable block buffer of the ring.
@@ -109,6 +115,13 @@ struct StreamCache<S, M, C> {
 struct ReadAhead<'a, R> {
     reader: &'a mut R,
     blocks: &'a mut [Block],
+    /// Snap full blocks back to their last occurrence of this byte
+    /// (record separator); the cut-off tail rides in `carry`.
+    separator: Option<u8>,
+    /// Bytes deferred past the previous block's snap point, to seed the
+    /// next block. Always shorter than one block; owned by the session so
+    /// it survives across waves.
+    carry: &'a mut Vec<u8>,
     /// Blocks of the next wave holding at least one byte.
     filled: usize,
     eof: bool,
@@ -143,6 +156,14 @@ pub struct StreamSession {
     blocks: Vec<Block>,
     /// The [`StreamCache`] of the most recent CA type.
     cache: Option<Box<dyn Any + Send>>,
+    /// Record separator for boundary snapping
+    /// ([`StreamSession::set_separator`]); `None` = plain length-based
+    /// blocks.
+    separator: Option<u8>,
+    /// The snapped-off tail of the previous block, seeding the next one.
+    /// Lives outside the ring so [`StreamSession::buffer_bytes`] keeps
+    /// its exact `ring × block_size` accounting.
+    carry: Vec<u8>,
     /// Why the most recent stream ran degraded, if it did (cleared at the
     /// start of every stream).
     last_degraded: Option<Degraded>,
@@ -195,8 +216,38 @@ impl StreamSession {
                 })
                 .collect(),
             cache: None,
+            separator: None,
+            carry: Vec::new(),
             last_degraded: None,
         }
+    }
+
+    /// Sets (or clears, with `None`) the record separator for
+    /// **separator-snapped block planning**: every *full* block is cut
+    /// back to its last occurrence of `sep`, and the severed tail seeds
+    /// the next block — the streaming counterpart of
+    /// [`chunk_spans_snapped`](super::chunk_spans_snapped). On
+    /// record-structured texts (logs, line-oriented protocols) this
+    /// aligns block boundaries with record boundaries, so speculative
+    /// runs start at the states that actually occur there and converge
+    /// within a few bytes instead of a few hundred. A full block with no
+    /// separator at all is emitted unsnapped (the degenerate case stays
+    /// correct, just unaligned), and the final partial block at EOF is
+    /// never snapped. The verdict is independent of the setting — only
+    /// where the scan boundaries fall changes.
+    pub fn set_separator(&mut self, sep: Option<u8>) {
+        self.separator = sep;
+        self.carry.clear();
+        if sep.is_some() {
+            // Worst-case carry is one byte short of a block; reserving it
+            // here keeps the steady state allocation-free.
+            self.carry.reserve(self.block_size);
+        }
+    }
+
+    /// The record separator blocks are snapped to, if any.
+    pub fn separator(&self) -> Option<u8> {
+        self.separator
     }
 
     /// Creates a session sized to the machine (one pool worker per core,
@@ -359,6 +410,10 @@ impl StreamSession {
         }
         let mut reader = reader;
         let mut cache = self.take_cache::<CA>();
+        // Stale carry from an aborted stream must not leak into this one.
+        self.carry.clear();
+        let separator = self.separator;
+        let carry = &mut self.carry;
         let StreamCache {
             scratches,
             slots,
@@ -385,6 +440,8 @@ impl StreamSession {
         let mut prologue = ReadAhead {
             reader: &mut reader,
             blocks: w0,
+            separator,
+            carry: &mut *carry,
             filled: 0,
             eof: false,
             error: None,
@@ -407,6 +464,8 @@ impl StreamSession {
             let mut read_ahead = ReadAhead {
                 reader: &mut reader,
                 blocks: &mut *next_wave,
+                separator,
+                carry: &mut *carry,
                 filled: 0,
                 eof: false,
                 error: None,
@@ -550,6 +609,7 @@ impl StreamSession {
             elapsed: start.elapsed(),
             compose: compose_time,
             rejected_early,
+            kernel: ca.effective_kernel(self.block_size),
         })
     }
 
@@ -580,21 +640,45 @@ impl StreamSession {
 /// Fills consecutive blocks of `ra.blocks` until the reader is exhausted
 /// or the wave is full, recording the filled-block count and EOF. Runs on
 /// whichever claimant takes the read task.
+///
+/// Each block is seeded with the carry left by the previous block's
+/// separator snap, then topped up from the reader. EOF is detected from
+/// the *raw* read (the reader could not fill the remainder) — a snapped
+/// block is legitimately short without being the last one. Full blocks
+/// are snapped back to their last separator (when one is configured and
+/// present), the severed tail becoming the next block's carry.
 fn fill_wave<R: Read>(ra: &mut ReadAhead<'_, R>) {
     for block in ra.blocks.iter_mut() {
-        match fill_block(ra.reader, &mut block.data) {
-            Ok(0) => {
-                ra.eof = true;
-                return;
-            }
+        let seed = ra.carry.len();
+        debug_assert!(seed < block.data.len(), "carry is always < one block");
+        block.data[..seed].copy_from_slice(ra.carry);
+        ra.carry.clear();
+        match fill_block(ra.reader, &mut block.data[seed..]) {
             Ok(n) => {
-                block.len = n;
-                ra.filled += 1;
-                if n < block.data.len() {
-                    // A short block means the reader hit EOF mid-block.
+                let total = seed + n;
+                if total == 0 {
                     ra.eof = true;
                     return;
                 }
+                if n < block.data.len() - seed {
+                    // The reader ran dry mid-block: this is the stream's
+                    // final block, emitted whole (never snapped).
+                    block.len = total;
+                    ra.filled += 1;
+                    ra.eof = true;
+                    return;
+                }
+                // A full block: snap back to the last record separator so
+                // the next block starts on a record boundary. No
+                // separator in the whole block → emit unsnapped.
+                block.len = total;
+                if let Some(sep) = ra.separator {
+                    if let Some(pos) = block.data[..total].iter().rposition(|&b| b == sep) {
+                        ra.carry.extend_from_slice(&block.data[pos + 1..total]);
+                        block.len = pos + 1;
+                    }
+                }
+                ra.filled += 1;
             }
             Err(e) => {
                 ra.error = Some(e);
@@ -739,5 +823,122 @@ mod tests {
             expected,
             "ring must not grow with stream length"
         );
+        // Separator snapping keeps its carry outside the ring accounting.
+        session.set_separator(Some(b'c'));
+        let out = session.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+        assert!(out.accepted);
+        assert_eq!(session.buffer_bytes(), expected, "carry is not ring memory");
+    }
+
+    #[test]
+    fn fill_wave_snaps_full_blocks_at_separators() {
+        let text = b"aaa bb cccc d eeee ff";
+        let mut reader = Cursor::new(&text[..]);
+        let mut blocks: Vec<Block> = (0..4)
+            .map(|_| Block {
+                data: vec![0u8; 8],
+                len: 0,
+            })
+            .collect();
+        let mut carry = Vec::new();
+        let mut ra = ReadAhead {
+            reader: &mut reader,
+            blocks: &mut blocks,
+            separator: Some(b' '),
+            carry: &mut carry,
+            filled: 0,
+            eof: false,
+            error: None,
+        };
+        fill_wave(&mut ra);
+        assert!(ra.eof);
+        assert_eq!(ra.filled, 3);
+        // Every full (non-final) block ends exactly at a separator…
+        assert_eq!(&blocks[0].data[..blocks[0].len], b"aaa bb ");
+        assert_eq!(&blocks[1].data[..blocks[1].len], b"cccc d ");
+        // …the final block keeps the unsnapped remainder…
+        assert_eq!(&blocks[2].data[..blocks[2].len], b"eeee ff");
+        // …and no byte is lost or duplicated.
+        let total: Vec<u8> = blocks[..3]
+            .iter()
+            .flat_map(|b| b.data[..b.len].iter().copied())
+            .collect();
+        assert_eq!(total, text);
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn fill_wave_without_separator_in_block_emits_unsnapped() {
+        // No separator anywhere: blocks stay full-length, carry stays
+        // empty — the degenerate case must not stall or shrink blocks.
+        let text = b"aaaaaaaaaaaaaaaa"; // 2 × 8 bytes
+        let mut reader = Cursor::new(&text[..]);
+        let mut blocks: Vec<Block> = (0..3)
+            .map(|_| Block {
+                data: vec![0u8; 8],
+                len: 0,
+            })
+            .collect();
+        let mut carry = Vec::new();
+        let mut ra = ReadAhead {
+            reader: &mut reader,
+            blocks: &mut blocks,
+            separator: Some(b'\n'),
+            carry: &mut carry,
+            filled: 0,
+            eof: false,
+            error: None,
+        };
+        fill_wave(&mut ra);
+        assert_eq!(ra.filled, 2);
+        assert_eq!(blocks[0].len, 8);
+        assert_eq!(blocks[1].len, 8);
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn separator_snapping_preserves_the_verdict() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        let ca = RidCa::new(&rid);
+        let mut plain = StreamSession::new(2, 64);
+        let mut snapped = StreamSession::new(2, 64);
+        snapped.set_separator(Some(b'c'));
+        assert_eq!(snapped.separator(), Some(b'c'));
+        for pump in [0usize, 1, 3, 50, 400] {
+            let mut text = b"aabcab".repeat(pump);
+            for tail in [false, true] {
+                if tail {
+                    text.push(b'c');
+                }
+                let a = plain.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+                let b = snapped.recognize_stream(&ca, Cursor::new(&text)).unwrap();
+                assert_eq!(a.accepted, b.accepted, "pump {pump} tail {tail}");
+                assert_eq!(a.bytes, b.bytes, "snapping must not drop bytes");
+                // Snapped blocks are shorter, never longer: block count
+                // can only grow.
+                assert!(b.blocks >= a.blocks, "pump {pump} tail {tail}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_outcome_reports_the_effective_kernel() {
+        let nfa = figure1_nfa();
+        let rid = RiDfa::from_nfa(&nfa);
+        // Plain RidCa does not expose a kernel choice.
+        let plain = RidCa::new(&rid);
+        let mut session = StreamSession::new(1, 64);
+        let text = b"aabcab".repeat(100);
+        let out = session
+            .recognize_stream(&plain, Cursor::new(&text))
+            .unwrap();
+        assert_eq!(out.kernel, None);
+        // The convergent CA reports what its dispatch resolves to for the
+        // block size — a pinned kernel comes back verbatim.
+        let conv = crate::csdpa::ConvergentRidCa::with_kernel(&rid, crate::csdpa::Kernel::PerRun);
+        let out = session.recognize_stream(&conv, Cursor::new(&text)).unwrap();
+        assert_eq!(out.kernel, Some(crate::csdpa::Kernel::PerRun));
+        assert_eq!(out.accepted, nfa.accepts(&text));
     }
 }

@@ -61,6 +61,7 @@ fn warm_scans_allocate_nothing() {
         Kernel::PerRun,
         Kernel::Lockstep,
         Kernel::LockstepShared,
+        Kernel::Simd,
         Kernel::Auto,
     ] {
         let mut scratch = Scratch::default();

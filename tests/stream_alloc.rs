@@ -13,7 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ridfa::core::csdpa::{ConvergentRidCa, RidCa, StreamSession};
+use ridfa::core::csdpa::{ConvergentRidCa, Kernel, RidCa, StreamSession};
 use ridfa::core::ridfa::RiDfa;
 use ridfa::workloads::traffic;
 
@@ -94,6 +94,28 @@ fn warm_stream_session_allocates_nothing_per_block() {
         allocations() - before,
         0,
         "warm per-run stream recognition must not allocate"
+    );
+
+    // Pin the SIMD kernel explicitly. `Auto` already routes 64 KiB
+    // blocks through it on AVX2 hosts, but pinning keeps this proof
+    // meaningful when feature detection changes; without AVX2 the pin
+    // demotes to the shared lockstep kernel, which has the same
+    // contract.
+    let simd = ConvergentRidCa::with_kernel(&rid, Kernel::Simd);
+    session.warm(&simd, &text1[..64 << 10]);
+    let first = session.recognize_stream(&simd, &text1[..]).unwrap();
+    assert!(first.accepted);
+    let before = allocations();
+    assert!(
+        session
+            .recognize_stream(&simd, &text2[..])
+            .unwrap()
+            .accepted
+    );
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm SIMD stream recognition must not allocate"
     );
 
     // Twice the stream, same allocation count (i.e. zero): per-block cost
